@@ -1,0 +1,149 @@
+// Command splitplatform runs one medical platform (hospital) of the
+// split-learning framework over TCP. It owns the raw local data shard
+// and the model's first hidden layer L1; raw samples and labels never
+// leave the process.
+//
+// All platforms and the server must share -arch, -classes, -width,
+// -seed, -rounds and the eval schedule; the data corpus and shard
+// assignment are derived deterministically from the shared seed, so
+// every process independently computes the same shards. Exactly one
+// platform should pass -evaluator when -evalevery is non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"medsplit/internal/compress"
+	"medsplit/internal/core"
+	"medsplit/internal/experiment"
+	"medsplit/internal/metrics"
+	"medsplit/internal/models"
+	"medsplit/internal/nn"
+	"medsplit/internal/transport"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7700", "server address")
+		id        = flag.Int("id", 0, "platform id (0-based)")
+		platforms = flag.Int("platforms", 2, "total number of platforms (for data sharding)")
+		rounds    = flag.Int("rounds", 40, "training rounds")
+		arch      = flag.String("arch", "vgg-lite", "model: mlp, vgg-lite, resnet-lite")
+		classes   = flag.Int("classes", 10, "label count")
+		width     = flag.Int("width", 8, "model width")
+		train     = flag.Int("train", 1200, "total training samples (pre-sharding)")
+		test      = flag.Int("test", 300, "test samples (evaluator only)")
+		lr        = flag.Float64("lr", 0.05, "platform-side learning rate")
+		seed      = flag.Uint64("seed", 1, "shared experiment seed")
+		sharding  = flag.String("sharding", "iid", "data split: iid, powerlaw, dirichlet")
+		alpha     = flag.Float64("alpha", 1.2, "power-law/Dirichlet skew")
+		prop      = flag.Bool("proportional", false, "proportional minibatch sizing (paper's imbalance fix)")
+		batch     = flag.Int("totalbatch", 32, "total per-round batch budget across platforms")
+		l1sync    = flag.Int("l1sync", 0, "L1 weight sync every N rounds (must match server)")
+		evalEvery = flag.Int("evalevery", 10, "eval every N rounds (must match server)")
+		evaluator = flag.Bool("evaluator", false, "this platform measures test accuracy")
+		codec     = flag.String("codec", "raw", "activation codec: raw, f16, int8, topk-<frac> (must match server)")
+		loadPath  = flag.String("load", "", "restore the L1 half from a checkpoint before training")
+		savePath  = flag.String("save", "", "write the L1 half to a checkpoint after training")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{
+		Arch:         experiment.Arch(*arch),
+		Classes:      *classes,
+		Width:        *width,
+		TrainSamples: *train,
+		TestSamples:  *test,
+		Platforms:    *platforms,
+		TotalBatch:   *batch,
+		Proportional: *prop,
+		Sharding:     experiment.Sharding(*sharding),
+		Alpha:        *alpha,
+		Seed:         *seed,
+	}
+	if err := run(cfg, *addr, *id, *rounds, float32(*lr), *l1sync, *evalEvery, *evaluator, *codec, *loadPath, *savePath); err != nil {
+		fmt.Fprintln(os.Stderr, "splitplatform:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg experiment.Config, addr string, id, rounds int, lr float32, l1sync, evalEvery int, evaluator bool, codecName, loadPath, savePath string) error {
+	if id < 0 || id >= cfg.Platforms {
+		return fmt.Errorf("platform id %d out of range [0,%d)", id, cfg.Platforms)
+	}
+	codec, err := compress.ByName(codecName)
+	if err != nil {
+		return err
+	}
+	shards, test, batches, err := experiment.BuildData(cfg)
+	if err != nil {
+		return err
+	}
+	m, err := experiment.BuildModel(cfg)
+	if err != nil {
+		return err
+	}
+	front, _, err := models.Split(m.Net, m.DefaultCut)
+	if err != nil {
+		return err
+	}
+	if loadPath != "" {
+		if err := nn.LoadCheckpointFile(loadPath, front.Params(), nn.CollectState(front)); err != nil {
+			return err
+		}
+		fmt.Printf("splitplatform %d: restored L1 from %s\n", id, loadPath)
+	}
+
+	meter := &transport.Meter{}
+	pc := core.PlatformConfig{
+		ID:          id,
+		Front:       front,
+		Opt:         &nn.SGD{LR: lr},
+		Loss:        nn.SoftmaxCrossEntropy{},
+		Shard:       shards[id],
+		Batch:       batches[id],
+		Rounds:      rounds,
+		ClipGrads:   5,
+		L1SyncEvery: l1sync,
+		EvalEvery:   evalEvery,
+		Seed:        cfg.Seed + uint64(1000+id),
+		Codec:       codec,
+		Meter:       meter,
+	}
+	if evaluator {
+		pc.EvalData = test
+	}
+	plat, err := core.NewPlatform(pc)
+	if err != nil {
+		return err
+	}
+
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	fmt.Printf("splitplatform %d: %d local samples, batch %d, connected to %s\n",
+		id, shards[id].Len(), batches[id], addr)
+
+	stats, err := plat.Run(transport.Metered(conn, meter))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("splitplatform %d: %d rounds, final loss %.4f, training traffic %s\n",
+		id, len(stats.Rounds), stats.FinalLoss(), metrics.FormatBytes(core.TrainingBytes(meter)))
+	for _, ev := range stats.Evals {
+		if ev.Accuracy >= 0 {
+			fmt.Printf("splitplatform %d: round %d test accuracy %.1f%%\n", id, ev.Round, 100*ev.Accuracy)
+		}
+	}
+	if savePath != "" {
+		if err := nn.SaveCheckpointFile(savePath, front.Params(), nn.CollectState(front)); err != nil {
+			return err
+		}
+		fmt.Printf("splitplatform %d: saved L1 to %s\n", id, savePath)
+	}
+	return nil
+}

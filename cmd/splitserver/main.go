@@ -1,0 +1,160 @@
+// Command splitserver runs the central server of the split-learning
+// framework over TCP. It owns the model's layers above the cut
+// (L2 … Lk in the paper); platforms connect with cmd/splitplatform.
+//
+// Server and platforms must agree on -arch, -classes, -width, -seed and
+// -rounds: both sides derive the same initial weights from the shared
+// seed, and the handshake rejects mismatched round/eval schedules.
+//
+// Example (one server, two platforms, three shells):
+//
+//	splitserver   -addr :7700 -platforms 2 -rounds 40
+//	splitplatform -addr 127.0.0.1:7700 -id 0 -platforms 2 -rounds 40 -evaluator
+//	splitplatform -addr 127.0.0.1:7700 -id 1 -platforms 2 -rounds 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"medsplit/internal/compress"
+	"medsplit/internal/core"
+	"medsplit/internal/experiment"
+	"medsplit/internal/metrics"
+	"medsplit/internal/models"
+	"medsplit/internal/nn"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7700", "listen address")
+		platforms = flag.Int("platforms", 2, "number of platforms to serve")
+		rounds    = flag.Int("rounds", 40, "training rounds")
+		arch      = flag.String("arch", "vgg-lite", "model: mlp, vgg-lite, resnet-lite")
+		classes   = flag.Int("classes", 10, "label count")
+		width     = flag.Int("width", 8, "model width")
+		lr        = flag.Float64("lr", 0.05, "server-side learning rate")
+		seed      = flag.Uint64("seed", 1, "shared model seed")
+		concat    = flag.Bool("concat", false, "concatenated round mode instead of sequential")
+		l1sync    = flag.Int("l1sync", 0, "average platform L1 weights every N rounds (0 = off)")
+		evalEvery = flag.Int("evalevery", 10, "evaluation phase every N rounds (0 = off)")
+		codec     = flag.String("codec", "raw", "activation codec: raw, f16, int8, topk-<frac>")
+		loadPath  = flag.String("load", "", "restore the server half from a checkpoint before training")
+		savePath  = flag.String("save", "", "write the server half to a checkpoint after training")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *platforms, *rounds, *arch, *classes, *width, float32(*lr), *seed, *concat, *l1sync, *evalEvery, *codec, *loadPath, *savePath); err != nil {
+		fmt.Fprintln(os.Stderr, "splitserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, platforms, rounds int, arch string, classes, width int, lr float32, seed uint64, concat bool, l1sync, evalEvery int, codecName, loadPath, savePath string) error {
+	m, err := experiment.BuildModel(experiment.Config{
+		Arch: experiment.Arch(arch), Classes: classes, Width: width, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	codec, err := compress.ByName(codecName)
+	if err != nil {
+		return err
+	}
+	_, back, err := models.Split(m.Net, m.DefaultCut)
+	if err != nil {
+		return err
+	}
+	if loadPath != "" {
+		if err := nn.LoadCheckpointFile(loadPath, back.Params(), nn.CollectState(back)); err != nil {
+			return err
+		}
+		fmt.Printf("splitserver: restored server half from %s\n", loadPath)
+	}
+	mode := core.RoundModeSequential
+	if concat {
+		mode = core.RoundModeConcat
+	}
+	srv, err := core.NewServer(core.ServerConfig{
+		Back:        back,
+		Opt:         &nn.SGD{LR: lr},
+		Platforms:   platforms,
+		Rounds:      rounds,
+		Mode:        mode,
+		ClipGrads:   5,
+		L1SyncEvery: l1sync,
+		EvalEvery:   evalEvery,
+		Codec:       codec,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := transport.Listen(addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("splitserver: %s model, %d params server-side, listening on %s for %d platforms\n",
+		m.Name, nn.ParamCount(back.Params()), l.Addr(), platforms)
+
+	conns, meter, err := acceptPlatforms(l, platforms)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	if err := srv.Serve(conns); err != nil {
+		return err
+	}
+	fmt.Printf("splitserver: training complete after %d rounds\n", rounds)
+	fmt.Printf("splitserver: training traffic %s (all platforms, both directions)\n",
+		metrics.FormatBytes(core.TrainingBytes(meter)))
+	if savePath != "" {
+		if err := nn.SaveCheckpointFile(savePath, back.Params(), nn.CollectState(back)); err != nil {
+			return err
+		}
+		fmt.Printf("splitserver: saved server half to %s\n", savePath)
+	}
+	return nil
+}
+
+// acceptPlatforms accepts the expected number of connections, reads each
+// one's Hello to learn its platform id, and returns the connections in
+// id order (with the Hellos pushed back for the protocol handshake).
+// All traffic is counted on the returned meter.
+func acceptPlatforms(l transport.Listener, platforms int) ([]transport.Conn, *transport.Meter, error) {
+	meter := &transport.Meter{}
+	conns := make([]transport.Conn, platforms)
+	for accepted := 0; accepted < platforms; accepted++ {
+		raw, err := l.Accept()
+		if err != nil {
+			return nil, nil, err
+		}
+		c := transport.Metered(raw, meter)
+		hello, err := c.Recv()
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading hello: %w", err)
+		}
+		if hello.Type != wire.MsgHello {
+			return nil, nil, fmt.Errorf("first message was %s, want hello", hello.Type)
+		}
+		id := int(hello.Platform)
+		if id < 0 || id >= platforms {
+			return nil, nil, fmt.Errorf("platform id %d out of range [0,%d)", id, platforms)
+		}
+		if conns[id] != nil {
+			return nil, nil, fmt.Errorf("platform %d connected twice", id)
+		}
+		conns[id] = transport.Pushback(c, hello)
+		fmt.Printf("splitserver: platform %d connected (%d/%d)\n", id, accepted+1, platforms)
+	}
+	return conns, meter, nil
+}

@@ -1,0 +1,152 @@
+// TCP cluster: the same split-learning session as the quickstart, but
+// over real TCP sockets on the loopback interface — the exact code path
+// a geo-distributed deployment uses (cmd/splitserver and
+// cmd/splitplatform run these roles as separate processes; here they
+// share one process for a self-contained demo).
+//
+//	go run ./examples/tcp_cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"medsplit/internal/core"
+	"medsplit/internal/dataset"
+	"medsplit/internal/metrics"
+	"medsplit/internal/models"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+const (
+	platforms = 2
+	rounds    = 20
+	classes   = 3
+	seed      = 11
+)
+
+func main() {
+	train, test := dataset.SynthCIFAR(dataset.SynthConfig{
+		Classes: classes, Train: 240, Test: 90, Seed: seed,
+	})
+	shardIdx := dataset.ShardIID(train.Len(), platforms, rng.New(seed))
+
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	fmt.Println("server listening on", l.Addr())
+
+	var wg sync.WaitGroup
+	wg.Add(1 + platforms)
+	go func() {
+		defer wg.Done()
+		if err := runServer(l); err != nil {
+			log.Fatal("server: ", err)
+		}
+	}()
+	for k := 0; k < platforms; k++ {
+		k := k
+		go func() {
+			defer wg.Done()
+			if err := runPlatform(k, l.Addr(), train.Subset(shardIdx[k]), test); err != nil {
+				log.Fatalf("platform %d: %v", k, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func runServer(l transport.Listener) error {
+	m := models.MLP(3*32*32, []int{64}, classes, rng.New(seed))
+	_, back, err := models.Split(m.Net, m.DefaultCut)
+	if err != nil {
+		return err
+	}
+	srv, err := core.NewServer(core.ServerConfig{
+		Back:      back,
+		Opt:       &nn.SGD{LR: 0.05},
+		Platforms: platforms,
+		Rounds:    rounds,
+		EvalEvery: 10,
+	})
+	if err != nil {
+		return err
+	}
+	// Accept in any order; route by the Hello's platform id.
+	conns := make([]transport.Conn, platforms)
+	for n := 0; n < platforms; n++ {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		hello, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		if hello.Type != wire.MsgHello || int(hello.Platform) >= platforms || conns[hello.Platform] != nil {
+			return fmt.Errorf("bad hello from connection %d", n)
+		}
+		conns[hello.Platform] = transport.Pushback(c, hello)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	return srv.Serve(conns)
+}
+
+func runPlatform(id int, addr string, shard, test *dataset.Dataset) error {
+	m := models.MLP(3*32*32, []int{64}, classes, rng.New(seed))
+	front, _, err := models.Split(m.Net, m.DefaultCut)
+	if err != nil {
+		return err
+	}
+	flat := func(d *dataset.Dataset) *dataset.Dataset {
+		n := d.X.Dim(0)
+		return &dataset.Dataset{X: d.X.Reshape(n, d.X.Size()/n), Labels: d.Labels, Classes: d.Classes}
+	}
+	meter := &transport.Meter{}
+	cfg := core.PlatformConfig{
+		ID:        id,
+		Front:     front,
+		Opt:       &nn.SGD{LR: 0.05},
+		Loss:      nn.SoftmaxCrossEntropy{},
+		Shard:     flat(shard),
+		Batch:     8,
+		Rounds:    rounds,
+		EvalEvery: 10,
+		Seed:      uint64(seed + id),
+		Meter:     meter,
+	}
+	if id == 0 {
+		cfg.EvalData = flat(test)
+	}
+	p, err := core.NewPlatform(cfg)
+	if err != nil {
+		return err
+	}
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	stats, err := p.Run(transport.Metered(conn, meter))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("platform %d over TCP: loss %.3f, %s transmitted\n",
+		id, stats.FinalLoss(), metrics.FormatBytes(core.TrainingBytes(meter)))
+	for _, ev := range stats.Evals {
+		if ev.Accuracy >= 0 {
+			fmt.Printf("platform %d: round %d accuracy %.1f%%\n", id, ev.Round, 100*ev.Accuracy)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package commmodel
+
+import (
+	"strings"
+	"testing"
+
+	"medsplit/internal/models"
+)
+
+func TestSplitRoundBytesMatchesHandComputation(t *testing.T) {
+	// One platform, batch 2, cut activations 3, 4 classes, label-private.
+	// Each tensor message: 20B header + 2B payload header + tensor
+	// encoding (1 + 4*rank + 4*elems).
+	const hdr, pl = 20, 2
+	actMsg := hdr + pl + 1 + 8 + 4*2*3
+	logitMsg := hdr + pl + 1 + 8 + 4*2*4
+	want := int64(2*actMsg + 2*logitMsg)
+	got := SplitRoundBytes(3, 4, []int{2}, false)
+	if got != want {
+		t.Fatalf("SplitRoundBytes = %d, want %d", got, want)
+	}
+}
+
+func TestSplitRoundBytesScalesWithBatchAndPlatforms(t *testing.T) {
+	one := SplitRoundBytes(100, 10, []int{8}, false)
+	two := SplitRoundBytes(100, 10, []int{8, 8}, false)
+	if two != 2*one {
+		t.Fatalf("two identical platforms: %d, want %d", two, 2*one)
+	}
+	big := SplitRoundBytes(100, 10, []int{16}, false)
+	if big <= one {
+		t.Fatal("doubling batch must increase traffic")
+	}
+}
+
+func TestLabelSharingHalvesMessagesNotPayload(t *testing.T) {
+	private := SplitRoundBytes(1000, 10, []int{32}, false)
+	sharing := SplitRoundBytes(1000, 10, []int{32}, true)
+	// Label sharing drops the logits+lossgrad round trip (2×32×10
+	// floats) and adds 32 labels — it must be cheaper.
+	if sharing >= private {
+		t.Fatalf("label sharing %d >= label private %d", sharing, private)
+	}
+}
+
+func TestParamExchangeRoundBytes(t *testing.T) {
+	one := ParamExchangeRoundBytes(1_000_000, 1)
+	// Model down + grads up ≈ 2 × 4MB.
+	if one < 8_000_000 || one > 8_001_000 {
+		t.Fatalf("1M params round = %d, want ~8MB", one)
+	}
+	four := ParamExchangeRoundBytes(1_000_000, 4)
+	if four != 4*one {
+		t.Fatalf("4 workers: %d, want %d", four, 4*one)
+	}
+}
+
+func TestRoundsPerEpoch(t *testing.T) {
+	if got := RoundsPerEpoch(50000, 4, 125); got != 100 {
+		t.Fatalf("RoundsPerEpoch = %d, want 100", got)
+	}
+	if got := RoundsPerEpoch(10, 3, 3); got != 2 {
+		t.Fatalf("ceil division: %d, want 2", got)
+	}
+}
+
+// The headline property of the paper's Fig. 4: the split framework moves
+// fewer bytes than large-scale synchronous SGD on every model/dataset
+// combination, with ratios in the 2–4× band the paper reports
+// (VGG 2.5×, ResNet 3×).
+func TestFig4AnalyticReproducesShape(t *testing.T) {
+	rows := Fig4Analytic(Fig4Config{Platforms: 4, Batch: 64, DatasetSize: 50000, Epochs: 1})
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.SplitBytes >= r.SGDBytes {
+			t.Errorf("%s/%s: split %d >= sgd %d — proposed framework must win",
+				r.Model, r.Dataset, r.SplitBytes, r.SGDBytes)
+		}
+		if r.Ratio < 1.5 || r.Ratio > 6 {
+			t.Errorf("%s/%s: ratio %.2f outside the plausible band", r.Model, r.Dataset, r.Ratio)
+		}
+	}
+	// CIFAR-100 heads are bigger, so SGD pays slightly more while split
+	// pays only a classes-width delta; both must register.
+	if rows[0].SGDBytes >= rows[1].SGDBytes {
+		t.Error("CIFAR-100 VGG must cost SGD more than CIFAR-10 (bigger head)")
+	}
+}
+
+func TestFig4AnalyticScalesLinearlyWithEpochs(t *testing.T) {
+	one := Fig4Analytic(Fig4Config{Platforms: 2, Batch: 32, DatasetSize: 10000, Epochs: 1})
+	two := Fig4Analytic(Fig4Config{Platforms: 2, Batch: 32, DatasetSize: 10000, Epochs: 2})
+	for i := range one {
+		if two[i].SplitBytes != 2*one[i].SplitBytes {
+			t.Fatalf("row %d: epochs must scale bytes linearly", i)
+		}
+	}
+}
+
+func TestFig4Table(t *testing.T) {
+	cfg := Fig4Config{Platforms: 4, Batch: 64, DatasetSize: 50000, Epochs: 1}
+	tbl := Fig4Table(cfg, Fig4Analytic(cfg))
+	out := tbl.String()
+	for _, want := range []string{"VGG-16", "ResNet-18", "CIFAR-100", "split", "SGD"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCutSweepMonotoneAtPoolBoundaries(t *testing.T) {
+	spec := models.VGG16Spec(10)
+	rows := CutSweep(spec, 10, []int{32, 32})
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	// The paper's cut (first hidden layer) is the first row pair; deeper
+	// cuts after pooling stages must shrink traffic.
+	byName := map[string]int64{}
+	for _, r := range rows {
+		byName[r.LayerName] = r.SplitBytes
+	}
+	if byName["pool5"] >= byName["conv1"] {
+		t.Fatalf("pool5 cut (%d) should beat conv1 cut (%d)", byName["pool5"], byName["conv1"])
+	}
+	// Sweep must cover the whole network.
+	if rows[len(rows)-1].LayerName != "head" {
+		t.Fatalf("sweep ends at %q", rows[len(rows)-1].LayerName)
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	assertPanics(t, "bad batch", func() { SplitRoundBytes(10, 10, []int{0}, false) })
+	assertPanics(t, "bad params", func() { ParamExchangeRoundBytes(0, 1) })
+	assertPanics(t, "bad epoch args", func() { RoundsPerEpoch(0, 1, 1) })
+	assertPanics(t, "bad config", func() { Fig4Analytic(Fig4Config{}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

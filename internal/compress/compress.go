@@ -1,0 +1,415 @@
+// Package compress implements lossy tensor codecs for the split
+// protocol's activation path: float16 truncation, linear int8
+// quantization, and magnitude top-k sparsification. They are the
+// standard communication-reduction techniques in the split/federated
+// learning literature and give the repo's compression ablation its
+// bytes-vs-accuracy trade-off curve.
+//
+// Every codec satisfies wire.Codec and produces self-describing
+// payloads; both protocol ends agree on the codec at handshake time.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"medsplit/internal/tensor"
+	"medsplit/internal/wire"
+)
+
+// ErrBadPayload is returned when a compressed payload cannot be decoded.
+var ErrBadPayload = errors.New("compress: bad payload")
+
+// Payload kind bytes. wire's raw tensor payloads use kind 1; these must
+// stay distinct from wire's kinds so mismatched codecs fail loudly.
+const (
+	kindF16  byte = 0x11
+	kindInt8 byte = 0x12
+	kindTopK byte = 0x13
+)
+
+// maxDecodeElems mirrors the tensor decoder's allocation cap.
+const maxDecodeElems = 1 << 28
+
+// Float16 ships IEEE-754 half-precision values: 2 bytes per element,
+// ~3 decimal digits of precision — usually indistinguishable training
+// curves at half the wire cost.
+type Float16 struct{}
+
+var _ wire.Codec = Float16{}
+
+// Name returns "f16".
+func (Float16) Name() string { return "f16" }
+
+// EncodeTensors packs tensors as half-precision.
+func (Float16) EncodeTensors(ts ...*tensor.Tensor) []byte {
+	size := 2
+	for _, t := range ts {
+		size += shapeSize(t) + 2*t.Size()
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, kindF16, byte(len(ts)))
+	for _, t := range ts {
+		buf = appendShape(buf, t)
+		for _, v := range t.Data() {
+			buf = binary.LittleEndian.AppendUint16(buf, f32ToF16(v))
+		}
+	}
+	return buf
+}
+
+// DecodeTensors unpacks half-precision tensors.
+func (Float16) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+	rest, n, err := checkHeader(buf, kindF16, "f16")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		var shape []int
+		var vol int
+		shape, vol, rest, err = readShape(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 2*vol {
+			return nil, fmt.Errorf("%w: truncated f16 data", ErrBadPayload)
+		}
+		t := tensor.New(shape...)
+		d := t.Data()
+		for j := range d {
+			d[j] = f16ToF32(binary.LittleEndian.Uint16(rest[2*j:]))
+		}
+		rest = rest[2*vol:]
+		out = append(out, t)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return out, nil
+}
+
+// Int8 ships linearly quantized values: a per-tensor [min, max] range
+// plus one byte per element (256 levels). Four-fold reduction over
+// float32 with visible but usually tolerable quantization noise.
+type Int8 struct{}
+
+var _ wire.Codec = Int8{}
+
+// Name returns "int8".
+func (Int8) Name() string { return "int8" }
+
+// EncodeTensors packs tensors as 8-bit quantized values.
+func (Int8) EncodeTensors(ts ...*tensor.Tensor) []byte {
+	size := 2
+	for _, t := range ts {
+		size += shapeSize(t) + 8 + t.Size()
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, kindInt8, byte(len(ts)))
+	for _, t := range ts {
+		buf = appendShape(buf, t)
+		lo, hi := rangeOf(t.Data())
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(lo))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(hi))
+		scale := float32(0)
+		if hi > lo {
+			scale = 255 / (hi - lo)
+		}
+		for _, v := range t.Data() {
+			q := (v - lo) * scale
+			if q < 0 {
+				q = 0
+			} else if q > 255 {
+				q = 255
+			}
+			buf = append(buf, byte(q+0.5))
+		}
+	}
+	return buf
+}
+
+// DecodeTensors unpacks 8-bit quantized tensors.
+func (Int8) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+	rest, n, err := checkHeader(buf, kindInt8, "int8")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		var shape []int
+		var vol int
+		shape, vol, rest, err = readShape(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 8+vol {
+			return nil, fmt.Errorf("%w: truncated int8 data", ErrBadPayload)
+		}
+		lo := math.Float32frombits(binary.LittleEndian.Uint32(rest))
+		hi := math.Float32frombits(binary.LittleEndian.Uint32(rest[4:]))
+		rest = rest[8:]
+		step := float32(0)
+		if hi > lo {
+			step = (hi - lo) / 255
+		}
+		t := tensor.New(shape...)
+		d := t.Data()
+		for j := range d {
+			d[j] = lo + float32(rest[j])*step
+		}
+		rest = rest[vol:]
+		out = append(out, t)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return out, nil
+}
+
+// TopK ships only the fraction of entries with the largest magnitudes
+// (index/value pairs); the rest decode as zero. Classic gradient
+// sparsification — aggressive on activations, included as the far end
+// of the ablation.
+type TopK struct {
+	// Fraction of entries to keep, in (0, 1]. The zero value keeps 10%.
+	Fraction float64
+}
+
+var _ wire.Codec = TopK{}
+
+// Name returns e.g. "topk-0.10".
+func (c TopK) Name() string { return fmt.Sprintf("topk-%.2f", c.fraction()) }
+
+func (c TopK) fraction() float64 {
+	if c.Fraction <= 0 || c.Fraction > 1 {
+		return 0.1
+	}
+	return c.Fraction
+}
+
+// EncodeTensors packs the top-|k| entries of each tensor.
+func (c TopK) EncodeTensors(ts ...*tensor.Tensor) []byte {
+	buf := []byte{kindTopK, byte(len(ts))}
+	for _, t := range ts {
+		buf = appendShape(buf, t)
+		d := t.Data()
+		k := int(math.Ceil(c.fraction() * float64(len(d))))
+		if k > len(d) {
+			k = len(d)
+		}
+		idx := topKIndices(d, k)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+		for _, i := range idx {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(d[i]))
+		}
+	}
+	return buf
+}
+
+// DecodeTensors unpacks sparse tensors, zero-filling dropped entries.
+func (c TopK) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+	rest, n, err := checkHeader(buf, kindTopK, "topk")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		var shape []int
+		var vol int
+		shape, vol, rest, err = readShape(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: missing top-k count", ErrBadPayload)
+		}
+		k := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if k < 0 || k > vol || len(rest) < 8*k {
+			return nil, fmt.Errorf("%w: bad top-k count %d", ErrBadPayload, k)
+		}
+		t := tensor.New(shape...)
+		d := t.Data()
+		for j := 0; j < k; j++ {
+			pos := binary.LittleEndian.Uint32(rest[8*j:])
+			if int(pos) >= vol {
+				return nil, fmt.Errorf("%w: top-k index %d out of %d", ErrBadPayload, pos, vol)
+			}
+			d[pos] = math.Float32frombits(binary.LittleEndian.Uint32(rest[8*j+4:]))
+		}
+		rest = rest[8*k:]
+		out = append(out, t)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
+	}
+	return out, nil
+}
+
+// ByName returns the codec for a handshake name. It recognizes "raw",
+// "f16", "int8" and "topk-<frac>".
+func ByName(name string) (wire.Codec, error) {
+	switch name {
+	case "raw":
+		return wire.RawCodec{}, nil
+	case "f16":
+		return Float16{}, nil
+	case "int8":
+		return Int8{}, nil
+	}
+	var frac float64
+	if _, err := fmt.Sscanf(name, "topk-%f", &frac); err == nil && frac > 0 && frac <= 1 {
+		return TopK{Fraction: frac}, nil
+	}
+	return nil, fmt.Errorf("compress: unknown codec %q", name)
+}
+
+// --- helpers ---
+
+func shapeSize(t *tensor.Tensor) int { return 1 + 4*t.Rank() }
+
+func appendShape(buf []byte, t *tensor.Tensor) []byte {
+	shape := t.Shape()
+	buf = append(buf, byte(len(shape)))
+	for _, d := range shape {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	return buf
+}
+
+func readShape(buf []byte) (shape []int, vol int, rest []byte, err error) {
+	if len(buf) < 1 {
+		return nil, 0, nil, fmt.Errorf("%w: missing shape", ErrBadPayload)
+	}
+	rank := int(buf[0])
+	buf = buf[1:]
+	if len(buf) < 4*rank {
+		return nil, 0, nil, fmt.Errorf("%w: truncated shape", ErrBadPayload)
+	}
+	shape = make([]int, rank)
+	vol = 1
+	for i := range shape {
+		d := int(binary.LittleEndian.Uint32(buf[4*i:]))
+		if d <= 0 {
+			return nil, 0, nil, fmt.Errorf("%w: dimension %d", ErrBadPayload, d)
+		}
+		shape[i] = d
+		vol *= d
+		if vol > maxDecodeElems {
+			return nil, 0, nil, fmt.Errorf("%w: volume exceeds cap", ErrBadPayload)
+		}
+	}
+	return shape, vol, buf[4*rank:], nil
+}
+
+func checkHeader(buf []byte, kind byte, name string) (rest []byte, n int, err error) {
+	if len(buf) < 2 || buf[0] != kind {
+		return nil, 0, fmt.Errorf("%w: not a %s payload", ErrBadPayload, name)
+	}
+	return buf[2:], int(buf[1]), nil
+}
+
+func rangeOf(d []float32) (lo, hi float32) {
+	if len(d) == 0 {
+		return 0, 0
+	}
+	lo, hi = d[0], d[0]
+	for _, v := range d[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// topKIndices returns the indices of the k largest-magnitude entries,
+// in ascending index order for cache-friendly decode.
+func topKIndices(d []float32, k int) []int {
+	idx := make([]int, len(d))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection via full sort is fine at the sizes the protocol
+	// ships (batch × activation width); avoid premature cleverness.
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := d[idx[a]], d[idx[b]]
+		if va < 0 {
+			va = -va
+		}
+		if vb < 0 {
+			vb = -vb
+		}
+		return va > vb
+	})
+	top := idx[:k]
+	sort.Ints(top)
+	return top
+}
+
+// f32ToF16 converts to IEEE-754 binary16 with round-to-nearest-even.
+func f32ToF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127 + 15
+	mant := b & 0x7fffff
+	switch {
+	case exp >= 0x1f: // overflow or inf/nan
+		if b&0x7fffffff > 0x7f800000 { // NaN
+			return sign | 0x7e00
+		}
+		return sign | 0x7c00 // ±inf
+	case exp <= 0: // subnormal or underflow to zero
+		if exp < -10 {
+			return sign
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		return sign | uint16((mant+half)>>shift)
+	default:
+		// Round mantissa to 10 bits (nearest, ties away — close enough
+		// to nearest-even for training noise).
+		rounded := mant + 0x1000
+		if rounded&0x800000 != 0 { // mantissa overflow bumps exponent
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return sign | 0x7c00
+			}
+		}
+		return sign | uint16(exp)<<10 | uint16(rounded>>13)
+	}
+}
+
+// f16ToF32 converts from IEEE-754 binary16.
+func f16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}

@@ -1,0 +1,234 @@
+package compress
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+	"medsplit/internal/wire"
+)
+
+func randTensor(seed uint64, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.FillNormal(rng.New(seed), 0, 1)
+	return t
+}
+
+func TestFloat16RoundTripAccuracy(t *testing.T) {
+	x := randTensor(1, 8, 33)
+	payload := Float16{}.EncodeTensors(x)
+	ts, err := Float16{}.DecodeTensors(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || !tensor.SameShape(x, ts[0]) {
+		t.Fatal("shape lost")
+	}
+	// Half precision: ~2^-11 relative error.
+	for i, v := range x.Data() {
+		got := ts[0].Data()[i]
+		if math.Abs(float64(got-v)) > 2e-3*math.Max(1, math.Abs(float64(v))) {
+			t.Fatalf("element %d: %v -> %v", i, v, got)
+		}
+	}
+	// Byte cost: header + shape + 2 bytes/element.
+	if len(payload) >= 4*x.Size() {
+		t.Fatalf("f16 payload %d bytes, raw would be %d", len(payload), 4*x.Size())
+	}
+}
+
+func TestFloat16SpecialValues(t *testing.T) {
+	cases := []float32{0, -0, 1, -1, 0.5, 65504, -65504, 1e-8, float32(math.Inf(1)), float32(math.Inf(-1))}
+	x := tensor.FromSlice(cases, len(cases))
+	ts, err := Float16{}.DecodeTensors(Float16{}.EncodeTensors(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ts[0].Data()
+	if got[0] != 0 || got[2] != 1 || got[3] != -1 || got[4] != 0.5 {
+		t.Fatalf("basic values: %v", got)
+	}
+	if got[5] != 65504 || got[6] != -65504 {
+		t.Fatalf("max half: %v %v", got[5], got[6])
+	}
+	if !math.IsInf(float64(got[8]), 1) || !math.IsInf(float64(got[9]), -1) {
+		t.Fatalf("infinities: %v %v", got[8], got[9])
+	}
+}
+
+func TestFloat16RoundTripProperty(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) {
+			return true // NaN payloads are not preserved bit-exactly
+		}
+		back := f16ToF32(f32ToF16(v))
+		if math.Abs(float64(v)) > 65504 {
+			return math.IsInf(float64(back), 0) || math.Abs(float64(back)) == 65504
+		}
+		if v == 0 {
+			return back == 0
+		}
+		rel := math.Abs(float64(back-v)) / math.Max(math.Abs(float64(v)), 6e-5)
+		return rel < 1.5e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt8RoundTrip(t *testing.T) {
+	x := randTensor(2, 4, 50)
+	payload := Int8{}.EncodeTensors(x)
+	ts, err := Int8{}.DecodeTensors(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := rangeOf(x.Data())
+	maxErr := float64(hi-lo) / 255 // one quantization step
+	for i, v := range x.Data() {
+		if math.Abs(float64(ts[0].Data()[i]-v)) > maxErr {
+			t.Fatalf("element %d: %v -> %v (step %v)", i, v, ts[0].Data()[i], maxErr)
+		}
+	}
+	// 1 byte per element plus small headers.
+	if len(payload) > x.Size()+64 {
+		t.Fatalf("int8 payload %d bytes for %d elements", len(payload), x.Size())
+	}
+}
+
+func TestInt8ConstantTensor(t *testing.T) {
+	x := tensor.Full(3.25, 2, 3)
+	ts, err := Int8{}.DecodeTensors(Int8{}.EncodeTensors(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ts[0].Data() {
+		if v != 3.25 {
+			t.Fatalf("constant tensor decoded as %v", v)
+		}
+	}
+}
+
+func TestTopKKeepsLargestMagnitudes(t *testing.T) {
+	x := tensor.FromSlice([]float32{0.1, -9, 0.2, 7, -0.3, 0.05}, 6)
+	c := TopK{Fraction: 2.0 / 6.0}
+	ts, err := c.DecodeTensors(c.EncodeTensors(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, -9, 0, 7, 0, 0}
+	for i, v := range ts[0].Data() {
+		if v != want[i] {
+			t.Fatalf("decoded %v, want %v", ts[0].Data(), want)
+		}
+	}
+}
+
+func TestTopKByteSavings(t *testing.T) {
+	x := randTensor(3, 32, 64)
+	c := TopK{Fraction: 0.1}
+	payload := c.EncodeTensors(x)
+	raw := wire.RawCodec{}.EncodeTensors(x)
+	// 10% kept at 8 bytes/entry ≈ 20% of raw size.
+	if len(payload) >= len(raw)/2 {
+		t.Fatalf("topk payload %d bytes, raw %d", len(payload), len(raw))
+	}
+}
+
+func TestTopKDefaultsFraction(t *testing.T) {
+	if got := (TopK{}).Name(); got != "topk-0.10" {
+		t.Fatalf("name %q", got)
+	}
+	if got := (TopK{Fraction: 2}).fraction(); got != 0.1 {
+		t.Fatalf("out-of-range fraction must default, got %v", got)
+	}
+}
+
+func TestMultiTensorPayloads(t *testing.T) {
+	a := randTensor(4, 3, 4)
+	b := randTensor(5, 2, 2, 2)
+	for _, codec := range []wire.Codec{Float16{}, Int8{}, TopK{Fraction: 0.5}} {
+		ts, err := codec.DecodeTensors(codec.EncodeTensors(a, b))
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		if len(ts) != 2 || !tensor.SameShape(ts[0], a) || !tensor.SameShape(ts[1], b) {
+			t.Fatalf("%s: shapes lost", codec.Name())
+		}
+	}
+}
+
+func TestCodecsRejectForeignPayloads(t *testing.T) {
+	x := randTensor(6, 2, 2)
+	payloads := map[string][]byte{
+		"raw":  wire.RawCodec{}.EncodeTensors(x),
+		"f16":  Float16{}.EncodeTensors(x),
+		"int8": Int8{}.EncodeTensors(x),
+		"topk": TopK{}.EncodeTensors(x),
+	}
+	codecs := map[string]wire.Codec{
+		"f16":  Float16{},
+		"int8": Int8{},
+		"topk": TopK{},
+	}
+	for cname, codec := range codecs {
+		for pname, payload := range payloads {
+			if pname == cname {
+				continue
+			}
+			if _, err := codec.DecodeTensors(payload); err == nil {
+				t.Errorf("%s decoded a %s payload", cname, pname)
+			}
+		}
+	}
+}
+
+func TestCodecsRejectTruncation(t *testing.T) {
+	x := randTensor(7, 4, 4)
+	for _, codec := range []wire.Codec{Float16{}, Int8{}, TopK{Fraction: 0.5}} {
+		payload := codec.EncodeTensors(x)
+		if _, err := codec.DecodeTensors(payload[:len(payload)-3]); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%s: truncated payload: %v", codec.Name(), err)
+		}
+		if _, err := codec.DecodeTensors(append(payload, 1)); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%s: trailing bytes: %v", codec.Name(), err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"raw", "f16", "int8", "topk-0.25"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := ByName("gzip"); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	if _, err := ByName("topk-7"); err == nil {
+		t.Fatal("out-of-range topk accepted")
+	}
+}
+
+func BenchmarkFloat16Encode(b *testing.B) {
+	x := randTensor(1, 32, 2048)
+	b.SetBytes(int64(4 * x.Size()))
+	for i := 0; i < b.N; i++ {
+		Float16{}.EncodeTensors(x)
+	}
+}
+
+func BenchmarkInt8Encode(b *testing.B) {
+	x := randTensor(1, 32, 2048)
+	b.SetBytes(int64(4 * x.Size()))
+	for i := 0; i < b.N; i++ {
+		Int8{}.EncodeTensors(x)
+	}
+}

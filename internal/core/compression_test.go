@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"medsplit/internal/compress"
+	"medsplit/internal/dataset"
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// runWithCodec trains a small 2-platform session using the given codec
+// on both ends and returns final platform-0 loss plus total training
+// bytes.
+func runWithCodec(t *testing.T, codec wire.Codec, rounds int) (loss float64, bytes int64) {
+	t.Helper()
+	train, _ := testData(t, 3, 120, 8, 61)
+	flat := flatten(train)
+	const K = 2
+	fronts, back := buildFronts(t, 201, K, flat.X.Dim(1), 3)
+	shards := dataset.ShardIID(flat.Len(), K, rng.New(62))
+
+	srv := defaultServer(t, back, K, rounds, func(c *ServerConfig) {
+		c.Codec = codec
+	})
+	meters := make([]*transport.Meter, K)
+	platforms := make([]*Platform, K)
+	for k := 0; k < K; k++ {
+		meters[k] = &transport.Meter{}
+		k := k
+		platforms[k] = defaultPlatform(t, k, fronts[k], flat.Subset(shards[k]), rounds, func(c *PlatformConfig) {
+			c.Codec = codec
+			c.Meter = meters[k]
+		})
+	}
+	stats, err := RunLocal(srv, platforms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, m := range meters {
+		total += TrainingBytes(m)
+	}
+	return stats[0].FinalLoss(), total
+}
+
+func TestCompressionCodecsTrainAndShrinkTraffic(t *testing.T) {
+	const rounds = 12
+	rawLoss, rawBytes := runWithCodec(t, wire.RawCodec{}, rounds)
+	if rawLoss <= 0 {
+		t.Fatalf("raw loss %v", rawLoss)
+	}
+	for _, codec := range []wire.Codec{compress.Float16{}, compress.Int8{}} {
+		loss, bytes := runWithCodec(t, codec, rounds)
+		if bytes >= rawBytes {
+			t.Errorf("%s: %d bytes, raw %d — compression must shrink traffic", codec.Name(), bytes, rawBytes)
+		}
+		// Lossy but mild: training still converges to the same ballpark.
+		if loss > 2*rawLoss+0.5 {
+			t.Errorf("%s: final loss %v, raw %v — compression broke training", codec.Name(), loss, rawLoss)
+		}
+	}
+}
+
+func TestTopKCodecStillLearns(t *testing.T) {
+	// Keeping 30% of activation entries is aggressive; training should
+	// still make progress even if slower.
+	loss, bytes := runWithCodec(t, compress.TopK{Fraction: 0.3}, 12)
+	_, rawBytes := runWithCodec(t, wire.RawCodec{}, 12)
+	if bytes >= rawBytes {
+		t.Fatalf("topk bytes %d >= raw %d", bytes, rawBytes)
+	}
+	if loss > 1.3 { // ln(3) ≈ 1.10 is the chance-level loss for 3 classes
+		t.Fatalf("topk training stuck at chance: loss %v", loss)
+	}
+}
+
+func TestCodecMismatchRejectedAtHandshake(t *testing.T) {
+	train, _ := testData(t, 2, 16, 4, 63)
+	flat := flatten(train)
+	front, back := buildSplitMLP(t, 211, flat.X.Dim(1), 2)
+	srv := defaultServer(t, back, 1, 2, func(c *ServerConfig) {
+		c.Codec = compress.Float16{}
+	})
+	plat := defaultPlatform(t, 0, front, flat, 2, nil) // raw codec
+	if _, err := RunLocal(srv, []*Platform{plat}); err == nil {
+		t.Fatal("codec mismatch accepted")
+	}
+}
+
+func TestL1SyncStaysExactUnderLossyCodec(t *testing.T) {
+	// Lossy codecs apply to the activation path only; L1 weight sync
+	// must still converge fronts to identical values.
+	train, _ := testData(t, 3, 80, 8, 64)
+	flat := flatten(train)
+	const K, rounds = 2, 4
+	fronts, back := buildFronts(t, 221, K, flat.X.Dim(1), 3)
+	shards := dataset.ShardIID(flat.Len(), K, rng.New(65))
+	srv := defaultServer(t, back, K, rounds, func(c *ServerConfig) {
+		c.Codec = compress.Int8{}
+		c.L1SyncEvery = 2
+	})
+	platforms := make([]*Platform, K)
+	for k := 0; k < K; k++ {
+		k := k
+		platforms[k] = defaultPlatform(t, k, fronts[k], flat.Subset(shards[k]), rounds, func(c *PlatformConfig) {
+			c.Codec = compress.Int8{}
+			c.L1SyncEvery = 2
+		})
+	}
+	if _, err := RunLocal(srv, platforms); err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := fronts[0].Params(), fronts[1].Params()
+	for i := range p0 {
+		if !tensor.AllClose(p0[i].W, p1[i].W, 1e-6) {
+			t.Fatalf("L1 param %d differs after sync under lossy codec", i)
+		}
+	}
+}

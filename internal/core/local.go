@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"medsplit/internal/transport"
+)
+
+// Meter returns the meter configured for this platform, if any.
+func (p *Platform) Meter() *transport.Meter { return p.cfg.Meter }
+
+// ID returns the platform's index.
+func (p *Platform) ID() int { return p.cfg.ID }
+
+// RunLocal executes a complete split-learning session in-process: it
+// connects every platform to the server over pipe transports (metered
+// when the platform has a meter configured), runs all parties to
+// completion, and returns the per-platform stats in platform order.
+//
+// It is the engine behind the simulations, experiments and benchmarks;
+// real deployments use the same Server/Platform code over TCP (see
+// cmd/splitserver and cmd/splitplatform).
+func RunLocal(server *Server, platforms []*Platform) ([]*PlatformStats, error) {
+	if server == nil {
+		return nil, fmt.Errorf("%w: nil server", ErrConfig)
+	}
+	if len(platforms) != server.cfg.Platforms {
+		return nil, fmt.Errorf("%w: %d platforms for a %d-platform server", ErrConfig, len(platforms), server.cfg.Platforms)
+	}
+	serverConns := make([]transport.Conn, len(platforms))
+	platformConns := make([]transport.Conn, len(platforms))
+	for k, p := range platforms {
+		s, c := transport.Pipe()
+		serverConns[k] = s
+		if p.cfg.Meter != nil {
+			c = transport.Metered(c, p.cfg.Meter)
+		}
+		platformConns[k] = c
+	}
+	// Close everything on exit so a failing party unblocks the others.
+	defer func() {
+		for k := range platforms {
+			serverConns[k].Close()
+			platformConns[k].Close()
+		}
+	}()
+
+	stats := make([]*PlatformStats, len(platforms))
+	errs := make([]error, len(platforms)+1)
+	var wg sync.WaitGroup
+	wg.Add(len(platforms) + 1)
+	go func() {
+		defer wg.Done()
+		if err := server.Serve(serverConns); err != nil {
+			errs[0] = fmt.Errorf("server: %w", err)
+			// Unblock platforms waiting on the dead server.
+			for _, c := range serverConns {
+				c.Close()
+			}
+		}
+	}()
+	for k, p := range platforms {
+		k, p := k, p
+		go func() {
+			defer wg.Done()
+			st, err := p.Run(platformConns[k])
+			if err != nil {
+				errs[k+1] = fmt.Errorf("platform %d: %w", k, err)
+				platformConns[k].Close()
+				return
+			}
+			stats[k] = st
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+
+	"medsplit/internal/dataset"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// PlatformConfig configures one medical platform (a hospital), which
+// owns the raw local data and the network's first hidden layer L1.
+type PlatformConfig struct {
+	// ID is the platform index, matching its connection slot on the
+	// server.
+	ID int
+	// Front is the platform-side half of the model (L1, from
+	// models.Split).
+	Front *nn.Sequential
+	// Opt updates Front's parameters.
+	Opt nn.Optimizer
+	// Loss computes the task loss from logits and local labels. Unused
+	// (and may be nil) in label-sharing mode, where the server computes
+	// the loss.
+	Loss nn.Loss
+	// Shard is the platform's local dataset. It never leaves the
+	// platform.
+	Shard *dataset.Dataset
+	// Augment, when non-nil, applies local data augmentation (random
+	// crop/flip) to each training minibatch before the L1 forward pass.
+	// Augmentation is platform-local, so it is privacy-neutral.
+	Augment *dataset.Augmenter
+	// Batch is the platform's minibatch size s_k. Use
+	// dataset.ProportionalBatches to apply the paper's imbalance
+	// mitigation.
+	Batch int
+	// Rounds is the number of training rounds (must match the server
+	// and all other platforms; validated at handshake).
+	Rounds int
+	// LabelSharing enables the 2-message ablation: labels accompany the
+	// activations and the server computes the loss.
+	LabelSharing bool
+	// ClipGrads, when positive, clamps L1 gradients before each step.
+	ClipGrads float32
+	// L1SyncEvery, when positive, synchronizes L1 weights through the
+	// server every so many rounds.
+	L1SyncEvery int
+	// EvalEvery, when positive, schedules evaluation every so many
+	// rounds (and after the final round).
+	EvalEvery int
+	// EvalData, when non-nil, marks this platform as the evaluator: it
+	// measures test accuracy of the composite model (its L1 + the
+	// server's layers) during evaluation phases.
+	EvalData *dataset.Dataset
+	// EvalBatch is the evaluation batch size (default 64).
+	EvalBatch int
+	// Seed seeds the platform's minibatch sampler.
+	Seed uint64
+	// LRSchedule, when set, adjusts the optimizer's learning rate at the
+	// start of every round. Platforms and server normally share the same
+	// schedule so the two halves of the model anneal together.
+	LRSchedule nn.Schedule
+	// Codec compresses the four training-exchange payloads; must match
+	// the server's (validated at handshake). Defaults to wire.RawCodec.
+	Codec wire.Codec
+	// Trace, when set, observes every protocol step.
+	Trace TraceFunc
+	// Meter, when set, lets the platform snapshot its cumulative
+	// training-traffic bytes at each evaluation point (wrap the
+	// connection with transport.Metered on the same meter).
+	Meter *transport.Meter
+}
+
+// RoundStat records one round of local training.
+type RoundStat struct {
+	Round int
+	Loss  float64
+	Batch int
+}
+
+// EvalStat records one evaluation point. Accuracy is -1 on platforms
+// that are not the evaluator (they still snapshot their traffic so the
+// harness can sum system-wide bytes at the same round).
+type EvalStat struct {
+	Round         int
+	Accuracy      float64
+	TrainingBytes int64
+}
+
+// PlatformStats is everything a platform measured during a run.
+type PlatformStats struct {
+	Rounds []RoundStat
+	Evals  []EvalStat
+}
+
+// FinalLoss returns the last round's training loss.
+func (s *PlatformStats) FinalLoss() float64 {
+	if len(s.Rounds) == 0 {
+		return 0
+	}
+	return s.Rounds[len(s.Rounds)-1].Loss
+}
+
+// Platform runs the platform side of the split-learning protocol.
+type Platform struct {
+	cfg     PlatformConfig
+	sampler *dataset.BatchSampler
+}
+
+// NewPlatform validates cfg and builds a platform.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	if cfg.Front == nil {
+		return nil, fmt.Errorf("%w: nil front network", ErrConfig)
+	}
+	if cfg.Opt == nil {
+		return nil, fmt.Errorf("%w: nil optimizer", ErrConfig)
+	}
+	if cfg.Shard == nil || cfg.Shard.Len() == 0 {
+		return nil, fmt.Errorf("%w: platform %d has no local data", ErrConfig, cfg.ID)
+	}
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("%w: batch size %d", ErrConfig, cfg.Batch)
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("%w: %d rounds", ErrConfig, cfg.Rounds)
+	}
+	if !cfg.LabelSharing && cfg.Loss == nil {
+		return nil, fmt.Errorf("%w: label-private mode requires a platform-side loss", ErrConfig)
+	}
+	if cfg.EvalData != nil && cfg.EvalBatch == 0 {
+		cfg.EvalBatch = 64
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = wire.RawCodec{}
+	}
+	indices := make([]int, cfg.Shard.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	return &Platform{
+		cfg:     cfg,
+		sampler: dataset.NewBatchSampler(indices, cfg.Batch, rng.New(cfg.Seed^0x9e3779b97f4a7c15)),
+	}, nil
+}
+
+// Run executes the full protocol against the server over conn:
+// handshake, cfg.Rounds training rounds (with L1 sync and evaluation as
+// scheduled), and shutdown. It returns the platform's measurements. The
+// connection is not closed.
+func (p *Platform) Run(conn transport.Conn) (*PlatformStats, error) {
+	stats := &PlatformStats{}
+	if err := p.handshake(conn); err != nil {
+		return nil, err
+	}
+	for r := 0; r < p.cfg.Rounds; r++ {
+		nn.ApplySchedule(p.cfg.Opt, p.cfg.LRSchedule, r)
+		loss, batch, err := p.trainStep(conn, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, r, err)
+		}
+		stats.Rounds = append(stats.Rounds, RoundStat{Round: r, Loss: loss, Batch: batch})
+		if p.syncRound(r) {
+			if err := p.l1Sync(conn, r); err != nil {
+				return nil, fmt.Errorf("core: platform %d L1 sync round %d: %w", p.cfg.ID, r, err)
+			}
+		}
+		if p.evalRound(r) {
+			ev := EvalStat{Round: r, Accuracy: -1}
+			if p.cfg.Meter != nil {
+				ev.TrainingBytes = TrainingBytes(p.cfg.Meter)
+			}
+			if p.cfg.EvalData != nil {
+				acc, err := p.evalExchange(conn, r)
+				if err != nil {
+					return nil, fmt.Errorf("core: platform %d eval round %d: %w", p.cfg.ID, r, err)
+				}
+				ev.Accuracy = acc
+			}
+			stats.Evals = append(stats.Evals, ev)
+		}
+	}
+	if err := p.send(conn, &wire.Message{
+		Type:     wire.MsgBye,
+		Platform: uint32(p.cfg.ID),
+		Round:    uint32(p.cfg.Rounds),
+	}); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+func (p *Platform) syncRound(r int) bool {
+	return p.cfg.L1SyncEvery > 0 && (r+1)%p.cfg.L1SyncEvery == 0
+}
+
+func (p *Platform) evalRound(r int) bool {
+	if p.cfg.EvalEvery <= 0 {
+		return false
+	}
+	return (r+1)%p.cfg.EvalEvery == 0 || r == p.cfg.Rounds-1
+}
+
+func (p *Platform) handshake(conn transport.Conn) error {
+	meta := fmt.Sprintf("v=1;rounds=%d;labelshare=%t;sync=%d;eval=%d;codec=%s;evaluator=%t",
+		p.cfg.Rounds, p.cfg.LabelSharing, p.cfg.L1SyncEvery, p.cfg.EvalEvery, p.cfg.Codec.Name(), p.cfg.EvalData != nil)
+	if err := p.send(conn, &wire.Message{
+		Type:     wire.MsgHello,
+		Platform: uint32(p.cfg.ID),
+		Payload:  wire.EncodeText(meta),
+	}); err != nil {
+		return err
+	}
+	if _, err := p.recv(conn, wire.MsgHelloAck, -1); err != nil {
+		return fmt.Errorf("core: platform %d handshake: %w", p.cfg.ID, err)
+	}
+	return nil
+}
+
+// trainStep performs one local minibatch through the split protocol and
+// returns the training loss observed for it.
+func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch int, err error) {
+	idx := p.sampler.Next()
+	x, labels := p.cfg.Shard.Batch(idx)
+	if p.cfg.Augment != nil && x.Rank() == 4 {
+		p.cfg.Augment.Apply(x)
+	}
+
+	a := p.cfg.Front.Forward(x, true)
+	if err := p.send(conn, &wire.Message{
+		Type:     wire.MsgActivations,
+		Platform: uint32(p.cfg.ID),
+		Round:    uint32(r),
+		Payload:  p.cfg.Codec.EncodeTensors(a),
+	}); err != nil {
+		return 0, 0, err
+	}
+
+	var da *tensor.Tensor
+	if p.cfg.LabelSharing {
+		if err := p.send(conn, &wire.Message{
+			Type:     wire.MsgLabels,
+			Platform: uint32(p.cfg.ID),
+			Round:    uint32(r),
+			Payload:  wire.EncodeLabels(labels),
+		}); err != nil {
+			return 0, 0, err
+		}
+		m, err := p.recv(conn, wire.MsgCutGrad, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		ts, derr := p.cfg.Codec.DecodeTensors(m.Payload)
+		if derr != nil || len(ts) != 2 {
+			return 0, 0, fmt.Errorf("%w: bad cut-grad payload (label sharing)", ErrProtocol)
+		}
+		da = ts[0]
+		loss = float64(ts[1].At())
+	} else {
+		m, err := p.recv(conn, wire.MsgLogits, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		ts, derr := p.cfg.Codec.DecodeTensors(m.Payload)
+		if derr != nil || len(ts) != 1 {
+			return 0, 0, fmt.Errorf("%w: bad logits payload", ErrProtocol)
+		}
+		z := ts[0]
+		if z.Dim(0) != len(labels) {
+			return 0, 0, fmt.Errorf("%w: %d logit rows for %d labels", ErrProtocol, z.Dim(0), len(labels))
+		}
+		var dz *tensor.Tensor
+		loss, dz = p.cfg.Loss.Loss(z, labels)
+		if err := p.send(conn, &wire.Message{
+			Type:     wire.MsgLossGrad,
+			Platform: uint32(p.cfg.ID),
+			Round:    uint32(r),
+			Payload:  p.cfg.Codec.EncodeTensors(dz),
+		}); err != nil {
+			return 0, 0, err
+		}
+		m, err = p.recv(conn, wire.MsgCutGrad, r)
+		if err != nil {
+			return 0, 0, err
+		}
+		ts, derr = p.cfg.Codec.DecodeTensors(m.Payload)
+		if derr != nil || len(ts) != 1 {
+			return 0, 0, fmt.Errorf("%w: bad cut-grad payload", ErrProtocol)
+		}
+		da = ts[0]
+	}
+	if !tensor.SameShape(da, a) {
+		return 0, 0, fmt.Errorf("%w: cut-grad shape %v, activations %v", ErrProtocol, da.Shape(), a.Shape())
+	}
+
+	nn.ZeroGrads(p.cfg.Front.Params())
+	p.cfg.Front.Backward(da)
+	if p.cfg.ClipGrads > 0 {
+		nn.ClipGrads(p.cfg.Front.Params(), p.cfg.ClipGrads)
+	}
+	p.cfg.Opt.Step(p.cfg.Front.Params())
+	return loss, len(labels), nil
+}
+
+// l1Sync pushes L1 weights to the server and installs the weighted
+// average it returns.
+func (p *Platform) l1Sync(conn transport.Conn, r int) error {
+	params := p.cfg.Front.Params()
+	weights := make([]*tensor.Tensor, len(params))
+	for i, prm := range params {
+		weights[i] = prm.W
+	}
+	if err := p.send(conn, &wire.Message{
+		Type:     wire.MsgModelPush,
+		Platform: uint32(p.cfg.ID),
+		Round:    uint32(r),
+		Payload:  wire.EncodeTensors(weights...),
+	}); err != nil {
+		return err
+	}
+	m, err := p.recv(conn, wire.MsgModelPush, r)
+	if err != nil {
+		return err
+	}
+	ts, derr := wire.DecodeTensors(m.Payload)
+	if derr != nil || len(ts) != len(params) {
+		return fmt.Errorf("%w: bad averaged-L1 payload", ErrProtocol)
+	}
+	for i, prm := range params {
+		if !tensor.SameShape(prm.W, ts[i]) {
+			return fmt.Errorf("%w: averaged L1 tensor %d shape %v, want %v", ErrProtocol, i, ts[i].Shape(), prm.W.Shape())
+		}
+		prm.W.CopyFrom(ts[i])
+	}
+	return nil
+}
+
+// evalExchange streams the evaluation set through the composite model
+// (local L1 forward, remote L2…Lk forward) and returns test accuracy.
+// Labels never leave the platform: accuracy is computed locally from
+// the logits the server returns.
+func (p *Platform) evalExchange(conn transport.Conn, r int) (float64, error) {
+	data := p.cfg.EvalData
+	n := data.Len()
+	correct := 0
+	for off := 0; off < n; off += p.cfg.EvalBatch {
+		end := off + p.cfg.EvalBatch
+		if end > n {
+			end = n
+		}
+		idx := make([]int, end-off)
+		for i := range idx {
+			idx[i] = off + i
+		}
+		x, labels := data.Batch(idx)
+		a := p.cfg.Front.Forward(x, false)
+		if err := p.send(conn, &wire.Message{
+			Type:     wire.MsgEvalActivations,
+			Platform: uint32(p.cfg.ID),
+			Round:    uint32(r),
+			Payload:  wire.EncodeTensors(a),
+		}); err != nil {
+			return 0, err
+		}
+		m, err := p.recv(conn, wire.MsgEvalLogits, r)
+		if err != nil {
+			return 0, err
+		}
+		ts, derr := wire.DecodeTensors(m.Payload)
+		if derr != nil || len(ts) != 1 {
+			return 0, fmt.Errorf("%w: bad eval logits payload", ErrProtocol)
+		}
+		pred := tensor.ArgmaxRows(ts[0])
+		if len(pred) != len(labels) {
+			return 0, fmt.Errorf("%w: %d eval predictions for %d labels", ErrProtocol, len(pred), len(labels))
+		}
+		for i, c := range pred {
+			if c == labels[i] {
+				correct++
+			}
+		}
+	}
+	if err := p.send(conn, &wire.Message{
+		Type:     wire.MsgAck,
+		Platform: uint32(p.cfg.ID),
+		Round:    uint32(r),
+	}); err != nil {
+		return 0, err
+	}
+	return float64(correct) / float64(n), nil
+}
+
+func (p *Platform) send(conn transport.Conn, m *wire.Message) error {
+	if err := conn.Send(m); err != nil {
+		return fmt.Errorf("core: platform %d send %s: %w", p.cfg.ID, m.Type, err)
+	}
+	p.trace("send", m)
+	return nil
+}
+
+func (p *Platform) recv(conn transport.Conn, want wire.MsgType, round int) (*wire.Message, error) {
+	m, err := recvExpect(conn, want, round)
+	if err != nil {
+		return nil, fmt.Errorf("core: platform %d: %w", p.cfg.ID, err)
+	}
+	p.trace("recv", m)
+	return m, nil
+}
+
+func (p *Platform) trace(dir string, m *wire.Message) {
+	if p.cfg.Trace == nil {
+		return
+	}
+	p.cfg.Trace(TraceEvent{
+		Party:    fmt.Sprintf("platform-%d", p.cfg.ID),
+		Dir:      dir,
+		Type:     m.Type,
+		Platform: p.cfg.ID,
+		Round:    int(m.Round),
+		Bytes:    m.WireSize(),
+	})
+}

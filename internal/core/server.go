@@ -1,0 +1,514 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"medsplit/internal/nn"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// ServerConfig configures the central server, which owns the network's
+// layers above the cut (L2 … Lk in the paper).
+type ServerConfig struct {
+	// Back is the server-side half of the model (from models.Split).
+	Back *nn.Sequential
+	// Opt updates Back's parameters.
+	Opt nn.Optimizer
+	// Platforms is the number of platforms that will connect.
+	Platforms int
+	// Rounds is the number of synchronous training rounds.
+	Rounds int
+	// Mode selects Sequential (default) or Concat scheduling.
+	Mode RoundMode
+	// LabelSharing enables the 2-message ablation where platforms ship
+	// labels and the server computes the loss. Requires Loss.
+	LabelSharing bool
+	// Loss is required when LabelSharing is set.
+	Loss nn.Loss
+	// ClipGrads, when positive, clamps server-side gradients before each
+	// optimizer step.
+	ClipGrads float32
+	// L1SyncEvery, when positive, averages the platforms' L1 weights
+	// through the server every so many rounds.
+	L1SyncEvery int
+	// EvalEvery, when positive, schedules evaluation phases every so
+	// many rounds (and after the final round).
+	EvalEvery int
+	// LRSchedule, when set, adjusts the optimizer's learning rate at the
+	// start of every round (see nn.StepDecay, nn.CosineDecay).
+	LRSchedule nn.Schedule
+	// Codec compresses the four training-exchange payloads
+	// (activations, logits, loss gradients, cut gradients). Defaults to
+	// the exact wire.RawCodec; both ends must agree (validated at
+	// handshake). L1-sync weights and evaluation traffic always use the
+	// exact codec so weight averaging and reported accuracy stay exact.
+	Codec wire.Codec
+	// Trace, when set, observes every protocol step.
+	Trace TraceFunc
+}
+
+// Server runs the server side of the split-learning protocol.
+type Server struct {
+	cfg       ServerConfig
+	lastBatch []int // most recent minibatch rows seen per platform
+	evaluator int   // platform id that runs eval phases; -1 if none
+}
+
+// NewServer validates cfg and builds a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Back == nil {
+		return nil, fmt.Errorf("%w: nil back network", ErrConfig)
+	}
+	if cfg.Opt == nil {
+		return nil, fmt.Errorf("%w: nil optimizer", ErrConfig)
+	}
+	if cfg.Platforms <= 0 {
+		return nil, fmt.Errorf("%w: %d platforms", ErrConfig, cfg.Platforms)
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("%w: %d rounds", ErrConfig, cfg.Rounds)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = RoundModeSequential
+	}
+	if cfg.Mode != RoundModeSequential && cfg.Mode != RoundModeConcat {
+		return nil, fmt.Errorf("%w: round mode %v", ErrConfig, cfg.Mode)
+	}
+	if cfg.LabelSharing && cfg.Loss == nil {
+		return nil, fmt.Errorf("%w: label sharing requires a server-side loss", ErrConfig)
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = wire.RawCodec{}
+	}
+	return &Server{
+		cfg:       cfg,
+		lastBatch: make([]int, cfg.Platforms),
+		evaluator: -1,
+	}, nil
+}
+
+// Serve drives the full protocol over the given per-platform
+// connections (conns[k] talks to platform k). It performs the
+// handshake, cfg.Rounds training rounds, the scheduled evaluation
+// phases, and the shutdown, then returns. Connections are not closed.
+func (s *Server) Serve(conns []transport.Conn) error {
+	if len(conns) != s.cfg.Platforms {
+		return fmt.Errorf("%w: %d connections for %d platforms", ErrConfig, len(conns), s.cfg.Platforms)
+	}
+	if err := s.handshake(conns); err != nil {
+		return err
+	}
+	for r := 0; r < s.cfg.Rounds; r++ {
+		nn.ApplySchedule(s.cfg.Opt, s.cfg.LRSchedule, r)
+		var err error
+		if s.cfg.Mode == RoundModeSequential {
+			err = s.sequentialRound(conns, r)
+		} else {
+			err = s.concatRound(conns, r)
+		}
+		if err != nil {
+			return fmt.Errorf("core: server round %d: %w", r, err)
+		}
+		if s.syncRound(r) {
+			if err := s.l1Sync(conns, r); err != nil {
+				return fmt.Errorf("core: server L1 sync round %d: %w", r, err)
+			}
+		}
+		if s.evalRound(r) && s.evaluator >= 0 {
+			if err := s.evalPhase(conns[s.evaluator], r); err != nil {
+				return fmt.Errorf("core: server eval round %d: %w", r, err)
+			}
+		}
+	}
+	// Shutdown: every platform says goodbye.
+	for k, conn := range conns {
+		if _, err := s.recv(conn, wire.MsgBye, -1, k); err != nil {
+			return fmt.Errorf("core: platform %d shutdown: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) syncRound(r int) bool {
+	return s.cfg.L1SyncEvery > 0 && (r+1)%s.cfg.L1SyncEvery == 0
+}
+
+func (s *Server) evalRound(r int) bool {
+	if s.cfg.EvalEvery <= 0 {
+		return false
+	}
+	return (r+1)%s.cfg.EvalEvery == 0 || r == s.cfg.Rounds-1
+}
+
+// handshake validates every platform's declared configuration against
+// the server's, and learns which platform (if any) evaluates.
+func (s *Server) handshake(conns []transport.Conn) error {
+	want := fmt.Sprintf("v=1;rounds=%d;labelshare=%t;sync=%d;eval=%d;codec=%s",
+		s.cfg.Rounds, s.cfg.LabelSharing, s.cfg.L1SyncEvery, s.cfg.EvalEvery, s.cfg.Codec.Name())
+	for k, conn := range conns {
+		m, err := s.recv(conn, wire.MsgHello, -1, k)
+		if err != nil {
+			return fmt.Errorf("core: hello from platform %d: %w", k, err)
+		}
+		if int(m.Platform) != k {
+			return fmt.Errorf("%w: connection %d identifies as platform %d", ErrProtocol, k, m.Platform)
+		}
+		meta, err := wire.DecodeText(m.Payload)
+		if err != nil {
+			return fmt.Errorf("core: hello meta from platform %d: %w", k, err)
+		}
+		base, evaluator, perr := parseHello(meta)
+		if perr != nil {
+			return fmt.Errorf("core: hello from platform %d: %w", k, perr)
+		}
+		if base != want {
+			s.sendError(conn, k, fmt.Sprintf("config mismatch: server %q, platform %q", want, base))
+			return fmt.Errorf("%w: platform %d config %q, server %q", ErrConfig, k, base, want)
+		}
+		if evaluator {
+			if s.evaluator >= 0 {
+				return fmt.Errorf("%w: platforms %d and %d both claim evaluator", ErrConfig, s.evaluator, k)
+			}
+			s.evaluator = k
+		}
+		if err := s.send(conn, &wire.Message{
+			Type:     wire.MsgHelloAck,
+			Platform: uint32(k),
+			Payload:  wire.EncodeText("mode=" + s.cfg.Mode.String()),
+		}, k, -1); err != nil {
+			return err
+		}
+	}
+	if s.cfg.EvalEvery > 0 && s.evaluator < 0 {
+		return fmt.Errorf("%w: EvalEvery=%d but no platform declared evaluator", ErrConfig, s.cfg.EvalEvery)
+	}
+	return nil
+}
+
+// parseHello splits a hello meta string into the comparable base part
+// and the evaluator flag.
+func parseHello(meta string) (base string, evaluator bool, err error) {
+	idx := strings.LastIndex(meta, ";evaluator=")
+	if idx < 0 {
+		return "", false, fmt.Errorf("%w: hello meta %q missing evaluator field", ErrProtocol, meta)
+	}
+	switch meta[idx+len(";evaluator="):] {
+	case "true":
+		return meta[:idx], true, nil
+	case "false":
+		return meta[:idx], false, nil
+	default:
+		return "", false, fmt.Errorf("%w: hello meta %q has bad evaluator value", ErrProtocol, meta)
+	}
+}
+
+// sequentialRound serves one training round in sequential mode: each
+// platform's minibatch gets its own forward/backward/optimizer step.
+func (s *Server) sequentialRound(conns []transport.Conn, r int) error {
+	for k, conn := range conns {
+		a, labels, err := s.recvActivations(conn, r, k)
+		if err != nil {
+			return err
+		}
+		s.lastBatch[k] = a.Dim(0)
+		z := s.cfg.Back.Forward(a, true)
+		var dz *tensor.Tensor
+		var lossVal float64
+		if s.cfg.LabelSharing {
+			lossVal, dz = s.cfg.Loss.Loss(z, labels)
+		} else {
+			if err := s.send(conn, &wire.Message{
+				Type:     wire.MsgLogits,
+				Platform: uint32(k),
+				Round:    uint32(r),
+				Payload:  s.cfg.Codec.EncodeTensors(z),
+			}, k, r); err != nil {
+				return err
+			}
+			m, err := s.recv(conn, wire.MsgLossGrad, r, k)
+			if err != nil {
+				return err
+			}
+			ts, derr := s.cfg.Codec.DecodeTensors(m.Payload)
+			if derr != nil || len(ts) != 1 {
+				return fmt.Errorf("%w: bad loss-grad payload from platform %d", ErrProtocol, k)
+			}
+			dz = ts[0]
+			if !tensor.SameShape(dz, z) {
+				return fmt.Errorf("%w: loss-grad shape %v, logits %v", ErrProtocol, dz.Shape(), z.Shape())
+			}
+		}
+		nn.ZeroGrads(s.cfg.Back.Params())
+		da := s.cfg.Back.Backward(dz)
+		if s.cfg.ClipGrads > 0 {
+			nn.ClipGrads(s.cfg.Back.Params(), s.cfg.ClipGrads)
+		}
+		s.cfg.Opt.Step(s.cfg.Back.Params())
+
+		cutPayload := s.cfg.Codec.EncodeTensors(da)
+		if s.cfg.LabelSharing {
+			lossScalar := tensor.New()
+			lossScalar.Set(float32(lossVal))
+			cutPayload = s.cfg.Codec.EncodeTensors(da, lossScalar)
+		}
+		if err := s.send(conn, &wire.Message{
+			Type:     wire.MsgCutGrad,
+			Platform: uint32(k),
+			Round:    uint32(r),
+			Payload:  cutPayload,
+		}, k, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// concatRound serves one training round in concat mode: all platforms'
+// minibatches are fused into a single batch and the server takes one
+// optimizer step on the union gradient. Per-platform loss gradients are
+// rescaled by s_k/S so the fused gradient is the mean over the union
+// batch regardless of per-platform batch sizes.
+func (s *Server) concatRound(conns []transport.Conn, r int) error {
+	acts := make([]*tensor.Tensor, len(conns))
+	labelsPer := make([][]int, len(conns))
+	sizes := make([]int, len(conns))
+	total := 0
+	for k, conn := range conns {
+		a, labels, err := s.recvActivations(conn, r, k)
+		if err != nil {
+			return err
+		}
+		acts[k] = a
+		labelsPer[k] = labels
+		sizes[k] = a.Dim(0)
+		s.lastBatch[k] = sizes[k]
+		total += sizes[k]
+	}
+	fused := tensor.ConcatDim0(acts...)
+	z := s.cfg.Back.Forward(fused, true)
+
+	var dz *tensor.Tensor
+	var lossVals []float64
+	if s.cfg.LabelSharing {
+		var allLabels []int
+		for _, l := range labelsPer {
+			allLabels = append(allLabels, l...)
+		}
+		var lossVal float64
+		lossVal, dz = s.cfg.Loss.Loss(z, allLabels)
+		lossVals = make([]float64, len(conns))
+		for k := range lossVals {
+			lossVals[k] = lossVal
+		}
+	} else {
+		zs := tensor.SplitDim0(z, sizes)
+		for k, conn := range conns {
+			if err := s.send(conn, &wire.Message{
+				Type:     wire.MsgLogits,
+				Platform: uint32(k),
+				Round:    uint32(r),
+				Payload:  s.cfg.Codec.EncodeTensors(zs[k]),
+			}, k, r); err != nil {
+				return err
+			}
+		}
+		grads := make([]*tensor.Tensor, len(conns))
+		for k, conn := range conns {
+			m, err := s.recv(conn, wire.MsgLossGrad, r, k)
+			if err != nil {
+				return err
+			}
+			ts, derr := s.cfg.Codec.DecodeTensors(m.Payload)
+			if derr != nil || len(ts) != 1 {
+				return fmt.Errorf("%w: bad loss-grad payload from platform %d", ErrProtocol, k)
+			}
+			// Rescale from per-platform mean to union mean.
+			ts[0].Scale(float32(sizes[k]) / float32(total))
+			grads[k] = ts[0]
+		}
+		dz = tensor.ConcatDim0(grads...)
+	}
+
+	nn.ZeroGrads(s.cfg.Back.Params())
+	da := s.cfg.Back.Backward(dz)
+	if s.cfg.ClipGrads > 0 {
+		nn.ClipGrads(s.cfg.Back.Params(), s.cfg.ClipGrads)
+	}
+	s.cfg.Opt.Step(s.cfg.Back.Params())
+
+	das := tensor.SplitDim0(da, sizes)
+	for k, conn := range conns {
+		payload := s.cfg.Codec.EncodeTensors(das[k])
+		if s.cfg.LabelSharing {
+			lossScalar := tensor.New()
+			lossScalar.Set(float32(lossVals[k]))
+			payload = s.cfg.Codec.EncodeTensors(das[k], lossScalar)
+		}
+		if err := s.send(conn, &wire.Message{
+			Type:     wire.MsgCutGrad,
+			Platform: uint32(k),
+			Round:    uint32(r),
+			Payload:  payload,
+		}, k, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvActivations reads platform k's minibatch activations (and, in
+// label-sharing mode, the label vector that follows).
+func (s *Server) recvActivations(conn transport.Conn, r, k int) (*tensor.Tensor, []int, error) {
+	m, err := s.recv(conn, wire.MsgActivations, r, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	ts, derr := s.cfg.Codec.DecodeTensors(m.Payload)
+	if derr != nil || len(ts) != 1 {
+		return nil, nil, fmt.Errorf("%w: bad activations payload from platform %d", ErrProtocol, k)
+	}
+	var labels []int
+	if s.cfg.LabelSharing {
+		lm, err := s.recv(conn, wire.MsgLabels, r, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		labels, err = wire.DecodeLabels(lm.Payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: bad labels payload from platform %d", ErrProtocol, k)
+		}
+		if len(labels) != ts[0].Dim(0) {
+			return nil, nil, fmt.Errorf("%w: %d labels for %d activations", ErrProtocol, len(labels), ts[0].Dim(0))
+		}
+	}
+	return ts[0], labels, nil
+}
+
+// l1Sync averages the platforms' L1 weights (weighted by their latest
+// minibatch sizes) and redistributes the result.
+func (s *Server) l1Sync(conns []transport.Conn, r int) error {
+	var lists [][]*tensor.Tensor
+	for k, conn := range conns {
+		m, err := s.recv(conn, wire.MsgModelPush, r, k)
+		if err != nil {
+			return err
+		}
+		ts, derr := wire.DecodeTensors(m.Payload)
+		if derr != nil {
+			return fmt.Errorf("%w: bad L1 push from platform %d", ErrProtocol, k)
+		}
+		if len(lists) > 0 && len(ts) != len(lists[0]) {
+			return fmt.Errorf("%w: platform %d pushed %d tensors, platform 0 pushed %d", ErrProtocol, k, len(ts), len(lists[0]))
+		}
+		lists = append(lists, ts)
+	}
+	// Weighted average into fresh tensors.
+	avg := make([]*tensor.Tensor, len(lists[0]))
+	var totalW float64
+	for k := range lists {
+		totalW += float64(s.lastBatch[k])
+	}
+	if totalW == 0 {
+		return fmt.Errorf("%w: L1 sync before any training batch", ErrProtocol)
+	}
+	for i := range avg {
+		avg[i] = tensor.New(lists[0][i].Shape()...)
+		for k, ts := range lists {
+			if !tensor.SameShape(ts[i], avg[i]) {
+				return fmt.Errorf("%w: platform %d L1 tensor %d shape %v, want %v", ErrProtocol, k, i, ts[i].Shape(), avg[i].Shape())
+			}
+			avg[i].AxpyInPlace(float32(float64(s.lastBatch[k])/totalW), ts[i])
+		}
+	}
+	payload := wire.EncodeTensors(avg...)
+	for k, conn := range conns {
+		if err := s.send(conn, &wire.Message{
+			Type:     wire.MsgModelPush,
+			Platform: uint32(k),
+			Round:    uint32(r),
+			Payload:  payload,
+		}, k, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalPhase answers a stream of evaluation batches from the evaluator
+// platform until it sends MsgAck. Evaluation runs the back half in
+// inference mode and never updates weights.
+func (s *Server) evalPhase(conn transport.Conn, r int) error {
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("core: eval recv: %w", err)
+		}
+		s.trace("recv", m, s.evaluator)
+		switch m.Type {
+		case wire.MsgAck:
+			return nil
+		case wire.MsgEvalActivations:
+			ts, derr := wire.DecodeTensors(m.Payload)
+			if derr != nil || len(ts) != 1 {
+				return fmt.Errorf("%w: bad eval activations", ErrProtocol)
+			}
+			z := s.cfg.Back.Forward(ts[0], false)
+			if err := s.send(conn, &wire.Message{
+				Type:     wire.MsgEvalLogits,
+				Platform: uint32(s.evaluator),
+				Round:    uint32(r),
+				Payload:  wire.EncodeTensors(z),
+			}, s.evaluator, r); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: %s during eval phase", ErrProtocol, m.Type)
+		}
+	}
+}
+
+// send traces and transmits.
+func (s *Server) send(conn transport.Conn, m *wire.Message, platform, round int) error {
+	if err := conn.Send(m); err != nil {
+		return fmt.Errorf("core: server send %s to platform %d: %w", m.Type, platform, err)
+	}
+	s.trace("send", m, platform)
+	_ = round
+	return nil
+}
+
+// recv traces and validates an expected message.
+func (s *Server) recv(conn transport.Conn, want wire.MsgType, round, platform int) (*wire.Message, error) {
+	m, err := recvExpect(conn, want, round)
+	if err != nil {
+		return nil, fmt.Errorf("core: server: platform %d: %w", platform, err)
+	}
+	s.trace("recv", m, platform)
+	return m, nil
+}
+
+func (s *Server) trace(dir string, m *wire.Message, platform int) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace(TraceEvent{
+		Party:    "server",
+		Dir:      dir,
+		Type:     m.Type,
+		Platform: platform,
+		Round:    int(m.Round),
+		Bytes:    m.WireSize(),
+	})
+}
+
+// sendError reports a fatal condition to a platform (best effort).
+func (s *Server) sendError(conn transport.Conn, platform int, text string) {
+	_ = s.send(conn, &wire.Message{
+		Type:     wire.MsgErrorMsg,
+		Platform: uint32(platform),
+		Payload:  wire.EncodeText(text),
+	}, platform, -1)
+}

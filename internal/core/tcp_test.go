@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"medsplit/internal/dataset"
+	"medsplit/internal/rng"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// TestFullSessionOverTCP runs the complete protocol — handshake,
+// training, L1 sync, evaluation, shutdown — over real TCP sockets with
+// platforms connecting out of order, exactly as the cmd daemons deploy
+// it. The same engine code must behave identically to the pipe
+// transport.
+func TestFullSessionOverTCP(t *testing.T) {
+	train, test := testData(t, 3, 120, 40, 91)
+	flat, flatTest := flatten(train), flatten(test)
+	const K, rounds = 2, 10
+	fronts, back := buildFronts(t, 241, K, flat.X.Dim(1), 3)
+	shards := dataset.ShardIID(flat.Len(), K, rng.New(92))
+
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	srv := defaultServer(t, back, K, rounds, func(c *ServerConfig) {
+		c.L1SyncEvery = 5
+		c.EvalEvery = 5
+	})
+
+	// Acceptor: route connections to slots by their Hello platform id.
+	serverErr := make(chan error, 1)
+	go func() {
+		conns := make([]transport.Conn, K)
+		for n := 0; n < K; n++ {
+			c, err := l.Accept()
+			if err != nil {
+				serverErr <- err
+				return
+			}
+			hello, err := c.Recv()
+			if err != nil || hello.Type != wire.MsgHello {
+				serverErr <- err
+				return
+			}
+			conns[hello.Platform] = transport.Pushback(c, hello)
+		}
+		defer func() {
+			for _, c := range conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}()
+		serverErr <- srv.Serve(conns)
+	}()
+
+	stats := make([]*PlatformStats, K)
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	// Connect in reverse order to exercise the out-of-order path.
+	for k := K - 1; k >= 0; k-- {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			meter := &transport.Meter{}
+			plat := defaultPlatform(t, k, fronts[k], flat.Subset(shards[k]), rounds, func(c *PlatformConfig) {
+				c.L1SyncEvery = 5
+				c.EvalEvery = 5
+				c.Meter = meter
+				if k == 0 {
+					c.EvalData = flatTest
+				}
+			})
+			conn, err := transport.Dial(l.Addr())
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			defer conn.Close()
+			st, err := plat.Run(transport.Metered(conn, meter))
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			stats[k] = st
+		}()
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Fatalf("platform %d: %v", k, err)
+		}
+	}
+	if err := <-serverErr; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if len(stats[0].Rounds) != rounds {
+		t.Fatalf("platform 0 ran %d rounds", len(stats[0].Rounds))
+	}
+	final := stats[0].Evals[len(stats[0].Evals)-1]
+	if final.Accuracy < 0 {
+		t.Fatal("no accuracy measured over TCP")
+	}
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"fmt"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+)
+
+// Augmenter applies the standard CIFAR-style training augmentations —
+// random crop with padding and random horizontal flip — to image
+// batches. In the split framework augmentation runs on the platform,
+// before the L1 forward pass, so it is privacy-neutral: augmented
+// pixels never leave the hospital any more than raw ones do.
+type Augmenter struct {
+	// Pad is the crop padding in pixels (4 is the CIFAR standard).
+	Pad int
+	// Flip enables random horizontal flips with probability ½.
+	Flip bool
+
+	r *rng.RNG
+}
+
+// NewAugmenter builds an augmenter with its own deterministic stream.
+func NewAugmenter(pad int, flip bool, r *rng.RNG) *Augmenter {
+	if pad < 0 {
+		panic(fmt.Sprintf("dataset: negative crop padding %d", pad))
+	}
+	return &Augmenter{Pad: pad, Flip: flip, r: r}
+}
+
+// Apply augments a batch [n, c, h, w] in place and returns it. Each
+// sample gets an independent crop offset and flip decision.
+func (a *Augmenter) Apply(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("dataset: Augmenter input %v, want rank 4", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	var padded []float32
+	if a.Pad > 0 {
+		padded = make([]float32, c*(h+2*a.Pad)*(w+2*a.Pad))
+	}
+	d := x.Data()
+	sample := c * h * w
+	for i := 0; i < n; i++ {
+		img := d[i*sample : (i+1)*sample]
+		if a.Pad > 0 {
+			a.randomCrop(img, padded, c, h, w)
+		}
+		if a.Flip && a.r.Float64() < 0.5 {
+			flipHorizontal(img, c, h, w)
+		}
+	}
+	return x
+}
+
+// randomCrop zero-pads the image by Pad on each side and crops a
+// random h×w window back out, writing the result over img.
+func (a *Augmenter) randomCrop(img, padded []float32, c, h, w int) {
+	ph, pw := h+2*a.Pad, w+2*a.Pad
+	for i := range padded {
+		padded[i] = 0
+	}
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			srcOff := ch*h*w + y*w
+			dstOff := ch*ph*pw + (y+a.Pad)*pw + a.Pad
+			copy(padded[dstOff:dstOff+w], img[srcOff:srcOff+w])
+		}
+	}
+	dy := a.r.Intn(2*a.Pad + 1)
+	dx := a.r.Intn(2*a.Pad + 1)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			srcOff := ch*ph*pw + (y+dy)*pw + dx
+			dstOff := ch*h*w + y*w
+			copy(img[dstOff:dstOff+w], padded[srcOff:srcOff+w])
+		}
+	}
+}
+
+func flipHorizontal(img []float32, c, h, w int) {
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			row := img[ch*h*w+y*w : ch*h*w+(y+1)*w]
+			for x := 0; x < w/2; x++ {
+				row[x], row[w-1-x] = row[w-1-x], row[x]
+			}
+		}
+	}
+}

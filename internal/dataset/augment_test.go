@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"testing"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+)
+
+func TestAugmenterPreservesShape(t *testing.T) {
+	a := NewAugmenter(4, true, rng.New(1))
+	x := tensor.New(3, 3, 32, 32)
+	x.FillNormal(rng.New(2), 0, 1)
+	y := a.Apply(x)
+	if y != x {
+		t.Fatal("Apply must operate in place")
+	}
+	shape := y.Shape()
+	if shape[0] != 3 || shape[1] != 3 || shape[2] != 32 || shape[3] != 32 {
+		t.Fatalf("shape %v", shape)
+	}
+}
+
+func TestAugmenterZeroConfigIsIdentity(t *testing.T) {
+	a := NewAugmenter(0, false, rng.New(3))
+	x := tensor.New(2, 1, 8, 8)
+	x.FillNormal(rng.New(4), 0, 1)
+	orig := x.Clone()
+	a.Apply(x)
+	if !tensor.AllClose(x, orig, 0) {
+		t.Fatal("no-op augmenter changed data")
+	}
+}
+
+func TestFlipIsInvolution(t *testing.T) {
+	x := tensor.New(1, 2, 4, 6)
+	x.FillNormal(rng.New(5), 0, 1)
+	orig := x.Clone()
+	flipHorizontal(x.Data(), 2, 4, 6)
+	if tensor.AllClose(x, orig, 0) {
+		t.Fatal("flip changed nothing")
+	}
+	flipHorizontal(x.Data(), 2, 4, 6)
+	if !tensor.AllClose(x, orig, 0) {
+		t.Fatal("double flip is not the identity")
+	}
+}
+
+func TestCropPreservesPixelMultiset(t *testing.T) {
+	// A crop with dy=dx=Pad is the identity; in general the cropped
+	// window contains original pixels and zero padding only. Check that
+	// every non-zero output pixel value existed in the input.
+	a := NewAugmenter(2, false, rng.New(6))
+	x := tensor.New(4, 3, 8, 8)
+	x.FillUniform(rng.New(7), 1, 2) // strictly positive: zeros = padding
+	seen := map[float32]bool{}
+	for _, v := range x.Data() {
+		seen[v] = true
+	}
+	a.Apply(x)
+	for _, v := range x.Data() {
+		if v != 0 && !seen[v] {
+			t.Fatalf("crop invented pixel value %v", v)
+		}
+	}
+}
+
+func TestAugmenterDeterministic(t *testing.T) {
+	mk := func() *tensor.Tensor {
+		x := tensor.New(2, 3, 16, 16)
+		x.FillNormal(rng.New(8), 0, 1)
+		return NewAugmenter(4, true, rng.New(9)).Apply(x)
+	}
+	if !tensor.AllClose(mk(), mk(), 0) {
+		t.Fatal("same seeds must reproduce the same augmentation")
+	}
+}
+
+func TestAugmenterVariesAcrossSamples(t *testing.T) {
+	// Two identical samples in one batch should (with overwhelming
+	// probability under seed 10) receive different crops/flips.
+	x := tensor.New(2, 1, 8, 8)
+	half := x.Size() / 2
+	for i := 0; i < half; i++ {
+		v := float32(i + 1)
+		x.Data()[i] = v
+		x.Data()[half+i] = v
+	}
+	NewAugmenter(2, true, rng.New(10)).Apply(x)
+	same := true
+	for i := 0; i < half; i++ {
+		if x.Data()[i] != x.Data()[half+i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("both samples got the identical augmentation")
+	}
+}
+
+func TestAugmenterRejectsBadInput(t *testing.T) {
+	assertPanics(t, "negative pad", func() { NewAugmenter(-1, false, rng.New(1)) })
+	a := NewAugmenter(1, false, rng.New(1))
+	assertPanics(t, "rank 2", func() { a.Apply(tensor.New(2, 2)) })
+}

@@ -1,0 +1,105 @@
+package dataset
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"medsplit/internal/tensor"
+)
+
+// This file reads the real CIFAR binary formats. The repo's experiments
+// default to the synthetic generator (the module builds offline), but a
+// user with the actual corpora drops the binary files in and trains on
+// them unchanged — the tensors come out in the same [n,3,32,32] layout
+// the rest of the system consumes.
+//
+// CIFAR-10 binary format: records of 3073 bytes — one label byte
+// (0–9) then 3072 pixel bytes (red, green, blue planes of 32×32).
+// CIFAR-100: records of 3074 bytes — coarse label, fine label, pixels.
+
+// ErrBadCIFAR reports a malformed CIFAR binary file.
+var ErrBadCIFAR = errors.New("dataset: bad CIFAR file")
+
+const (
+	cifarPixels     = 3 * 32 * 32
+	cifar10Record   = 1 + cifarPixels
+	cifar100Record  = 2 + cifarPixels
+	cifar10Classes  = 10
+	cifar100Classes = 100
+)
+
+// LoadCIFAR10 reads one or more CIFAR-10 binary batch files
+// (data_batch_1.bin … data_batch_5.bin, test_batch.bin) and returns a
+// dataset with pixels scaled to [-1, 1].
+func LoadCIFAR10(paths ...string) (*Dataset, error) {
+	return loadCIFAR(paths, cifar10Record, cifar10Classes, func(hdr []byte) int {
+		return int(hdr[0])
+	})
+}
+
+// LoadCIFAR100 reads CIFAR-100 binary files (train.bin, test.bin) using
+// the fine (100-way) labels.
+func LoadCIFAR100(paths ...string) (*Dataset, error) {
+	return loadCIFAR(paths, cifar100Record, cifar100Classes, func(hdr []byte) int {
+		return int(hdr[1]) // hdr[0] is the coarse label
+	})
+}
+
+// LoadCIFAR100Coarse reads CIFAR-100 binary files using the coarse
+// (20-way superclass) labels.
+func LoadCIFAR100Coarse(paths ...string) (*Dataset, error) {
+	return loadCIFAR(paths, cifar100Record, 20, func(hdr []byte) int {
+		return int(hdr[0])
+	})
+}
+
+func loadCIFAR(paths []string, record, classes int, label func([]byte) int) (*Dataset, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%w: no files", ErrBadCIFAR)
+	}
+	var data []float32
+	var labels []int
+	hdrLen := record - cifarPixels
+	buf := make([]byte, record)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: opening %s: %w", path, err)
+		}
+		br := bufio.NewReaderSize(f, 1<<16)
+		records := 0
+		for {
+			_, err := io.ReadFull(br, buf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%w: %s: truncated record %d (%v)", ErrBadCIFAR, path, records, err)
+			}
+			lab := label(buf[:hdrLen])
+			if lab < 0 || lab >= classes {
+				f.Close()
+				return nil, fmt.Errorf("%w: %s: label %d out of range [0,%d)", ErrBadCIFAR, path, lab, classes)
+			}
+			labels = append(labels, lab)
+			for _, px := range buf[hdrLen:] {
+				data = append(data, float32(px)/127.5-1)
+			}
+			records++
+		}
+		f.Close()
+		if records == 0 {
+			return nil, fmt.Errorf("%w: %s: empty file", ErrBadCIFAR, path)
+		}
+	}
+	n := len(labels)
+	return &Dataset{
+		X:       tensor.FromSlice(data, n, 3, 32, 32),
+		Labels:  labels,
+		Classes: classes,
+	}, nil
+}

@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCIFAR10Fixture writes n records in the CIFAR-10 binary format
+// with deterministic contents and returns the path.
+func writeCIFAR10Fixture(t *testing.T, name string, n int) string {
+	t.Helper()
+	buf := make([]byte, 0, n*cifar10Record)
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i%10)) // label
+		for p := 0; p < cifarPixels; p++ {
+			buf = append(buf, byte((i+p)%256))
+		}
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeCIFAR100Fixture(t *testing.T, name string, n int) string {
+	t.Helper()
+	buf := make([]byte, 0, n*cifar100Record)
+	for i := 0; i < n; i++ {
+		buf = append(buf, byte(i%20))  // coarse label
+		buf = append(buf, byte(i%100)) // fine label
+		for p := 0; p < cifarPixels; p++ {
+			buf = append(buf, byte(p%256))
+		}
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCIFAR10(t *testing.T) {
+	path := writeCIFAR10Fixture(t, "batch.bin", 25)
+	d, err := LoadCIFAR10(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 25 || d.Classes != 10 {
+		t.Fatalf("len %d classes %d", d.Len(), d.Classes)
+	}
+	shape := d.SampleShape()
+	if shape[0] != 3 || shape[1] != 32 || shape[2] != 32 {
+		t.Fatalf("shape %v", shape)
+	}
+	// Labels cycle 0..9.
+	for i, lab := range d.Labels {
+		if lab != i%10 {
+			t.Fatalf("label %d = %d", i, lab)
+		}
+	}
+	// Pixel scaling: byte 0 → -1, byte 255 → +1.
+	for _, v := range d.X.Data() {
+		if v < -1 || v > 1.01 {
+			t.Fatalf("pixel %v outside [-1,1]", v)
+		}
+	}
+	// Record 0, pixel 0 has byte value 0 → -1 exactly.
+	if d.X.At(0, 0, 0, 0) != -1 {
+		t.Fatalf("first pixel %v, want -1", d.X.At(0, 0, 0, 0))
+	}
+}
+
+func TestLoadCIFAR10MultipleFiles(t *testing.T) {
+	p1 := writeCIFAR10Fixture(t, "b1.bin", 10)
+	p2 := writeCIFAR10Fixture(t, "b2.bin", 15)
+	d, err := LoadCIFAR10(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 25 {
+		t.Fatalf("len %d, want 25", d.Len())
+	}
+}
+
+func TestLoadCIFAR100FineAndCoarse(t *testing.T) {
+	path := writeCIFAR100Fixture(t, "train.bin", 30)
+	fine, err := LoadCIFAR100(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.Classes != 100 || fine.Labels[7] != 7 {
+		t.Fatalf("fine: classes %d label[7] %d", fine.Classes, fine.Labels[7])
+	}
+	coarse, err := LoadCIFAR100Coarse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Classes != 20 || coarse.Labels[25] != 5 {
+		t.Fatalf("coarse: classes %d label[25] %d", coarse.Classes, coarse.Labels[25])
+	}
+}
+
+func TestLoadCIFARRejectsBadInput(t *testing.T) {
+	if _, err := LoadCIFAR10(); !errors.Is(err, ErrBadCIFAR) {
+		t.Fatalf("no files: %v", err)
+	}
+	if _, err := LoadCIFAR10(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Truncated record.
+	path := filepath.Join(t.TempDir(), "trunc.bin")
+	if err := os.WriteFile(path, make([]byte, cifar10Record+100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCIFAR10(path); !errors.Is(err, ErrBadCIFAR) {
+		t.Fatalf("truncated: %v", err)
+	}
+	// Empty file.
+	empty := filepath.Join(t.TempDir(), "empty.bin")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCIFAR10(empty); !errors.Is(err, ErrBadCIFAR) {
+		t.Fatalf("empty: %v", err)
+	}
+	// CIFAR-10 reader on CIFAR-100 data: record sizes differ, so the
+	// final record comes up short.
+	c100 := writeCIFAR100Fixture(t, "c100.bin", 3)
+	if _, err := LoadCIFAR10(c100); !errors.Is(err, ErrBadCIFAR) {
+		t.Fatalf("format mismatch: %v", err)
+	}
+}
+
+func TestLoadedCIFARWorksWithSharding(t *testing.T) {
+	path := writeCIFAR10Fixture(t, "batch.bin", 40)
+	d, err := LoadCIFAR10(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded dataset must plug into the standard pipeline.
+	x, labels := d.Batch([]int{0, 39})
+	if x.Dim(0) != 2 || len(labels) != 2 {
+		t.Fatalf("batch %v %v", x.Shape(), labels)
+	}
+}

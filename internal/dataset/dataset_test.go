@@ -1,0 +1,340 @@
+package dataset
+
+import (
+	"testing"
+
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+)
+
+func TestSynthCIFARShapesAndDeterminism(t *testing.T) {
+	cfg := SynthConfig{Classes: 10, Train: 100, Test: 40, Seed: 7}
+	train, test := SynthCIFAR(cfg)
+	if train.Len() != 100 || test.Len() != 40 {
+		t.Fatalf("lengths %d/%d", train.Len(), test.Len())
+	}
+	shape := train.SampleShape()
+	if shape[0] != 3 || shape[1] != 32 || shape[2] != 32 {
+		t.Fatalf("sample shape %v", shape)
+	}
+	// Deterministic regeneration.
+	train2, _ := SynthCIFAR(cfg)
+	if !tensor.AllClose(train.X, train2.X, 0) {
+		t.Fatal("same seed must reproduce identical data")
+	}
+	for i := range train.Labels {
+		if train.Labels[i] != train2.Labels[i] {
+			t.Fatal("labels differ across same-seed generations")
+		}
+	}
+	// Different seed differs.
+	train3, _ := SynthCIFAR(SynthConfig{Classes: 10, Train: 100, Test: 40, Seed: 8})
+	if tensor.AllClose(train.X, train3.X, 1e-6) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestSynthCIFARClassBalance(t *testing.T) {
+	train, _ := SynthCIFAR(SynthConfig{Classes: 10, Train: 1000, Test: 10, Seed: 1})
+	counts := make([]int, 10)
+	for _, lab := range train.Labels {
+		counts[lab]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("class %d has %d samples, want 100 (near-uniform)", c, n)
+		}
+	}
+}
+
+func TestSynthCIFARHasSignalNotConstant(t *testing.T) {
+	train, _ := SynthCIFAR(SynthConfig{Classes: 2, Train: 20, Test: 4, Seed: 3})
+	// Pixels must vary (not a constant image).
+	if train.X.Norm() == 0 {
+		t.Fatal("all-zero data")
+	}
+	if train.X.HasNaN() {
+		t.Fatal("NaN in generated data")
+	}
+}
+
+// The headline property: a small CNN must be able to learn SynthCIFAR
+// far beyond chance. This is what makes accuracy-vs-communication curves
+// meaningful.
+func TestSynthCIFARIsLearnable(t *testing.T) {
+	train, test := SynthCIFAR(SynthConfig{Classes: 4, Train: 400, Test: 120, Noise: 0.3, Seed: 5})
+	r := rng.New(9)
+	net := nn.NewSequential("probe",
+		nn.NewConv2D("c1", 3, 8, 3, 3, 1, 1, r),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool2D("p1", 4, 4),
+		nn.NewFlatten("f"),
+		nn.NewDense("fc", 8*8*8, 4, r),
+	)
+	opt := &nn.Adam{LR: 0.003}
+	loss := nn.SoftmaxCrossEntropy{}
+	sampler := NewBatchSampler(seqIndices(train.Len()), 32, rng.New(11))
+	for step := 0; step < 150; step++ {
+		x, labels := train.Batch(sampler.Next())
+		nn.ZeroGrads(net.Params())
+		logits := net.Forward(x, true)
+		_, g := loss.Loss(logits, labels)
+		net.Backward(g)
+		opt.Step(net.Params())
+	}
+	x, labels := test.Batch(seqIndices(test.Len()))
+	acc := nn.Accuracy(net.Forward(x, false), labels)
+	if acc < 0.6 {
+		t.Fatalf("probe CNN accuracy %.2f after 150 steps; dataset not learnable (chance 0.25)", acc)
+	}
+}
+
+func TestBatchGather(t *testing.T) {
+	d := &Dataset{
+		X:       tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2),
+		Labels:  []int{7, 8, 9},
+		Classes: 10,
+	}
+	x, labels := d.Batch([]int{2, 0})
+	if x.At(0, 0) != 5 || x.At(1, 0) != 1 {
+		t.Fatalf("gathered %v", x.Data())
+	}
+	if labels[0] != 9 || labels[1] != 7 {
+		t.Fatalf("labels %v", labels)
+	}
+	assertPanics(t, "oob", func() { d.Batch([]int{3}) })
+	assertPanics(t, "empty", func() { d.Batch(nil) })
+}
+
+func TestSubset(t *testing.T) {
+	d := &Dataset{
+		X:       tensor.FromSlice([]float32{1, 2, 3, 4}, 4, 1),
+		Labels:  []int{0, 1, 0, 1},
+		Classes: 2,
+	}
+	s := d.Subset([]int{1, 3})
+	if s.Len() != 2 || s.Labels[0] != 1 || s.X.At(1, 0) != 4 {
+		t.Fatalf("subset %v %v", s.X.Data(), s.Labels)
+	}
+	// Independent storage.
+	s.X.Set(99, 0, 0)
+	if d.X.At(1, 0) == 99 {
+		t.Fatal("Subset must copy")
+	}
+}
+
+func TestShardIIDCoversAll(t *testing.T) {
+	r := rng.New(1)
+	shards := ShardIID(103, 4, r)
+	if len(shards) != 4 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	seen := make(map[int]bool)
+	for _, sh := range shards {
+		for _, idx := range sh {
+			if seen[idx] {
+				t.Fatalf("index %d assigned twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("covered %d of 103", len(seen))
+	}
+	// Sizes within 1 of each other.
+	for _, sh := range shards {
+		if len(sh) < 25 || len(sh) > 26 {
+			t.Fatalf("IID shard size %d", len(sh))
+		}
+	}
+}
+
+func TestShardPowerLawImbalance(t *testing.T) {
+	r := rng.New(2)
+	shards := ShardPowerLaw(1000, 4, 1.5, r)
+	total := 0
+	for _, sh := range shards {
+		if len(sh) == 0 {
+			t.Fatal("empty shard")
+		}
+		total += len(sh)
+	}
+	if total != 1000 {
+		t.Fatalf("total %d", total)
+	}
+	if len(shards[0]) <= 2*len(shards[3]) {
+		t.Fatalf("alpha=1.5 should be strongly imbalanced: %d vs %d", len(shards[0]), len(shards[3]))
+	}
+	// alpha=0 is uniform.
+	uniform := ShardPowerLaw(1000, 4, 0, rng.New(3))
+	for _, sh := range uniform {
+		if len(sh) != 250 {
+			t.Fatalf("alpha=0 shard size %d, want 250", len(sh))
+		}
+	}
+}
+
+func TestShardDirichletSkewsLabels(t *testing.T) {
+	r := rng.New(4)
+	labels := make([]int, 1000)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	shards := ShardDirichlet(labels, 10, 4, 0.2, r)
+	total := 0
+	for p, sh := range shards {
+		if len(sh) == 0 {
+			t.Fatalf("platform %d empty", p)
+		}
+		total += len(sh)
+	}
+	if total != 1000 {
+		t.Fatalf("total %d", total)
+	}
+	// With alpha=0.2 at least one platform should have a dominant class
+	// holding >30% of its data (IID would give 10% each).
+	dominant := false
+	for _, sh := range shards {
+		counts := make([]int, 10)
+		for _, idx := range sh {
+			counts[labels[idx]]++
+		}
+		for _, c := range counts {
+			if float64(c) > 0.3*float64(len(sh)) {
+				dominant = true
+			}
+		}
+	}
+	if !dominant {
+		t.Fatal("Dirichlet(0.2) produced no label skew")
+	}
+}
+
+func TestProportionalBatches(t *testing.T) {
+	// The paper's mitigation: s_k proportional to |D_k|.
+	got := ProportionalBatches([]int{600, 300, 100}, 20)
+	if got[0]+got[1]+got[2] != 20 {
+		t.Fatalf("sum %v", got)
+	}
+	if got[0] != 12 || got[1] != 6 || got[2] != 2 {
+		t.Fatalf("proportional = %v, want [12 6 2]", got)
+	}
+	// Tiny shards still get at least 1.
+	got = ProportionalBatches([]int{1000, 1, 1}, 12)
+	if got[1] < 1 || got[2] < 1 {
+		t.Fatalf("minimum-1 violated: %v", got)
+	}
+	if sum(got) != 12 {
+		t.Fatalf("sum %v", got)
+	}
+	assertPanics(t, "budget too small", func() { ProportionalBatches([]int{5, 5}, 1) })
+}
+
+func TestUniformBatches(t *testing.T) {
+	got := UniformBatches(3, 10)
+	if sum(got) != 10 {
+		t.Fatalf("sum %v", got)
+	}
+	if got[0] != 4 || got[1] != 3 || got[2] != 3 {
+		t.Fatalf("uniform = %v", got)
+	}
+}
+
+func TestBatchSamplerCoversEpoch(t *testing.T) {
+	idx := []int{10, 11, 12, 13, 14, 15}
+	s := NewBatchSampler(idx, 2, rng.New(5))
+	seen := map[int]int{}
+	for i := 0; i < 3; i++ { // one epoch = 3 batches
+		for _, v := range s.Next() {
+			seen[v]++
+		}
+	}
+	for _, v := range idx {
+		if seen[v] != 1 {
+			t.Fatalf("index %d seen %d times in first epoch", v, seen[v])
+		}
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("epoch %d before wrap", s.Epoch())
+	}
+	s.Next()
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch %d after wrap", s.Epoch())
+	}
+}
+
+func TestBatchSamplerClampsOversizedBatch(t *testing.T) {
+	s := NewBatchSampler([]int{1, 2, 3}, 10, rng.New(6))
+	if s.BatchSize() != 3 {
+		t.Fatalf("batch size %d, want clamp to 3", s.BatchSize())
+	}
+	b := s.Next()
+	if len(b) != 3 {
+		t.Fatalf("batch %v", b)
+	}
+}
+
+func TestBatchSamplerDoesNotAliasInput(t *testing.T) {
+	idx := []int{1, 2, 3, 4}
+	s := NewBatchSampler(idx, 2, rng.New(7))
+	_ = s
+	if idx[0] != 1 || idx[1] != 2 || idx[2] != 3 || idx[3] != 4 {
+		t.Fatal("sampler must not mutate the caller's slice")
+	}
+}
+
+func TestSynthNoiseControlsDifficulty(t *testing.T) {
+	// Same class templates, different noise: higher noise means samples
+	// of one class are further apart.
+	clean, _ := SynthCIFAR(SynthConfig{Classes: 2, Train: 50, Test: 2, Noise: 0.01, Seed: 9})
+	noisy, _ := SynthCIFAR(SynthConfig{Classes: 2, Train: 50, Test: 2, Noise: 1.0, Seed: 9})
+	spread := func(d *Dataset) float64 {
+		// Mean pairwise distance between first 10 samples of class 0.
+		var pts []*tensor.Tensor
+		for i := 0; i < d.Len() && len(pts) < 10; i++ {
+			if d.Labels[i] == 0 {
+				x, _ := d.Batch([]int{i})
+				pts = append(pts, x)
+			}
+		}
+		var total float64
+		var count int
+		for i := 0; i < len(pts); i++ {
+			for j := i + 1; j < len(pts); j++ {
+				total += tensor.Sub(pts[i], pts[j]).Norm()
+				count++
+			}
+		}
+		return total / float64(count)
+	}
+	if !(spread(noisy) > spread(clean)) {
+		t.Fatal("noise must increase intra-class spread")
+	}
+}
+
+func seqIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"medsplit/internal/rng"
+)
+
+// Randomized invariants of the sharding and batching machinery.
+
+// shardsPartition checks that shards form an exact partition of [0, n).
+func shardsPartition(shards [][]int, n int) bool {
+	seen := make([]bool, n)
+	count := 0
+	for _, sh := range shards {
+		for _, idx := range sh {
+			if idx < 0 || idx >= n || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+			count++
+		}
+	}
+	return count == n
+}
+
+func TestPropertyShardIIDPartitions(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 1 + r.Intn(8)
+		n := k + r.Intn(200)
+		return shardsPartition(ShardIID(n, k, r), n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyShardPowerLawPartitionsNonEmpty(t *testing.T) {
+	f := func(seed uint64, alphaRaw uint8) bool {
+		r := rng.New(seed)
+		k := 1 + r.Intn(8)
+		n := k + r.Intn(200)
+		alpha := float64(alphaRaw) / 64 // [0, ~4)
+		shards := ShardPowerLaw(n, k, alpha, r)
+		if !shardsPartition(shards, n) {
+			return false
+		}
+		for _, sh := range shards {
+			if len(sh) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyShardDirichletPartitionsNonEmpty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 1 + r.Intn(6)
+		classes := 2 + r.Intn(8)
+		n := k + classes + r.Intn(150)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = r.Intn(classes)
+		}
+		shards := ShardDirichlet(labels, classes, k, 0.1+r.Float64(), r)
+		if !shardsPartition(shards, n) {
+			return false
+		}
+		for _, sh := range shards {
+			if len(sh) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyProportionalBatchesSumAndFloor(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 1 + r.Intn(8)
+		sizes := make([]int, k)
+		for i := range sizes {
+			sizes[i] = 1 + r.Intn(500)
+		}
+		budget := k + r.Intn(100)
+		batches := ProportionalBatches(sizes, budget)
+		total := 0
+		for _, b := range batches {
+			if b < 1 {
+				return false
+			}
+			total += b
+		}
+		return total == budget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySamplerEpochIsPermutation(t *testing.T) {
+	// Within one epoch every index appears exactly once when batch
+	// divides the set size.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		batches := 1 + r.Intn(6)
+		batch := 1 + r.Intn(8)
+		n := batches * batch
+		indices := make([]int, n)
+		for i := range indices {
+			indices[i] = i * 3 // arbitrary values, not positions
+		}
+		s := NewBatchSampler(indices, batch, r)
+		seen := map[int]int{}
+		for i := 0; i < batches; i++ {
+			for _, v := range s.Next() {
+				seen[v]++
+			}
+		}
+		for _, v := range indices {
+			if seen[v] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySynthCIFARLabelRange(t *testing.T) {
+	f := func(seed uint64, classesRaw uint8) bool {
+		classes := 2 + int(classesRaw)%20
+		train, test := SynthCIFAR(SynthConfig{
+			Classes: classes, Train: 30, Test: 10, Seed: seed,
+		})
+		for _, lab := range append(append([]int(nil), train.Labels...), test.Labels...) {
+			if lab < 0 || lab >= classes {
+				return false
+			}
+		}
+		return !train.X.HasNaN() && !test.X.HasNaN()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

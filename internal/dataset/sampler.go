@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"fmt"
+
+	"medsplit/internal/rng"
+)
+
+// BatchSampler cycles through a fixed index set in reshuffled epochs,
+// yielding minibatches of a fixed size. Each platform in the split
+// framework owns one sampler over its local shard (minibatch size s_k in
+// the paper).
+type BatchSampler struct {
+	indices []int
+	batch   int
+	r       *rng.RNG
+	cursor  int
+	epoch   int
+}
+
+// NewBatchSampler builds a sampler over the given indices. batch must be
+// positive and at most len(indices); the indices slice is copied.
+func NewBatchSampler(indices []int, batch int, r *rng.RNG) *BatchSampler {
+	if batch <= 0 {
+		panic(fmt.Sprintf("dataset: batch size %d", batch))
+	}
+	if len(indices) == 0 {
+		panic("dataset: sampler over empty index set")
+	}
+	if batch > len(indices) {
+		batch = len(indices) // a tiny shard trains on all of it each step
+	}
+	own := append([]int(nil), indices...)
+	r.Shuffle(own)
+	return &BatchSampler{indices: own, batch: batch, r: r}
+}
+
+// BatchSize returns the (possibly clamped) batch size.
+func (s *BatchSampler) BatchSize() int { return s.batch }
+
+// Epoch returns how many full passes have been completed.
+func (s *BatchSampler) Epoch() int { return s.epoch }
+
+// Next returns the next minibatch of indices. When fewer than a full
+// batch remain in the epoch, the sampler reshuffles and starts the next
+// epoch, so every batch has exactly BatchSize elements.
+func (s *BatchSampler) Next() []int {
+	if s.cursor+s.batch > len(s.indices) {
+		s.r.Shuffle(s.indices)
+		s.cursor = 0
+		s.epoch++
+	}
+	out := make([]int, s.batch)
+	copy(out, s.indices[s.cursor:s.cursor+s.batch])
+	s.cursor += s.batch
+	return out
+}

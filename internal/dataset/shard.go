@@ -1,0 +1,238 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"medsplit/internal/rng"
+)
+
+// This file implements the geo-distribution of data across platforms.
+// The paper's setting: each hospital holds its own patient records, the
+// amounts differ ("the amount of data in each platform is not equal,
+// leading to data imbalance"), and the label mix may differ too.
+
+// ShardIID deals n sample indices to k platforms uniformly at random,
+// sizes as equal as possible. It panics if k <= 0 or n < k.
+func ShardIID(n, k int, r *rng.RNG) [][]int {
+	validateShard(n, k)
+	perm := r.Perm(n)
+	shards := make([][]int, k)
+	for i, idx := range perm {
+		p := i % k
+		shards[p] = append(shards[p], idx)
+	}
+	return shards
+}
+
+// ShardPowerLaw deals n indices to k platforms with shard sizes following
+// a power law: platform i receives a share proportional to
+// (i+1)^(-alpha). alpha = 0 is uniform; larger alpha is more imbalanced
+// (alpha ≈ 1.5 gives a pronounced head/tail split). Every platform
+// receives at least one sample.
+func ShardPowerLaw(n, k int, alpha float64, r *rng.RNG) [][]int {
+	validateShard(n, k)
+	if alpha < 0 {
+		panic(fmt.Sprintf("dataset: negative power-law alpha %v", alpha))
+	}
+	weights := make([]float64, k)
+	var total float64
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -alpha)
+		total += weights[i]
+	}
+	sizes := apportion(n, weights, total, k)
+	perm := r.Perm(n)
+	shards := make([][]int, k)
+	off := 0
+	for i, s := range sizes {
+		shards[i] = append([]int(nil), perm[off:off+s]...)
+		off += s
+	}
+	return shards
+}
+
+// ShardDirichlet deals indices to k platforms with non-IID label mixes:
+// for each class, the class's samples are distributed across platforms
+// according to a Dirichlet(alpha) draw. Small alpha (e.g. 0.3) gives
+// each platform a few dominant classes — the classic federated-learning
+// heterogeneity model. Platforms may receive zero samples of some
+// classes but never zero samples overall (a final rebalancing pass
+// guarantees it).
+func ShardDirichlet(labels []int, classes, k int, alpha float64, r *rng.RNG) [][]int {
+	n := len(labels)
+	validateShard(n, k)
+	if classes <= 0 {
+		panic("dataset: classes must be positive")
+	}
+	// Group indices by class.
+	byClass := make([][]int, classes)
+	for idx, lab := range labels {
+		if lab < 0 || lab >= classes {
+			panic(fmt.Sprintf("dataset: label %d out of range [0,%d)", lab, classes))
+		}
+		byClass[lab] = append(byClass[lab], idx)
+	}
+	shards := make([][]int, k)
+	probs := make([]float64, k)
+	for _, members := range byClass {
+		if len(members) == 0 {
+			continue
+		}
+		r.Shuffle(members)
+		r.Dirichlet(alpha, probs)
+		var total float64
+		for _, p := range probs {
+			total += p
+		}
+		sizes := apportionAllowZero(len(members), probs, total, k)
+		off := 0
+		for p, s := range sizes {
+			shards[p] = append(shards[p], members[off:off+s]...)
+			off += s
+		}
+	}
+	// Guarantee non-empty shards: move one sample from the largest shard
+	// to any empty one.
+	for p := range shards {
+		for len(shards[p]) == 0 {
+			big := 0
+			for q := range shards {
+				if len(shards[q]) > len(shards[big]) {
+					big = q
+				}
+			}
+			if len(shards[big]) <= 1 {
+				panic("dataset: cannot rebalance empty shard")
+			}
+			last := len(shards[big]) - 1
+			shards[p] = append(shards[p], shards[big][last])
+			shards[big] = shards[big][:last]
+		}
+	}
+	return shards
+}
+
+// ProportionalBatches implements the paper's data-imbalance mitigation:
+// "the minibatch size in each platform can be adjusted as the proportion
+// of the amount of local data in each platform". Given per-platform
+// shard sizes and a total per-round batch budget, it returns batch sizes
+// proportional to shard sizes (largest-remainder rounding, minimum 1).
+func ProportionalBatches(shardSizes []int, totalBatch int) []int {
+	if len(shardSizes) == 0 {
+		panic("dataset: no shards")
+	}
+	if totalBatch < len(shardSizes) {
+		panic(fmt.Sprintf("dataset: batch budget %d below one per platform (%d)", totalBatch, len(shardSizes)))
+	}
+	var total float64
+	weights := make([]float64, len(shardSizes))
+	for i, s := range shardSizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("dataset: shard %d has non-positive size %d", i, s))
+		}
+		weights[i] = float64(s)
+		total += weights[i]
+	}
+	return apportion(totalBatch, weights, total, len(shardSizes))
+}
+
+// UniformBatches returns the baseline uniform allocation: totalBatch
+// split as evenly as possible regardless of shard sizes.
+func UniformBatches(platforms, totalBatch int) []int {
+	if platforms <= 0 || totalBatch < platforms {
+		panic(fmt.Sprintf("dataset: bad uniform batch args %d/%d", platforms, totalBatch))
+	}
+	out := make([]int, platforms)
+	base := totalBatch / platforms
+	rem := totalBatch % platforms
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// apportion distributes n units over k buckets proportionally to
+// weights, guaranteeing at least 1 per bucket, using largest remainders.
+func apportion(n int, weights []float64, total float64, k int) []int {
+	if n < k {
+		panic(fmt.Sprintf("dataset: cannot give %d buckets at least one of %d units", k, n))
+	}
+	sizes := make([]int, k)
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, k)
+	assigned := 0
+	for i := range sizes {
+		exact := float64(n) * weights[i] / total
+		sizes[i] = int(exact)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		fracs[i] = frac{idx: i, rem: exact - float64(int(exact))}
+		assigned += sizes[i]
+	}
+	// Distribute or reclaim the difference by largest/smallest remainder.
+	for assigned < n {
+		best := -1
+		for i := range fracs {
+			if best == -1 || fracs[i].rem > fracs[best].rem {
+				best = i
+			}
+		}
+		sizes[fracs[best].idx]++
+		fracs[best].rem = -1
+		assigned++
+	}
+	for assigned > n {
+		// Reclaim from the largest bucket that stays >= 1.
+		big := -1
+		for i := range sizes {
+			if sizes[i] > 1 && (big == -1 || sizes[i] > sizes[big]) {
+				big = i
+			}
+		}
+		sizes[big]--
+		assigned--
+	}
+	return sizes
+}
+
+// apportionAllowZero is apportion without the minimum-1 guarantee.
+func apportionAllowZero(n int, weights []float64, total float64, k int) []int {
+	sizes := make([]int, k)
+	rems := make([]float64, k)
+	assigned := 0
+	for i := range sizes {
+		exact := float64(n) * weights[i] / total
+		sizes[i] = int(exact)
+		rems[i] = exact - float64(sizes[i])
+		assigned += sizes[i]
+	}
+	for assigned < n {
+		best := 0
+		for i := range rems {
+			if rems[i] > rems[best] {
+				best = i
+			}
+		}
+		sizes[best]++
+		rems[best] = -1
+		assigned++
+	}
+	return sizes
+}
+
+func validateShard(n, k int) {
+	if k <= 0 {
+		panic(fmt.Sprintf("dataset: %d platforms", k))
+	}
+	if n < k {
+		panic(fmt.Sprintf("dataset: %d samples across %d platforms", n, k))
+	}
+}

@@ -1,0 +1,244 @@
+// Package experiment wires datasets, models, the split-learning engine
+// and the baselines into reproducible end-to-end runs, and regenerates
+// the paper's evaluation artifacts: the Fig. 4 communication/accuracy
+// comparison (measured, on the scaled-down trainable models) and the
+// data-imbalance ablation behind the proportional-minibatch proposal.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"medsplit/internal/dataset"
+	"medsplit/internal/geonet"
+	"medsplit/internal/metrics"
+	"medsplit/internal/models"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+)
+
+// Arch selects the trainable model family.
+type Arch string
+
+// Architectures available to experiments.
+const (
+	ArchMLP    Arch = "mlp"
+	ArchVGG    Arch = "vgg-lite"
+	ArchResNet Arch = "resnet-lite"
+)
+
+// Sharding selects how training data is distributed across platforms.
+type Sharding string
+
+// Sharding strategies.
+const (
+	ShardingIID       Sharding = "iid"
+	ShardingPowerLaw  Sharding = "powerlaw"
+	ShardingDirichlet Sharding = "dirichlet"
+)
+
+// Config describes one training run (any scheme).
+type Config struct {
+	// Arch picks the model family (default ArchVGG).
+	Arch Arch
+	// Classes is the label count (10 or 100 in the paper's evaluation).
+	Classes int
+	// Width scales the model (channel width; default 8).
+	Width int
+	// TrainSamples / TestSamples size the synthetic corpus.
+	TrainSamples, TestSamples int
+	// Noise is the dataset difficulty knob (default 0.35).
+	Noise float32
+	// Platforms is the number of hospitals (k).
+	Platforms int
+	// Rounds is the number of synchronous training rounds.
+	Rounds int
+	// TotalBatch is the per-round sample budget across all platforms.
+	TotalBatch int
+	// Proportional applies the paper's imbalance mitigation: batch
+	// sizes proportional to shard sizes. Otherwise batches are uniform.
+	Proportional bool
+	// Sharding picks the data distribution (default IID).
+	Sharding Sharding
+	// Alpha parameterizes power-law or Dirichlet sharding.
+	Alpha float64
+	// LR is the SGD learning rate (default 0.05).
+	LR float32
+	// LocalSteps applies to FedAvg only (default 1).
+	LocalSteps int
+	// EvalEvery measures accuracy every so many rounds (default
+	// Rounds/5, at least 1).
+	EvalEvery int
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// Cut overrides the model's default split point (layer index; 0 =
+	// the model's DefaultCut, i.e. the paper's first-hidden-layer cut).
+	// Split scheme only.
+	Cut int
+	// LabelSharing switches the split protocol to the 2-message
+	// label-sharing ablation.
+	LabelSharing bool
+	// L1SyncEvery periodically averages platform L1 weights through the
+	// server (0 = the paper's default of init-only synchronization).
+	L1SyncEvery int
+	// ConcatRounds uses the server's concatenated round mode instead of
+	// sequential per-platform steps.
+	ConcatRounds bool
+	// Codec names the activation-path compression codec ("raw", "f16",
+	// "int8", "topk-<frac>"; default "raw"). Split scheme only.
+	Codec string
+	// Augment enables platform-local random crop (pad 4) and horizontal
+	// flip on training minibatches. Split scheme, image models only.
+	Augment bool
+	// Topology, when set with Regions, adds simulated wall-clock
+	// estimates to the result curves.
+	Topology *geonet.Topology
+	// Regions maps each platform to a topology region.
+	Regions []geonet.Region
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Arch == "" {
+		c.Arch = ArchVGG
+	}
+	if c.Classes == 0 {
+		c.Classes = 10
+	}
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.TrainSamples == 0 {
+		c.TrainSamples = 800
+	}
+	if c.TestSamples == 0 {
+		c.TestSamples = 200
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.35
+	}
+	if c.Platforms == 0 {
+		c.Platforms = 4
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 60
+	}
+	if c.TotalBatch == 0 {
+		c.TotalBatch = 8 * c.Platforms
+	}
+	if c.Sharding == "" {
+		c.Sharding = ShardingIID
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.2
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.LocalSteps == 0 {
+		c.LocalSteps = 1
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = c.Rounds / 5
+		if c.EvalEvery < 1 {
+			c.EvalEvery = 1
+		}
+	}
+	return c
+}
+
+// BuildModel constructs one model instance for the config. Calling it
+// repeatedly with the same cfg yields identically initialized replicas
+// (cmd/splitserver and cmd/splitplatform rely on this to agree on
+// weights across processes).
+func BuildModel(c Config) (*models.Model, error) {
+	r := rng.New(c.Seed + 0xA11CE)
+	switch c.Arch {
+	case ArchMLP:
+		return models.MLP(3*32*32, []int{64}, c.Classes, r), nil
+	case ArchVGG:
+		return models.VGGLite(c.Classes, c.Width, r), nil
+	case ArchResNet:
+		return models.ResNetLite(c.Classes, c.Width, r), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown arch %q", c.Arch)
+	}
+}
+
+// BuildData generates the corpus and shards it across platforms,
+// returning the per-platform training shards, the test set, and the
+// per-platform batch sizes. It is deterministic in cfg.Seed, so
+// separate processes derive identical shards.
+func BuildData(c Config) (shards []*dataset.Dataset, test *dataset.Dataset, batches []int, err error) {
+	train, test := dataset.SynthCIFAR(dataset.SynthConfig{
+		Classes: c.Classes,
+		Train:   c.TrainSamples,
+		Test:    c.TestSamples,
+		Noise:   c.Noise,
+		Seed:    c.Seed + 0xDA7A,
+	})
+	// MLP consumes flat vectors.
+	if c.Arch == ArchMLP {
+		train = flattenDataset(train)
+		test = flattenDataset(test)
+	}
+	r := rng.New(c.Seed + 0x54A4D)
+	var idx [][]int
+	switch c.Sharding {
+	case ShardingIID:
+		idx = dataset.ShardIID(train.Len(), c.Platforms, r)
+	case ShardingPowerLaw:
+		idx = dataset.ShardPowerLaw(train.Len(), c.Platforms, c.Alpha, r)
+	case ShardingDirichlet:
+		idx = dataset.ShardDirichlet(train.Labels, c.Classes, c.Platforms, c.Alpha, r)
+	default:
+		return nil, nil, nil, fmt.Errorf("experiment: unknown sharding %q", c.Sharding)
+	}
+	shards = make([]*dataset.Dataset, c.Platforms)
+	sizes := make([]int, c.Platforms)
+	for k := range idx {
+		shards[k] = train.Subset(idx[k])
+		sizes[k] = len(idx[k])
+	}
+	if c.Proportional {
+		batches = dataset.ProportionalBatches(sizes, c.TotalBatch)
+	} else {
+		batches = dataset.UniformBatches(c.Platforms, c.TotalBatch)
+	}
+	return shards, test, batches, nil
+}
+
+func flattenDataset(d *dataset.Dataset) *dataset.Dataset {
+	n := d.X.Dim(0)
+	return &dataset.Dataset{X: d.X.Reshape(n, d.X.Size()/n), Labels: d.Labels, Classes: d.Classes}
+}
+
+// Result is one scheme's outcome on a config.
+type Result struct {
+	Scheme        string
+	Curve         metrics.Curve
+	FinalAccuracy float64
+	TrainingBytes int64
+	// RoundTime is the simulated wall-clock per round (zero without a
+	// topology).
+	RoundTime time.Duration
+	// ModelParams is the trainable scalar count, for context in reports.
+	ModelParams int
+}
+
+// simTime annotates curve points with cumulative simulated time when a
+// topology is configured. upPerRound/downPerRound are per-platform
+// per-round byte estimates.
+func (c Config) simTime(up, down []int64) (time.Duration, error) {
+	if c.Topology == nil || len(c.Regions) == 0 {
+		return 0, nil
+	}
+	if len(c.Regions) != c.Platforms {
+		return 0, fmt.Errorf("experiment: %d regions for %d platforms", len(c.Regions), c.Platforms)
+	}
+	return c.Topology.RoundTime(c.Regions, up, down, 0)
+}
+
+// newLoss returns the task loss; one place to change if the paper's
+// task shifts.
+func newLoss() nn.Loss { return nn.SoftmaxCrossEntropy{} }

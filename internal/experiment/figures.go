@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+
+	"medsplit/internal/metrics"
+)
+
+// Comparison is the outcome of running several schemes on one workload.
+type Comparison struct {
+	Workload string
+	Results  []*Result
+}
+
+// Fig4Measured runs the paper's Fig. 4 comparison — the proposed split
+// framework against Large-Scale Synchronous SGD — on the trainable
+// scaled-down models, measuring real bytes through the metered
+// transports and real accuracy on the held-out set.
+func Fig4Measured(cfg Config) (*Comparison, error) {
+	cfg = cfg.withDefaults()
+	split, err := RunSplit(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig4 split: %w", err)
+	}
+	sgd, err := RunSyncSGD(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig4 sync-sgd: %w", err)
+	}
+	return &Comparison{
+		Workload: fmt.Sprintf("%s / %d classes / %d platforms / %d rounds",
+			cfg.Arch, cfg.Classes, cfg.Platforms, cfg.Rounds),
+		Results: []*Result{split, sgd},
+	}, nil
+}
+
+// Fig4MeasuredWithFedAvg additionally runs the related-work FedAvg
+// baseline on the same workload.
+func Fig4MeasuredWithFedAvg(cfg Config) (*Comparison, error) {
+	cmp, err := Fig4Measured(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fa, err := RunFedAvg(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: fig4 fedavg: %w", err)
+	}
+	cmp.Results = append(cmp.Results, fa)
+	return cmp, nil
+}
+
+// Table renders a comparison in the shape of the paper's Fig. 4: total
+// transmitted data and accuracy per scheme, plus accuracy at the equal
+// communication budget (the smallest scheme total).
+func (c *Comparison) Table() *metrics.Table {
+	var budget int64 = -1
+	for _, r := range c.Results {
+		if budget < 0 || r.TrainingBytes < budget {
+			budget = r.TrainingBytes
+		}
+	}
+	t := &metrics.Table{
+		Title:   "Fig. 4 (measured): " + c.Workload,
+		Headers: []string{"scheme", "params", "transmitted", "final acc", fmt.Sprintf("acc @ %s", metrics.FormatBytes(budget))},
+	}
+	for _, r := range c.Results {
+		accAt := r.Curve.AccuracyAtBudget(budget)
+		accAtStr := "n/a"
+		if accAt >= 0 {
+			accAtStr = fmt.Sprintf("%.1f%%", 100*accAt)
+		}
+		t.AddRow(
+			r.Scheme,
+			fmt.Sprintf("%d", r.ModelParams),
+			metrics.FormatBytes(r.TrainingBytes),
+			fmt.Sprintf("%.1f%%", 100*r.FinalAccuracy),
+			accAtStr,
+		)
+	}
+	return t
+}
+
+// ImbalanceOutcome reports the paper's §II imbalance-mitigation claim:
+// accuracy under imbalanced shards with uniform vs proportional
+// minibatch sizing.
+type ImbalanceOutcome struct {
+	ShardSizes   []int
+	Uniform      *Result
+	Proportional *Result
+}
+
+// Imbalance runs the ablation. cfg should use power-law or Dirichlet
+// sharding; the same data, models and round budget are used for both
+// arms, so the only difference is the paper's proportional batch rule.
+func Imbalance(cfg Config) (*ImbalanceOutcome, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Sharding == ShardingIID {
+		cfg.Sharding = ShardingPowerLaw
+	}
+	shards, _, _, err := BuildData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, len(shards))
+	for i, s := range shards {
+		sizes[i] = s.Len()
+	}
+
+	uniformCfg := cfg
+	uniformCfg.Proportional = false
+	uniform, err := RunSplit(uniformCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: imbalance uniform arm: %w", err)
+	}
+	uniform.Scheme = "uniform minibatch"
+
+	propCfg := cfg
+	propCfg.Proportional = true
+	prop, err := RunSplit(propCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: imbalance proportional arm: %w", err)
+	}
+	prop.Scheme = "proportional minibatch (paper)"
+
+	return &ImbalanceOutcome{ShardSizes: sizes, Uniform: uniform, Proportional: prop}, nil
+}
+
+// Table renders the imbalance ablation.
+func (o *ImbalanceOutcome) Table() *metrics.Table {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Data-imbalance mitigation (shard sizes %v)", o.ShardSizes),
+		Headers: []string{"batch policy", "transmitted", "final acc", "best acc"},
+	}
+	for _, r := range []*Result{o.Uniform, o.Proportional} {
+		t.AddRow(
+			r.Scheme,
+			metrics.FormatBytes(r.TrainingBytes),
+			fmt.Sprintf("%.1f%%", 100*r.FinalAccuracy),
+			fmt.Sprintf("%.1f%%", 100*r.Curve.BestAccuracy()),
+		)
+	}
+	return t
+}
+
+// CurveTable renders a result's full accuracy-vs-bytes trajectory (the
+// line-plot view of Fig. 4).
+func CurveTable(results ...*Result) *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Accuracy vs cumulative communication",
+		Headers: []string{"scheme", "round", "bytes", "accuracy", "sim time"},
+	}
+	for _, r := range results {
+		for _, p := range r.Curve.Points {
+			t.AddRow(
+				r.Scheme,
+				fmt.Sprintf("%d", p.Round),
+				metrics.FormatBytes(p.Bytes),
+				fmt.Sprintf("%.1f%%", 100*p.Accuracy),
+				p.SimTime.String(),
+			)
+		}
+	}
+	return t
+}

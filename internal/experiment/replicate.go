@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Replicated aggregates one scheme's outcome over several seeds —
+// single-seed deltas on small workloads can be noise, so the serious
+// comparisons report mean ± standard deviation.
+type Replicated struct {
+	Scheme string
+	Seeds  []uint64
+
+	MeanAccuracy float64
+	StdAccuracy  float64
+	// MeanBytes is the mean total training communication. Bytes are
+	// deterministic given shapes, so StdBytes is almost always zero; it
+	// is reported anyway as a sanity signal.
+	MeanBytes float64
+	StdBytes  float64
+
+	Runs []*Result
+}
+
+// String renders the replicate summary compactly.
+func (r *Replicated) String() string {
+	return fmt.Sprintf("%s: acc %.1f%% ± %.1f, bytes %.0f ± %.0f (%d seeds)",
+		r.Scheme, 100*r.MeanAccuracy, 100*r.StdAccuracy, r.MeanBytes, r.StdBytes, len(r.Seeds))
+}
+
+// Runner is any of the scheme entry points (RunSplit, RunSyncSGD,
+// RunFedAvg).
+type Runner func(Config) (*Result, error)
+
+// RunReplicated executes run on cfg once per seed and aggregates.
+func RunReplicated(run Runner, cfg Config, seeds []uint64) (*Replicated, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: RunReplicated with no seeds")
+	}
+	out := &Replicated{Seeds: append([]uint64(nil), seeds...)}
+	accs := make([]float64, 0, len(seeds))
+	bytes := make([]float64, 0, len(seeds))
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		res, err := run(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: seed %d: %w", seed, err)
+		}
+		out.Scheme = res.Scheme
+		out.Runs = append(out.Runs, res)
+		accs = append(accs, res.FinalAccuracy)
+		bytes = append(bytes, float64(res.TrainingBytes))
+	}
+	out.MeanAccuracy, out.StdAccuracy = meanStd(accs)
+	out.MeanBytes, out.StdBytes = meanStd(bytes)
+	return out, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}

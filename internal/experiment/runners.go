@@ -1,0 +1,360 @@
+package experiment
+
+import (
+	"time"
+
+	"medsplit/internal/compress"
+	"medsplit/internal/core"
+	"medsplit/internal/dataset"
+	"medsplit/internal/fedavg"
+	"medsplit/internal/metrics"
+	"medsplit/internal/models"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/syncsgd"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// RunSplit trains the config with the paper's split-learning framework
+// and returns the accuracy-vs-communication curve.
+func RunSplit(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	shards, test, batches, err := BuildData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// One identically initialized model instance per platform (fronts)
+	// plus one for the server (back) — the paper's "same weights in L1"
+	// postulate.
+	fronts := make([]*nn.Sequential, cfg.Platforms)
+	var back *nn.Sequential
+	var whole *models.Model
+	for k := 0; k <= cfg.Platforms; k++ {
+		m, err := BuildModel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cut := m.DefaultCut
+		if cfg.Cut > 0 {
+			cut = cfg.Cut
+		}
+		f, b, err := models.Split(m.Net, cut)
+		if err != nil {
+			return nil, err
+		}
+		if k == cfg.Platforms {
+			back = b
+			whole = m
+		} else {
+			fronts[k] = f
+		}
+	}
+
+	mode := core.RoundModeSequential
+	if cfg.ConcatRounds {
+		mode = core.RoundModeConcat
+	}
+	codec := wire.Codec(wire.RawCodec{})
+	if cfg.Codec != "" {
+		var cerr error
+		codec, cerr = compress.ByName(cfg.Codec)
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
+	scfg := core.ServerConfig{
+		Back:        back,
+		Opt:         &nn.SGD{LR: cfg.LR},
+		Platforms:   cfg.Platforms,
+		Rounds:      cfg.Rounds,
+		Mode:        mode,
+		ClipGrads:   5,
+		L1SyncEvery: cfg.L1SyncEvery,
+		EvalEvery:   cfg.EvalEvery,
+		Codec:       codec,
+	}
+	if cfg.LabelSharing {
+		scfg.LabelSharing = true
+		scfg.Loss = newLoss()
+	}
+	srv, err := core.NewServer(scfg)
+	if err != nil {
+		return nil, err
+	}
+	meters := make([]*transport.Meter, cfg.Platforms)
+	platforms := make([]*core.Platform, cfg.Platforms)
+	for k := 0; k < cfg.Platforms; k++ {
+		meters[k] = &transport.Meter{}
+		pc := core.PlatformConfig{
+			ID:           k,
+			Front:        fronts[k],
+			Opt:          &nn.SGD{LR: cfg.LR},
+			Loss:         newLoss(),
+			Shard:        shards[k],
+			Batch:        batches[k],
+			Rounds:       cfg.Rounds,
+			LabelSharing: cfg.LabelSharing,
+			ClipGrads:    5,
+			L1SyncEvery:  cfg.L1SyncEvery,
+			EvalEvery:    cfg.EvalEvery,
+			Seed:         cfg.Seed + uint64(1000+k),
+			Codec:        codec,
+			Meter:        meters[k],
+		}
+		if cfg.LabelSharing {
+			pc.Loss = nil
+		}
+		if cfg.Augment && cfg.Arch != ArchMLP {
+			pc.Augment = dataset.NewAugmenter(4, true, rng.New(cfg.Seed+uint64(7000+k)))
+		}
+		if k == 0 {
+			pc.EvalData = test
+		}
+		p, err := core.NewPlatform(pc)
+		if err != nil {
+			return nil, err
+		}
+		platforms[k] = p
+	}
+	stats, err := core.RunLocal(srv, platforms)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Scheme:      "split (proposed)",
+		Curve:       metrics.Curve{Label: "split"},
+		ModelParams: whole.ParamCount(),
+	}
+	evalCount := len(stats[0].Evals)
+	for i := 0; i < evalCount; i++ {
+		var bytes int64
+		for k := range stats {
+			bytes += stats[k].Evals[i].TrainingBytes
+		}
+		pt := metrics.Round{
+			Round:    stats[0].Evals[i].Round,
+			Accuracy: stats[0].Evals[i].Accuracy,
+			Bytes:    bytes,
+		}
+		if len(stats[0].Rounds) > pt.Round {
+			pt.Loss = stats[0].Rounds[pt.Round].Loss
+		}
+		res.Curve.Append(pt)
+	}
+	res.FinalAccuracy = res.Curve.Final().Accuracy
+	res.TrainingBytes = res.Curve.Final().Bytes
+
+	if cfg.Topology != nil {
+		up := make([]int64, cfg.Platforms)
+		down := make([]int64, cfg.Platforms)
+		for k, m := range meters {
+			up[k] = trainTx(m) / int64(cfg.Rounds)
+			down[k] = trainRx(m) / int64(cfg.Rounds)
+		}
+		rt, err := cfg.simTime(up, down)
+		if err != nil {
+			return nil, err
+		}
+		res.RoundTime = rt
+		annotateSimTime(&res.Curve, rt)
+	}
+	return res, nil
+}
+
+// RunSyncSGD trains the config with the paper's baseline (Large-Scale
+// Synchronous SGD).
+func RunSyncSGD(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	shards, test, batches, err := BuildData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	globalM, err := BuildModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := syncsgd.NewServer(syncsgd.ServerConfig{
+		Model:     globalM.Net,
+		Opt:       &nn.SGD{LR: cfg.LR},
+		Workers:   cfg.Platforms,
+		Rounds:    cfg.Rounds,
+		ClipGrads: 5,
+		EvalEvery: cfg.EvalEvery,
+		EvalData:  test,
+	})
+	if err != nil {
+		return nil, err
+	}
+	meters := make([]*transport.Meter, cfg.Platforms)
+	workers := make([]*syncsgd.Worker, cfg.Platforms)
+	for k := 0; k < cfg.Platforms; k++ {
+		meters[k] = &transport.Meter{}
+		replica, err := BuildModel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		w, err := syncsgd.NewWorker(syncsgd.WorkerConfig{
+			ID:        k,
+			Model:     replica.Net,
+			Loss:      newLoss(),
+			Shard:     shards[k],
+			Batch:     batches[k],
+			Rounds:    cfg.Rounds,
+			EvalEvery: cfg.EvalEvery,
+			Seed:      cfg.Seed + uint64(1000+k),
+			Meter:     meters[k],
+		})
+		if err != nil {
+			return nil, err
+		}
+		workers[k] = w
+	}
+	serverStats, workerStats, err := syncsgd.RunLocal(srv, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Scheme:      "large-scale sync SGD",
+		Curve:       metrics.Curve{Label: "sync-sgd"},
+		ModelParams: globalM.ParamCount(),
+	}
+	for i, ev := range serverStats.Evals {
+		var bytes int64
+		for k := range workerStats {
+			if i < len(workerStats[k].Bytes) {
+				bytes += workerStats[k].Bytes[i].TrainingBytes
+			}
+		}
+		pt := metrics.Round{Round: ev.Round, Accuracy: ev.Accuracy, Bytes: bytes}
+		if len(workerStats[0].Rounds) > ev.Round {
+			pt.Loss = workerStats[0].Rounds[ev.Round].Loss
+		}
+		res.Curve.Append(pt)
+	}
+	res.FinalAccuracy = res.Curve.Final().Accuracy
+	res.TrainingBytes = res.Curve.Final().Bytes
+
+	if cfg.Topology != nil {
+		up := make([]int64, cfg.Platforms)
+		down := make([]int64, cfg.Platforms)
+		for k, m := range meters {
+			up[k] = trainTx(m) / int64(cfg.Rounds)
+			down[k] = trainRx(m) / int64(cfg.Rounds)
+		}
+		rt, err := cfg.simTime(up, down)
+		if err != nil {
+			return nil, err
+		}
+		res.RoundTime = rt
+		annotateSimTime(&res.Curve, rt)
+	}
+	return res, nil
+}
+
+// RunFedAvg trains the config with Federated Averaging (the related-work
+// de facto standard).
+func RunFedAvg(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	shards, test, batches, err := BuildData(cfg)
+	if err != nil {
+		return nil, err
+	}
+	globalM, err := BuildModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := fedavg.NewServer(fedavg.ServerConfig{
+		Model:     globalM.Net,
+		Clients:   cfg.Platforms,
+		Rounds:    cfg.Rounds,
+		EvalEvery: cfg.EvalEvery,
+		EvalData:  test,
+	})
+	if err != nil {
+		return nil, err
+	}
+	meters := make([]*transport.Meter, cfg.Platforms)
+	clients := make([]*fedavg.Client, cfg.Platforms)
+	for k := 0; k < cfg.Platforms; k++ {
+		meters[k] = &transport.Meter{}
+		replica, err := BuildModel(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c, err := fedavg.NewClient(fedavg.ClientConfig{
+			ID:         k,
+			Model:      replica.Net,
+			Opt:        &nn.SGD{LR: cfg.LR},
+			Loss:       newLoss(),
+			Shard:      shards[k],
+			Batch:      batches[k],
+			LocalSteps: cfg.LocalSteps,
+			Rounds:     cfg.Rounds,
+			EvalEvery:  cfg.EvalEvery,
+			Seed:       cfg.Seed + uint64(1000+k),
+			Meter:      meters[k],
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients[k] = c
+	}
+	serverStats, clientStats, err := fedavg.RunLocal(srv, clients)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Scheme:      "fedavg",
+		Curve:       metrics.Curve{Label: "fedavg"},
+		ModelParams: globalM.ParamCount(),
+	}
+	for i, ev := range serverStats.Evals {
+		var bytes int64
+		for k := range clientStats {
+			if i < len(clientStats[k].Bytes) {
+				bytes += clientStats[k].Bytes[i].TrainingBytes
+			}
+		}
+		pt := metrics.Round{Round: ev.Round, Accuracy: ev.Accuracy, Bytes: bytes}
+		if len(clientStats[0].Rounds) > ev.Round {
+			pt.Loss = clientStats[0].Rounds[ev.Round].Loss
+		}
+		res.Curve.Append(pt)
+	}
+	res.FinalAccuracy = res.Curve.Final().Accuracy
+	res.TrainingBytes = res.Curve.Final().Bytes
+	return res, nil
+}
+
+// annotateSimTime stamps cumulative simulated wall-clock onto curve
+// points given a constant per-round duration.
+func annotateSimTime(c *metrics.Curve, perRound time.Duration) {
+	for i := range c.Points {
+		c.Points[i].SimTime = time.Duration(c.Points[i].Round+1) * perRound
+	}
+}
+
+func trainTx(m *transport.Meter) int64 {
+	var total int64
+	for _, t := range []wire.MsgType{
+		wire.MsgActivations, wire.MsgLogits, wire.MsgLossGrad, wire.MsgCutGrad,
+		wire.MsgLabels, wire.MsgModelPull, wire.MsgModelPush, wire.MsgGradPush,
+	} {
+		total += m.TxBytesByType(t)
+	}
+	return total
+}
+
+func trainRx(m *transport.Meter) int64 {
+	var total int64
+	for _, t := range []wire.MsgType{
+		wire.MsgActivations, wire.MsgLogits, wire.MsgLossGrad, wire.MsgCutGrad,
+		wire.MsgLabels, wire.MsgModelPull, wire.MsgModelPush, wire.MsgGradPush,
+	} {
+		total += m.RxBytesByType(t)
+	}
+	return total
+}

@@ -1,0 +1,476 @@
+// Package fedavg implements Federated Averaging (McMahan et al.,
+// AISTATS 2017), the approach the paper cites as the de facto standard
+// for privacy-preserving deep learning. Each round the server
+// broadcasts the model, every client runs several local minibatch steps
+// on its own data, ships its updated weights back, and the server
+// installs the data-size-weighted average.
+//
+// Like Large-Scale Synchronous SGD it moves 2×|model| bytes per client
+// per round, but the local-steps knob trades communication rounds for
+// local computation — the contrast the split framework's activations-
+// only traffic is measured against.
+package fedavg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"medsplit/internal/dataset"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// Protocol errors.
+var (
+	// ErrProtocol reports an out-of-sequence or malformed message.
+	ErrProtocol = errors.New("fedavg: protocol violation")
+	// ErrConfig reports an invalid configuration.
+	ErrConfig = errors.New("fedavg: invalid configuration")
+)
+
+// ServerConfig configures the aggregation server.
+type ServerConfig struct {
+	// Model is the global model.
+	Model *nn.Sequential
+	// Clients is the number of participating clients.
+	Clients int
+	// Rounds is the number of federated rounds.
+	Rounds int
+	// EvalEvery, when positive, evaluates the global model every so many
+	// rounds (and after the final round), locally and communication-free.
+	EvalEvery int
+	// EvalData is required when EvalEvery > 0.
+	EvalData *dataset.Dataset
+	// EvalBatch is the evaluation batch size (default 64).
+	EvalBatch int
+}
+
+// EvalStat is one evaluation point of the global model.
+type EvalStat struct {
+	Round    int
+	Accuracy float64
+}
+
+// ServerStats is what the server measured.
+type ServerStats struct {
+	Evals []EvalStat
+}
+
+// Server aggregates client models.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer validates cfg and builds the server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrConfig)
+	}
+	if cfg.Clients <= 0 || cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("%w: clients %d rounds %d", ErrConfig, cfg.Clients, cfg.Rounds)
+	}
+	if cfg.EvalEvery > 0 && cfg.EvalData == nil {
+		return nil, fmt.Errorf("%w: EvalEvery without EvalData", ErrConfig)
+	}
+	if cfg.EvalBatch == 0 {
+		cfg.EvalBatch = 64
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Serve drives the protocol and returns the evaluation curve.
+func (s *Server) Serve(conns []transport.Conn) (*ServerStats, error) {
+	if len(conns) != s.cfg.Clients {
+		return nil, fmt.Errorf("%w: %d connections for %d clients", ErrConfig, len(conns), s.cfg.Clients)
+	}
+	if err := s.handshake(conns); err != nil {
+		return nil, err
+	}
+	stats := &ServerStats{}
+	params := s.cfg.Model.Params()
+	state := nn.CollectState(s.cfg.Model)
+	staging := make([][]*tensor.Tensor, len(conns))
+	stagingState := make([][]*tensor.Tensor, len(conns))
+	weights := make([]float64, len(conns))
+	for r := 0; r < s.cfg.Rounds; r++ {
+		payload := nn.EncodeModel(params, state)
+		for k, conn := range conns {
+			if err := conn.Send(&wire.Message{
+				Type:     wire.MsgModelPush,
+				Platform: uint32(k),
+				Round:    uint32(r),
+				Payload:  payload,
+			}); err != nil {
+				return nil, fmt.Errorf("fedavg: broadcasting round %d to client %d: %w", r, k, err)
+			}
+		}
+		for k, conn := range conns {
+			m, err := recvExpect(conn, wire.MsgModelPush, r)
+			if err != nil {
+				return nil, fmt.Errorf("fedavg: model from client %d: %w", k, err)
+			}
+			ts, st, n, err := decodeModelStateSize(m.Payload, params, state)
+			if err != nil {
+				return nil, fmt.Errorf("fedavg: client %d: %w", k, err)
+			}
+			staging[k] = ts
+			stagingState[k] = st
+			weights[k] = float64(n)
+		}
+		var total float64
+		for _, w := range weights {
+			total += w
+		}
+		for i, p := range params {
+			dst := p.W.Data()
+			for j := range dst {
+				dst[j] = 0
+			}
+			for k := range staging {
+				scale := float32(weights[k] / total)
+				src := staging[k][i].Data()
+				for j := range dst {
+					dst[j] += scale * src[j]
+				}
+			}
+		}
+		if len(state) > 0 {
+			if err := nn.AverageStateInto(state, stagingState, weights); err != nil {
+				return nil, fmt.Errorf("fedavg: aggregating state: %w", err)
+			}
+		}
+		if s.evalRound(r) {
+			stats.Evals = append(stats.Evals, EvalStat{Round: r, Accuracy: s.evaluate()})
+		}
+	}
+	for k, conn := range conns {
+		if _, err := recvExpect(conn, wire.MsgBye, -1); err != nil {
+			return nil, fmt.Errorf("fedavg: client %d shutdown: %w", k, err)
+		}
+	}
+	return stats, nil
+}
+
+func (s *Server) evalRound(r int) bool {
+	if s.cfg.EvalEvery <= 0 {
+		return false
+	}
+	return (r+1)%s.cfg.EvalEvery == 0 || r == s.cfg.Rounds-1
+}
+
+func (s *Server) evaluate() float64 {
+	data := s.cfg.EvalData
+	n := data.Len()
+	correct := 0
+	for off := 0; off < n; off += s.cfg.EvalBatch {
+		end := off + s.cfg.EvalBatch
+		if end > n {
+			end = n
+		}
+		idx := make([]int, end-off)
+		for i := range idx {
+			idx[i] = off + i
+		}
+		x, labels := data.Batch(idx)
+		pred := tensor.ArgmaxRows(s.cfg.Model.Forward(x, false))
+		for i, c := range pred {
+			if c == labels[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+func (s *Server) handshake(conns []transport.Conn) error {
+	want := fmt.Sprintf("v=1;algo=fedavg;rounds=%d;eval=%d", s.cfg.Rounds, s.cfg.EvalEvery)
+	for k, conn := range conns {
+		m, err := recvExpect(conn, wire.MsgHello, -1)
+		if err != nil {
+			return fmt.Errorf("fedavg: hello from client %d: %w", k, err)
+		}
+		if int(m.Platform) != k {
+			return fmt.Errorf("%w: connection %d identifies as client %d", ErrProtocol, k, m.Platform)
+		}
+		meta, err := wire.DecodeText(m.Payload)
+		if err != nil {
+			return fmt.Errorf("fedavg: hello meta from client %d: %w", k, err)
+		}
+		if meta != want {
+			return fmt.Errorf("%w: client %d config %q, server %q", ErrConfig, k, meta, want)
+		}
+		if err := conn.Send(&wire.Message{Type: wire.MsgHelloAck, Platform: uint32(k)}); err != nil {
+			return fmt.Errorf("fedavg: acking client %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// ClientConfig configures one federated client.
+type ClientConfig struct {
+	// ID is the client index.
+	ID int
+	// Model is the client's local replica.
+	Model *nn.Sequential
+	// Opt is the client's local optimizer.
+	Opt nn.Optimizer
+	// Loss computes the training loss.
+	Loss nn.Loss
+	// Shard is the client's local data.
+	Shard *dataset.Dataset
+	// Batch is the local minibatch size.
+	Batch int
+	// LocalSteps is the number of local minibatch steps per round
+	// (FedAvg's E·|D|/B in step form; default 1 = FedSGD).
+	LocalSteps int
+	// Rounds must match the server.
+	Rounds int
+	// EvalEvery must match the server.
+	EvalEvery int
+	// Seed seeds the minibatch sampler.
+	Seed uint64
+	// Meter, when set, enables traffic snapshots.
+	Meter *transport.Meter
+}
+
+// RoundStat records the mean local loss of one federated round.
+type RoundStat struct {
+	Round int
+	Loss  float64
+}
+
+// ByteStat snapshots cumulative training traffic at a round boundary.
+type ByteStat struct {
+	Round         int
+	TrainingBytes int64
+}
+
+// ClientStats is everything a client measured.
+type ClientStats struct {
+	Rounds []RoundStat
+	Bytes  []ByteStat
+}
+
+// Client runs the client side of the protocol.
+type Client struct {
+	cfg     ClientConfig
+	sampler *dataset.BatchSampler
+}
+
+// NewClient validates cfg and builds a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Model == nil || cfg.Opt == nil || cfg.Loss == nil {
+		return nil, fmt.Errorf("%w: nil model/opt/loss", ErrConfig)
+	}
+	if cfg.Shard == nil || cfg.Shard.Len() == 0 {
+		return nil, fmt.Errorf("%w: client %d has no data", ErrConfig, cfg.ID)
+	}
+	if cfg.Batch <= 0 || cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("%w: batch %d rounds %d", ErrConfig, cfg.Batch, cfg.Rounds)
+	}
+	if cfg.LocalSteps <= 0 {
+		cfg.LocalSteps = 1
+	}
+	indices := make([]int, cfg.Shard.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	return &Client{
+		cfg:     cfg,
+		sampler: dataset.NewBatchSampler(indices, cfg.Batch, rng.New(cfg.Seed^0x9e3779b97f4a7c15)),
+	}, nil
+}
+
+// Run executes the client protocol over conn.
+func (c *Client) Run(conn transport.Conn) (*ClientStats, error) {
+	meta := fmt.Sprintf("v=1;algo=fedavg;rounds=%d;eval=%d", c.cfg.Rounds, c.cfg.EvalEvery)
+	if err := conn.Send(&wire.Message{
+		Type:     wire.MsgHello,
+		Platform: uint32(c.cfg.ID),
+		Payload:  wire.EncodeText(meta),
+	}); err != nil {
+		return nil, fmt.Errorf("fedavg: client %d hello: %w", c.cfg.ID, err)
+	}
+	if _, err := recvExpect(conn, wire.MsgHelloAck, -1); err != nil {
+		return nil, fmt.Errorf("fedavg: client %d handshake: %w", c.cfg.ID, err)
+	}
+	stats := &ClientStats{}
+	params := c.cfg.Model.Params()
+	state := nn.CollectState(c.cfg.Model)
+	for r := 0; r < c.cfg.Rounds; r++ {
+		m, err := recvExpect(conn, wire.MsgModelPush, r)
+		if err != nil {
+			return nil, fmt.Errorf("fedavg: client %d round %d: %w", c.cfg.ID, r, err)
+		}
+		if err := nn.DecodeModelInto(params, state, m.Payload); err != nil {
+			return nil, fmt.Errorf("fedavg: client %d installing model: %w", c.cfg.ID, err)
+		}
+		var lossSum float64
+		for step := 0; step < c.cfg.LocalSteps; step++ {
+			x, labels := c.cfg.Shard.Batch(c.sampler.Next())
+			nn.ZeroGrads(params)
+			logits := c.cfg.Model.Forward(x, true)
+			loss, g := c.cfg.Loss.Loss(logits, labels)
+			c.cfg.Model.Backward(g)
+			c.cfg.Opt.Step(params)
+			lossSum += loss
+		}
+		stats.Rounds = append(stats.Rounds, RoundStat{Round: r, Loss: lossSum / float64(c.cfg.LocalSteps)})
+
+		payload := encodeModelStateSize(params, state, c.cfg.Shard.Len())
+		if err := conn.Send(&wire.Message{
+			Type:     wire.MsgModelPush,
+			Platform: uint32(c.cfg.ID),
+			Round:    uint32(r),
+			Payload:  payload,
+		}); err != nil {
+			return nil, fmt.Errorf("fedavg: client %d pushing model: %w", c.cfg.ID, err)
+		}
+		if c.evalRound(r) && c.cfg.Meter != nil {
+			stats.Bytes = append(stats.Bytes, ByteStat{Round: r, TrainingBytes: trainingBytes(c.cfg.Meter)})
+		}
+	}
+	if err := conn.Send(&wire.Message{Type: wire.MsgBye, Platform: uint32(c.cfg.ID)}); err != nil {
+		return nil, fmt.Errorf("fedavg: client %d bye: %w", c.cfg.ID, err)
+	}
+	return stats, nil
+}
+
+func (c *Client) evalRound(r int) bool {
+	if c.cfg.EvalEvery <= 0 {
+		return false
+	}
+	return (r+1)%c.cfg.EvalEvery == 0 || r == c.cfg.Rounds-1
+}
+
+// encodeModelStateSize appends normalization state and the shard size
+// (as a scalar tensor) to the model payload for weighted aggregation.
+func encodeModelStateSize(params []*nn.Param, state []*tensor.Tensor, shardLen int) []byte {
+	buf := nn.EncodeModel(params, state)
+	scalar := tensor.New()
+	scalar.Set(float32(shardLen))
+	return scalar.AppendTo(buf)
+}
+
+// decodeModelStateSize splits a client payload into per-param weight
+// tensors, normalization state and the shard size.
+func decodeModelStateSize(buf []byte, params []*nn.Param, stateShape []*tensor.Tensor) ([]*tensor.Tensor, []*tensor.Tensor, int, error) {
+	out := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		t, rest, err := tensor.Decode(buf)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("%w: weight %d: %v", ErrProtocol, i, err)
+		}
+		if !tensor.SameShape(t, p.W) {
+			return nil, nil, 0, fmt.Errorf("%w: weight %d shape %v, want %v", ErrProtocol, i, t.Shape(), p.W.Shape())
+		}
+		out[i] = t
+		buf = rest
+	}
+	state := make([]*tensor.Tensor, len(stateShape))
+	for i, want := range stateShape {
+		t, rest, err := tensor.Decode(buf)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("%w: state %d: %v", ErrProtocol, i, err)
+		}
+		if !tensor.SameShape(t, want) {
+			return nil, nil, 0, fmt.Errorf("%w: state %d shape %v, want %v", ErrProtocol, i, t.Shape(), want.Shape())
+		}
+		state[i] = t
+		buf = rest
+	}
+	scalar, rest, err := tensor.Decode(buf)
+	if err != nil || scalar.Size() != 1 || len(rest) != 0 {
+		return nil, nil, 0, fmt.Errorf("%w: bad shard-size trailer", ErrProtocol)
+	}
+	n := int(scalar.At())
+	if n <= 0 {
+		return nil, nil, 0, fmt.Errorf("%w: shard size %d", ErrProtocol, n)
+	}
+	return out, state, n, nil
+}
+
+func trainingBytes(m *transport.Meter) int64 {
+	return m.TxBytesByType(wire.MsgModelPush) + m.RxBytesByType(wire.MsgModelPush)
+}
+
+func recvExpect(conn transport.Conn, want wire.MsgType, round int) (*wire.Message, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("fedavg: receiving %s: %w", want, err)
+	}
+	if m.Type != want {
+		return nil, fmt.Errorf("%w: got %s, want %s", ErrProtocol, m.Type, want)
+	}
+	if round >= 0 && m.Round != uint32(round) {
+		return nil, fmt.Errorf("%w: %s for round %d, want %d", ErrProtocol, m.Type, m.Round, round)
+	}
+	return m, nil
+}
+
+// RunLocal wires a server and clients over in-process pipes and runs
+// the full session.
+func RunLocal(server *Server, clients []*Client) (*ServerStats, []*ClientStats, error) {
+	if server == nil {
+		return nil, nil, fmt.Errorf("%w: nil server", ErrConfig)
+	}
+	if len(clients) != server.cfg.Clients {
+		return nil, nil, fmt.Errorf("%w: %d clients for a %d-client server", ErrConfig, len(clients), server.cfg.Clients)
+	}
+	serverConns := make([]transport.Conn, len(clients))
+	clientConns := make([]transport.Conn, len(clients))
+	for k, c := range clients {
+		s, cc := transport.Pipe()
+		serverConns[k] = s
+		if c.cfg.Meter != nil {
+			cc = transport.Metered(cc, c.cfg.Meter)
+		}
+		clientConns[k] = cc
+	}
+	defer func() {
+		for k := range clients {
+			serverConns[k].Close()
+			clientConns[k].Close()
+		}
+	}()
+
+	var serverStats *ServerStats
+	clientStats := make([]*ClientStats, len(clients))
+	errs := make([]error, len(clients)+1)
+	var wg sync.WaitGroup
+	wg.Add(len(clients) + 1)
+	go func() {
+		defer wg.Done()
+		st, err := server.Serve(serverConns)
+		if err != nil {
+			errs[0] = fmt.Errorf("server: %w", err)
+			for _, c := range serverConns {
+				c.Close()
+			}
+			return
+		}
+		serverStats = st
+	}()
+	for k, c := range clients {
+		k, c := k, c
+		go func() {
+			defer wg.Done()
+			st, err := c.Run(clientConns[k])
+			if err != nil {
+				errs[k+1] = fmt.Errorf("client %d: %w", k, err)
+				clientConns[k].Close()
+				return
+			}
+			clientStats[k] = st
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, nil, err
+	}
+	return serverStats, clientStats, nil
+}

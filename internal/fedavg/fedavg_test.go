@@ -1,0 +1,215 @@
+package fedavg
+
+import (
+	"testing"
+
+	"medsplit/internal/dataset"
+	"medsplit/internal/models"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+)
+
+func flatData(t *testing.T, classes, train, test int, seed uint64) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	tr, te := dataset.SynthCIFAR(dataset.SynthConfig{Classes: classes, Train: train, Test: test, Seed: seed})
+	fl := func(d *dataset.Dataset) *dataset.Dataset {
+		n := d.X.Dim(0)
+		return &dataset.Dataset{X: d.X.Reshape(n, d.X.Size()/n), Labels: d.Labels, Classes: d.Classes}
+	}
+	return fl(tr), fl(te)
+}
+
+func buildModel(seed uint64, in, classes int) *nn.Sequential {
+	return models.MLP(in, []int{32}, classes, rng.New(seed)).Net
+}
+
+func TestFedAvgTrainsAndEvaluates(t *testing.T) {
+	train, test := flatData(t, 4, 240, 60, 51)
+	in := train.X.Dim(1)
+	const rounds, K = 12, 3
+
+	srv, err := NewServer(ServerConfig{
+		Model:     buildModel(7, in, 4),
+		Clients:   K,
+		Rounds:    rounds,
+		EvalEvery: 6,
+		EvalData:  test,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := dataset.ShardIID(train.Len(), K, rng.New(52))
+	clients := make([]*Client, K)
+	meters := make([]*transport.Meter, K)
+	for k := 0; k < K; k++ {
+		meters[k] = &transport.Meter{}
+		c, err := NewClient(ClientConfig{
+			ID:         k,
+			Model:      buildModel(7, in, 4),
+			Opt:        &nn.SGD{LR: 0.1},
+			Loss:       nn.SoftmaxCrossEntropy{},
+			Shard:      train.Subset(shards[k]),
+			Batch:      8,
+			LocalSteps: 4,
+			Rounds:     rounds,
+			EvalEvery:  6,
+			Seed:       uint64(400 + k),
+			Meter:      meters[k],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[k] = c
+	}
+	serverStats, clientStats, err := RunLocal(srv, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := serverStats.Evals[len(serverStats.Evals)-1]
+	if final.Accuracy < 0.3 {
+		t.Fatalf("final accuracy %v (chance 0.25)", final.Accuracy)
+	}
+	c0 := clientStats[0]
+	if c0.Rounds[len(c0.Rounds)-1].Loss >= c0.Rounds[0].Loss {
+		t.Fatalf("client loss did not decrease: %v -> %v", c0.Rounds[0].Loss, c0.Rounds[len(c0.Rounds)-1].Loss)
+	}
+	// 2×|model| per round plus framing and the shard-size trailer.
+	modelBytes := int64(len(nn.EncodeParams(buildModel(7, in, 4).Params())))
+	perRound := trainingBytes(meters[0]) / int64(rounds)
+	if perRound < 2*modelBytes || perRound > 2*modelBytes+4096 {
+		t.Fatalf("per-round client traffic %d, want ≈ 2×%d", perRound, modelBytes)
+	}
+}
+
+// FedAvg with one client and LocalSteps=1 degenerates to centralized
+// SGD: the average of one model is that model.
+func TestFedAvgSingleClientEqualsCentralized(t *testing.T) {
+	train, _ := flatData(t, 3, 64, 8, 53)
+	in := train.X.Dim(1)
+	const rounds = 6
+
+	ref := buildModel(19, in, 3)
+	refOpt := &nn.SGD{LR: 0.05}
+	loss := nn.SoftmaxCrossEntropy{}
+	sampler := dataset.NewBatchSampler(seqIdx(train.Len()), 8, rng.New(500^0x9e3779b97f4a7c15))
+	for r := 0; r < rounds; r++ {
+		x, labels := train.Batch(sampler.Next())
+		nn.ZeroGrads(ref.Params())
+		logits := ref.Forward(x, true)
+		_, g := loss.Loss(logits, labels)
+		ref.Backward(g)
+		refOpt.Step(ref.Params())
+	}
+
+	global := buildModel(19, in, 3)
+	srv, err := NewServer(ServerConfig{Model: global, Clients: 1, Rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		ID: 0, Model: buildModel(999, in, 3), Opt: &nn.SGD{LR: 0.05},
+		Loss: loss, Shard: train, Batch: 8, LocalSteps: 1, Rounds: rounds, Seed: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunLocal(srv, []*Client{c}); err != nil {
+		t.Fatal(err)
+	}
+	refP, gotP := ref.Params(), global.Params()
+	for i := range refP {
+		if !tensor.AllClose(refP[i].W, gotP[i].W, 1e-6) {
+			t.Fatalf("param %d diverged from centralized training", i)
+		}
+	}
+}
+
+func TestFedAvgWeightedAveraging(t *testing.T) {
+	// Two clients with shard sizes 3:1. After one round with LR 0 (no
+	// local movement... SGD with LR 0 leaves weights unchanged), both
+	// push the broadcast weights back, so the average equals the
+	// broadcast — a fixed-point check of the aggregation plumbing.
+	train, _ := flatData(t, 2, 40, 8, 54)
+	in := train.X.Dim(1)
+	global := buildModel(23, in, 2)
+	before := nn.EncodeParams(global.Params())
+	srv, err := NewServer(ServerConfig{Model: global, Clients: 2, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := dataset.ShardPowerLaw(train.Len(), 2, 1.5, rng.New(55))
+	clients := make([]*Client, 2)
+	for k := 0; k < 2; k++ {
+		c, err := NewClient(ClientConfig{
+			ID: k, Model: buildModel(23, in, 2), Opt: &nn.SGD{LR: 0},
+			Loss: nn.SoftmaxCrossEntropy{}, Shard: train.Subset(shards[k]),
+			Batch: 4, Rounds: 1, Seed: uint64(k),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[k] = c
+	}
+	if _, _, err := RunLocal(srv, clients); err != nil {
+		t.Fatal(err)
+	}
+	after := nn.EncodeParams(global.Params())
+	if len(before) != len(after) {
+		t.Fatal("model size changed")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("zero-LR round must be an aggregation fixed point")
+		}
+	}
+}
+
+func TestFedAvgConfigValidation(t *testing.T) {
+	train, test := flatData(t, 2, 16, 8, 56)
+	in := train.X.Dim(1)
+	model := buildModel(25, in, 2)
+	if _, err := NewServer(ServerConfig{Clients: 1, Rounds: 1}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewServer(ServerConfig{Model: model, Clients: 1, Rounds: 1, EvalEvery: 1}); err == nil {
+		t.Fatal("EvalEvery without EvalData accepted")
+	}
+	if _, err := NewServer(ServerConfig{Model: model, Clients: 1, Rounds: 0, EvalData: test}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, err := NewClient(ClientConfig{Model: model, Opt: &nn.SGD{}, Loss: nn.SoftmaxCrossEntropy{}, Batch: 4, Rounds: 1}); err == nil {
+		t.Fatal("nil shard accepted")
+	}
+	if _, err := NewClient(ClientConfig{Model: model, Opt: &nn.SGD{}, Loss: nn.SoftmaxCrossEntropy{}, Shard: train, Batch: -1, Rounds: 1}); err == nil {
+		t.Fatal("negative batch accepted")
+	}
+}
+
+func TestFedAvgRejectsRoundMismatch(t *testing.T) {
+	train, _ := flatData(t, 2, 16, 8, 57)
+	in := train.X.Dim(1)
+	srv, err := NewServer(ServerConfig{Model: buildModel(27, in, 2), Clients: 1, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ClientConfig{
+		ID: 0, Model: buildModel(27, in, 2), Opt: &nn.SGD{}, Loss: nn.SoftmaxCrossEntropy{},
+		Shard: train, Batch: 4, Rounds: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunLocal(srv, []*Client{c}); err == nil {
+		t.Fatal("round mismatch accepted")
+	}
+}
+
+func seqIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

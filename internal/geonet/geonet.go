@@ -1,0 +1,111 @@
+// Package geonet models the wide-area network between geo-distributed
+// medical platforms and the central server: per-site links with one-way
+// latency and bandwidth, and a synchronous-round wall-clock estimator.
+//
+// Byte counts — the paper's Fig. 4 metric — are independent of the
+// network, so geonet is not in the byte-accounting path; it answers the
+// complementary question the geo-distributed setting raises: how long a
+// training round takes when hospitals sit behind real WAN links. The
+// clock is simulated (no sleeping), so sweeping topologies is free.
+package geonet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Region names a site (a hospital or the server's datacenter).
+type Region string
+
+// Link models one platform's WAN path to the server.
+type Link struct {
+	// LatencyMs is the one-way propagation delay in milliseconds.
+	LatencyMs float64
+	// Mbps is the usable bandwidth in megabits per second (symmetric).
+	Mbps float64
+}
+
+// TransferTime returns how long shipping the given number of bytes one
+// way takes over the link: latency plus serialization at Mbps.
+func (l Link) TransferTime(bytes int64) time.Duration {
+	if l.Mbps <= 0 {
+		panic(fmt.Sprintf("geonet: non-positive bandwidth %v", l.Mbps))
+	}
+	if bytes < 0 {
+		panic(fmt.Sprintf("geonet: negative byte count %d", bytes))
+	}
+	seconds := l.LatencyMs/1e3 + float64(bytes)*8/(l.Mbps*1e6)
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Topology maps each platform region to its link toward the server.
+type Topology struct {
+	Server Region
+	Links  map[Region]Link
+}
+
+// Link returns the link for a region.
+func (t *Topology) Link(r Region) (Link, error) {
+	l, ok := t.Links[r]
+	if !ok {
+		return Link{}, fmt.Errorf("geonet: no link for region %q", r)
+	}
+	return l, nil
+}
+
+// RoundTime estimates the wall-clock duration of one synchronous round
+// in which platform i ships up[i] bytes to the server and receives
+// down[i] bytes back, plus the given server compute time. The round ends
+// when the slowest platform finishes (synchronous SGD and the split
+// protocol both barrier on the slowest site).
+func (t *Topology) RoundTime(regions []Region, up, down []int64, serverCompute time.Duration) (time.Duration, error) {
+	if len(regions) != len(up) || len(regions) != len(down) {
+		return 0, fmt.Errorf("geonet: %d regions, %d up, %d down", len(regions), len(up), len(down))
+	}
+	var slowest time.Duration
+	for i, r := range regions {
+		l, err := t.Link(r)
+		if err != nil {
+			return 0, err
+		}
+		d := l.TransferTime(up[i]) + l.TransferTime(down[i])
+		if d > slowest {
+			slowest = d
+		}
+	}
+	return slowest + serverCompute, nil
+}
+
+// DefaultHospitalTopology returns the running example used throughout
+// the repo: a central server in a Seoul datacenter (the paper's future
+// work names Seoul National University Hospital) with domestic hospital
+// links, one cross-country site, and one intercontinental site.
+func DefaultHospitalTopology() *Topology {
+	return &Topology{
+		Server: "seoul-dc",
+		Links: map[Region]Link{
+			"snuh-seoul":     {LatencyMs: 2, Mbps: 1000},
+			"pusan-nat-univ": {LatencyMs: 8, Mbps: 500},
+			"chungang-univ":  {LatencyMs: 3, Mbps: 800},
+			"korea-univ":     {LatencyMs: 3, Mbps: 800},
+			"ucf-orlando":    {LatencyMs: 95, Mbps: 200},
+		},
+	}
+}
+
+// Clock accumulates simulated time. It is not safe for concurrent use;
+// the experiment loop owns it.
+type Clock struct {
+	now time.Duration
+}
+
+// Advance moves the clock forward by d (negative d panics).
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("geonet: clock cannot move backwards")
+	}
+	c.now += d
+}
+
+// Now returns the elapsed simulated time.
+func (c *Clock) Now() time.Duration { return c.now }

@@ -1,0 +1,201 @@
+// Package metrics records and renders experiment results: per-round
+// training curves (loss, accuracy, cumulative communication), byte-size
+// formatting, and the ASCII/CSV tables cmd/figures prints for each
+// reproduced figure.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Round is one synchronous training round's record.
+type Round struct {
+	Round    int
+	Loss     float64       // mean platform training loss this round
+	Accuracy float64       // test accuracy measured after this round (NaN-free; -1 = not measured)
+	Bytes    int64         // cumulative communication bytes so far
+	SimTime  time.Duration // cumulative simulated wall-clock (0 if no topology)
+}
+
+// Curve is a training trajectory.
+type Curve struct {
+	Label  string
+	Points []Round
+}
+
+// Append adds a round record.
+func (c *Curve) Append(r Round) { c.Points = append(c.Points, r) }
+
+// Final returns the last recorded round. It panics on an empty curve.
+func (c *Curve) Final() Round {
+	if len(c.Points) == 0 {
+		panic("metrics: empty curve")
+	}
+	return c.Points[len(c.Points)-1]
+}
+
+// BestAccuracy returns the highest measured accuracy.
+func (c *Curve) BestAccuracy() float64 {
+	best := -1.0
+	for _, p := range c.Points {
+		if p.Accuracy > best {
+			best = p.Accuracy
+		}
+	}
+	return best
+}
+
+// BytesToReach returns the cumulative communication spent when the curve
+// first reached the target accuracy, and whether it ever did. This is
+// the "accuracy at equal communication budget" view of the paper's
+// Fig. 4.
+func (c *Curve) BytesToReach(accuracy float64) (int64, bool) {
+	for _, p := range c.Points {
+		if p.Accuracy >= accuracy {
+			return p.Bytes, true
+		}
+	}
+	return 0, false
+}
+
+// AccuracyAtBudget returns the best accuracy the curve reached within
+// the given communication budget.
+func (c *Curve) AccuracyAtBudget(budget int64) float64 {
+	best := -1.0
+	for _, p := range c.Points {
+		if p.Bytes > budget {
+			break
+		}
+		if p.Accuracy > best {
+			best = p.Accuracy
+		}
+	}
+	return best
+}
+
+// FormatBytes renders a byte count in human units (binary prefixes are
+// deliberately avoided: the paper reports decimal GB).
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2f GB", float64(b)/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2f MB", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.2f KB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// Table renders aligned ASCII tables for figure output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Summary aggregates named scalar results (used by ablation benches).
+type Summary struct {
+	values map[string]float64
+}
+
+// Set records a named value.
+func (s *Summary) Set(name string, v float64) {
+	if s.values == nil {
+		s.values = make(map[string]float64)
+	}
+	s.values[name] = v
+}
+
+// Get returns a named value and whether it exists.
+func (s *Summary) Get(name string) (float64, bool) {
+	v, ok := s.values[name]
+	return v, ok
+}
+
+// String renders values sorted by name.
+func (s *Summary) String() string {
+	names := make([]string, 0, len(s.values))
+	for n := range s.values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s = %g\n", n, s.values[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleCurve() *Curve {
+	c := &Curve{Label: "split"}
+	c.Append(Round{Round: 0, Loss: 2.3, Accuracy: 0.1, Bytes: 100})
+	c.Append(Round{Round: 1, Loss: 1.8, Accuracy: 0.4, Bytes: 200})
+	c.Append(Round{Round: 2, Loss: 1.2, Accuracy: 0.7, Bytes: 300, SimTime: time.Second})
+	c.Append(Round{Round: 3, Loss: 1.3, Accuracy: 0.65, Bytes: 400})
+	return c
+}
+
+func TestCurveFinalAndBest(t *testing.T) {
+	c := sampleCurve()
+	if c.Final().Round != 3 {
+		t.Fatalf("final %+v", c.Final())
+	}
+	if c.BestAccuracy() != 0.7 {
+		t.Fatalf("best %v", c.BestAccuracy())
+	}
+}
+
+func TestCurveFinalPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Curve{}).Final()
+}
+
+func TestBytesToReach(t *testing.T) {
+	c := sampleCurve()
+	b, ok := c.BytesToReach(0.4)
+	if !ok || b != 200 {
+		t.Fatalf("BytesToReach(0.4) = %d,%v", b, ok)
+	}
+	if _, ok := c.BytesToReach(0.9); ok {
+		t.Fatal("unreachable accuracy reported reached")
+	}
+}
+
+func TestAccuracyAtBudget(t *testing.T) {
+	c := sampleCurve()
+	if got := c.AccuracyAtBudget(250); got != 0.4 {
+		t.Fatalf("AccuracyAtBudget(250) = %v", got)
+	}
+	if got := c.AccuracyAtBudget(1000); got != 0.7 {
+		t.Fatalf("AccuracyAtBudget(1000) = %v", got)
+	}
+	if got := c.AccuracyAtBudget(50); got != -1 {
+		t.Fatalf("AccuracyAtBudget(50) = %v", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:             "0 B",
+		512:           "512 B",
+		2_000:         "2.00 KB",
+		3_500_000:     "3.50 MB",
+		2_000_000_000: "2.00 GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "Fig 4",
+		Headers: []string{"model", "bytes", "acc"},
+	}
+	tbl.AddRow("vgg", "0.80 GB", "95%")
+	tbl.AddRow("resnet", "0.50 GB", "75%")
+	out := tbl.String()
+	if !strings.Contains(out, "Fig 4") || !strings.Contains(out, "resnet") {
+		t.Fatalf("render:\n%s", out)
+	}
+	// Columns aligned: header line and rows share prefix widths.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "model ") {
+		t.Fatalf("header line %q", lines[1])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("x,y", `say "hi"`)
+	csv := tbl.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	s.Set("b", 2)
+	s.Set("a", 1)
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v,%v", v, ok)
+	}
+	if _, ok := s.Get("zzz"); ok {
+		t.Fatal("missing key reported present")
+	}
+	out := s.String()
+	if strings.Index(out, "a = 1") > strings.Index(out, "b = 2") {
+		t.Fatalf("not sorted:\n%s", out)
+	}
+}

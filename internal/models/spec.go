@@ -1,0 +1,179 @@
+package models
+
+// This file describes full-size architectures by shape only. The paper's
+// Fig. 4 reports communication volume for VGG and ResNet trained on
+// CIFAR-10/100; training those at full size is out of reach for a
+// single-core reproduction, but the bytes each scheme moves depend only
+// on parameter and activation counts, which these specs give exactly.
+// internal/commmodel consumes them.
+
+// LayerShape records one layer's trainable parameter count and its
+// output activation volume per input sample.
+type LayerShape struct {
+	Name         string
+	Params       int
+	OutPerSample int
+}
+
+// Spec is a full architecture description by shape.
+type Spec struct {
+	Name           string
+	Classes        int
+	InputPerSample int // floats per input sample (e.g. 3*32*32)
+	Layers         []LayerShape
+
+	// FirstHiddenCut is the index just past the paper's L1: cutting at
+	// this index leaves the first conv (plus its activation) on the
+	// platform.
+	FirstHiddenCut int
+}
+
+// TotalParams sums trainable scalars over all layers.
+func (s Spec) TotalParams() int {
+	n := 0
+	for _, l := range s.Layers {
+		n += l.Params
+	}
+	return n
+}
+
+// CutActivations returns the per-sample activation volume crossing the
+// platform/server boundary when the network is cut after layer index
+// cut-1 (i.e. the output volume of layer cut-1).
+func (s Spec) CutActivations(cut int) int {
+	if cut <= 0 || cut > len(s.Layers) {
+		panic("models: spec cut out of range")
+	}
+	return s.Layers[cut-1].OutPerSample
+}
+
+// specBuilder accumulates layers while tracking the spatial geometry of a
+// CIFAR-style CHW pipeline.
+type specBuilder struct {
+	layers  []LayerShape
+	c, h, w int
+}
+
+func (b *specBuilder) conv(name string, outC, k, stride, pad int) {
+	// Parameters: weights outC×inC×k×k plus outC biases.
+	params := outC*b.c*k*k + outC
+	b.h = (b.h+2*pad-k)/stride + 1
+	b.w = (b.w+2*pad-k)/stride + 1
+	b.c = outC
+	b.layers = append(b.layers, LayerShape{Name: name, Params: params, OutPerSample: b.c * b.h * b.w})
+}
+
+func (b *specBuilder) batchNorm(name string) {
+	b.layers = append(b.layers, LayerShape{Name: name, Params: 2 * b.c, OutPerSample: b.c * b.h * b.w})
+}
+
+func (b *specBuilder) act(name string) {
+	b.layers = append(b.layers, LayerShape{Name: name, OutPerSample: b.c * b.h * b.w})
+}
+
+func (b *specBuilder) maxPool(name string, k int) {
+	b.h /= k
+	b.w /= k
+	b.layers = append(b.layers, LayerShape{Name: name, OutPerSample: b.c * b.h * b.w})
+}
+
+func (b *specBuilder) globalAvgPool(name string) {
+	b.h, b.w = 1, 1
+	b.layers = append(b.layers, LayerShape{Name: name, OutPerSample: b.c})
+}
+
+func (b *specBuilder) dense(name string, out int) {
+	in := b.c * b.h * b.w
+	b.layers = append(b.layers, LayerShape{Name: name, Params: in*out + out, OutPerSample: out})
+	b.c, b.h, b.w = out, 1, 1
+}
+
+// VGG16Spec describes the CIFAR variant of VGG-16 (Simonyan & Zisserman
+// configuration D): thirteen 3×3 convolutions in five pooled stages
+// followed by a 512-512-classes dense head. ~15M parameters at 10
+// classes.
+func VGG16Spec(classes int) Spec {
+	b := &specBuilder{c: 3, h: 32, w: 32}
+	stage := func(n int, outC int, idx *int) {
+		for i := 0; i < n; i++ {
+			*idx++
+			b.conv(nameN("conv", *idx), outC, 3, 1, 1)
+			b.act(nameN("relu", *idx))
+		}
+	}
+	idx := 0
+	stage(2, 64, &idx)
+	b.maxPool("pool1", 2)
+	stage(2, 128, &idx)
+	b.maxPool("pool2", 2)
+	stage(3, 256, &idx)
+	b.maxPool("pool3", 2)
+	stage(3, 512, &idx)
+	b.maxPool("pool4", 2)
+	stage(3, 512, &idx)
+	b.maxPool("pool5", 2)
+	b.dense("fc1", 512)
+	b.act("fc1.relu")
+	b.dense("head", classes)
+	return Spec{
+		Name:           "vgg16",
+		Classes:        classes,
+		InputPerSample: 3 * 32 * 32,
+		Layers:         b.layers,
+		FirstHiddenCut: 2, // conv1 + relu1 stay on the platform
+	}
+}
+
+// ResNet18Spec describes the CIFAR variant of ResNet-18: a 3×3 stem and
+// four two-block stages at 64/128/256/512 channels with stride-2
+// projection downsampling, global average pooling and a linear head.
+// ~11M parameters at 10 classes.
+func ResNet18Spec(classes int) Spec {
+	b := &specBuilder{c: 3, h: 32, w: 32}
+	b.conv("stem.conv", 64, 3, 1, 1)
+	b.batchNorm("stem.bn")
+	b.act("stem.relu")
+	block := func(name string, outC, stride int) {
+		inC := b.c
+		b.conv(name+".conv1", outC, 3, stride, 1)
+		b.batchNorm(name + ".bn1")
+		b.act(name + ".relu1")
+		b.conv(name+".conv2", outC, 3, 1, 1)
+		b.batchNorm(name + ".bn2")
+		if inC != outC || stride != 1 {
+			// The projection shortcut runs on the same input geometry;
+			// account its parameters on a zero-output bookkeeping row
+			// (its output merges with conv2's, already counted).
+			b.layers = append(b.layers, LayerShape{
+				Name:   name + ".proj",
+				Params: outC*inC + outC + 2*outC, // 1×1 conv + BN
+			})
+		}
+		b.act(name + ".out")
+	}
+	block("s1b1", 64, 1)
+	block("s1b2", 64, 1)
+	block("s2b1", 128, 2)
+	block("s2b2", 128, 1)
+	block("s3b1", 256, 2)
+	block("s3b2", 256, 1)
+	block("s4b1", 512, 2)
+	block("s4b2", 512, 1)
+	b.globalAvgPool("gap")
+	b.dense("head", classes)
+	return Spec{
+		Name:           "resnet18",
+		Classes:        classes,
+		InputPerSample: 3 * 32 * 32,
+		Layers:         b.layers,
+		FirstHiddenCut: 3, // stem conv + BN + relu stay on the platform
+	}
+}
+
+func nameN(prefix string, n int) string {
+	const digits = "0123456789"
+	if n < 10 {
+		return prefix + digits[n:n+1]
+	}
+	return prefix + digits[n/10:n/10+1] + digits[n%10:n%10+1]
+}

@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"medsplit/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x).
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU builds the activation.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name returns the layer name.
+func (r *ReLU) Name() string { return r.name }
+
+// Forward zeroes negative entries.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	var mask []bool
+	if train {
+		mask = make([]bool, len(xd))
+	}
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			if train {
+				mask[i] = true
+			}
+		}
+	}
+	if train {
+		r.mask = mask
+	}
+	return out
+}
+
+// Backward passes gradient only where the input was positive.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", r.name))
+	}
+	if grad.Size() != len(r.mask) {
+		panic(fmt.Sprintf("nn: %s: gradient size %d, want %d", r.name, grad.Size(), len(r.mask)))
+	}
+	dx := tensor.New(grad.Shape()...)
+	gd, dd := grad.Data(), dx.Data()
+	for i, on := range r.mask {
+		if on {
+			dd[i] = gd[i]
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU is max(x, alpha*x) with a small positive slope for negative
+// inputs.
+type LeakyReLU struct {
+	name  string
+	alpha float32
+	x     *tensor.Tensor
+}
+
+var _ Layer = (*LeakyReLU)(nil)
+
+// NewLeakyReLU builds the activation; alpha is typically 0.01–0.2.
+func NewLeakyReLU(name string, alpha float32) *LeakyReLU {
+	return &LeakyReLU{name: name, alpha: alpha}
+}
+
+// Name returns the layer name.
+func (l *LeakyReLU) Name() string { return l.name }
+
+// Forward applies the leaky rectifier.
+func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+		} else {
+			od[i] = l.alpha * v
+		}
+	}
+	if train {
+		l.x = x
+	}
+	return out
+}
+
+// Backward scales gradient by 1 or alpha depending on the input sign.
+func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.x == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", l.name))
+	}
+	dx := tensor.New(grad.Shape()...)
+	gd, dd, xd := grad.Data(), dx.Data(), l.x.Data()
+	for i := range gd {
+		if xd[i] > 0 {
+			dd[i] = gd[i]
+		} else {
+			dd[i] = l.alpha * gd[i]
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation 1/(1+e^-x).
+type Sigmoid struct {
+	name string
+	y    *tensor.Tensor
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// NewSigmoid builds the activation.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name returns the layer name.
+func (s *Sigmoid) Name() string { return s.name }
+
+// Forward applies the logistic function.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	if train {
+		s.y = out
+	}
+	return out
+}
+
+// Backward uses dy/dx = y(1-y) from the cached output.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if s.y == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", s.name))
+	}
+	dx := tensor.New(grad.Shape()...)
+	gd, dd, yd := grad.Data(), dx.Data(), s.y.Data()
+	for i := range gd {
+		dd[i] = gd[i] * yd[i] * (1 - yd[i])
+	}
+	return dx
+}
+
+// Params returns nil.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	name string
+	y    *tensor.Tensor
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh builds the activation.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+// Name returns the layer name.
+func (t *Tanh) Name() string { return t.name }
+
+// Forward applies tanh.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = float32(math.Tanh(float64(v)))
+	}
+	if train {
+		t.y = out
+	}
+	return out
+}
+
+// Backward uses dy/dx = 1 - y² from the cached output.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if t.y == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", t.name))
+	}
+	dx := tensor.New(grad.Shape()...)
+	gd, dd, yd := grad.Data(), dx.Data(), t.y.Data()
+	for i := range gd {
+		dd[i] = gd[i] * (1 - yd[i]*yd[i])
+	}
+	return dx
+}
+
+// Params returns nil.
+func (t *Tanh) Params() []*Param { return nil }

@@ -1,0 +1,260 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"medsplit/internal/tensor"
+)
+
+// BatchNorm normalizes activations per channel over the batch (and, for
+// NCHW input, spatial) dimensions, then applies a learned scale and
+// shift. Rank-2 input [n, features] is normalized per feature; rank-4
+// input [n, c, h, w] per channel. Training mode uses batch statistics
+// and updates running estimates; eval mode uses the running estimates.
+type BatchNorm struct {
+	name     string
+	c        int
+	eps      float32
+	momentum float32 // fraction of the old running estimate kept per step
+
+	gamma *Param // [c]
+	beta  *Param // [c]
+
+	// Running estimates are non-trainable state: they accompany the
+	// weights whenever a model is replicated (see Stateful).
+	runningMean *tensor.Tensor // [c]
+	runningVar  *tensor.Tensor // [c]
+
+	// Backward cache.
+	xhat    *tensor.Tensor
+	invStd  []float32
+	inShape []int
+}
+
+var _ Layer = (*BatchNorm)(nil)
+
+// NewBatchNorm builds a batch-normalization layer for c channels.
+func NewBatchNorm(name string, c int) *BatchNorm {
+	gamma := tensor.Full(1, c)
+	return &BatchNorm{
+		name: name, c: c, eps: 1e-5, momentum: 0.9,
+		gamma:       NewParam(name+".gamma", gamma),
+		beta:        NewParam(name+".beta", tensor.New(c)),
+		runningMean: tensor.New(c),
+		runningVar:  tensor.Full(1, c),
+	}
+}
+
+// Name returns the layer name.
+func (b *BatchNorm) Name() string { return b.name }
+
+// geometry returns, for input x, the number of channels and the per-
+// channel normalization-set size, validating the shape against b.c.
+func (b *BatchNorm) geometry(x *tensor.Tensor) (spatial int) {
+	switch x.Rank() {
+	case 2:
+		if x.Dim(1) != b.c {
+			panic(fmt.Sprintf("nn: %s: BatchNorm input %v, want [n,%d]", b.name, x.Shape(), b.c))
+		}
+		return 1
+	case 4:
+		if x.Dim(1) != b.c {
+			panic(fmt.Sprintf("nn: %s: BatchNorm input %v, want [n,%d,h,w]", b.name, x.Shape(), b.c))
+		}
+		return x.Dim(2) * x.Dim(3)
+	default:
+		panic(fmt.Sprintf("nn: %s: BatchNorm input rank %d unsupported", b.name, x.Rank()))
+	}
+}
+
+// forEachChannel calls fn(ch, slice) for every contiguous per-channel
+// span of x's storage. For rank-2 input the spans are column strided, so
+// fn receives an index list instead; to keep the kernel simple we pass
+// explicit offsets.
+func (b *BatchNorm) stats(x *tensor.Tensor, spatial int) (mean, variance []float32) {
+	n := x.Dim(0)
+	m := float32(n * spatial)
+	mean = make([]float32, b.c)
+	variance = make([]float32, b.c)
+	xd := x.Data()
+	if x.Rank() == 2 {
+		for i := 0; i < n; i++ {
+			row := xd[i*b.c : (i+1)*b.c]
+			for ch, v := range row {
+				mean[ch] += v
+			}
+		}
+		for ch := range mean {
+			mean[ch] /= m
+		}
+		for i := 0; i < n; i++ {
+			row := xd[i*b.c : (i+1)*b.c]
+			for ch, v := range row {
+				d := v - mean[ch]
+				variance[ch] += d * d
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < b.c; ch++ {
+				base := (i*b.c + ch) * spatial
+				var s float32
+				for j := 0; j < spatial; j++ {
+					s += xd[base+j]
+				}
+				mean[ch] += s
+			}
+		}
+		for ch := range mean {
+			mean[ch] /= m
+		}
+		for i := 0; i < n; i++ {
+			for ch := 0; ch < b.c; ch++ {
+				base := (i*b.c + ch) * spatial
+				mu := mean[ch]
+				var s float32
+				for j := 0; j < spatial; j++ {
+					d := xd[base+j] - mu
+					s += d * d
+				}
+				variance[ch] += s
+			}
+		}
+	}
+	for ch := range variance {
+		variance[ch] /= m
+	}
+	return mean, variance
+}
+
+// Forward normalizes x.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	spatial := b.geometry(x)
+	var mean, variance []float32
+	if train {
+		mean, variance = b.stats(x, spatial)
+		rm, rv := b.runningMean.Data(), b.runningVar.Data()
+		for ch := range mean {
+			rm[ch] = b.momentum*rm[ch] + (1-b.momentum)*mean[ch]
+			rv[ch] = b.momentum*rv[ch] + (1-b.momentum)*variance[ch]
+		}
+	} else {
+		mean, variance = b.runningMean.Data(), b.runningVar.Data()
+	}
+	invStd := make([]float32, b.c)
+	for ch := range invStd {
+		invStd[ch] = float32(1 / math.Sqrt(float64(variance[ch]+b.eps)))
+	}
+
+	out := tensor.New(x.Shape()...)
+	xhat := tensor.New(x.Shape()...)
+	b.apply(x, xhat, out, mean, invStd, spatial)
+	if train {
+		b.xhat = xhat
+		b.invStd = invStd
+		b.inShape = x.Shape()
+	}
+	return out
+}
+
+func (b *BatchNorm) apply(x, xhat, out *tensor.Tensor, mean, invStd []float32, spatial int) {
+	n := x.Dim(0)
+	xd, hd, od := x.Data(), xhat.Data(), out.Data()
+	g, bb := b.gamma.W.Data(), b.beta.W.Data()
+	if x.Rank() == 2 {
+		for i := 0; i < n; i++ {
+			off := i * b.c
+			for ch := 0; ch < b.c; ch++ {
+				h := (xd[off+ch] - mean[ch]) * invStd[ch]
+				hd[off+ch] = h
+				od[off+ch] = g[ch]*h + bb[ch]
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < b.c; ch++ {
+			base := (i*b.c + ch) * spatial
+			mu, is, gc, bc := mean[ch], invStd[ch], g[ch], bb[ch]
+			for j := 0; j < spatial; j++ {
+				h := (xd[base+j] - mu) * is
+				hd[base+j] = h
+				od[base+j] = gc*h + bc
+			}
+		}
+	}
+}
+
+// Backward implements the standard batch-norm gradient:
+//
+//	dx = (γ·istd/m) · (m·dy − Σdy − x̂·Σ(dy·x̂))
+//
+// with per-channel sums, plus dγ = Σ(dy·x̂) and dβ = Σdy.
+func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.xhat == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", b.name))
+	}
+	spatial := 1
+	if len(b.inShape) == 4 {
+		spatial = b.inShape[2] * b.inShape[3]
+	}
+	n := b.inShape[0]
+	m := float32(n * spatial)
+
+	sumDy := make([]float32, b.c)
+	sumDyXhat := make([]float32, b.c)
+	gd, hd := grad.Data(), b.xhat.Data()
+	accumulate := func(ch, idx int) {
+		sumDy[ch] += gd[idx]
+		sumDyXhat[ch] += gd[idx] * hd[idx]
+	}
+	b.forEach(n, spatial, accumulate)
+
+	// Parameter gradients.
+	gg, bg := b.gamma.G.Data(), b.beta.G.Data()
+	for ch := 0; ch < b.c; ch++ {
+		gg[ch] += sumDyXhat[ch]
+		bg[ch] += sumDy[ch]
+	}
+
+	dx := tensor.New(b.inShape...)
+	dd := dx.Data()
+	g := b.gamma.W.Data()
+	b.forEach(n, spatial, func(ch, idx int) {
+		dd[idx] = g[ch] * b.invStd[ch] / m * (m*gd[idx] - sumDy[ch] - hd[idx]*sumDyXhat[ch])
+	})
+	return dx
+}
+
+// forEach visits every element index of the cached input layout along
+// with its channel.
+func (b *BatchNorm) forEach(n, spatial int, fn func(ch, idx int)) {
+	if len(b.inShape) == 2 {
+		for i := 0; i < n; i++ {
+			off := i * b.c
+			for ch := 0; ch < b.c; ch++ {
+				fn(ch, off+ch)
+			}
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < b.c; ch++ {
+			base := (i*b.c + ch) * spatial
+			for j := 0; j < spatial; j++ {
+				fn(ch, base+j)
+			}
+		}
+	}
+}
+
+// Params returns gamma and beta.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.gamma, b.beta} }
+
+// State returns the running mean and variance — the non-trainable
+// tensors that must travel with the weights when the model is
+// replicated or aggregated.
+func (b *BatchNorm) State() []*tensor.Tensor {
+	return []*tensor.Tensor{b.runningMean, b.runningVar}
+}

@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"medsplit/internal/tensor"
+)
+
+// Checkpointing persists a model's weights and normalization state so
+// long geo-distributed training runs survive process restarts —
+// cmd/splitserver and cmd/splitplatform expose it via -save/-load.
+//
+// Layout (little-endian): magic "MSCP", version byte, param count
+// uint32, state count uint32, then the tensors in order. Decoding
+// validates shapes against the receiving model, so loading a checkpoint
+// into the wrong architecture fails loudly.
+
+// ErrBadCheckpoint reports an unreadable or mismatched checkpoint.
+var ErrBadCheckpoint = errors.New("nn: bad checkpoint")
+
+var checkpointMagic = [4]byte{'M', 'S', 'C', 'P'}
+
+const checkpointVersion = 1
+
+// SaveCheckpoint writes params and state to w.
+func SaveCheckpoint(w io.Writer, params []*Param, state []*tensor.Tensor) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return fmt.Errorf("nn: writing checkpoint header: %w", err)
+	}
+	if err := bw.WriteByte(checkpointVersion); err != nil {
+		return fmt.Errorf("nn: writing checkpoint version: %w", err)
+	}
+	var counts [8]byte
+	binary.LittleEndian.PutUint32(counts[0:], uint32(len(params)))
+	binary.LittleEndian.PutUint32(counts[4:], uint32(len(state)))
+	if _, err := bw.Write(counts[:]); err != nil {
+		return fmt.Errorf("nn: writing checkpoint counts: %w", err)
+	}
+	var buf []byte
+	for _, p := range params {
+		buf = p.W.AppendTo(buf[:0])
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("nn: writing %q: %w", p.Name, err)
+		}
+	}
+	for i, t := range state {
+		buf = t.AppendTo(buf[:0])
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("nn: writing state %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads a checkpoint from r into params and state,
+// validating counts and shapes.
+func LoadCheckpoint(r io.Reader, params []*Param, state []*tensor.Tensor) error {
+	br := bufio.NewReader(r)
+	var hdr [13]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return fmt.Errorf("%w: header: %v", ErrBadCheckpoint, err)
+	}
+	if [4]byte{hdr[0], hdr[1], hdr[2], hdr[3]} != checkpointMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if hdr[4] != checkpointVersion {
+		return fmt.Errorf("%w: version %d, want %d", ErrBadCheckpoint, hdr[4], checkpointVersion)
+	}
+	np := int(binary.LittleEndian.Uint32(hdr[5:]))
+	ns := int(binary.LittleEndian.Uint32(hdr[9:]))
+	if np != len(params) || ns != len(state) {
+		return fmt.Errorf("%w: holds %d params / %d state, model has %d / %d",
+			ErrBadCheckpoint, np, ns, len(params), len(state))
+	}
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		return fmt.Errorf("%w: body: %v", ErrBadCheckpoint, err)
+	}
+	for _, p := range params {
+		t, r2, err := tensor.Decode(rest)
+		if err != nil {
+			return fmt.Errorf("%w: decoding %q: %v", ErrBadCheckpoint, p.Name, err)
+		}
+		if !tensor.SameShape(p.W, t) {
+			return fmt.Errorf("%w: %q has shape %v, want %v", ErrBadCheckpoint, p.Name, t.Shape(), p.W.Shape())
+		}
+		p.W.CopyFrom(t)
+		rest = r2
+	}
+	for i, dst := range state {
+		t, r2, err := tensor.Decode(rest)
+		if err != nil {
+			return fmt.Errorf("%w: decoding state %d: %v", ErrBadCheckpoint, i, err)
+		}
+		if !tensor.SameShape(dst, t) {
+			return fmt.Errorf("%w: state %d has shape %v, want %v", ErrBadCheckpoint, i, t.Shape(), dst.Shape())
+		}
+		dst.CopyFrom(t)
+		rest = r2
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(rest))
+	}
+	return nil
+}
+
+// SaveCheckpointFile writes a checkpoint atomically (temp file +
+// rename), so a crash mid-save never corrupts the previous checkpoint.
+func SaveCheckpointFile(path string, params []*Param, state []*tensor.Tensor) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("nn: creating checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := SaveCheckpoint(tmp, params, state); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("nn: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("nn: installing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpointFile reads a checkpoint from disk into the model.
+func LoadCheckpointFile(path string, params []*Param, state []*tensor.Tensor) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("nn: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadCheckpoint(f, params, state)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"fmt"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW input, lowered to matrix
+// multiplication with im2col. Weights are stored as
+// [outC, inC*kh*kw] so both forward and backward are single GEMMs.
+type Conv2D struct {
+	name        string
+	inC, outC   int
+	kh, kw      int
+	stride, pad int
+	w           *Param // [outC, inC*kh*kw]
+	b           *Param // [outC]
+	cols        *tensor.Tensor
+	n, inH, inW int
+	outH, outW  int
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D builds a conv layer with He initialization. A 3×3 stride-1
+// pad-1 configuration preserves spatial size ("same" convolution).
+func NewConv2D(name string, inC, outC, kh, kw, stride, pad int, r *rng.RNG) *Conv2D {
+	fanIn := inC * kh * kw
+	w := tensor.New(outC, fanIn)
+	w.HeInit(r, fanIn)
+	return &Conv2D{
+		name: name, inC: inC, outC: outC,
+		kh: kh, kw: kw, stride: stride, pad: pad,
+		w: NewParam(name+".w", w),
+		b: NewParam(name+".b", tensor.New(outC)),
+	}
+}
+
+// Name returns the layer name.
+func (c *Conv2D) Name() string { return c.name }
+
+// Forward computes the convolution of x [n, inC, h, w].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.inC {
+		panic(fmt.Sprintf("nn: %s: Conv2D input %v, want [n,%d,h,w]", c.name, x.Shape(), c.inC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, c.kh, c.stride, c.pad)
+	ow := tensor.ConvOutSize(w, c.kw, c.stride, c.pad)
+	cols := tensor.Im2Col(x, c.kh, c.kw, c.stride, c.pad)
+	rows := tensor.MatMulTB(cols, c.w.W) // [n*oh*ow, outC]
+	rows.AddRowVector(c.b.W)
+	if train {
+		c.cols = cols
+		c.n, c.inH, c.inW = n, h, w
+		c.outH, c.outW = oh, ow
+	}
+	return tensor.RowsToNCHW(rows, n, c.outC, oh, ow)
+}
+
+// Backward consumes grad [n, outC, oh, ow].
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", c.name))
+	}
+	gRows := tensor.NCHWToRows(grad) // [n*oh*ow, outC]
+	c.w.G.AddInPlace(tensor.MatMulTA(gRows, c.cols))
+	c.b.G.AddInPlace(tensor.SumRows(gRows))
+	dCols := tensor.MatMul(gRows, c.w.W) // [n*oh*ow, inC*kh*kw]
+	return tensor.Col2Im(dCols, c.n, c.inC, c.inH, c.inW, c.kh, c.kw, c.stride, c.pad)
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }

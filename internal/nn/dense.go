@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"fmt"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b for x of shape
+// [batch, in].
+type Dense struct {
+	name string
+	w    *Param // [in, out]
+	b    *Param // [out]
+
+	x *tensor.Tensor // cached input for Backward
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense builds a fully connected layer with He initialization (the
+// right default for the ReLU networks used throughout this repo).
+func NewDense(name string, in, out int, r *rng.RNG) *Dense {
+	w := tensor.New(in, out)
+	w.HeInit(r, in)
+	return &Dense{
+		name: name,
+		w:    NewParam(name+".w", w),
+		b:    NewParam(name+".b", tensor.New(out)),
+	}
+}
+
+// Name returns the layer name.
+func (d *Dense) Name() string { return d.name }
+
+// In returns the input width.
+func (d *Dense) In() int { return d.w.W.Dim(0) }
+
+// Out returns the output width.
+func (d *Dense) Out() int { return d.w.W.Dim(1) }
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 {
+		panic(fmt.Sprintf("nn: %s: Dense input must be rank-2, got %v", d.name, x.Shape()))
+	}
+	if train {
+		d.x = x
+	}
+	y := tensor.MatMul(x, d.w.W)
+	y.AddRowVector(d.b.W)
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dy and db = Σ rows(dy), returning
+// dx = dy·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.x == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", d.name))
+	}
+	d.w.G.AddInPlace(tensor.MatMulTA(d.x, grad))
+	d.b.G.AddInPlace(tensor.SumRows(grad))
+	return tensor.MatMulTB(grad, d.w.W)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"medsplit/internal/tensor"
+)
+
+// Loss turns network output and integer class labels into a scalar loss
+// and the gradient of that loss with respect to the network output.
+//
+// In the split-learning protocol this computation happens on the
+// *platform* (which holds the labels), not on the server — that is what
+// keeps labels private (paper Fig. 3, steps 3–4).
+type Loss interface {
+	// Loss returns the mean loss over the batch and dL/dlogits.
+	Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor)
+	Name() string
+}
+
+// SoftmaxCrossEntropy is the standard classification loss: softmax over
+// logits followed by negative log-likelihood, averaged over the batch.
+type SoftmaxCrossEntropy struct{}
+
+var _ Loss = SoftmaxCrossEntropy{}
+
+// Name returns "softmax-xent".
+func (SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
+
+// Loss computes mean cross entropy and its gradient (softmax − onehot)/n.
+func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: cross-entropy logits %v, want rank 2", logits.Shape()))
+	}
+	n, classes := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	probs := tensor.SoftmaxRows(logits)
+	grad := probs.Clone()
+	var total float64
+	invN := float32(1) / float32(n)
+	for i, lab := range labels {
+		if lab < 0 || lab >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", lab, classes))
+		}
+		p := float64(probs.At(i, lab))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total -= math.Log(p)
+		grad.Set(grad.At(i, lab)-1, i, lab)
+	}
+	grad.Scale(invN)
+	return total / float64(n), grad
+}
+
+// MSE is the mean-squared-error loss against one-hot targets. It exists
+// as a simpler comparison loss for tests and the quickstart example.
+type MSE struct{}
+
+var _ Loss = MSE{}
+
+// Name returns "mse".
+func (MSE) Name() string { return "mse" }
+
+// Loss computes mean squared error against one-hot labels and its
+// gradient 2(y − onehot)/(n·c).
+func (MSE) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: MSE logits %v, want rank 2", logits.Shape()))
+	}
+	n, classes := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	grad := tensor.New(n, classes)
+	var total float64
+	scale := 2 / float32(n*classes)
+	for i := 0; i < n; i++ {
+		for c := 0; c < classes; c++ {
+			target := float32(0)
+			if c == labels[i] {
+				target = 1
+			}
+			d := logits.At(i, c) - target
+			total += float64(d) * float64(d)
+			grad.Set(d*scale, i, c)
+		}
+	}
+	return total / float64(n*classes), grad
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	pred := tensor.ArgmaxRows(logits)
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("nn: %d predictions for %d labels", len(pred), len(labels)))
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,294 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+)
+
+func TestCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := tensor.New(2, 4)
+	loss, grad := SoftmaxCrossEntropy{}.Loss(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln4 = %v", loss, math.Log(4))
+	}
+	// Gradient rows sum to zero (softmax minus one-hot).
+	for i := 0; i < 2; i++ {
+		var s float64
+		for c := 0; c < 4; c++ {
+			s += float64(grad.At(i, c))
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("grad row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestCrossEntropyGradientNumeric(t *testing.T) {
+	r := rng.New(1)
+	logits := tensor.New(3, 5)
+	logits.FillNormal(r, 0, 2)
+	labels := []int{1, 4, 0}
+	_, grad := SoftmaxCrossEntropy{}.Loss(logits, labels)
+
+	const eps = 1e-3
+	for i := 0; i < logits.Size(); i++ {
+		d := logits.Data()
+		orig := d[i]
+		d[i] = orig + eps
+		lp, _ := SoftmaxCrossEntropy{}.Loss(logits, labels)
+		d[i] = orig - eps
+		lm, _ := SoftmaxCrossEntropy{}.Loss(logits, labels)
+		d[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(float64(grad.Data()[i])-numeric) > 1e-3 {
+			t.Fatalf("coord %d: analytic %v vs numeric %v", i, grad.Data()[i], numeric)
+		}
+	}
+}
+
+func TestCrossEntropyPerfectPrediction(t *testing.T) {
+	logits := tensor.FromSlice([]float32{100, 0, 0}, 1, 3)
+	loss, _ := SoftmaxCrossEntropy{}.Loss(logits, []int{0})
+	if loss > 1e-6 {
+		t.Fatalf("confident correct prediction: loss = %v", loss)
+	}
+}
+
+func TestCrossEntropyPanicsOnBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label should panic")
+		}
+	}()
+	SoftmaxCrossEntropy{}.Loss(tensor.New(1, 3), []int{3})
+}
+
+func TestMSEGradientNumeric(t *testing.T) {
+	r := rng.New(2)
+	logits := tensor.New(2, 3)
+	logits.FillNormal(r, 0, 1)
+	labels := []int{2, 0}
+	_, grad := MSE{}.Loss(logits, labels)
+	const eps = 1e-3
+	for i := 0; i < logits.Size(); i++ {
+		d := logits.Data()
+		orig := d[i]
+		d[i] = orig + eps
+		lp, _ := MSE{}.Loss(logits, labels)
+		d[i] = orig - eps
+		lm, _ := MSE{}.Loss(logits, labels)
+		d[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(float64(grad.Data()[i])-numeric) > 1e-3 {
+			t.Fatalf("coord %d: analytic %v vs numeric %v", i, grad.Data()[i], numeric)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		1, 0, // pred 0
+		0, 1, // pred 1
+		5, 3, // pred 0
+	}, 3, 2)
+	if got := Accuracy(logits, []int{0, 1, 1}); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("accuracy = %v, want 2/3", got)
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice([]float32{1, 2}, 2))
+	copy(p.G.Data(), []float32{0.5, -0.5})
+	(&SGD{LR: 0.1}).Step([]*Param{p})
+	if p.W.At(0) != 0.95 || p.W.At(1) != 2.05 {
+		t.Fatalf("after step: %v", p.W.Data())
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := NewParam("w", tensor.FromSlice([]float32{1}, 1))
+	// Zero gradient: only decay acts. w ← w − lr·wd·w = 1 − 0.1·0.5 = 0.95.
+	(&SGD{LR: 0.1, WeightDecay: 0.5}).Step([]*Param{p})
+	if d := p.W.At(0) - 0.95; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("decayed weight %v, want 0.95", p.W.At(0))
+	}
+}
+
+func TestMomentumAccumulatesVelocity(t *testing.T) {
+	p := NewParam("w", tensor.New(1))
+	opt := &Momentum{LR: 1, Mu: 0.5}
+	copy(p.G.Data(), []float32{1})
+	opt.Step([]*Param{p}) // v = -1, w = -1
+	opt.Step([]*Param{p}) // v = -1.5, w = -2.5
+	if d := p.W.At(0) + 2.5; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("w = %v, want -2.5", p.W.At(0))
+	}
+}
+
+// All three optimizers must drive a quadratic objective to its minimum.
+func TestOptimizersConvergeOnQuadratic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  Optimizer
+	}{
+		{"sgd", &SGD{LR: 0.1}},
+		{"momentum", &Momentum{LR: 0.05, Mu: 0.9}},
+		{"adam", &Adam{LR: 0.1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Minimize f(w) = ||w - target||² from w = 0.
+			target := []float32{3, -2, 1}
+			p := NewParam("w", tensor.New(3))
+			for step := 0; step < 300; step++ {
+				ZeroGrads([]*Param{p})
+				for i, tv := range target {
+					p.G.Data()[i] = 2 * (p.W.Data()[i] - tv)
+				}
+				tc.opt.Step([]*Param{p})
+			}
+			for i, tv := range target {
+				if math.Abs(float64(p.W.Data()[i]-tv)) > 0.05 {
+					t.Fatalf("%s: w[%d] = %v, want %v", tc.name, i, p.W.Data()[i], tv)
+				}
+			}
+		})
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	p := NewParam("w", tensor.New(3))
+	copy(p.G.Data(), []float32{-10, 0.5, 10})
+	ClipGrads([]*Param{p}, 1)
+	want := []float32{-1, 0.5, 1}
+	for i, v := range p.G.Data() {
+		if v != want[i] {
+			t.Fatalf("clipped = %v, want %v", p.G.Data(), want)
+		}
+	}
+}
+
+func TestCopyParams(t *testing.T) {
+	r := rng.New(3)
+	a := NewDense("a", 3, 2, r)
+	b := NewDense("b", 3, 2, r)
+	if err := CopyParams(a.Params(), b.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(a.w.W, b.w.W, 0) {
+		t.Fatal("weights differ after CopyParams")
+	}
+	c := NewDense("c", 4, 2, r)
+	if err := CopyParams(a.Params(), c.Params()); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+func TestAverageParams(t *testing.T) {
+	mk := func(v float32) []*Param {
+		return []*Param{NewParam("w", tensor.Full(v, 2))}
+	}
+	dst := mk(0)
+	if err := AverageParams(dst, [][]*Param{mk(1), mk(3)}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0].W.At(0) != 2 {
+		t.Fatalf("uniform average = %v, want 2", dst[0].W.At(0))
+	}
+	if err := AverageParams(dst, [][]*Param{mk(1), mk(3)}, []float64{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0].W.At(0) != 1.5 {
+		t.Fatalf("weighted average = %v, want 1.5", dst[0].W.At(0))
+	}
+	if err := AverageParams(dst, nil, nil); err == nil {
+		t.Fatal("no sources must error")
+	}
+	if err := AverageParams(dst, [][]*Param{mk(1)}, []float64{0}); err == nil {
+		t.Fatal("zero total weight must error")
+	}
+}
+
+func TestEncodeDecodeParamsRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	src := NewSequential("m", NewDense("fc1", 4, 3, r), NewDense("fc2", 3, 2, r))
+	dst := NewSequential("m", NewDense("fc1", 4, 3, r), NewDense("fc2", 3, 2, r))
+	buf := EncodeParams(src.Params())
+	if err := DecodeParamsInto(dst.Params(), buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		if !tensor.AllClose(p.W, dst.Params()[i].W, 0) {
+			t.Fatalf("param %d differs after round trip", i)
+		}
+	}
+	// Gradients round-trip too.
+	for _, p := range src.Params() {
+		p.G.FillNormal(r, 0, 1)
+	}
+	if err := DecodeGradsInto(dst.Params(), EncodeGrads(src.Params())); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		if !tensor.AllClose(p.G, dst.Params()[i].G, 0) {
+			t.Fatalf("grad %d differs after round trip", i)
+		}
+	}
+	// Corrupt payload errors.
+	if err := DecodeParamsInto(dst.Params(), buf[:10]); err == nil {
+		t.Fatal("truncated buffer must error")
+	}
+	// Trailing junk errors.
+	if err := DecodeParamsInto(dst.Params(), append(buf, 0)); err == nil {
+		t.Fatal("trailing bytes must error")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	r := rng.New(7)
+	seq := NewSequential("m", NewDense("fc", 10, 5, r))
+	if got := ParamCount(seq.Params()); got != 55 {
+		t.Fatalf("ParamCount = %d, want 55", got)
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	p := NewParam("w", tensor.New(2))
+	copy(p.G.Data(), []float32{1, 2})
+	ZeroGrads([]*Param{p})
+	if p.G.At(0) != 0 || p.G.At(1) != 0 {
+		t.Fatal("gradients not cleared")
+	}
+}
+
+// An end-to-end sanity check: a small MLP must learn XOR.
+func TestMLPLearnsXOR(t *testing.T) {
+	r := rng.New(11)
+	net := NewSequential("xor",
+		NewDense("fc1", 2, 16, r),
+		NewTanh("tanh"),
+		NewDense("fc2", 16, 2, r),
+	)
+	x := tensor.FromSlice([]float32{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	labels := []int{0, 1, 1, 0}
+	opt := &Adam{LR: 0.05}
+	loss := SoftmaxCrossEntropy{}
+	var last float64
+	for i := 0; i < 500; i++ {
+		ZeroGrads(net.Params())
+		logits := net.Forward(x, true)
+		l, grad := loss.Loss(logits, labels)
+		net.Backward(grad)
+		opt.Step(net.Params())
+		last = l
+	}
+	if last > 0.05 {
+		t.Fatalf("XOR loss after training: %v", last)
+	}
+	if acc := Accuracy(net.Forward(x, false), labels); acc != 1 {
+		t.Fatalf("XOR accuracy %v, want 1", acc)
+	}
+}

@@ -1,0 +1,353 @@
+// Package nn implements the neural-network layers, loss functions and
+// optimizers that medsplit's VGG-style and ResNet-style models are built
+// from.
+//
+// Layers follow an explicit forward/backward contract: Forward caches
+// whatever it needs, Backward consumes that cache, accumulates parameter
+// gradients, and returns the gradient with respect to the layer input.
+// A layer instance therefore serves one training goroutine at a time.
+//
+// The split-learning engine in internal/core cuts a Sequential into a
+// platform-side front (the paper's L1) and a server-side back
+// (L2 … Lk); both halves are ordinary Sequential values from this
+// package.
+package nn
+
+import (
+	"fmt"
+
+	"medsplit/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output for x. When train is true the
+	// layer may cache activations for Backward and use training-mode
+	// behaviour (dropout masks, batch statistics).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+
+	// Backward consumes the gradient of the loss with respect to the
+	// layer's output, accumulates parameter gradients, and returns the
+	// gradient with respect to the layer's input. It must follow a
+	// train-mode Forward.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+
+	// Params returns the layer's trainable parameters, or nil.
+	Params() []*Param
+
+	// Name identifies the layer in diagnostics.
+	Name() string
+}
+
+// Param is one trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+// NewParam allocates a parameter and a matching zero gradient.
+func NewParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Shape()...)}
+}
+
+// ZeroGrads clears the gradient accumulators of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.G.Zero()
+	}
+}
+
+// ParamCount returns the total number of scalar weights across params.
+func ParamCount(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.W.Size()
+	}
+	return n
+}
+
+// CopyParams copies weight values from src into dst. The two lists must
+// be structurally identical (same order, names and shapes) — they come
+// from two instances of the same architecture.
+func CopyParams(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyParams length mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if !tensor.SameShape(dst[i].W, src[i].W) {
+			return fmt.Errorf("nn: CopyParams shape mismatch at %q", dst[i].Name)
+		}
+		dst[i].W.CopyFrom(src[i].W)
+	}
+	return nil
+}
+
+// AverageParams overwrites dst's weights with the weighted average of the
+// source parameter lists. weights need not be normalized; they are scaled
+// to sum to 1. Used by FedAvg and by the split framework's L1
+// synchronization policy.
+func AverageParams(dst []*Param, srcs [][]*Param, weights []float64) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("nn: AverageParams with no sources")
+	}
+	if len(weights) != len(srcs) {
+		return fmt.Errorf("nn: AverageParams %d weights for %d sources", len(weights), len(srcs))
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("nn: AverageParams negative weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return fmt.Errorf("nn: AverageParams weights sum to zero")
+	}
+	for i := range dst {
+		acc := dst[i].W.Data()
+		for j := range acc {
+			acc[j] = 0
+		}
+		for s, src := range srcs {
+			if len(src) != len(dst) {
+				return fmt.Errorf("nn: AverageParams source %d has %d params, want %d", s, len(src), len(dst))
+			}
+			if !tensor.SameShape(dst[i].W, src[i].W) {
+				return fmt.Errorf("nn: AverageParams shape mismatch at %q (source %d)", dst[i].Name, s)
+			}
+			scale := float32(weights[s] / total)
+			sd := src[i].W.Data()
+			for j := range acc {
+				acc[j] += scale * sd[j]
+			}
+		}
+	}
+	return nil
+}
+
+// EncodeParams serializes the weights of params into a byte slice — the
+// payload a parameter-exchange scheme (FedAvg, synchronous SGD) puts on
+// the wire. EncodeGrads does the same for gradients.
+func EncodeParams(params []*Param) []byte {
+	var buf []byte
+	for _, p := range params {
+		buf = p.W.AppendTo(buf)
+	}
+	return buf
+}
+
+// EncodeGrads serializes the gradient accumulators of params.
+func EncodeGrads(params []*Param) []byte {
+	var buf []byte
+	for _, p := range params {
+		buf = p.G.AppendTo(buf)
+	}
+	return buf
+}
+
+// DecodeParamsInto decodes a buffer produced by EncodeParams into the
+// weights of params, validating shapes.
+func DecodeParamsInto(params []*Param, buf []byte) error {
+	return decodeInto(params, buf, func(p *Param) *tensor.Tensor { return p.W })
+}
+
+// DecodeGradsInto decodes a buffer produced by EncodeGrads into the
+// gradient accumulators of params.
+func DecodeGradsInto(params []*Param, buf []byte) error {
+	return decodeInto(params, buf, func(p *Param) *tensor.Tensor { return p.G })
+}
+
+func decodeInto(params []*Param, buf []byte, pick func(*Param) *tensor.Tensor) error {
+	for _, p := range params {
+		t, rest, err := tensor.Decode(buf)
+		if err != nil {
+			return fmt.Errorf("nn: decoding %q: %w", p.Name, err)
+		}
+		dst := pick(p)
+		if !tensor.SameShape(dst, t) {
+			return fmt.Errorf("nn: decoded shape %v for %q, want %v", t.Shape(), p.Name, dst.Shape())
+		}
+		dst.CopyFrom(t)
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("nn: %d trailing bytes after decoding %d params", len(buf), len(params))
+	}
+	return nil
+}
+
+// Stateful is implemented by layers that carry non-trainable state
+// which must travel with the weights whenever a model is replicated or
+// aggregated — BatchNorm's running statistics are the canonical case.
+// Parameter-exchange schemes (sync SGD, FedAvg) that ignore such state
+// evaluate garbage models: the aggregation server's normalization
+// statistics never move from their initialization.
+type Stateful interface {
+	State() []*tensor.Tensor
+}
+
+// CollectState gathers the stateful tensors of a layer tree in
+// deterministic (depth-first) order. Two instances of the same
+// architecture yield structurally identical lists.
+func CollectState(l Layer) []*tensor.Tensor {
+	switch v := l.(type) {
+	case *Sequential:
+		var out []*tensor.Tensor
+		for _, child := range v.layers {
+			out = append(out, CollectState(child)...)
+		}
+		return out
+	case *Residual:
+		out := CollectState(v.body)
+		if v.skip != nil {
+			out = append(out, CollectState(v.skip)...)
+		}
+		return out
+	case Stateful:
+		return v.State()
+	default:
+		return nil
+	}
+}
+
+// EncodeState serializes stateful tensors for transmission alongside
+// weights.
+func EncodeState(state []*tensor.Tensor) []byte {
+	var buf []byte
+	for _, t := range state {
+		buf = t.AppendTo(buf)
+	}
+	return buf
+}
+
+// DecodeStateInto decodes a buffer produced by EncodeState into the
+// given state tensors, validating shapes.
+func DecodeStateInto(state []*tensor.Tensor, buf []byte) error {
+	for i, dst := range state {
+		t, rest, err := tensor.Decode(buf)
+		if err != nil {
+			return fmt.Errorf("nn: decoding state %d: %w", i, err)
+		}
+		if !tensor.SameShape(dst, t) {
+			return fmt.Errorf("nn: state %d shape %v, want %v", i, t.Shape(), dst.Shape())
+		}
+		dst.CopyFrom(t)
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("nn: %d trailing bytes after decoding %d state tensors", len(buf), len(state))
+	}
+	return nil
+}
+
+// AverageStateInto overwrites dst with the weighted average of the
+// source state lists — how BatchNorm buffers aggregate across workers.
+func AverageStateInto(dst []*tensor.Tensor, srcs [][]*tensor.Tensor, weights []float64) error {
+	if len(srcs) == 0 || len(weights) != len(srcs) {
+		return fmt.Errorf("nn: AverageStateInto %d sources, %d weights", len(srcs), len(weights))
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("nn: negative state weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return fmt.Errorf("nn: state weights sum to zero")
+	}
+	for i, d := range dst {
+		acc := d.Data()
+		for j := range acc {
+			acc[j] = 0
+		}
+		for s, src := range srcs {
+			if len(src) != len(dst) {
+				return fmt.Errorf("nn: state source %d has %d tensors, want %d", s, len(src), len(dst))
+			}
+			if !tensor.SameShape(d, src[i]) {
+				return fmt.Errorf("nn: state %d shape mismatch at source %d", i, s)
+			}
+			scale := float32(weights[s] / total)
+			sd := src[i].Data()
+			for j := range acc {
+				acc[j] += scale * sd[j]
+			}
+		}
+	}
+	return nil
+}
+
+// EncodeModel serializes weights followed by stateful tensors — the
+// full replication payload for parameter-exchange schemes.
+func EncodeModel(params []*Param, state []*tensor.Tensor) []byte {
+	buf := EncodeParams(params)
+	for _, t := range state {
+		buf = t.AppendTo(buf)
+	}
+	return buf
+}
+
+// DecodeModelInto decodes a buffer produced by EncodeModel into the
+// given weights and state tensors.
+func DecodeModelInto(params []*Param, state []*tensor.Tensor, buf []byte) error {
+	for _, p := range params {
+		t, rest, err := tensor.Decode(buf)
+		if err != nil {
+			return fmt.Errorf("nn: decoding %q: %w", p.Name, err)
+		}
+		if !tensor.SameShape(p.W, t) {
+			return fmt.Errorf("nn: decoded shape %v for %q, want %v", t.Shape(), p.Name, p.W.Shape())
+		}
+		p.W.CopyFrom(t)
+		buf = rest
+	}
+	return DecodeStateInto(state, buf)
+}
+
+// Sequential chains layers front to back.
+type Sequential struct {
+	name   string
+	layers []Layer
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// NewSequential builds a named chain of layers.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, layers: layers}
+}
+
+// Name returns the chain's name.
+func (s *Sequential) Name() string { return s.name }
+
+// Layers returns the underlying layer list (not a copy; used by model
+// splitting).
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Forward runs x through every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates grad through every layer in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		grad = s.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the concatenated parameters of all layers, in layer
+// order.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}

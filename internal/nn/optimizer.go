@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"medsplit/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients. Step
+// does not clear gradients; callers ZeroGrads before the next backward
+// pass so that gradient accumulation across micro-batches stays possible.
+type Optimizer interface {
+	Step(params []*Param)
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent with optional L2 weight decay.
+type SGD struct {
+	LR          float32
+	WeightDecay float32
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// Name returns "sgd".
+func (s *SGD) Name() string { return "sgd" }
+
+// Step applies w ← w − lr·(g + wd·w).
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		w, g := p.W.Data(), p.G.Data()
+		for i := range w {
+			grad := g[i]
+			if s.WeightDecay != 0 {
+				grad += s.WeightDecay * w[i]
+			}
+			w[i] -= s.LR * grad
+		}
+	}
+}
+
+// Momentum is SGD with classical momentum (Polyak heavy ball).
+type Momentum struct {
+	LR          float32
+	Mu          float32 // momentum coefficient, typically 0.9
+	WeightDecay float32
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*Momentum)(nil)
+
+// Name returns "momentum".
+func (m *Momentum) Name() string { return "momentum" }
+
+// Step applies v ← mu·v − lr·g; w ← w + v.
+func (m *Momentum) Step(params []*Param) {
+	if m.velocity == nil {
+		m.velocity = make(map[*Param]*tensor.Tensor, len(params))
+	}
+	for _, p := range params {
+		v, ok := m.velocity[p]
+		if !ok {
+			v = tensor.New(p.W.Shape()...)
+			m.velocity[p] = v
+		}
+		w, g, vd := p.W.Data(), p.G.Data(), v.Data()
+		for i := range w {
+			grad := g[i]
+			if m.WeightDecay != 0 {
+				grad += m.WeightDecay * w[i]
+			}
+			vd[i] = m.Mu*vd[i] - m.LR*grad
+			w[i] += vd[i]
+		}
+	}
+}
+
+// Adam is the Kingma & Ba adaptive-moment optimizer.
+type Adam struct {
+	LR    float32
+	Beta1 float32 // default 0.9 when zero
+	Beta2 float32 // default 0.999 when zero
+	Eps   float32 // default 1e-8 when zero
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// Name returns "adam".
+func (a *Adam) Name() string { return "adam" }
+
+// Step applies the Adam update with bias correction.
+func (a *Adam) Step(params []*Param) {
+	if a.Beta1 == 0 {
+		a.Beta1 = 0.9
+	}
+	if a.Beta2 == 0 {
+		a.Beta2 = 0.999
+	}
+	if a.Eps == 0 {
+		a.Eps = 1e-8
+	}
+	if a.m == nil {
+		a.m = make(map[*Param]*tensor.Tensor, len(params))
+		a.v = make(map[*Param]*tensor.Tensor, len(params))
+	}
+	a.t++
+	c1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.t)))
+	c2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.t)))
+	for _, p := range params {
+		mt, ok := a.m[p]
+		if !ok {
+			mt = tensor.New(p.W.Shape()...)
+			a.m[p] = mt
+			a.v[p] = tensor.New(p.W.Shape()...)
+		}
+		vt := a.v[p]
+		w, g, md, vd := p.W.Data(), p.G.Data(), mt.Data(), vt.Data()
+		for i := range w {
+			md[i] = a.Beta1*md[i] + (1-a.Beta1)*g[i]
+			vd[i] = a.Beta2*vd[i] + (1-a.Beta2)*g[i]*g[i]
+			mHat := md[i] / c1
+			vHat := vd[i] / c2
+			w[i] -= a.LR * mHat / (float32(math.Sqrt(float64(vHat))) + a.Eps)
+		}
+	}
+}
+
+// ClipGrads clamps every gradient entry into [-limit, limit]. The
+// training loops call it before the optimizer step to keep early rounds
+// stable at the small batch sizes the simulations use.
+func ClipGrads(params []*Param, limit float32) {
+	if limit <= 0 {
+		panic(fmt.Sprintf("nn: ClipGrads limit %v must be positive", limit))
+	}
+	for _, p := range params {
+		p.G.ClipInPlace(limit)
+	}
+}

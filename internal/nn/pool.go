@@ -1,0 +1,253 @@
+package nn
+
+import (
+	"fmt"
+
+	"medsplit/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer over NCHW input with a square window.
+type MaxPool2D struct {
+	name      string
+	k, stride int
+	argmax    []int // flat input index of each output's max
+	inShape   []int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D builds a k×k max pool with the given stride (use k ==
+// stride for the classic non-overlapping pool).
+func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
+	return &MaxPool2D{name: name, k: k, stride: stride}
+}
+
+// Name returns the layer name.
+func (m *MaxPool2D) Name() string { return m.name }
+
+// Forward pools x [n, c, h, w] down to [n, c, oh, ow].
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s: MaxPool2D input %v, want rank 4", m.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, m.k, m.stride, 0)
+	ow := tensor.ConvOutSize(w, m.k, m.stride, 0)
+	out := tensor.New(n, c, oh, ow)
+	var argmax []int
+	if train {
+		argmax = make([]int, n*c*oh*ow)
+	}
+	xd, od := x.Data(), out.Data()
+	for in := 0; in < n; in++ {
+		for ch := 0; ch < c; ch++ {
+			base := (in*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					iy0, ix0 := oy*m.stride, ox*m.stride
+					bestIdx := base + iy0*w + ix0
+					best := xd[bestIdx]
+					for ky := 0; ky < m.k; ky++ {
+						iy := iy0 + ky
+						if iy >= h {
+							break
+						}
+						for kx := 0; kx < m.k; kx++ {
+							ix := ix0 + kx
+							if ix >= w {
+								break
+							}
+							idx := base + iy*w + ix
+							if xd[idx] > best {
+								best, bestIdx = xd[idx], idx
+							}
+						}
+					}
+					oIdx := ((in*c+ch)*oh+oy)*ow + ox
+					od[oIdx] = best
+					if train {
+						argmax[oIdx] = bestIdx
+					}
+				}
+			}
+		}
+	}
+	if train {
+		m.argmax = argmax
+		m.inShape = x.Shape()
+	}
+	return out
+}
+
+// Backward routes each output gradient to the input position that won the
+// max.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.argmax == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", m.name))
+	}
+	if grad.Size() != len(m.argmax) {
+		panic(fmt.Sprintf("nn: %s: gradient size %d, want %d", m.name, grad.Size(), len(m.argmax)))
+	}
+	dx := tensor.New(m.inShape...)
+	dd, gd := dx.Data(), grad.Data()
+	for oIdx, iIdx := range m.argmax {
+		dd[iIdx] += gd[oIdx]
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no trainable parameters.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool averages each channel's spatial plane, mapping
+// [n, c, h, w] to [n, c]. ResNet-style models use it before the
+// classifier head.
+type GlobalAvgPool struct {
+	name    string
+	inShape []int
+}
+
+var _ Layer = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool builds the layer.
+func NewGlobalAvgPool(name string) *GlobalAvgPool {
+	return &GlobalAvgPool{name: name}
+}
+
+// Name returns the layer name.
+func (g *GlobalAvgPool) Name() string { return g.name }
+
+// Forward averages over H and W.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s: GlobalAvgPool input %v, want rank 4", g.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(n, c)
+	xd := x.Data()
+	inv := 1 / float32(h*w)
+	for in := 0; in < n; in++ {
+		for ch := 0; ch < c; ch++ {
+			base := (in*c + ch) * h * w
+			var s float32
+			for i := 0; i < h*w; i++ {
+				s += xd[base+i]
+			}
+			out.Set(s*inv, in, ch)
+		}
+	}
+	if train {
+		g.inShape = x.Shape()
+	}
+	return out
+}
+
+// Backward spreads each channel gradient uniformly over its plane.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if g.inShape == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", g.name))
+	}
+	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	dx := tensor.New(g.inShape...)
+	dd := dx.Data()
+	inv := 1 / float32(h*w)
+	for in := 0; in < n; in++ {
+		for ch := 0; ch < c; ch++ {
+			gv := grad.At(in, ch) * inv
+			base := (in*c + ch) * h * w
+			for i := 0; i < h*w; i++ {
+				dd[base+i] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no trainable parameters.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// AvgPool2D averages non-overlapping (or strided) square windows over
+// NCHW input — the gentler sibling of MaxPool2D, used by VGG-style
+// variants that prefer average downsampling.
+type AvgPool2D struct {
+	name      string
+	k, stride int
+	inShape   []int
+}
+
+var _ Layer = (*AvgPool2D)(nil)
+
+// NewAvgPool2D builds a k×k average pool with the given stride.
+func NewAvgPool2D(name string, k, stride int) *AvgPool2D {
+	return &AvgPool2D{name: name, k: k, stride: stride}
+}
+
+// Name returns the layer name.
+func (a *AvgPool2D) Name() string { return a.name }
+
+// Forward pools x [n, c, h, w] down to [n, c, oh, ow].
+func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s: AvgPool2D input %v, want rank 4", a.name, x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, a.k, a.stride, 0)
+	ow := tensor.ConvOutSize(w, a.k, a.stride, 0)
+	out := tensor.New(n, c, oh, ow)
+	xd, od := x.Data(), out.Data()
+	inv := 1 / float32(a.k*a.k)
+	for in := 0; in < n; in++ {
+		for ch := 0; ch < c; ch++ {
+			base := (in*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					iy0, ix0 := oy*a.stride, ox*a.stride
+					var s float32
+					for ky := 0; ky < a.k; ky++ {
+						for kx := 0; kx < a.k; kx++ {
+							s += xd[base+(iy0+ky)*w+ix0+kx]
+						}
+					}
+					od[((in*c+ch)*oh+oy)*ow+ox] = s * inv
+				}
+			}
+		}
+	}
+	if train {
+		a.inShape = x.Shape()
+	}
+	return out
+}
+
+// Backward spreads each output gradient uniformly across its window.
+// Overlapping windows (stride < k) accumulate.
+func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if a.inShape == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", a.name))
+	}
+	n, c, h, w := a.inShape[0], a.inShape[1], a.inShape[2], a.inShape[3]
+	oh, ow := grad.Dim(2), grad.Dim(3)
+	dx := tensor.New(a.inShape...)
+	dd, gd := dx.Data(), grad.Data()
+	inv := 1 / float32(a.k*a.k)
+	for in := 0; in < n; in++ {
+		for ch := 0; ch < c; ch++ {
+			base := (in*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gd[((in*c+ch)*oh+oy)*ow+ox] * inv
+					iy0, ix0 := oy*a.stride, ox*a.stride
+					for ky := 0; ky < a.k; ky++ {
+						for kx := 0; kx < a.k; kx++ {
+							dd[base+(iy0+ky)*w+ix0+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: pooling has no trainable parameters.
+func (a *AvgPool2D) Params() []*Param { return nil }

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule maps a training round to a learning rate. The engines call
+// it (when configured) before each optimizer step, so long experiments
+// can decay their rate without hand-rolled training loops.
+type Schedule func(round int) float32
+
+// ConstantLR returns lr for every round.
+func ConstantLR(lr float32) Schedule {
+	return func(int) float32 { return lr }
+}
+
+// StepDecay multiplies base by factor every `every` rounds:
+// lr = base · factor^(round/every). factor is typically 0.1–0.5.
+func StepDecay(base, factor float32, every int) Schedule {
+	if every <= 0 {
+		panic(fmt.Sprintf("nn: StepDecay every=%d", every))
+	}
+	return func(round int) float32 {
+		steps := round / every
+		return base * float32(math.Pow(float64(factor), float64(steps)))
+	}
+}
+
+// CosineDecay anneals from base to min over total rounds following a
+// half cosine, then holds min.
+func CosineDecay(base, min float32, total int) Schedule {
+	if total <= 0 {
+		panic(fmt.Sprintf("nn: CosineDecay total=%d", total))
+	}
+	return func(round int) float32 {
+		if round >= total {
+			return min
+		}
+		frac := float64(round) / float64(total)
+		return min + (base-min)*float32(0.5*(1+math.Cos(math.Pi*frac)))
+	}
+}
+
+// LRAdjustable is satisfied by optimizers whose learning rate can be
+// changed mid-training.
+type LRAdjustable interface {
+	SetLR(lr float32)
+}
+
+// SetLR adjusts the learning rate of SGD.
+func (s *SGD) SetLR(lr float32) { s.LR = lr }
+
+// SetLR adjusts the learning rate of Momentum.
+func (m *Momentum) SetLR(lr float32) { m.LR = lr }
+
+// SetLR adjusts the learning rate of Adam.
+func (a *Adam) SetLR(lr float32) { a.LR = lr }
+
+var (
+	_ LRAdjustable = (*SGD)(nil)
+	_ LRAdjustable = (*Momentum)(nil)
+	_ LRAdjustable = (*Adam)(nil)
+)
+
+// ApplySchedule sets the optimizer's rate for the given round when both
+// a schedule is present and the optimizer supports adjustment; it
+// reports whether anything happened.
+func ApplySchedule(opt Optimizer, sched Schedule, round int) bool {
+	if sched == nil {
+		return false
+	}
+	adj, ok := opt.(LRAdjustable)
+	if !ok {
+		return false
+	}
+	adj.SetLR(sched(round))
+	return true
+}

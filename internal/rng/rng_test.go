@@ -1,0 +1,235 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not replay the parent stream.
+	p := New(7)
+	p.Uint64() // advance past the Split draw
+	for i := 0; i < 100; i++ {
+		if child.Uint64() == p.Uint64() {
+			t.Fatalf("child stream tracks parent at step %d", i)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for k, c := range counts {
+		if math.Abs(float64(c-want)) > 0.05*float64(want) {
+			t.Errorf("bucket %d: %d draws, want ~%d (±5%%)", k, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(17)
+	p := []int{5, 5, 7, 9, 9, 9}
+	r.Shuffle(p)
+	counts := map[int]int{}
+	for _, v := range p {
+		counts[v]++
+	}
+	if counts[5] != 2 || counts[7] != 1 || counts[9] != 3 {
+		t.Fatalf("Shuffle changed multiset: %v", p)
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := New(19)
+	for _, alpha := range []float64{0.1, 0.5, 1, 10} {
+		out := make([]float64, 10)
+		r.Dirichlet(alpha, out)
+		var sum float64
+		for _, v := range out {
+			if v < 0 {
+				t.Fatalf("alpha=%v: negative probability %v", alpha, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("alpha=%v: probabilities sum to %v", alpha, sum)
+		}
+	}
+}
+
+func TestDirichletSkewIncreasesAsAlphaShrinks(t *testing.T) {
+	r := New(23)
+	maxAt := func(alpha float64) float64 {
+		// Average the max probability over several draws.
+		var total float64
+		const reps = 50
+		out := make([]float64, 10)
+		for i := 0; i < reps; i++ {
+			r.Dirichlet(alpha, out)
+			m := 0.0
+			for _, v := range out {
+				if v > m {
+					m = v
+				}
+			}
+			total += m
+		}
+		return total / reps
+	}
+	skewed := maxAt(0.1)
+	flat := maxAt(100)
+	if skewed <= flat {
+		t.Fatalf("max probability at alpha=0.1 (%v) should exceed alpha=100 (%v)", skewed, flat)
+	}
+}
+
+func TestMul64AgainstBigProducts(t *testing.T) {
+	// Property: mul64 must agree with the 128-bit product computed via
+	// decomposition into 32-bit halves using big-friendly arithmetic.
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify via a second independent decomposition.
+		aLo, aHi := a&0xffffffff, a>>32
+		bLo, bHi := b&0xffffffff, b>>32
+		lo2 := a * b // wrap-around low 64 bits
+		carry := ((aLo*bLo)>>32 + (aHi*bLo)&0xffffffff + (aLo*bHi)&0xffffffff) >> 32
+		hi2 := aHi*bHi + (aHi*bLo)>>32 + (aLo*bHi)>>32 + carry
+		return lo == lo2 && hi == hi2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormFloat32Finite(t *testing.T) {
+	r := New(29)
+	for i := 0; i < 10000; i++ {
+		v := r.NormFloat32()
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("NormFloat32 produced %v", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm()
+	}
+}

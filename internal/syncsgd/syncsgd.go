@@ -1,0 +1,510 @@
+// Package syncsgd implements the paper's evaluation baseline: Large-
+// Scale Synchronous SGD (Chen et al., arXiv:1604.00981) over a parameter
+// server. Every worker holds a full replica of the model; each round the
+// server broadcasts the current weights, every worker computes the
+// gradient of one local minibatch, pushes the full gradient back, and
+// the server applies the batch-size-weighted average gradient.
+//
+// Per round each worker therefore moves 2×|model| bytes (weights down,
+// gradients up) — the communication profile the paper's Fig. 4 compares
+// the split framework against. The protocol runs over the same wire and
+// transport stack as the split engine so byte accounting is identical.
+package syncsgd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"medsplit/internal/dataset"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// Protocol errors.
+var (
+	// ErrProtocol reports an out-of-sequence or malformed message.
+	ErrProtocol = errors.New("syncsgd: protocol violation")
+	// ErrConfig reports an invalid configuration.
+	ErrConfig = errors.New("syncsgd: invalid configuration")
+)
+
+// ServerConfig configures the parameter server.
+type ServerConfig struct {
+	// Model is the server's authoritative full model.
+	Model *nn.Sequential
+	// Opt applies the aggregated gradient each round.
+	Opt nn.Optimizer
+	// Workers is the number of workers that will connect.
+	Workers int
+	// Rounds is the number of synchronous rounds.
+	Rounds int
+	// ClipGrads, when positive, clamps the aggregated gradient.
+	ClipGrads float32
+	// EvalEvery, when positive, evaluates EvalData on the global model
+	// every so many rounds (and after the final round). Evaluation is
+	// local to the server: parameter-exchange schemes hold the full
+	// model centrally, so it costs no communication.
+	EvalEvery int
+	// EvalData is the held-out test set (required when EvalEvery > 0).
+	EvalData *dataset.Dataset
+	// EvalBatch is the evaluation batch size (default 64).
+	EvalBatch int
+}
+
+// EvalStat is one evaluation point of the global model.
+type EvalStat struct {
+	Round    int
+	Accuracy float64
+}
+
+// ServerStats is what the parameter server measured.
+type ServerStats struct {
+	Evals []EvalStat
+}
+
+// Server is the parameter server.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer validates cfg and builds the parameter server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrConfig)
+	}
+	if cfg.Opt == nil {
+		return nil, fmt.Errorf("%w: nil optimizer", ErrConfig)
+	}
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("%w: %d workers", ErrConfig, cfg.Workers)
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("%w: %d rounds", ErrConfig, cfg.Rounds)
+	}
+	if cfg.EvalEvery > 0 && cfg.EvalData == nil {
+		return nil, fmt.Errorf("%w: EvalEvery without EvalData", ErrConfig)
+	}
+	if cfg.EvalBatch == 0 {
+		cfg.EvalBatch = 64
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Serve drives the protocol over the per-worker connections and returns
+// the server's evaluation curve.
+func (s *Server) Serve(conns []transport.Conn) (*ServerStats, error) {
+	if len(conns) != s.cfg.Workers {
+		return nil, fmt.Errorf("%w: %d connections for %d workers", ErrConfig, len(conns), s.cfg.Workers)
+	}
+	if err := s.handshake(conns); err != nil {
+		return nil, err
+	}
+	stats := &ServerStats{}
+	params := s.cfg.Model.Params()
+	state := nn.CollectState(s.cfg.Model)
+	workerStates := make([][]*tensor.Tensor, len(conns))
+	stateWeights := make([]float64, len(conns))
+	for r := 0; r < s.cfg.Rounds; r++ {
+		// Broadcast current weights along with normalization state.
+		payload := nn.EncodeModel(params, state)
+		for k, conn := range conns {
+			if err := conn.Send(&wire.Message{
+				Type:     wire.MsgModelPush,
+				Platform: uint32(k),
+				Round:    uint32(r),
+				Payload:  payload,
+			}); err != nil {
+				return nil, fmt.Errorf("syncsgd: broadcasting round %d to worker %d: %w", r, k, err)
+			}
+		}
+		// Collect gradients; accumulate the batch-size-weighted sum.
+		nn.ZeroGrads(params)
+		var totalBatch float64
+		sums := make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			sums[i] = tensor.New(p.G.Shape()...)
+		}
+		for k, conn := range conns {
+			m, err := recvExpect(conn, wire.MsgGradPush, r)
+			if err != nil {
+				return nil, fmt.Errorf("syncsgd: gradients from worker %d: %w", k, err)
+			}
+			grads, batch, wstate, err := decodeGradsBatchState(m.Payload, params, state)
+			if err != nil {
+				return nil, fmt.Errorf("syncsgd: worker %d: %w", k, err)
+			}
+			for i := range sums {
+				sums[i].AxpyInPlace(float32(batch), grads[i])
+			}
+			totalBatch += float64(batch)
+			workerStates[k] = wstate
+			stateWeights[k] = float64(batch)
+		}
+		if totalBatch == 0 {
+			return nil, fmt.Errorf("%w: zero total batch", ErrProtocol)
+		}
+		inv := float32(1 / totalBatch)
+		for i, p := range params {
+			p.G.AxpyInPlace(inv, sums[i])
+		}
+		if s.cfg.ClipGrads > 0 {
+			nn.ClipGrads(params, s.cfg.ClipGrads)
+		}
+		s.cfg.Opt.Step(params)
+		// Normalization state does not flow through gradients; install
+		// the batch-weighted average of the workers' statistics so the
+		// global model evaluates correctly.
+		if len(state) > 0 {
+			if err := nn.AverageStateInto(state, workerStates, stateWeights); err != nil {
+				return nil, fmt.Errorf("syncsgd: aggregating state: %w", err)
+			}
+		}
+
+		if s.evalRound(r) {
+			stats.Evals = append(stats.Evals, EvalStat{
+				Round:    r,
+				Accuracy: s.evaluate(),
+			})
+		}
+	}
+	for k, conn := range conns {
+		if _, err := recvExpect(conn, wire.MsgBye, -1); err != nil {
+			return nil, fmt.Errorf("syncsgd: worker %d shutdown: %w", k, err)
+		}
+	}
+	return stats, nil
+}
+
+func (s *Server) evalRound(r int) bool {
+	if s.cfg.EvalEvery <= 0 {
+		return false
+	}
+	return (r+1)%s.cfg.EvalEvery == 0 || r == s.cfg.Rounds-1
+}
+
+// evaluate measures global-model accuracy on the held-out set.
+func (s *Server) evaluate() float64 {
+	data := s.cfg.EvalData
+	n := data.Len()
+	correct := 0
+	for off := 0; off < n; off += s.cfg.EvalBatch {
+		end := off + s.cfg.EvalBatch
+		if end > n {
+			end = n
+		}
+		idx := make([]int, end-off)
+		for i := range idx {
+			idx[i] = off + i
+		}
+		x, labels := data.Batch(idx)
+		logits := s.cfg.Model.Forward(x, false)
+		pred := tensor.ArgmaxRows(logits)
+		for i, c := range pred {
+			if c == labels[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+func (s *Server) handshake(conns []transport.Conn) error {
+	want := fmt.Sprintf("v=1;algo=syncsgd;rounds=%d;eval=%d", s.cfg.Rounds, s.cfg.EvalEvery)
+	for k, conn := range conns {
+		m, err := recvExpect(conn, wire.MsgHello, -1)
+		if err != nil {
+			return fmt.Errorf("syncsgd: hello from worker %d: %w", k, err)
+		}
+		if int(m.Platform) != k {
+			return fmt.Errorf("%w: connection %d identifies as worker %d", ErrProtocol, k, m.Platform)
+		}
+		meta, err := wire.DecodeText(m.Payload)
+		if err != nil {
+			return fmt.Errorf("syncsgd: hello meta from worker %d: %w", k, err)
+		}
+		if meta != want {
+			return fmt.Errorf("%w: worker %d config %q, server %q", ErrConfig, k, meta, want)
+		}
+		if err := conn.Send(&wire.Message{Type: wire.MsgHelloAck, Platform: uint32(k)}); err != nil {
+			return fmt.Errorf("syncsgd: acking worker %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// WorkerConfig configures one data-holding worker.
+type WorkerConfig struct {
+	// ID is the worker index.
+	ID int
+	// Model is the worker's local replica (same architecture as the
+	// server's; weights are overwritten by the first broadcast).
+	Model *nn.Sequential
+	// Loss computes the training loss.
+	Loss nn.Loss
+	// Shard is the worker's local data.
+	Shard *dataset.Dataset
+	// Batch is the local minibatch size.
+	Batch int
+	// Rounds must match the server.
+	Rounds int
+	// EvalEvery must match the server (workers snapshot their traffic at
+	// evaluation rounds so the harness can align bytes with accuracy).
+	EvalEvery int
+	// Seed seeds the minibatch sampler.
+	Seed uint64
+	// Meter, when set, enables traffic snapshots.
+	Meter *transport.Meter
+}
+
+// RoundStat is one local round's record.
+type RoundStat struct {
+	Round int
+	Loss  float64
+	Batch int
+}
+
+// ByteStat snapshots cumulative training traffic at a round boundary.
+type ByteStat struct {
+	Round         int
+	TrainingBytes int64
+}
+
+// WorkerStats is everything a worker measured.
+type WorkerStats struct {
+	Rounds []RoundStat
+	Bytes  []ByteStat
+}
+
+// Worker runs the worker side of the protocol.
+type Worker struct {
+	cfg     WorkerConfig
+	sampler *dataset.BatchSampler
+}
+
+// NewWorker validates cfg and builds a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("%w: nil model", ErrConfig)
+	}
+	if cfg.Loss == nil {
+		return nil, fmt.Errorf("%w: nil loss", ErrConfig)
+	}
+	if cfg.Shard == nil || cfg.Shard.Len() == 0 {
+		return nil, fmt.Errorf("%w: worker %d has no data", ErrConfig, cfg.ID)
+	}
+	if cfg.Batch <= 0 || cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("%w: batch %d rounds %d", ErrConfig, cfg.Batch, cfg.Rounds)
+	}
+	indices := make([]int, cfg.Shard.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	return &Worker{
+		cfg:     cfg,
+		sampler: dataset.NewBatchSampler(indices, cfg.Batch, rng.New(cfg.Seed^0x9e3779b97f4a7c15)),
+	}, nil
+}
+
+// Run executes the worker protocol over conn and returns measurements.
+func (w *Worker) Run(conn transport.Conn) (*WorkerStats, error) {
+	meta := fmt.Sprintf("v=1;algo=syncsgd;rounds=%d;eval=%d", w.cfg.Rounds, w.cfg.EvalEvery)
+	if err := conn.Send(&wire.Message{
+		Type:     wire.MsgHello,
+		Platform: uint32(w.cfg.ID),
+		Payload:  wire.EncodeText(meta),
+	}); err != nil {
+		return nil, fmt.Errorf("syncsgd: worker %d hello: %w", w.cfg.ID, err)
+	}
+	if _, err := recvExpect(conn, wire.MsgHelloAck, -1); err != nil {
+		return nil, fmt.Errorf("syncsgd: worker %d handshake: %w", w.cfg.ID, err)
+	}
+	stats := &WorkerStats{}
+	params := w.cfg.Model.Params()
+	state := nn.CollectState(w.cfg.Model)
+	for r := 0; r < w.cfg.Rounds; r++ {
+		m, err := recvExpect(conn, wire.MsgModelPush, r)
+		if err != nil {
+			return nil, fmt.Errorf("syncsgd: worker %d round %d: %w", w.cfg.ID, r, err)
+		}
+		if err := nn.DecodeModelInto(params, state, m.Payload); err != nil {
+			return nil, fmt.Errorf("syncsgd: worker %d installing model: %w", w.cfg.ID, err)
+		}
+		x, labels := w.cfg.Shard.Batch(w.sampler.Next())
+		nn.ZeroGrads(params)
+		logits := w.cfg.Model.Forward(x, true)
+		loss, g := w.cfg.Loss.Loss(logits, labels)
+		w.cfg.Model.Backward(g)
+		stats.Rounds = append(stats.Rounds, RoundStat{Round: r, Loss: loss, Batch: len(labels)})
+
+		payload := encodeGradsBatchState(params, len(labels), state)
+		if err := conn.Send(&wire.Message{
+			Type:     wire.MsgGradPush,
+			Platform: uint32(w.cfg.ID),
+			Round:    uint32(r),
+			Payload:  payload,
+		}); err != nil {
+			return nil, fmt.Errorf("syncsgd: worker %d pushing gradients: %w", w.cfg.ID, err)
+		}
+		if w.evalRound(r) && w.cfg.Meter != nil {
+			stats.Bytes = append(stats.Bytes, ByteStat{Round: r, TrainingBytes: trainingBytes(w.cfg.Meter)})
+		}
+	}
+	if err := conn.Send(&wire.Message{Type: wire.MsgBye, Platform: uint32(w.cfg.ID)}); err != nil {
+		return nil, fmt.Errorf("syncsgd: worker %d bye: %w", w.cfg.ID, err)
+	}
+	return stats, nil
+}
+
+func (w *Worker) evalRound(r int) bool {
+	if w.cfg.EvalEvery <= 0 {
+		return false
+	}
+	return (r+1)%w.cfg.EvalEvery == 0 || r == w.cfg.Rounds-1
+}
+
+// encodeGradsBatchState appends the minibatch size (as a scalar
+// tensor) and the worker's normalization state to the gradient payload,
+// so the server can weight the gradient average and aggregate the
+// statistics.
+func encodeGradsBatchState(params []*nn.Param, batch int, state []*tensor.Tensor) []byte {
+	buf := nn.EncodeGrads(params)
+	scalar := tensor.New()
+	scalar.Set(float32(batch))
+	buf = scalar.AppendTo(buf)
+	for _, t := range state {
+		buf = t.AppendTo(buf)
+	}
+	return buf
+}
+
+// decodeGradsBatchState splits a gradient payload back into per-param
+// tensors, the batch size, and the worker's normalization state.
+func decodeGradsBatchState(buf []byte, params []*nn.Param, stateShape []*tensor.Tensor) ([]*tensor.Tensor, int, []*tensor.Tensor, error) {
+	out := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		t, rest, err := tensor.Decode(buf)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("%w: gradient %d: %v", ErrProtocol, i, err)
+		}
+		if !tensor.SameShape(t, p.G) {
+			return nil, 0, nil, fmt.Errorf("%w: gradient %d shape %v, want %v", ErrProtocol, i, t.Shape(), p.G.Shape())
+		}
+		out[i] = t
+		buf = rest
+	}
+	scalar, rest, err := tensor.Decode(buf)
+	if err != nil || scalar.Size() != 1 {
+		return nil, 0, nil, fmt.Errorf("%w: bad batch-size trailer", ErrProtocol)
+	}
+	batch := int(scalar.At())
+	if batch <= 0 {
+		return nil, 0, nil, fmt.Errorf("%w: batch size %d", ErrProtocol, batch)
+	}
+	buf = rest
+	state := make([]*tensor.Tensor, len(stateShape))
+	for i, want := range stateShape {
+		t, r2, err := tensor.Decode(buf)
+		if err != nil {
+			return nil, 0, nil, fmt.Errorf("%w: state %d: %v", ErrProtocol, i, err)
+		}
+		if !tensor.SameShape(t, want) {
+			return nil, 0, nil, fmt.Errorf("%w: state %d shape %v, want %v", ErrProtocol, i, t.Shape(), want.Shape())
+		}
+		state[i] = t
+		buf = r2
+	}
+	if len(buf) != 0 {
+		return nil, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrProtocol, len(buf))
+	}
+	return out, batch, state, nil
+}
+
+// trainingBytes counts parameter-exchange traffic in both directions.
+func trainingBytes(m *transport.Meter) int64 {
+	return m.TxBytesByType(wire.MsgGradPush) + m.RxBytesByType(wire.MsgGradPush) +
+		m.TxBytesByType(wire.MsgModelPush) + m.RxBytesByType(wire.MsgModelPush) +
+		m.TxBytesByType(wire.MsgModelPull) + m.RxBytesByType(wire.MsgModelPull)
+}
+
+// recvExpect reads one message and validates type and round.
+func recvExpect(conn transport.Conn, want wire.MsgType, round int) (*wire.Message, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("syncsgd: receiving %s: %w", want, err)
+	}
+	if m.Type != want {
+		return nil, fmt.Errorf("%w: got %s, want %s", ErrProtocol, m.Type, want)
+	}
+	if round >= 0 && m.Round != uint32(round) {
+		return nil, fmt.Errorf("%w: %s for round %d, want %d", ErrProtocol, m.Type, m.Round, round)
+	}
+	return m, nil
+}
+
+// RunLocal wires a parameter server and workers over in-process pipes
+// and runs the full session, returning the server stats and per-worker
+// stats.
+func RunLocal(server *Server, workers []*Worker) (*ServerStats, []*WorkerStats, error) {
+	if server == nil {
+		return nil, nil, fmt.Errorf("%w: nil server", ErrConfig)
+	}
+	if len(workers) != server.cfg.Workers {
+		return nil, nil, fmt.Errorf("%w: %d workers for a %d-worker server", ErrConfig, len(workers), server.cfg.Workers)
+	}
+	serverConns := make([]transport.Conn, len(workers))
+	workerConns := make([]transport.Conn, len(workers))
+	for k, w := range workers {
+		s, c := transport.Pipe()
+		serverConns[k] = s
+		if w.cfg.Meter != nil {
+			c = transport.Metered(c, w.cfg.Meter)
+		}
+		workerConns[k] = c
+	}
+	defer func() {
+		for k := range workers {
+			serverConns[k].Close()
+			workerConns[k].Close()
+		}
+	}()
+
+	var serverStats *ServerStats
+	workerStats := make([]*WorkerStats, len(workers))
+	errs := make([]error, len(workers)+1)
+	var wg sync.WaitGroup
+	wg.Add(len(workers) + 1)
+	go func() {
+		defer wg.Done()
+		st, err := server.Serve(serverConns)
+		if err != nil {
+			errs[0] = fmt.Errorf("server: %w", err)
+			for _, c := range serverConns {
+				c.Close()
+			}
+			return
+		}
+		serverStats = st
+	}()
+	for k, w := range workers {
+		k, w := k, w
+		go func() {
+			defer wg.Done()
+			st, err := w.Run(workerConns[k])
+			if err != nil {
+				errs[k+1] = fmt.Errorf("worker %d: %w", k, err)
+				workerConns[k].Close()
+				return
+			}
+			workerStats[k] = st
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, nil, err
+	}
+	return serverStats, workerStats, nil
+}

@@ -1,0 +1,283 @@
+package syncsgd
+
+import (
+	"errors"
+	"testing"
+
+	"medsplit/internal/dataset"
+	"medsplit/internal/models"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+func flatData(t *testing.T, classes, train, test int, seed uint64) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	tr, te := dataset.SynthCIFAR(dataset.SynthConfig{Classes: classes, Train: train, Test: test, Seed: seed})
+	fl := func(d *dataset.Dataset) *dataset.Dataset {
+		n := d.X.Dim(0)
+		return &dataset.Dataset{X: d.X.Reshape(n, d.X.Size()/n), Labels: d.Labels, Classes: d.Classes}
+	}
+	return fl(tr), fl(te)
+}
+
+func buildModel(seed uint64, in, classes int) *nn.Sequential {
+	return models.MLP(in, []int{32}, classes, rng.New(seed)).Net
+}
+
+func TestSyncSGDTrainsAndEvaluates(t *testing.T) {
+	train, test := flatData(t, 4, 240, 60, 41)
+	in := train.X.Dim(1)
+	const rounds, K = 40, 3
+
+	srv, err := NewServer(ServerConfig{
+		Model:     buildModel(5, in, 4),
+		Opt:       &nn.SGD{LR: 0.1},
+		Workers:   K,
+		Rounds:    rounds,
+		EvalEvery: 20,
+		EvalData:  test,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := dataset.ShardIID(train.Len(), K, rng.New(42))
+	workers := make([]*Worker, K)
+	meters := make([]*transport.Meter, K)
+	for k := 0; k < K; k++ {
+		meters[k] = &transport.Meter{}
+		w, err := NewWorker(WorkerConfig{
+			ID:        k,
+			Model:     buildModel(5, in, 4),
+			Loss:      nn.SoftmaxCrossEntropy{},
+			Shard:     train.Subset(shards[k]),
+			Batch:     8,
+			Rounds:    rounds,
+			EvalEvery: 20,
+			Seed:      uint64(200 + k),
+			Meter:     meters[k],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[k] = w
+	}
+	serverStats, workerStats, err := RunLocal(srv, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serverStats.Evals) == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	final := serverStats.Evals[len(serverStats.Evals)-1]
+	if final.Accuracy < 0.3 {
+		t.Fatalf("final accuracy %v (chance 0.25)", final.Accuracy)
+	}
+	// Loss decreases on workers.
+	w0 := workerStats[0]
+	if w0.Rounds[len(w0.Rounds)-1].Loss >= w0.Rounds[0].Loss {
+		t.Fatalf("worker loss did not decrease: %v -> %v", w0.Rounds[0].Loss, w0.Rounds[len(w0.Rounds)-1].Loss)
+	}
+	// Communication per worker per round is ~2×|model| plus framing.
+	modelBytes := int64(len(nn.EncodeParams(buildModel(5, in, 4).Params())))
+	perRound := trainingBytes(meters[0]) / int64(rounds)
+	if perRound < 2*modelBytes || perRound > 2*modelBytes+4096 {
+		t.Fatalf("per-round worker traffic %d, want ≈ 2×%d", perRound, modelBytes)
+	}
+	if len(w0.Bytes) != len(serverStats.Evals) {
+		t.Fatalf("byte snapshots %d, evals %d", len(w0.Bytes), len(serverStats.Evals))
+	}
+}
+
+// With one worker, synchronous SGD must be bit-for-bit identical to
+// centralized SGD on the same batch sequence.
+func TestSyncSGDEqualsCentralizedSingleWorker(t *testing.T) {
+	train, _ := flatData(t, 3, 64, 8, 43)
+	in := train.X.Dim(1)
+	const rounds = 8
+
+	ref := buildModel(9, in, 3)
+	refOpt := &nn.SGD{LR: 0.05}
+	loss := nn.SoftmaxCrossEntropy{}
+	sampler := dataset.NewBatchSampler(seqIdx(train.Len()), 8, rng.New(300^0x9e3779b97f4a7c15))
+	for r := 0; r < rounds; r++ {
+		x, labels := train.Batch(sampler.Next())
+		nn.ZeroGrads(ref.Params())
+		logits := ref.Forward(x, true)
+		_, g := loss.Loss(logits, labels)
+		ref.Backward(g)
+		refOpt.Step(ref.Params())
+	}
+
+	global := buildModel(9, in, 3)
+	srv, err := NewServer(ServerConfig{Model: global, Opt: &nn.SGD{LR: 0.05}, Workers: 1, Rounds: rounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(WorkerConfig{
+		ID: 0, Model: buildModel(1234, in, 3), // junk init: server overwrites it
+		Loss: loss, Shard: train, Batch: 8, Rounds: rounds, Seed: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunLocal(srv, []*Worker{w}); err != nil {
+		t.Fatal(err)
+	}
+	refP, gotP := ref.Params(), global.Params()
+	for i := range refP {
+		if !tensor.AllClose(refP[i].W, gotP[i].W, 1e-6) {
+			t.Fatalf("param %d diverged from centralized training", i)
+		}
+	}
+}
+
+func TestSyncSGDConfigValidation(t *testing.T) {
+	train, test := flatData(t, 2, 16, 8, 44)
+	in := train.X.Dim(1)
+	model := buildModel(11, in, 2)
+	if _, err := NewServer(ServerConfig{Opt: &nn.SGD{}, Workers: 1, Rounds: 1}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := NewServer(ServerConfig{Model: model, Opt: &nn.SGD{}, Workers: 1, Rounds: 1, EvalEvery: 2}); err == nil {
+		t.Fatal("EvalEvery without EvalData accepted")
+	}
+	if _, err := NewServer(ServerConfig{Model: model, Opt: &nn.SGD{}, Workers: 0, Rounds: 1, EvalData: test}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := NewWorker(WorkerConfig{Model: model, Loss: nn.SoftmaxCrossEntropy{}, Shard: train, Batch: 0, Rounds: 1}); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := NewWorker(WorkerConfig{Model: model, Loss: nn.SoftmaxCrossEntropy{}, Batch: 4, Rounds: 1}); err == nil {
+		t.Fatal("nil shard accepted")
+	}
+}
+
+func TestSyncSGDRejectsRoundMismatch(t *testing.T) {
+	train, _ := flatData(t, 2, 16, 8, 45)
+	in := train.X.Dim(1)
+	srv, err := NewServer(ServerConfig{Model: buildModel(13, in, 2), Opt: &nn.SGD{}, Workers: 1, Rounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(WorkerConfig{
+		ID: 0, Model: buildModel(13, in, 2), Loss: nn.SoftmaxCrossEntropy{},
+		Shard: train, Batch: 4, Rounds: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunLocal(srv, []*Worker{w}); err == nil {
+		t.Fatal("round mismatch accepted")
+	}
+}
+
+func TestDecodeGradsBatchStateRejectsGarbage(t *testing.T) {
+	train, _ := flatData(t, 2, 16, 8, 46)
+	model := buildModel(15, train.X.Dim(1), 2)
+	params := model.Params()
+	state := nn.CollectState(model)
+	good := encodeGradsBatchState(params, 4, state)
+	if _, _, _, err := decodeGradsBatchState(good[:10], params, state); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("truncated: %v", err)
+	}
+	if _, _, _, err := decodeGradsBatchState(append(good, 9), params, state); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("trailing: %v", err)
+	}
+	// Zero batch.
+	bad := nn.EncodeGrads(params)
+	zero := tensor.New()
+	bad = zero.AppendTo(bad)
+	if _, _, _, err := decodeGradsBatchState(bad, params, state); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("zero batch: %v", err)
+	}
+}
+
+func TestServerRejectsBadHello(t *testing.T) {
+	train, _ := flatData(t, 2, 16, 8, 47)
+	srv, err := NewServer(ServerConfig{
+		Model: buildModel(17, train.X.Dim(1), 2), Opt: &nn.SGD{}, Workers: 1, Rounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sConn, cConn := transport.Pipe()
+	defer cConn.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, serr := srv.Serve([]transport.Conn{sConn})
+		errCh <- serr
+		sConn.Close()
+	}()
+	if err := cConn.Send(&wire.Message{Type: wire.MsgHello, Payload: wire.EncodeText("v=1;algo=fedavg;rounds=1;eval=0")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; !errors.Is(err, ErrConfig) {
+		t.Fatalf("err = %v, want ErrConfig", err)
+	}
+}
+
+func seqIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Regression test: models with BatchNorm must evaluate correctly on the
+// parameter server. Gradients alone never move the server's running
+// statistics; the protocol ships them explicitly (nn.Stateful). Without
+// that, this test's global model evaluates at chance.
+func TestBatchNormStateReachesServer(t *testing.T) {
+	train, test := flatData(t, 3, 180, 60, 48)
+	in := train.X.Dim(1)
+	buildBN := func(seed uint64) *nn.Sequential {
+		r := rng.New(seed)
+		return nn.NewSequential("bn-mlp",
+			nn.NewDense("fc1", in, 24, r),
+			nn.NewBatchNorm("bn1", 24),
+			nn.NewTanh("tanh"),
+			nn.NewDense("head", 24, 3, r),
+		)
+	}
+	global := buildBN(31)
+	srv, err := NewServer(ServerConfig{
+		Model: global, Opt: &nn.SGD{LR: 0.1}, Workers: 2, Rounds: 40,
+		EvalEvery: 20, EvalData: test,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := dataset.ShardIID(train.Len(), 2, rng.New(49))
+	workers := make([]*Worker, 2)
+	for k := 0; k < 2; k++ {
+		w, err := NewWorker(WorkerConfig{
+			ID: k, Model: buildBN(31), Loss: nn.SoftmaxCrossEntropy{},
+			Shard: train.Subset(shards[k]), Batch: 16, Rounds: 40,
+			EvalEvery: 20, Seed: uint64(600 + k),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[k] = w
+	}
+	serverStats, _, err := RunLocal(srv, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := serverStats.Evals[len(serverStats.Evals)-1]
+	if final.Accuracy < 0.5 {
+		t.Fatalf("BN model at %.0f%% on the server (chance 33%%): running stats not synced", 100*final.Accuracy)
+	}
+	// The server's running statistics must have moved from init (0 mean).
+	state := nn.CollectState(global)
+	if len(state) != 2 {
+		t.Fatalf("expected 2 state tensors, got %d", len(state))
+	}
+	if state[0].Norm() == 0 {
+		t.Fatal("server running mean still at initialization")
+	}
+}

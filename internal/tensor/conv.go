@@ -1,0 +1,144 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the spatial output size of a convolution or pooling
+// window: floor((in + 2*pad - kernel)/stride) + 1. It panics if the
+// geometry is degenerate (non-positive output).
+func ConvOutSize(in, kernel, stride, pad int) int {
+	if stride <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive stride %d", stride))
+	}
+	out := (in+2*pad-kernel)/stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: convolution output size %d for in=%d kernel=%d stride=%d pad=%d", out, in, kernel, stride, pad))
+	}
+	return out
+}
+
+// Im2Col lowers a batched NCHW image tensor into the column matrix used to
+// express convolution as matrix multiplication. For x of shape
+// [n, c, h, w] and a kh×kw kernel, the result has shape
+// [n*oh*ow, c*kh*kw]: row (n, oy, ox) holds the receptive field of output
+// pixel (oy, ox) of sample n, with zero padding outside the image.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col needs rank-4 NCHW input, got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	cols := New(n*oh*ow, c*kh*kw)
+	rowLen := c * kh * kw
+	for in := 0; in < n; in++ {
+		imgBase := in * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - pad
+				row := cols.data[((in*oh+oy)*ow+ox)*rowLen:][:rowLen]
+				for ch := 0; ch < c; ch++ {
+					chBase := imgBase + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						dst := row[(ch*kh+ky)*kw : (ch*kh+ky)*kw+kw]
+						if iy < 0 || iy >= h {
+							continue // stays zero (padding)
+						}
+						srcRow := x.data[chBase+iy*w : chBase+(iy+1)*w]
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								dst[kx] = srcRow[ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters column-matrix gradients
+// back into an NCHW image tensor of shape [n, c, h, w], accumulating
+// where receptive fields overlap. Together with Im2Col it satisfies
+// <Im2Col(x), g> == <x, Col2Im(g)> — the property the convolution
+// backward pass depends on (verified in tests).
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	rowLen := c * kh * kw
+	if len(cols.shape) != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match [%d,%d]", cols.shape, n*oh*ow, rowLen))
+	}
+	img := New(n, c, h, w)
+	for in := 0; in < n; in++ {
+		imgBase := in * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - pad
+				row := cols.data[((in*oh+oy)*ow+ox)*rowLen:][:rowLen]
+				for ch := 0; ch < c; ch++ {
+					chBase := imgBase + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						src := row[(ch*kh+ky)*kw : (ch*kh+ky)*kw+kw]
+						dstRow := img.data[chBase+iy*w : chBase+(iy+1)*w]
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								dstRow[ix] += src[kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return img
+}
+
+// RowsToNCHW repacks a [n*oh*ow, c] matrix (the output layout of
+// Im2Col-based convolution) into an NCHW tensor [n, c, oh, ow].
+func RowsToNCHW(rows *Tensor, n, c, oh, ow int) *Tensor {
+	if len(rows.shape) != 2 || rows.shape[0] != n*oh*ow || rows.shape[1] != c {
+		panic(fmt.Sprintf("tensor: RowsToNCHW shape %v does not match [%d,%d]", rows.shape, n*oh*ow, c))
+	}
+	out := New(n, c, oh, ow)
+	for in := 0; in < n; in++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				src := rows.data[((in*oh+oy)*ow+ox)*c:][:c]
+				for ch := 0; ch < c; ch++ {
+					out.data[((in*c+ch)*oh+oy)*ow+ox] = src[ch]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NCHWToRows is the inverse of RowsToNCHW: it flattens an NCHW tensor
+// [n, c, oh, ow] into the [n*oh*ow, c] matrix layout.
+func NCHWToRows(x *Tensor) *Tensor {
+	if len(x.shape) != 4 {
+		panic(fmt.Sprintf("tensor: NCHWToRows needs rank-4 input, got %v", x.shape))
+	}
+	n, c, oh, ow := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(n*oh*ow, c)
+	for in := 0; in < n; in++ {
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					out.data[((in*oh+oy)*ow+ox)*c+ch] = x.data[((in*c+ch)*oh+oy)*ow+ox]
+				}
+			}
+		}
+	}
+	return out
+}

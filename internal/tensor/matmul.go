@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which MatMul
+// stays single-threaded: goroutine fan-out costs more than it saves on
+// small products.
+const parallelThreshold = 1 << 18
+
+// MatMul returns the matrix product a·b for a of shape [m,k] and b of
+// shape [k,n]. The kernel uses the i-k-j loop order so the inner loop
+// streams both b and the output row sequentially (row-major friendly), and
+// fans rows out across GOMAXPROCS goroutines for large products.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul("MatMul", a, b, false, false)
+	out := New(m, n)
+	mulRows := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelRows(m, m*k*n, mulRows)
+	return out
+}
+
+// MatMulTA returns aᵀ·b for a of shape [k,m] and b of shape [k,n],
+// producing [m,n] without materializing the transpose. Dense-layer weight
+// gradients (xᵀ·dy) use this form.
+func MatMulTA(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul("MatMulTA", a, b, true, false)
+	out := New(m, n)
+	// Accumulate outer products row-by-row of the shared k dimension.
+	// Parallelizing over output rows would race; instead give each worker
+	// a private accumulator when parallel, or run serially when small.
+	work := m * k * n
+	if work < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {
+		for p := 0; p < k; p++ {
+			arow := a.data[p*m : (p+1)*m]
+			brow := b.data[p*n : (p+1)*n]
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				orow := out.data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+		return out
+	}
+	// Parallel path: split output rows among workers; each worker scans
+	// all k but only fills its own row range, so no synchronization is
+	// needed.
+	parallelRows(m, work, func(r0, r1 int) {
+		for p := 0; p < k; p++ {
+			arow := a.data[p*m : (p+1)*m]
+			brow := b.data[p*n : (p+1)*n]
+			for i := r0; i < r1; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTB returns a·bᵀ for a of shape [m,k] and b of shape [n,k],
+// producing [m,n] without materializing the transpose. Dense-layer input
+// gradients (dy·wᵀ) use this form.
+func MatMulTB(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul("MatMulTB", a, b, false, true)
+	out := New(m, n)
+	parallelRows(m, m*k*n, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.data[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// checkMatMul validates shapes for the three product forms and returns
+// (m, k, n): out is [m,n] and k is the contracted dimension.
+func checkMatMul(op string, a, b *Tensor, transA, transB bool) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s needs rank-2 tensors, got %v and %v", op, a.shape, b.shape))
+	}
+	ak0, ak1 := a.shape[0], a.shape[1]
+	bk0, bk1 := b.shape[0], b.shape[1]
+	if transA {
+		m, k = ak1, ak0
+	} else {
+		m, k = ak0, ak1
+	}
+	var kb int
+	if transB {
+		n, kb = bk0, bk1
+	} else {
+		kb, n = bk0, bk1
+	}
+	if k != kb {
+		panic(fmt.Sprintf("tensor: %s inner dimension mismatch: %v × %v", op, a.shape, b.shape))
+	}
+	return m, k, n
+}
+
+// parallelRows runs fn over [0,rows) split into contiguous chunks, one per
+// worker, when the estimated work is large enough; otherwise serially.
+func parallelRows(rows, work int, fn func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if work < parallelThreshold || workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			fn(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}

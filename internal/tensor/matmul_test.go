@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"medsplit/internal/rng"
+)
+
+// naiveMatMul is the reference O(mnk) implementation in float64 used to
+// validate the optimized kernels.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(a.At(i, p)) * float64(b.At(p, j))
+			}
+			out.Set(float32(s), i, j)
+		}
+	}
+	return out
+}
+
+func randTensor(r *rng.RNG, shape ...int) *Tensor {
+	t := New(shape...)
+	t.FillNormal(r, 0, 1)
+	return t
+}
+
+func TestMatMulSmallKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	x := randTensor(r, 5, 5)
+	eye := New(5, 5)
+	for i := 0; i < 5; i++ {
+		eye.Set(1, i, i)
+	}
+	if !AllClose(MatMul(x, eye), x, 1e-6) {
+		t.Fatal("x·I != x")
+	}
+	if !AllClose(MatMul(eye, x), x, 1e-6) {
+		t.Fatal("I·x != x")
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	r := rng.New(2)
+	cases := [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 3}, {16, 16, 16}, {33, 17, 9}, {64, 128, 32}}
+	for _, c := range cases {
+		m, k, n := c[0], c[1], c[2]
+		a := randTensor(r, m, k)
+		b := randTensor(r, k, n)
+		got := MatMul(a, b)
+		want := naiveMatMul(a, b)
+		if !AllClose(got, want, 1e-4) {
+			t.Fatalf("MatMul(%dx%d,%dx%d) diverges from naive", m, k, k, n)
+		}
+	}
+}
+
+func TestMatMulTAMatchesExplicitTranspose(t *testing.T) {
+	r := rng.New(3)
+	for _, c := range [][3]int{{4, 6, 5}, {1, 9, 2}, {32, 64, 16}} {
+		m, k, n := c[0], c[1], c[2]
+		a := randTensor(r, k, m) // will be transposed
+		b := randTensor(r, k, n)
+		got := MatMulTA(a, b)
+		want := MatMul(Transpose(a), b)
+		if !AllClose(got, want, 1e-4) {
+			t.Fatalf("MatMulTA (m=%d,k=%d,n=%d) diverges", m, k, n)
+		}
+	}
+}
+
+func TestMatMulTBMatchesExplicitTranspose(t *testing.T) {
+	r := rng.New(4)
+	for _, c := range [][3]int{{4, 6, 5}, {2, 1, 7}, {16, 32, 64}} {
+		m, k, n := c[0], c[1], c[2]
+		a := randTensor(r, m, k)
+		b := randTensor(r, n, k) // will be transposed
+		got := MatMulTB(a, b)
+		want := MatMul(a, Transpose(b))
+		if !AllClose(got, want, 1e-4) {
+			t.Fatalf("MatMulTB (m=%d,k=%d,n=%d) diverges", m, k, n)
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	a := New(2, 3)
+	b := New(4, 5)
+	assertPanics(t, "inner mismatch", func() { MatMul(a, b) })
+	assertPanics(t, "rank-1 operand", func() { MatMul(a.Reshape(6), b) })
+}
+
+func TestMatMulLargeTriggersParallelPath(t *testing.T) {
+	// 128×128×128 = 2M multiply-adds > parallelThreshold, exercising the
+	// goroutine fan-out path; validated against the naive kernel.
+	r := rng.New(5)
+	a := randTensor(r, 128, 128)
+	b := randTensor(r, 128, 128)
+	if !AllClose(MatMul(a, b), naiveMatMul(a, b), 1e-3) {
+		t.Fatal("parallel MatMul diverges from naive")
+	}
+	if !AllClose(MatMulTA(a, b), MatMul(Transpose(a), b), 1e-3) {
+		t.Fatal("parallel MatMulTA diverges")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ, linking all three kernels.
+func TestMatMulTransposeProperty(t *testing.T) {
+	r := rng.New(6)
+	f := func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		m, k, n := 1+rr.Intn(8), 1+rr.Intn(8), 1+rr.Intn(8)
+		a := randTensor(r, m, k)
+		b := randTensor(r, k, n)
+		lhs := Transpose(MatMul(a, b))
+		rhs := MatMul(Transpose(b), Transpose(a))
+		return AllClose(lhs, rhs, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B)  { benchMatMul(b, 64) }
+func BenchmarkMatMul256(b *testing.B) { benchMatMul(b, 256) }
+
+func benchMatMul(b *testing.B, n int) {
+	r := rng.New(1)
+	x := randTensor(r, n, n)
+	y := randTensor(r, n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+	b.SetBytes(int64(8 * n * n * n)) // multiply-add count as pseudo-bytes
+}

@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Serialization layout (little-endian):
+//
+//	uint8   rank
+//	uint32  dim[rank]
+//	float32 data[volume]
+//
+// The format is fixed-size given a shape, which lets the wire layer
+// pre-compute exact message sizes for communication accounting.
+
+// ErrCorrupt is returned when encoded tensor bytes cannot be decoded.
+var ErrCorrupt = errors.New("tensor: corrupt encoding")
+
+// maxDecodeElems caps the element count a decoder will allocate,
+// protecting servers from hostile or corrupt length prefixes.
+const maxDecodeElems = 1 << 28 // 1 GiB of float32
+
+// EncodedSize returns the exact number of bytes AppendTo will write for t.
+func (t *Tensor) EncodedSize() int {
+	return 1 + 4*len(t.shape) + 4*len(t.data)
+}
+
+// EncodedSizeFor returns the encoded size of a tensor with the given
+// shape without constructing it.
+func EncodedSizeFor(shape ...int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return 1 + 4*len(shape) + 4*n
+}
+
+// AppendTo appends t's binary encoding to buf and returns the extended
+// slice.
+func (t *Tensor) AppendTo(buf []byte) []byte {
+	if len(t.shape) > 255 {
+		panic(fmt.Sprintf("tensor: rank %d exceeds encodable maximum 255", len(t.shape)))
+	}
+	buf = append(buf, byte(len(t.shape)))
+	var tmp [4]byte
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(d))
+		buf = append(buf, tmp[:]...)
+	}
+	for _, v := range t.data {
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// Decode parses one tensor from the front of buf, returning the tensor
+// and the remaining bytes.
+func Decode(buf []byte) (*Tensor, []byte, error) {
+	if len(buf) < 1 {
+		return nil, nil, fmt.Errorf("%w: empty buffer", ErrCorrupt)
+	}
+	rank := int(buf[0])
+	buf = buf[1:]
+	if len(buf) < 4*rank {
+		return nil, nil, fmt.Errorf("%w: truncated shape (rank %d)", ErrCorrupt, rank)
+	}
+	shape := make([]int, rank)
+	vol := 1
+	for i := range shape {
+		d := int(binary.LittleEndian.Uint32(buf[4*i:]))
+		if d <= 0 {
+			return nil, nil, fmt.Errorf("%w: non-positive dimension %d", ErrCorrupt, d)
+		}
+		shape[i] = d
+		vol *= d
+		if vol > maxDecodeElems {
+			return nil, nil, fmt.Errorf("%w: volume exceeds decoder cap", ErrCorrupt)
+		}
+	}
+	buf = buf[4*rank:]
+	if len(buf) < 4*vol {
+		return nil, nil, fmt.Errorf("%w: truncated data (want %d floats, have %d bytes)", ErrCorrupt, vol, len(buf))
+	}
+	data := make([]float32, vol)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return &Tensor{shape: shape, data: data}, buf[4*vol:], nil
+}

@@ -1,0 +1,130 @@
+package tensor
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"medsplit/internal/rng"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	shapes := [][]int{{1}, {5}, {2, 3}, {4, 1, 7}, {2, 3, 4, 5}, {}}
+	for _, shape := range shapes {
+		x := randTensor(r, shape...)
+		buf := x.AppendTo(nil)
+		if len(buf) != x.EncodedSize() {
+			t.Fatalf("shape %v: encoded %d bytes, EncodedSize says %d", shape, len(buf), x.EncodedSize())
+		}
+		y, rest, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("shape %v: decode: %v", shape, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("shape %v: %d leftover bytes", shape, len(rest))
+		}
+		if !SameShape(x, y) || !AllClose(x, y, 0) {
+			t.Fatalf("shape %v: round trip mismatch", shape)
+		}
+	}
+}
+
+func TestEncodedSizeFor(t *testing.T) {
+	if got, want := EncodedSizeFor(4, 5), New(4, 5).EncodedSize(); got != want {
+		t.Fatalf("EncodedSizeFor = %d, want %d", got, want)
+	}
+}
+
+func TestDecodeMultipleConcatenated(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{3, 4, 5, 6}, 2, 2)
+	buf := a.AppendTo(nil)
+	buf = b.AppendTo(buf)
+	a2, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, rest, err := Decode(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d leftover bytes", len(rest))
+	}
+	if !AllClose(a, a2, 0) || !AllClose(b, b2, 0) {
+		t.Fatal("concatenated decode mismatch")
+	}
+}
+
+func TestDecodeCorruptInputs(t *testing.T) {
+	good := New(2, 2).AppendTo(nil)
+	cases := map[string][]byte{
+		"empty":           {},
+		"truncated shape": good[:3],
+		"truncated data":  good[:len(good)-2],
+	}
+	for name, buf := range cases {
+		if _, _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	// Zero dimension encoded explicitly.
+	bad := []byte{1, 0, 0, 0, 0}
+	if _, _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("zero dim: err = %v, want ErrCorrupt", err)
+	}
+	// Hostile volume: rank 2 of 65536 x 65536 floats would be 16 GiB.
+	hostile := []byte{2, 0, 0, 1, 0, 0, 0, 1, 0}
+	if _, _, err := Decode(hostile); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("hostile volume: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Property: round trip preserves arbitrary float payloads bit-for-bit.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x := FromSlice(append([]float32(nil), vals...), len(vals))
+		y, rest, err := Decode(x.AppendTo(nil))
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		for i := range vals {
+			// Compare bit patterns so NaN payloads round-trip too.
+			if x.Data()[i] != y.Data()[i] && !(x.Data()[i] != x.Data()[i] && y.Data()[i] != y.Data()[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	r := rng.New(1)
+	x := randTensor(r, 64, 256)
+	buf := make([]byte, 0, x.EncodedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = x.AppendTo(buf[:0])
+	}
+	b.SetBytes(int64(x.EncodedSize()))
+}
+
+func BenchmarkDecode(b *testing.B) {
+	r := rng.New(1)
+	x := randTensor(r, 64, 256)
+	buf := x.AppendTo(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}

@@ -1,0 +1,305 @@
+package tensor
+
+import (
+	"testing"
+
+	"medsplit/internal/rng"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("Size() = %d, want 24", x.Size())
+	}
+	if x.Rank() != 3 {
+		t.Fatalf("Rank() = %d, want 3", x.Rank())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	assertPanics(t, "zero dim", func() { New(2, 0, 3) })
+	assertPanics(t, "negative dim", func() { New(-1) })
+}
+
+func TestScalarTensor(t *testing.T) {
+	s := New()
+	if s.Size() != 1 || s.Rank() != 0 {
+		t.Fatalf("scalar: size=%d rank=%d", s.Size(), s.Rank())
+	}
+	s.Set(3.5)
+	if s.At() != 3.5 {
+		t.Fatalf("At() = %v, want 3.5", s.At())
+	}
+}
+
+func TestAtSetRowMajorOrder(t *testing.T) {
+	x := New(2, 3)
+	x.Set(1, 0, 0)
+	x.Set(2, 0, 2)
+	x.Set(3, 1, 0)
+	want := []float32{1, 0, 2, 3, 0, 0}
+	for i, v := range x.Data() {
+		if v != want[i] {
+			t.Fatalf("data[%d] = %v, want %v (layout %v)", i, v, want[i], x.Data())
+		}
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	assertPanics(t, "row overflow", func() { x.At(2, 0) })
+	assertPanics(t, "negative", func() { x.At(0, -1) })
+	assertPanics(t, "wrong rank", func() { x.At(1) })
+}
+
+func TestFromSliceSharesStorage(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 9
+	if x.At(0, 0) != 9 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+	assertPanics(t, "length mismatch", func() { FromSlice(d, 3, 2) })
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Set(99, 0, 0)
+	if x.At(0, 0) != 99 {
+		t.Fatal("Reshape must return a view")
+	}
+	assertPanics(t, "volume mismatch", func() { x.Reshape(4, 2) })
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Set(7, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone must copy storage")
+	}
+}
+
+func TestShapeReturnsCopy(t *testing.T) {
+	x := New(2, 3)
+	s := x.Shape()
+	s[0] = 99
+	if x.Dim(0) != 2 {
+		t.Fatal("Shape() must return a defensive copy")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{10, 20, 30, 40}, 2, 2)
+
+	if got := Add(a, b).Data(); got[3] != 44 {
+		t.Errorf("Add: %v", got)
+	}
+	if got := Sub(b, a).Data(); got[0] != 9 {
+		t.Errorf("Sub: %v", got)
+	}
+	if got := Mul(a, b).Data(); got[1] != 40 {
+		t.Errorf("Mul: %v", got)
+	}
+	c := a.Clone()
+	c.AddInPlace(b)
+	if c.At(0, 0) != 11 {
+		t.Errorf("AddInPlace: %v", c.Data())
+	}
+	c = a.Clone()
+	c.SubInPlace(b)
+	if c.At(0, 0) != -9 {
+		t.Errorf("SubInPlace: %v", c.Data())
+	}
+	c = a.Clone()
+	c.MulInPlace(b)
+	if c.At(1, 1) != 160 {
+		t.Errorf("MulInPlace: %v", c.Data())
+	}
+	c = a.Clone()
+	c.Scale(2)
+	if c.At(1, 1) != 8 {
+		t.Errorf("Scale: %v", c.Data())
+	}
+	if got := Scaled(a, -1).At(0, 1); got != -2 {
+		t.Errorf("Scaled: %v", got)
+	}
+	c = a.Clone()
+	c.AxpyInPlace(0.5, b)
+	if c.At(0, 0) != 6 {
+		t.Errorf("AxpyInPlace: %v", c.Data())
+	}
+	assertPanics(t, "shape mismatch", func() { Add(a, New(3, 3)) })
+}
+
+func TestAddRowVectorAndSumRowsAreAdjoint(t *testing.T) {
+	r := rng.New(1)
+	x := New(4, 5)
+	x.FillNormal(r, 0, 1)
+	v := New(5)
+	v.FillNormal(r, 0, 1)
+	g := New(4, 5)
+	g.FillNormal(r, 0, 1)
+
+	// <x + 1·vᵀ, g> - <x, g> == <v, SumRows(g)>
+	withBias := x.Clone()
+	withBias.AddRowVector(v)
+	lhs := Dot(withBias, g) - Dot(x, g)
+	rhs := Dot(v, SumRows(g))
+	if diff := lhs - rhs; diff > 1e-3 || diff < -1e-3 {
+		t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestSumMeanMaxDotNorm(t *testing.T) {
+	x := FromSlice([]float32{1, -2, 3, 4}, 4)
+	if x.Sum() != 6 {
+		t.Errorf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 1.5 {
+		t.Errorf("Mean = %v", x.Mean())
+	}
+	if x.Max() != 4 {
+		t.Errorf("Max = %v", x.Max())
+	}
+	if got := Dot(x, x); got != 30 {
+		t.Errorf("Dot = %v", got)
+	}
+	if n := x.Norm(); n < 5.47 || n > 5.48 {
+		t.Errorf("Norm = %v", n)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := rng.New(2)
+	x := New(3, 7)
+	x.FillNormal(r, 0, 1)
+	tt := Transpose(Transpose(x))
+	if !AllClose(x, tt, 0) {
+		t.Fatal("Transpose(Transpose(x)) != x")
+	}
+	y := Transpose(x)
+	if y.Dim(0) != 7 || y.Dim(1) != 3 {
+		t.Fatalf("transpose shape %v", y.Shape())
+	}
+	if y.At(2, 1) != x.At(1, 2) {
+		t.Fatal("transpose element mismatch")
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 1000, 1001, 1002}, 2, 3)
+	s := SoftmaxRows(x)
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			v := s.At(r, c)
+			if v <= 0 || v >= 1 {
+				t.Fatalf("softmax[%d,%d] = %v out of (0,1)", r, c, v)
+			}
+			sum += float64(v)
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d sums to %v", r, sum)
+		}
+	}
+	// Shift invariance: row 1 is row 0 + 999, so softmax must match.
+	for c := 0; c < 3; c++ {
+		if d := s.At(0, c) - s.At(1, c); d > 1e-6 || d < -1e-6 {
+			t.Fatalf("softmax not shift-invariant at col %d", c)
+		}
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	x := FromSlice([]float32{1, 5, 2, 9, 0, 3}, 2, 3)
+	got := ArgmaxRows(x)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgmaxRows = %v, want [1 0]", got)
+	}
+}
+
+func TestClipInPlace(t *testing.T) {
+	x := FromSlice([]float32{-10, -0.5, 0.5, 10}, 4)
+	x.ClipInPlace(1)
+	want := []float32{-1, -0.5, 0.5, 1}
+	for i, v := range x.Data() {
+		if v != want[i] {
+			t.Fatalf("Clip: %v, want %v", x.Data(), want)
+		}
+	}
+	assertPanics(t, "bad limit", func() { x.ClipInPlace(0) })
+}
+
+func TestConcatSplitRowsRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	a := New(2, 4)
+	b := New(3, 4)
+	c := New(1, 4)
+	for _, x := range []*Tensor{a, b, c} {
+		x.FillNormal(r, 0, 1)
+	}
+	cat := ConcatRows(a, b, c)
+	if cat.Dim(0) != 6 || cat.Dim(1) != 4 {
+		t.Fatalf("concat shape %v", cat.Shape())
+	}
+	parts := SplitRows(cat, []int{2, 3, 1})
+	for i, orig := range []*Tensor{a, b, c} {
+		if !AllClose(orig, parts[i], 0) {
+			t.Fatalf("part %d does not round-trip", i)
+		}
+	}
+	// Split blocks must be independent copies.
+	parts[0].Set(99, 0, 0)
+	if cat.At(0, 0) == 99 {
+		t.Fatal("SplitRows must copy")
+	}
+	assertPanics(t, "bad sizes", func() { SplitRows(cat, []int{2, 2}) })
+	assertPanics(t, "column mismatch", func() { ConcatRows(a, New(2, 5)) })
+}
+
+func TestHasNaN(t *testing.T) {
+	x := New(3)
+	if x.HasNaN() {
+		t.Fatal("zeros reported NaN")
+	}
+	x.Set(float32(nan()), 1)
+	if !x.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestApply(t *testing.T) {
+	x := FromSlice([]float32{-1, 2, -3}, 3)
+	x.Apply(func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+	if x.At(0) != 0 || x.At(1) != 2 || x.At(2) != 0 {
+		t.Fatalf("Apply: %v", x.Data())
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"io"
+	"sync"
+
+	"medsplit/internal/wire"
+)
+
+// Pipe returns two connected in-process connections. Messages sent on
+// one side arrive at the other in order. Transfer is by reference (no
+// serialization), but WireSize-based accounting through Metered matches
+// the TCP transport byte for byte, so simulations report real wire
+// costs.
+//
+// Channels are unbuffered: a Send completes only when the peer receives
+// it, which mirrors the strict request/response rhythm of the split
+// protocol and means no message can be silently lost at Close.
+func Pipe() (Conn, Conn) {
+	ab := make(chan *wire.Message)
+	ba := make(chan *wire.Message)
+	doneA := make(chan struct{})
+	doneB := make(chan struct{})
+	a := &pipeConn{send: ab, recv: ba, done: doneA, peerDone: doneB}
+	b := &pipeConn{send: ba, recv: ab, done: doneB, peerDone: doneA}
+	return a, b
+}
+
+type pipeConn struct {
+	send      chan *wire.Message
+	recv      chan *wire.Message
+	done      chan struct{} // closed when this side closes
+	peerDone  chan struct{} // closed when the peer closes
+	closeOnce sync.Once
+}
+
+var _ Conn = (*pipeConn)(nil)
+
+func (p *pipeConn) Send(m *wire.Message) error {
+	select {
+	case <-p.done:
+		return ErrClosed
+	case <-p.peerDone:
+		return io.ErrClosedPipe
+	default:
+	}
+	select {
+	case p.send <- m:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	case <-p.peerDone:
+		return io.ErrClosedPipe
+	}
+}
+
+func (p *pipeConn) Recv() (*wire.Message, error) {
+	select {
+	case m := <-p.recv:
+		return m, nil
+	case <-p.done:
+		return nil, ErrClosed
+	case <-p.peerDone:
+		// Unbuffered channels: nothing in flight to drain. A peer close
+		// reads as end of stream, matching the TCP transport.
+		return nil, io.EOF
+	}
+}
+
+func (p *pipeConn) Close() error {
+	p.closeOnce.Do(func() { close(p.done) })
+	return nil
+}

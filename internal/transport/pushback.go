@@ -1,0 +1,34 @@
+package transport
+
+import "medsplit/internal/wire"
+
+// Pushback returns a connection that yields the given messages (in
+// order) from Recv before reading from the underlying connection.
+//
+// TCP servers need it to route platforms to their slots: platforms can
+// connect in any order, so the acceptor reads each connection's Hello
+// to learn its platform id, then pushes the Hello back so the protocol
+// handshake still sees it.
+func Pushback(c Conn, msgs ...*wire.Message) Conn {
+	return &pushbackConn{inner: c, queue: append([]*wire.Message(nil), msgs...)}
+}
+
+type pushbackConn struct {
+	inner Conn
+	queue []*wire.Message
+}
+
+var _ Conn = (*pushbackConn)(nil)
+
+func (p *pushbackConn) Send(m *wire.Message) error { return p.inner.Send(m) }
+
+func (p *pushbackConn) Recv() (*wire.Message, error) {
+	if len(p.queue) > 0 {
+		m := p.queue[0]
+		p.queue = p.queue[1:]
+		return m, nil
+	}
+	return p.inner.Recv()
+}
+
+func (p *pushbackConn) Close() error { return p.inner.Close() }

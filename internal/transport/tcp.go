@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"medsplit/internal/wire"
+)
+
+// tcpConn frames wire.Messages over a net.Conn. Sends are serialized
+// with a mutex and flushed per message (the split protocol is
+// request/response; batching frames would only add latency).
+type tcpConn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	sendMu sync.Mutex
+	bw     *bufio.Writer
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+// NewTCPConn wraps an established net.Conn as a message connection.
+func NewTCPConn(nc net.Conn) Conn {
+	return &tcpConn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 1<<16),
+		bw: bufio.NewWriterSize(nc, 1<<16),
+	}
+}
+
+// Dial connects to a TCP message endpoint.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+func (c *tcpConn) Send(m *wire.Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if _, err := m.Write(c.bw); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush: %w", err)
+	}
+	return nil
+}
+
+func (c *tcpConn) Recv() (*wire.Message, error) {
+	m, _, err := wire.Read(c.br)
+	return m, err
+}
+
+func (c *tcpConn) Close() error {
+	c.closeOnce.Do(func() { c.closeErr = c.nc.Close() })
+	return c.closeErr
+}
+
+// tcpListener adapts net.Listener to the package's Listener interface.
+type tcpListener struct {
+	nl net.Listener
+}
+
+var _ Listener = (*tcpListener)(nil)
+
+// Listen opens a TCP message listener. Use addr "127.0.0.1:0" to let the
+// OS pick a free port (read it back with Addr).
+func Listen(addr string) (Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{nl: nl}, nil
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+func (l *tcpListener) Close() error { return l.nl.Close() }
+
+func (l *tcpListener) Addr() string { return l.nl.Addr().String() }

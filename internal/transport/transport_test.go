@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"medsplit/internal/wire"
+)
+
+func msg(t wire.MsgType, round uint32, payload ...byte) *wire.Message {
+	return &wire.Message{Type: t, Round: round, Payload: payload}
+}
+
+// exerciseConnPair runs the same contract tests against any connected
+// pair, so the pipe and TCP transports stay behaviorally identical.
+func exerciseConnPair(t *testing.T, a, b Conn) {
+	t.Helper()
+
+	// Ping-pong with ordering.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			m, err := b.Recv()
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			if m.Round != uint32(i) {
+				t.Errorf("out of order: got round %d, want %d", m.Round, i)
+				return
+			}
+			if err := b.Send(msg(wire.MsgAck, m.Round)); err != nil {
+				t.Errorf("ack %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if err := a.Send(msg(wire.MsgActivations, uint32(i), 1, 2, 3)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		ack, err := a.Recv()
+		if err != nil {
+			t.Fatalf("recv ack %d: %v", i, err)
+		}
+		if ack.Type != wire.MsgAck || ack.Round != uint32(i) {
+			t.Fatalf("bad ack %+v", ack)
+		}
+	}
+	wg.Wait()
+
+	// Close semantics: peer sees end of stream.
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("recv after peer close must fail")
+	}
+	// Local operations after close fail.
+	if err := a.Send(msg(wire.MsgAck, 0)); err == nil {
+		t.Fatal("send after close must fail")
+	}
+	// Close is idempotent.
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestPipeConnContract(t *testing.T) {
+	a, b := Pipe()
+	exerciseConnPair(t, a, b)
+}
+
+func TestTCPConnContract(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	a, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	defer b.Close()
+	exerciseConnPair(t, a, b)
+}
+
+func TestPipeRecvAfterPeerCloseIsEOF(t *testing.T) {
+	a, b := Pipe()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+	if err := b.Send(msg(wire.MsgAck, 0)); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("send to closed peer: %v", err)
+	}
+}
+
+func TestPipeRecvOnOwnClosedConn(t *testing.T) {
+	a, _ := Pipe()
+	a.Close()
+	if _, err := a.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMeterCounts(t *testing.T) {
+	rawA, rawB := Pipe()
+	var ma, mb Meter
+	a := Metered(rawA, &ma)
+	b := Metered(rawB, &mb)
+
+	m := msg(wire.MsgActivations, 1, make([]byte, 100)...)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := b.Recv(); err != nil {
+			t.Errorf("recv: %v", err)
+		}
+	}()
+	if err := a.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	want := int64(m.WireSize())
+	if ma.TxBytes() != want {
+		t.Fatalf("tx bytes %d, want %d", ma.TxBytes(), want)
+	}
+	if mb.RxBytes() != want {
+		t.Fatalf("rx bytes %d, want %d", mb.RxBytes(), want)
+	}
+	if ma.TxMessages() != 1 || mb.RxMessages() != 1 {
+		t.Fatalf("msg counts tx=%d rx=%d", ma.TxMessages(), mb.RxMessages())
+	}
+	if ma.TxBytesByType(wire.MsgActivations) != want {
+		t.Fatalf("per-type tx %d", ma.TxBytesByType(wire.MsgActivations))
+	}
+	if ma.TxBytesByType(wire.MsgLogits) != 0 {
+		t.Fatal("unrelated type counted")
+	}
+	if ma.TotalBytes() != want {
+		t.Fatalf("total %d", ma.TotalBytes())
+	}
+	if mb.RxBytesByType(wire.MsgActivations) != want {
+		t.Fatalf("per-type rx %d", mb.RxBytesByType(wire.MsgActivations))
+	}
+	// Failed sends are not counted.
+	a.Close()
+	if err := a.Send(m); err == nil {
+		t.Fatal("send after close must fail")
+	}
+	if ma.TxMessages() != 1 {
+		t.Fatal("failed send was counted")
+	}
+}
+
+func TestTCPMeteredMatchesPipeAccounting(t *testing.T) {
+	// The same message must cost the same bytes on both transports.
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	var tcpMeter Meter
+	tc, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	mc := Metered(tc, &tcpMeter)
+
+	var pipeMeter Meter
+	pa, pb := Pipe()
+	go func() {
+		for {
+			if _, err := pb.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	pc := Metered(pa, &pipeMeter)
+	defer pa.Close()
+
+	m := msg(wire.MsgModelPush, 7, make([]byte, 4096)...)
+	if err := mc.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	if tcpMeter.TxBytes() != pipeMeter.TxBytes() {
+		t.Fatalf("tcp %d bytes, pipe %d bytes", tcpMeter.TxBytes(), pipeMeter.TxBytes())
+	}
+}
+
+func TestPipeConcurrentBidirectional(t *testing.T) {
+	a, b := Pipe()
+	const n = 50
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { defer wg.Done(); sendN(t, a, n) }()
+	go func() { defer wg.Done(); recvN(t, a, n) }()
+	go func() { defer wg.Done(); sendN(t, b, n) }()
+	go func() { defer wg.Done(); recvN(t, b, n) }()
+	wg.Wait()
+}
+
+func sendN(t *testing.T, c Conn, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := c.Send(msg(wire.MsgAck, uint32(i))); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+	}
+}
+
+func recvN(t *testing.T, c Conn, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		m, err := c.Recv()
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		if m.Round != uint32(i) {
+			t.Errorf("order: got %d want %d", m.Round, i)
+			return
+		}
+	}
+}
+
+func TestPushbackDeliversQueuedFirst(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	queued := msg(wire.MsgHello, 99)
+	pb := Pushback(b, queued)
+	got, err := pb.Recv()
+	if err != nil || got.Round != 99 {
+		t.Fatalf("queued message: %+v, %v", got, err)
+	}
+	// Subsequent Recv reads from the underlying connection.
+	go func() {
+		if err := a.Send(msg(wire.MsgAck, 7)); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}()
+	got, err = pb.Recv()
+	if err != nil || got.Round != 7 {
+		t.Fatalf("live message: %+v, %v", got, err)
+	}
+	// Send passes through.
+	go func() {
+		if _, err := a.Recv(); err != nil {
+			t.Errorf("recv: %v", err)
+		}
+	}()
+	if err := pb.Send(msg(wire.MsgAck, 1)); err != nil {
+		t.Fatalf("send through pushback: %v", err)
+	}
+	if err := pb.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

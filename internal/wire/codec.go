@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"fmt"
+
+	"medsplit/internal/tensor"
+)
+
+// Codec converts tensors to and from message payloads on the split
+// protocol's activation path. The default RawCodec ships exact float32;
+// package compress provides lossy codecs (float16, int8 quantization,
+// top-k sparsification) that trade accuracy for wire volume — the
+// standard extension knob in the split-learning literature.
+//
+// Payloads are self-describing (each codec owns a distinct kind byte),
+// so a decoder can reject payloads produced by a codec it did not agree
+// to at handshake time.
+type Codec interface {
+	// Name identifies the codec in handshakes; both ends must match.
+	Name() string
+	// EncodeTensors packs tensors into a payload.
+	EncodeTensors(ts ...*tensor.Tensor) []byte
+	// DecodeTensors unpacks a payload this codec produced.
+	DecodeTensors(buf []byte) ([]*tensor.Tensor, error)
+}
+
+// RawCodec is the exact float32 codec (the paper's implicit choice).
+// Its payloads are identical to EncodeTensors/DecodeTensors.
+type RawCodec struct{}
+
+var _ Codec = RawCodec{}
+
+// Name returns "raw".
+func (RawCodec) Name() string { return "raw" }
+
+// EncodeTensors packs exact float32 tensors.
+func (RawCodec) EncodeTensors(ts ...*tensor.Tensor) []byte { return EncodeTensors(ts...) }
+
+// DecodeTensors unpacks exact float32 tensors.
+func (RawCodec) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+	ts, err := DecodeTensors(buf)
+	if err != nil {
+		return nil, fmt.Errorf("wire: raw codec: %w", err)
+	}
+	return ts, nil
+}

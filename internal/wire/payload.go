@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"medsplit/internal/tensor"
+)
+
+// Payload helpers. The split protocol moves tensors (activations and
+// gradients) and, in the label-sharing ablation, integer label vectors.
+// Payloads are self-describing: a one-byte kind, a count, then the
+// items.
+
+// payload kinds.
+const (
+	payloadTensors byte = 1
+	payloadLabels  byte = 2
+	payloadText    byte = 3
+)
+
+// ErrBadPayload is returned when a payload cannot be decoded.
+var ErrBadPayload = errors.New("wire: bad payload")
+
+// EncodeTensors packs tensors into a payload.
+func EncodeTensors(ts ...*tensor.Tensor) []byte {
+	size := 2
+	for _, t := range ts {
+		size += t.EncodedSize()
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, payloadTensors, byte(len(ts)))
+	for _, t := range ts {
+		buf = t.AppendTo(buf)
+	}
+	return buf
+}
+
+// TensorsPayloadSize returns the payload size EncodeTensors would
+// produce for tensors of the given shapes.
+func TensorsPayloadSize(shapes ...[]int) int {
+	size := 2
+	for _, s := range shapes {
+		size += tensor.EncodedSizeFor(s...)
+	}
+	return size
+}
+
+// DecodeTensors unpacks a payload built by EncodeTensors.
+func DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+	if len(buf) < 2 || buf[0] != payloadTensors {
+		return nil, fmt.Errorf("%w: not a tensor payload", ErrBadPayload)
+	}
+	n := int(buf[1])
+	buf = buf[2:]
+	out := make([]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		t, rest, err := tensor.Decode(buf)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tensor %d: %v", ErrBadPayload, i, err)
+		}
+		out = append(out, t)
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(buf))
+	}
+	return out, nil
+}
+
+// EncodeLabels packs a label vector into a payload.
+func EncodeLabels(labels []int) []byte {
+	buf := make([]byte, 0, 5+4*len(labels))
+	buf = append(buf, payloadLabels)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(labels)))
+	buf = append(buf, tmp[:]...)
+	for _, lab := range labels {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(lab))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+// DecodeLabels unpacks a payload built by EncodeLabels.
+func DecodeLabels(buf []byte) ([]int, error) {
+	if len(buf) < 5 || buf[0] != payloadLabels {
+		return nil, fmt.Errorf("%w: not a label payload", ErrBadPayload)
+	}
+	n := int(binary.LittleEndian.Uint32(buf[1:]))
+	buf = buf[5:]
+	if len(buf) != 4*n {
+		return nil, fmt.Errorf("%w: %d bytes for %d labels", ErrBadPayload, len(buf), n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(int32(binary.LittleEndian.Uint32(buf[4*i:])))
+	}
+	return out, nil
+}
+
+// EncodeText packs a short string (error messages, hello metadata).
+func EncodeText(s string) []byte {
+	buf := make([]byte, 0, 1+len(s))
+	buf = append(buf, payloadText)
+	return append(buf, s...)
+}
+
+// DecodeText unpacks a payload built by EncodeText.
+func DecodeText(buf []byte) (string, error) {
+	if len(buf) < 1 || buf[0] != payloadText {
+		return "", fmt.Errorf("%w: not a text payload", ErrBadPayload)
+	}
+	return string(buf[1:]), nil
+}

@@ -1,0 +1,189 @@
+// Package wire defines the message vocabulary and framing that medsplit's
+// distributed-training protocols speak: the four-message split-learning
+// exchange of the paper (activations, logits, loss gradients, cut
+// gradients), the model/gradient exchange of the parameter-server
+// baselines, and the session control messages.
+//
+// Framing is length-prefixed with a magic, a protocol version and a
+// CRC-32 over the payload, so stream corruption and version skew fail
+// fast instead of desynchronizing training. Every encoder reports exact
+// byte counts — communication volume is the paper's headline metric, so
+// accounting is part of the wire contract, not an afterthought.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// MsgType enumerates protocol messages. The zero value is invalid so an
+// uninitialized message fails loudly.
+type MsgType uint8
+
+// Message types. Hello/HelloAck establish a session; Activations,
+// Logits, LossGrad and CutGrad are the paper's four communications
+// (Fig. 2/3); ModelPull/ModelPush/GradPush serve the parameter-server
+// baselines; Labels exists for the label-sharing ablation; Ack and
+// ErrorMsg close control loops.
+const (
+	MsgHello MsgType = iota + 1
+	MsgHelloAck
+	MsgActivations
+	MsgLogits
+	MsgLossGrad
+	MsgCutGrad
+	MsgModelPull
+	MsgModelPush
+	MsgGradPush
+	MsgLabels
+	MsgAck
+	MsgErrorMsg
+	MsgEvalActivations
+	MsgEvalLogits
+	MsgBye
+
+	msgTypeCount = iota + 1
+)
+
+var msgTypeNames = map[MsgType]string{
+	MsgHello:           "hello",
+	MsgHelloAck:        "hello-ack",
+	MsgActivations:     "activations",
+	MsgLogits:          "logits",
+	MsgLossGrad:        "loss-grad",
+	MsgCutGrad:         "cut-grad",
+	MsgModelPull:       "model-pull",
+	MsgModelPush:       "model-push",
+	MsgGradPush:        "grad-push",
+	MsgLabels:          "labels",
+	MsgAck:             "ack",
+	MsgErrorMsg:        "error",
+	MsgEvalActivations: "eval-activations",
+	MsgEvalLogits:      "eval-logits",
+	MsgBye:             "bye",
+}
+
+// String names the message type for diagnostics.
+func (t MsgType) String() string {
+	if s, ok := msgTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(t))
+}
+
+// Valid reports whether t is a known message type.
+func (t MsgType) Valid() bool {
+	_, ok := msgTypeNames[t]
+	return ok
+}
+
+// Message is one framed protocol unit.
+type Message struct {
+	Type     MsgType
+	Platform uint32 // sending/target platform id (0 = server)
+	Round    uint32 // training round the message belongs to
+	Payload  []byte
+}
+
+// Framing constants.
+const (
+	magic   uint16 = 0x5D17 // "SplIT"
+	version uint8  = 1
+
+	// headerSize: magic(2) + version(1) + type(1) + platform(4) +
+	// round(4) + payloadLen(4) + crc(4).
+	headerSize = 20
+
+	// maxPayload caps a frame at 256 MiB, far above any tensor batch
+	// this system ships but small enough to stop a corrupt length from
+	// allocating unbounded memory.
+	maxPayload = 1 << 28
+)
+
+// Sentinel errors.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: protocol version mismatch")
+	ErrBadType    = errors.New("wire: unknown message type")
+	ErrTooLarge   = errors.New("wire: payload exceeds limit")
+	ErrChecksum   = errors.New("wire: payload checksum mismatch")
+)
+
+// WireSize returns the exact number of bytes m occupies on the wire.
+func (m *Message) WireSize() int { return headerSize + len(m.Payload) }
+
+// WireSizeFor returns the on-the-wire size of a message with the given
+// payload length without building it.
+func WireSizeFor(payloadLen int) int { return headerSize + payloadLen }
+
+// Write frames m onto w, returning the bytes written.
+func (m *Message) Write(w io.Writer) (int, error) {
+	if !m.Type.Valid() {
+		return 0, fmt.Errorf("%w: %d", ErrBadType, m.Type)
+	}
+	if len(m.Payload) > maxPayload {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(m.Payload))
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint16(hdr[0:], magic)
+	hdr[2] = version
+	hdr[3] = byte(m.Type)
+	binary.LittleEndian.PutUint32(hdr[4:], m.Platform)
+	binary.LittleEndian.PutUint32(hdr[8:], m.Round)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(m.Payload)))
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.ChecksumIEEE(m.Payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wire: writing header: %w", err)
+	}
+	if len(m.Payload) > 0 {
+		if _, err := w.Write(m.Payload); err != nil {
+			return headerSize, fmt.Errorf("wire: writing payload: %w", err)
+		}
+	}
+	return headerSize + len(m.Payload), nil
+}
+
+// Read parses one frame from r, returning the message and the bytes
+// consumed.
+func Read(r io.Reader) (*Message, int, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// Propagate EOF unwrapped so callers can detect clean shutdown.
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("wire: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint16(hdr[0:]) != magic {
+		return nil, headerSize, ErrBadMagic
+	}
+	if hdr[2] != version {
+		return nil, headerSize, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[2], version)
+	}
+	t := MsgType(hdr[3])
+	if !t.Valid() {
+		return nil, headerSize, fmt.Errorf("%w: %d", ErrBadType, hdr[3])
+	}
+	plen := binary.LittleEndian.Uint32(hdr[12:])
+	if plen > maxPayload {
+		return nil, headerSize, fmt.Errorf("%w: %d bytes", ErrTooLarge, plen)
+	}
+	m := &Message{
+		Type:     t,
+		Platform: binary.LittleEndian.Uint32(hdr[4:]),
+		Round:    binary.LittleEndian.Uint32(hdr[8:]),
+	}
+	if plen > 0 {
+		m.Payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return nil, headerSize, fmt.Errorf("wire: reading payload: %w", err)
+		}
+	}
+	if crc32.ChecksumIEEE(m.Payload) != binary.LittleEndian.Uint32(hdr[16:]) {
+		return nil, headerSize + int(plen), ErrChecksum
+	}
+	return m, headerSize + int(plen), nil
+}
