@@ -1,0 +1,32 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs the same
+# targets, so `make test` locally reproduces the gate.
+
+GO ?= go
+
+# Benchmarks that feed the committed baseline (BENCH_tensor.json).
+BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound
+
+.PHONY: test bench bench-save race vet
+
+test:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/tensor/...
+
+vet:
+	$(GO) vet ./...
+
+# Human-readable benchmark sweep of the tensor engine and training path.
+bench:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run NONE ./internal/tensor/ ./internal/nn/ .
+
+# Refresh the committed perf baseline. Compare the result against the
+# checked-in BENCH_tensor.json before committing (see README.md,
+# "Performance methodology").
+bench-save:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run NONE \
+		./internal/tensor/ ./internal/nn/ . | $(GO) run ./cmd/benchjson > BENCH_tensor.json
+	@echo wrote BENCH_tensor.json

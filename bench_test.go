@@ -210,18 +210,25 @@ func BenchmarkRoundModes(b *testing.B) {
 	}
 }
 
-// BenchmarkSplitRound measures one full protocol round (all four
-// messages, both side's compute) on a small workload — the unit cost
-// everything above is built from.
+// BenchmarkSplitRound measures full protocol rounds (all four messages,
+// both side's compute) on a small workload — the unit cost everything
+// above is built from. Each iteration runs several rounds so the
+// steady-state cost (where the tensor engine reuses buffers) dominates
+// the one-time setup, for both the dense (MLP) and convolutional (VGG)
+// halves of the engine.
 func BenchmarkSplitRound(b *testing.B) {
-	cfg := figCfg(experiment.ArchMLP, 10)
-	cfg.Rounds = 1
-	cfg.EvalEvery = 1
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunSplit(cfg); err != nil {
-			b.Fatal(err)
-		}
+	for _, arch := range []experiment.Arch{experiment.ArchMLP, experiment.ArchVGG} {
+		b.Run(string(arch), func(b *testing.B) {
+			cfg := figCfg(arch, 10)
+			cfg.Rounds = 8
+			cfg.EvalEvery = cfg.Rounds
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunSplit(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module medsplit
+
+go 1.24

@@ -55,6 +55,11 @@ type Server struct {
 	cfg       ServerConfig
 	lastBatch []int // most recent minibatch rows seen per platform
 	evaluator int   // platform id that runs eval phases; -1 if none
+
+	// Concat-mode scratch, reused across rounds so fusing per-platform
+	// minibatches stops allocating once batch shapes stabilize.
+	fusedActs *tensor.Tensor
+	fusedGrad *tensor.Tensor
 }
 
 // NewServer validates cfg and builds a server.
@@ -287,7 +292,9 @@ func (s *Server) concatRound(conns []transport.Conn, r int) error {
 		s.lastBatch[k] = sizes[k]
 		total += sizes[k]
 	}
-	fused := tensor.ConcatDim0(acts...)
+	fusedShape := append([]int{total}, acts[0].Shape()[1:]...)
+	s.fusedActs = tensor.EnsureShape(s.fusedActs, fusedShape...)
+	fused := tensor.ConcatDim0Into(s.fusedActs, acts...)
 	z := s.cfg.Back.Forward(fused, true)
 
 	var dz *tensor.Tensor
@@ -329,7 +336,9 @@ func (s *Server) concatRound(conns []transport.Conn, r int) error {
 			ts[0].Scale(float32(sizes[k]) / float32(total))
 			grads[k] = ts[0]
 		}
-		dz = tensor.ConcatDim0(grads...)
+		gradShape := append([]int{total}, grads[0].Shape()[1:]...)
+		s.fusedGrad = tensor.EnsureShape(s.fusedGrad, gradShape...)
+		dz = tensor.ConcatDim0Into(s.fusedGrad, grads...)
 	}
 
 	nn.ZeroGrads(s.cfg.Back.Params())

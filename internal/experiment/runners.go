@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"sync"
 	"time"
 
 	"medsplit/internal/compress"
@@ -16,6 +17,32 @@ import (
 	"medsplit/internal/wire"
 )
 
+// buildModels constructs count model instances concurrently. Each call
+// to BuildModel seeds its own RNG from the config, so the result is
+// deterministic and identical to the sequential loop it replaces; the
+// fan-out just overlaps the He-initialization work (one full weight set
+// per platform), which otherwise serializes the start of every
+// multi-platform experiment.
+func buildModels(cfg Config, count int) ([]*models.Model, error) {
+	ms := make([]*models.Model, count)
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	for k := range ms {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			ms[k], errs[k] = BuildModel(cfg)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ms, nil
+}
+
 // RunSplit trains the config with the paper's split-learning framework
 // and returns the accuracy-vs-communication curve.
 func RunSplit(cfg Config) (*Result, error) {
@@ -30,11 +57,11 @@ func RunSplit(cfg Config) (*Result, error) {
 	fronts := make([]*nn.Sequential, cfg.Platforms)
 	var back *nn.Sequential
 	var whole *models.Model
-	for k := 0; k <= cfg.Platforms; k++ {
-		m, err := BuildModel(cfg)
-		if err != nil {
-			return nil, err
-		}
+	built, err := buildModels(cfg, cfg.Platforms+1)
+	if err != nil {
+		return nil, err
+	}
+	for k, m := range built {
 		cut := m.DefaultCut
 		if cfg.Cut > 0 {
 			cut = cfg.Cut
@@ -187,14 +214,15 @@ func RunSyncSGD(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	replicas, err := buildModels(cfg, cfg.Platforms)
+	if err != nil {
+		return nil, err
+	}
 	meters := make([]*transport.Meter, cfg.Platforms)
 	workers := make([]*syncsgd.Worker, cfg.Platforms)
 	for k := 0; k < cfg.Platforms; k++ {
 		meters[k] = &transport.Meter{}
-		replica, err := BuildModel(cfg)
-		if err != nil {
-			return nil, err
-		}
+		replica := replicas[k]
 		w, err := syncsgd.NewWorker(syncsgd.WorkerConfig{
 			ID:        k,
 			Model:     replica.Net,
@@ -276,14 +304,15 @@ func RunFedAvg(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	replicas, err := buildModels(cfg, cfg.Platforms)
+	if err != nil {
+		return nil, err
+	}
 	meters := make([]*transport.Meter, cfg.Platforms)
 	clients := make([]*fedavg.Client, cfg.Platforms)
 	for k := 0; k < cfg.Platforms; k++ {
 		meters[k] = &transport.Meter{}
-		replica, err := BuildModel(cfg)
-		if err != nil {
-			return nil, err
-		}
+		replica := replicas[k]
 		c, err := fedavg.NewClient(fedavg.ClientConfig{
 			ID:         k,
 			Model:      replica.Net,

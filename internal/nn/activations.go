@@ -25,20 +25,27 @@ func (r *ReLU) Name() string { return r.name }
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.New(x.Shape()...)
 	xd, od := x.Data(), out.Data()
-	var mask []bool
 	if train {
-		mask = make([]bool, len(xd))
+		// Reuse the layer-owned mask across rounds; every entry is
+		// overwritten.
+		if cap(r.mask) < len(xd) {
+			r.mask = make([]bool, len(xd))
+		}
+		mask := r.mask[:len(xd)]
+		for i, v := range xd {
+			on := v > 0
+			mask[i] = on
+			if on {
+				od[i] = v
+			}
+		}
+		r.mask = mask
+		return out
 	}
 	for i, v := range xd {
 		if v > 0 {
 			od[i] = v
-			if train {
-				mask[i] = true
-			}
 		}
-	}
-	if train {
-		r.mask = mask
 	}
 	return out
 }

@@ -26,10 +26,28 @@ type BatchNorm struct {
 	runningMean *tensor.Tensor // [c]
 	runningVar  *tensor.Tensor // [c]
 
-	// Backward cache.
+	// Backward cache. xhat is layer-owned scratch reused across calls
+	// (same lifetime contract as Conv2D's column matrix: Backward runs
+	// before the next Forward overwrites it).
 	xhat    *tensor.Tensor
 	invStd  []float32
 	inShape []int
+
+	// Reused per-channel scratch: batch statistics and backward sums.
+	meanBuf, varBuf     []float32
+	sumDyBuf, sumDyXBuf []float32
+}
+
+// ensureF32 returns buf resliced to n, reallocating only on growth.
+func ensureF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 var _ Layer = (*BatchNorm)(nil)
@@ -75,8 +93,9 @@ func (b *BatchNorm) geometry(x *tensor.Tensor) (spatial int) {
 func (b *BatchNorm) stats(x *tensor.Tensor, spatial int) (mean, variance []float32) {
 	n := x.Dim(0)
 	m := float32(n * spatial)
-	mean = make([]float32, b.c)
-	variance = make([]float32, b.c)
+	b.meanBuf = ensureF32(b.meanBuf, b.c)
+	b.varBuf = ensureF32(b.varBuf, b.c)
+	mean, variance = b.meanBuf, b.varBuf
 	xd := x.Data()
 	if x.Rank() == 2 {
 		for i := 0; i < n; i++ {
@@ -142,18 +161,26 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		mean, variance = b.runningMean.Data(), b.runningVar.Data()
 	}
-	invStd := make([]float32, b.c)
+	if cap(b.invStd) < b.c {
+		b.invStd = make([]float32, b.c)
+	}
+	invStd := b.invStd[:b.c]
 	for ch := range invStd {
 		invStd[ch] = float32(1 / math.Sqrt(float64(variance[ch]+b.eps)))
 	}
 
 	out := tensor.New(x.Shape()...)
-	xhat := tensor.New(x.Shape()...)
-	b.apply(x, xhat, out, mean, invStd, spatial)
+	b.xhat = tensor.EnsureShape(b.xhat, x.Shape()...)
+	b.apply(x, b.xhat, out, mean, invStd, spatial)
 	if train {
-		b.xhat = xhat
 		b.invStd = invStd
 		b.inShape = x.Shape()
+	} else {
+		// Eval reuses the xhat/invStd scratch, clobbering any pending
+		// backward cache; invalidate it so a Backward after an
+		// interleaved eval Forward panics instead of silently using the
+		// eval batch's statistics.
+		b.inShape = nil
 	}
 	return out
 }
@@ -192,7 +219,7 @@ func (b *BatchNorm) apply(x, xhat, out *tensor.Tensor, mean, invStd []float32, s
 //
 // with per-channel sums, plus dγ = Σ(dy·x̂) and dβ = Σdy.
 func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if b.xhat == nil {
+	if b.xhat == nil || b.inShape == nil {
 		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", b.name))
 	}
 	spatial := 1
@@ -202,8 +229,9 @@ func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := b.inShape[0]
 	m := float32(n * spatial)
 
-	sumDy := make([]float32, b.c)
-	sumDyXhat := make([]float32, b.c)
+	b.sumDyBuf = ensureF32(b.sumDyBuf, b.c)
+	b.sumDyXBuf = ensureF32(b.sumDyXBuf, b.c)
+	sumDy, sumDyXhat := b.sumDyBuf, b.sumDyXBuf
 	gd, hd := grad.Data(), b.xhat.Data()
 	accumulate := func(ch, idx int) {
 		sumDy[ch] += gd[idx]

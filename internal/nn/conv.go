@@ -10,6 +10,13 @@ import (
 // Conv2D is a 2-D convolution over NCHW input, lowered to matrix
 // multiplication with im2col. Weights are stored as
 // [outC, inC*kh*kw] so both forward and backward are single GEMMs.
+//
+// The layer owns persistent scratch (the im2col column matrix and the
+// backward gradient matrices) that is reused across calls instead of
+// allocated per call. The scratch is shared between train and eval
+// forwards, so Backward must run before the next Forward of any kind —
+// the invariant every training loop in this codebase already satisfies
+// (forward → backward → step, with evaluation only between rounds).
 type Conv2D struct {
 	name        string
 	inC, outC   int
@@ -17,7 +24,10 @@ type Conv2D struct {
 	stride, pad int
 	w           *Param // [outC, inC*kh*kw]
 	b           *Param // [outC]
-	cols        *tensor.Tensor
+
+	cols        *tensor.Tensor // persistent im2col scratch, valid after any Forward
+	gRows       *tensor.Tensor // backward scratch: grad in rows layout
+	dCols       *tensor.Tensor // backward scratch: column-matrix gradient
 	n, inH, inW int
 	outH, outW  int
 }
@@ -41,7 +51,10 @@ func NewConv2D(name string, inC, outC, kh, kw, stride, pad int, r *rng.RNG) *Con
 // Name returns the layer name.
 func (c *Conv2D) Name() string { return c.name }
 
-// Forward computes the convolution of x [n, inC, h, w].
+// Forward computes the convolution of x [n, inC, h, w] with the fused
+// im2col → GEMM → NCHW path: the column matrix is built into reusable
+// scratch and the GEMM writes the NCHW output (bias included) directly,
+// skipping the intermediate rows matrix and its repack pass.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.inC {
 		panic(fmt.Sprintf("nn: %s: Conv2D input %v, want [n,%d,h,w]", c.name, x.Shape(), c.inC))
@@ -49,27 +62,39 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh := tensor.ConvOutSize(h, c.kh, c.stride, c.pad)
 	ow := tensor.ConvOutSize(w, c.kw, c.stride, c.pad)
-	cols := tensor.Im2Col(x, c.kh, c.kw, c.stride, c.pad)
-	rows := tensor.MatMulTB(cols, c.w.W) // [n*oh*ow, outC]
-	rows.AddRowVector(c.b.W)
+	c.cols = tensor.EnsureShape(c.cols, n*oh*ow, c.inC*c.kh*c.kw)
+	tensor.Im2ColInto(c.cols, x, c.kh, c.kw, c.stride, c.pad)
+	out := tensor.New(n, c.outC, oh, ow)
+	tensor.ConvGemmInto(out, c.cols, c.w.W, c.b.W)
 	if train {
-		c.cols = cols
 		c.n, c.inH, c.inW = n, h, w
 		c.outH, c.outW = oh, ow
+	} else {
+		// Eval overwrites the shared cols scratch; invalidate the
+		// backward cache so a Backward after an interleaved eval
+		// Forward panics instead of mixing stale geometry with the
+		// eval batch's columns.
+		c.n = 0
 	}
-	return tensor.RowsToNCHW(rows, n, c.outC, oh, ow)
+	return out
 }
 
-// Backward consumes grad [n, outC, oh, ow].
+// Backward consumes grad [n, outC, oh, ow]. Weight and bias gradients
+// accumulate in place (no temporary product tensors) and the two large
+// intermediates reuse layer-owned scratch across rounds.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if c.cols == nil {
+	if c.cols == nil || c.n == 0 {
 		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", c.name))
 	}
-	gRows := tensor.NCHWToRows(grad) // [n*oh*ow, outC]
-	c.w.G.AddInPlace(tensor.MatMulTA(gRows, c.cols))
-	c.b.G.AddInPlace(tensor.SumRows(gRows))
-	dCols := tensor.MatMul(gRows, c.w.W) // [n*oh*ow, inC*kh*kw]
-	return tensor.Col2Im(dCols, c.n, c.inC, c.inH, c.inW, c.kh, c.kw, c.stride, c.pad)
+	rows := c.n * c.outH * c.outW
+	c.gRows = tensor.EnsureShape(c.gRows, rows, c.outC)
+	tensor.NCHWToRowsInto(c.gRows, grad) // [n*oh*ow, outC]
+	tensor.MatMulTAAcc(c.w.G, c.gRows, c.cols)
+	tensor.SumRowsAcc(c.b.G, c.gRows)
+	c.dCols = tensor.EnsureShape(c.dCols, rows, c.inC*c.kh*c.kw)
+	tensor.MatMulInto(c.dCols, c.gRows, c.w.W) // [n*oh*ow, inC*kh*kw]
+	dx := tensor.New(c.n, c.inC, c.inH, c.inW)
+	return tensor.Col2ImInto(dx, c.dCols, c.kh, c.kw, c.stride, c.pad)
 }
 
 // Params returns the kernel and bias parameters.

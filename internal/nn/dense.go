@@ -54,13 +54,14 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward accumulates dW = xᵀ·dy and db = Σ rows(dy), returning
-// dx = dy·Wᵀ.
+// dx = dy·Wᵀ. Both parameter gradients accumulate in place through the
+// fused Acc kernels, so no temporary product tensors are allocated.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.x == nil {
 		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", d.name))
 	}
-	d.w.G.AddInPlace(tensor.MatMulTA(d.x, grad))
-	d.b.G.AddInPlace(tensor.SumRows(grad))
+	tensor.MatMulTAAcc(d.w.G, d.x, grad)
+	tensor.SumRowsAcc(d.b.G, grad)
 	return tensor.MatMulTB(grad, d.w.W)
 }
 

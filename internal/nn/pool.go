@@ -36,7 +36,13 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.New(n, c, oh, ow)
 	var argmax []int
 	if train {
-		argmax = make([]int, n*c*oh*ow)
+		// Reuse the layer-owned index buffer across rounds; every entry
+		// is overwritten below.
+		if need := n * c * oh * ow; cap(m.argmax) < need {
+			argmax = make([]int, need)
+		} else {
+			argmax = m.argmax[:need]
+		}
 	}
 	xd, od := x.Data(), out.Data()
 	for in := 0; in < n; in++ {

@@ -16,18 +16,91 @@ func ConvOutSize(in, kernel, stride, pad int) int {
 	return out
 }
 
+// convGeom validates a rank-4 NCHW input and returns its dimensions plus
+// the output spatial size for the given window.
+func convGeom(op string, x *Tensor, kh, kw, stride, pad int) (n, c, h, w, oh, ow int) {
+	if len(x.shape) != 4 {
+		panic(fmt.Sprintf("tensor: %s needs rank-4 NCHW input, got %v", op, x.shape))
+	}
+	n, c, h, w = x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh = ConvOutSize(h, kh, stride, pad)
+	ow = ConvOutSize(w, kw, stride, pad)
+	return
+}
+
 // Im2Col lowers a batched NCHW image tensor into the column matrix used to
 // express convolution as matrix multiplication. For x of shape
 // [n, c, h, w] and a kh×kw kernel, the result has shape
 // [n*oh*ow, c*kh*kw]: row (n, oy, ox) holds the receptive field of output
 // pixel (oy, ox) of sample n, with zero padding outside the image.
+//
+// The kernel fans out over batch × output-row strips (each worker owns
+// disjoint column-matrix rows), so large lowerings scale with GOMAXPROCS.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
-	if len(x.shape) != 4 {
-		panic(fmt.Sprintf("tensor: Im2Col needs rank-4 NCHW input, got %v", x.shape))
+	n, c, _, _, oh, ow := convGeom("Im2Col", x, kh, kw, stride, pad)
+	cols := New(n*oh*ow, c*kh*kw)
+	im2col(cols, x, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into dst, which must have shape
+// [n*oh*ow, c*kh*kw]. Every element of dst is overwritten (padding
+// positions are stored as zeros), so dst may be dirty pooled storage.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) *Tensor {
+	n, c, _, _, oh, ow := convGeom("Im2ColInto", x, kh, kw, stride, pad)
+	if len(dst.shape) != 2 || dst.shape[0] != n*oh*ow || dst.shape[1] != c*kh*kw {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v, want [%d,%d]", dst.shape, n*oh*ow, c*kh*kw))
 	}
+	im2col(dst, x, kh, kw, stride, pad)
+	return dst
+}
+
+func im2col(dst, x *Tensor, kh, kw, stride, pad int) {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh := ConvOutSize(h, kh, stride, pad)
 	ow := ConvOutSize(w, kw, stride, pad)
+	rowLen := c * kh * kw
+	xd, dd := x.data, dst.data
+	// One unit of work is an (in, oy) strip: ow consecutive rows of the
+	// column matrix. Strips touch disjoint output rows, so workers never
+	// overlap.
+	parallelRows(n*oh, n*oh*ow*rowLen, func(u0, u1 int) {
+		for u := u0; u < u1; u++ {
+			in, oy := u/oh, u%oh
+			imgBase := in * c * h * w
+			iy0 := oy*stride - pad
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - pad
+				row := dd[(u*ow+ox)*rowLen:][:rowLen]
+				for ch := 0; ch < c; ch++ {
+					chBase := imgBase + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						seg := row[(ch*kh+ky)*kw : (ch*kh+ky)*kw+kw]
+						if iy < 0 || iy >= h {
+							zeroFloats(seg) // padding
+							continue
+						}
+						srcRow := xd[chBase+iy*w : chBase+(iy+1)*w]
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								seg[kx] = srcRow[ix]
+							} else {
+								seg[kx] = 0
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Im2ColNaive is the retained single-threaded reference implementation;
+// the differential tests verify the parallel kernel against it.
+func Im2ColNaive(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	n, c, h, w, oh, ow := convGeom("Im2ColNaive", x, kh, kw, stride, pad)
 	cols := New(n*oh*ow, c*kh*kw)
 	rowLen := c * kh * kw
 	for in := 0; in < n; in++ {
@@ -65,12 +138,76 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 // where receptive fields overlap. Together with Im2Col it satisfies
 // <Im2Col(x), g> == <x, Col2Im(g)> — the property the convolution
 // backward pass depends on (verified in tests).
+//
+// Receptive fields overlap within a sample but never across samples, so
+// the kernel fans out over the batch dimension.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	img := New(n, c, h, w)
+	col2imInto(img, cols, kh, kw, stride, pad, false)
+	return img
+}
+
+// Col2ImInto is Col2Im writing into dst, which must have shape
+// [n, c, h, w]. dst is zeroed before accumulation, so it may be dirty
+// pooled storage.
+func Col2ImInto(dst, cols *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(dst.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Col2ImInto dst must be rank-4 NCHW, got %v", dst.shape))
+	}
+	col2imInto(dst, cols, kh, kw, stride, pad, true)
+	return dst
+}
+
+func col2imInto(img, cols *Tensor, kh, kw, stride, pad int, zeroFirst bool) {
+	n, c, h, w := img.shape[0], img.shape[1], img.shape[2], img.shape[3]
 	oh := ConvOutSize(h, kh, stride, pad)
 	ow := ConvOutSize(w, kw, stride, pad)
 	rowLen := c * kh * kw
 	if len(cols.shape) != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match [%d,%d]", cols.shape, n*oh*ow, rowLen))
+	}
+	cd, id := cols.data, img.data
+	parallelRows(n, n*oh*ow*rowLen, func(n0, n1 int) {
+		for in := n0; in < n1; in++ {
+			imgBase := in * c * h * w
+			if zeroFirst {
+				zeroFloats(id[imgBase : imgBase+c*h*w])
+			}
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*stride - pad
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*stride - pad
+					row := cd[((in*oh+oy)*ow+ox)*rowLen:][:rowLen]
+					for ch := 0; ch < c; ch++ {
+						chBase := imgBase + ch*h*w
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							src := row[(ch*kh+ky)*kw : (ch*kh+ky)*kw+kw]
+							dstRow := id[chBase+iy*w : chBase+(iy+1)*w]
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix >= 0 && ix < w {
+									dstRow[ix] += src[kx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// Col2ImNaive is the retained single-threaded reference implementation.
+func Col2ImNaive(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	rowLen := c * kh * kw
+	if len(cols.shape) != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != rowLen {
+		panic(fmt.Sprintf("tensor: Col2ImNaive shape %v does not match [%d,%d]", cols.shape, n*oh*ow, rowLen))
 	}
 	img := New(n, c, h, w)
 	for in := 0; in < n; in++ {
@@ -106,21 +243,33 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 // RowsToNCHW repacks a [n*oh*ow, c] matrix (the output layout of
 // Im2Col-based convolution) into an NCHW tensor [n, c, oh, ow].
 func RowsToNCHW(rows *Tensor, n, c, oh, ow int) *Tensor {
+	out := New(n, c, oh, ow)
+	return RowsToNCHWInto(out, rows)
+}
+
+// RowsToNCHWInto is RowsToNCHW writing into dst, whose shape
+// [n, c, oh, ow] supplies the geometry. Every element is overwritten.
+func RowsToNCHWInto(dst, rows *Tensor) *Tensor {
+	if len(dst.shape) != 4 {
+		panic(fmt.Sprintf("tensor: RowsToNCHWInto dst must be rank-4, got %v", dst.shape))
+	}
+	n, c, oh, ow := dst.shape[0], dst.shape[1], dst.shape[2], dst.shape[3]
 	if len(rows.shape) != 2 || rows.shape[0] != n*oh*ow || rows.shape[1] != c {
 		panic(fmt.Sprintf("tensor: RowsToNCHW shape %v does not match [%d,%d]", rows.shape, n*oh*ow, c))
 	}
-	out := New(n, c, oh, ow)
-	for in := 0; in < n; in++ {
-		for oy := 0; oy < oh; oy++ {
+	rd, od := rows.data, dst.data
+	parallelRows(n*oh, n*oh*ow*c, func(u0, u1 int) {
+		for u := u0; u < u1; u++ {
+			in, oy := u/oh, u%oh
 			for ox := 0; ox < ow; ox++ {
-				src := rows.data[((in*oh+oy)*ow+ox)*c:][:c]
+				src := rd[(u*ow+ox)*c:][:c]
 				for ch := 0; ch < c; ch++ {
-					out.data[((in*c+ch)*oh+oy)*ow+ox] = src[ch]
+					od[((in*c+ch)*oh+oy)*ow+ox] = src[ch]
 				}
 			}
 		}
-	}
-	return out
+	})
+	return dst
 }
 
 // NCHWToRows is the inverse of RowsToNCHW: it flattens an NCHW tensor
@@ -131,14 +280,116 @@ func NCHWToRows(x *Tensor) *Tensor {
 	}
 	n, c, oh, ow := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	out := New(n*oh*ow, c)
-	for in := 0; in < n; in++ {
-		for ch := 0; ch < c; ch++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					out.data[((in*oh+oy)*ow+ox)*c+ch] = x.data[((in*c+ch)*oh+oy)*ow+ox]
+	return NCHWToRowsInto(out, x)
+}
+
+// NCHWToRowsInto is NCHWToRows writing into dst of shape [n*oh*ow, c].
+// Every element is overwritten.
+func NCHWToRowsInto(dst, x *Tensor) *Tensor {
+	if len(x.shape) != 4 {
+		panic(fmt.Sprintf("tensor: NCHWToRowsInto needs rank-4 input, got %v", x.shape))
+	}
+	n, c, oh, ow := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if len(dst.shape) != 2 || dst.shape[0] != n*oh*ow || dst.shape[1] != c {
+		panic(fmt.Sprintf("tensor: NCHWToRowsInto dst shape %v, want [%d,%d]", dst.shape, n*oh*ow, c))
+	}
+	xd, od := x.data, dst.data
+	parallelRows(n*oh, n*oh*ow*c, func(u0, u1 int) {
+		for u := u0; u < u1; u++ {
+			in, oy := u/oh, u%oh
+			for ox := 0; ox < ow; ox++ {
+				row := od[(u*ow+ox)*c:][:c]
+				for ch := 0; ch < c; ch++ {
+					row[ch] = xd[((in*c+ch)*oh+oy)*ow+ox]
 				}
 			}
 		}
+	})
+	return dst
+}
+
+// ConvGemmInto fuses the three tail stages of an im2col convolution
+// forward pass — the cols·wᵀ GEMM, the bias broadcast, and the
+// rows→NCHW repack — into one kernel that writes the NCHW output
+// directly. cols is the [n*oh*ow, inC*kh*kw] column matrix, w the
+// [outC, inC*kh*kw] kernel matrix, bias an optional [outC] vector, and
+// dst the [n, outC, oh, ow] output (fully overwritten; dirty pooled
+// storage is fine). Skipping the [n*oh*ow, outC] intermediate saves two
+// full passes over the activation volume per forward call.
+func ConvGemmInto(dst, cols, w, bias *Tensor) *Tensor {
+	if len(dst.shape) != 4 {
+		panic(fmt.Sprintf("tensor: ConvGemmInto dst must be rank-4, got %v", dst.shape))
 	}
-	return out
+	n, outC, oh, ow := dst.shape[0], dst.shape[1], dst.shape[2], dst.shape[3]
+	if len(w.shape) != 2 || w.shape[0] != outC {
+		panic(fmt.Sprintf("tensor: ConvGemmInto w shape %v, want [%d,k]", w.shape, outC))
+	}
+	k := w.shape[1]
+	if len(cols.shape) != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != k {
+		panic(fmt.Sprintf("tensor: ConvGemmInto cols shape %v, want [%d,%d]", cols.shape, n*oh*ow, k))
+	}
+	var bd []float32
+	if bias != nil {
+		if bias.Size() != outC {
+			panic(fmt.Sprintf("tensor: ConvGemmInto bias size %d, want %d", bias.Size(), outC))
+		}
+		bd = bias.data
+	}
+	cd, wd, od := cols.data, w.data, dst.data
+	plane := oh * ow
+	// Fan out over (sample, output-row) strips as in im2col. Each strip
+	// reads its cols rows once and streams the kernel matrix per pixel
+	// with a 4-wide output-channel register tile, so each loaded column
+	// value feeds four dot products. (A 2-pixel × 4-channel tile was
+	// measured slower here: its fourteen live values spill registers.)
+	parallelRows(n*oh, n*oh*ow*outC*k, func(u0, u1 int) {
+		for u := u0; u < u1; u++ {
+			in, oy := u/oh, u%oh
+			outBase := in*outC*plane + oy*ow
+			for ox := 0; ox < ow; ox++ {
+				crow := cd[(u*ow+ox)*k:][:k]
+				oc := 0
+				for ; oc+4 <= outC; oc += 4 {
+					w0 := wd[(oc+0)*k : (oc+0)*k+k]
+					w1 := wd[(oc+1)*k : (oc+1)*k+k]
+					w2 := wd[(oc+2)*k : (oc+2)*k+k]
+					w3 := wd[(oc+3)*k : (oc+3)*k+k]
+					w0 = w0[:len(crow)]
+					w1 = w1[:len(crow)]
+					w2 = w2[:len(crow)]
+					w3 = w3[:len(crow)]
+					var s0, s1, s2, s3 float32
+					for p, cv := range crow {
+						s0 += cv * w0[p]
+						s1 += cv * w1[p]
+						s2 += cv * w2[p]
+						s3 += cv * w3[p]
+					}
+					if bd != nil {
+						s0 += bd[oc]
+						s1 += bd[oc+1]
+						s2 += bd[oc+2]
+						s3 += bd[oc+3]
+					}
+					od[outBase+(oc+0)*plane+ox] = s0
+					od[outBase+(oc+1)*plane+ox] = s1
+					od[outBase+(oc+2)*plane+ox] = s2
+					od[outBase+(oc+3)*plane+ox] = s3
+				}
+				for ; oc < outC; oc++ {
+					wrow := wd[oc*k : oc*k+k]
+					wrow = wrow[:len(crow)]
+					var s float32
+					for p, cv := range crow {
+						s += cv * wrow[p]
+					}
+					if bd != nil {
+						s += bd[oc]
+					}
+					od[outBase+oc*plane+ox] = s
+				}
+			}
+		}
+	})
+	return dst
 }

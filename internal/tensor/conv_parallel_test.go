@@ -1,0 +1,113 @@
+package tensor
+
+import (
+	"testing"
+
+	"medsplit/internal/rng"
+)
+
+// convGeometries hits stride > 1, pad > 0, non-square images, prime
+// dimensions, 1×1 kernels, and kernels larger than the padded remainder.
+var convGeometries = []struct {
+	n, c, h, w, kh, kw, stride, pad int
+}{
+	{1, 1, 5, 5, 3, 3, 1, 1},
+	{2, 3, 7, 11, 3, 3, 1, 1},
+	{3, 2, 13, 13, 5, 5, 2, 2},
+	{2, 4, 8, 8, 2, 2, 2, 0},
+	{1, 3, 17, 9, 3, 5, 2, 1},
+	{5, 1, 6, 6, 1, 1, 1, 0},
+	{2, 2, 9, 9, 4, 4, 3, 2},
+	{4, 3, 32, 32, 3, 3, 1, 1}, // CIFAR L1 geometry
+}
+
+func TestIm2ColMatchesNaive(t *testing.T) {
+	runWorkerModes(t, func(t *testing.T) {
+		r := rng.New(21)
+		for _, g := range convGeometries {
+			x := randTensor(r, g.n, g.c, g.h, g.w)
+			got := Im2Col(x, g.kh, g.kw, g.stride, g.pad)
+			want := Im2ColNaive(x, g.kh, g.kw, g.stride, g.pad)
+			assertUlpEqual(t, "Im2Col", got, want)
+
+			dirty := Full(999, want.Dim(0), want.Dim(1))
+			assertUlpEqual(t, "Im2ColInto", Im2ColInto(dirty, x, g.kh, g.kw, g.stride, g.pad), want)
+		}
+	})
+}
+
+func TestCol2ImMatchesNaive(t *testing.T) {
+	runWorkerModes(t, func(t *testing.T) {
+		r := rng.New(22)
+		for _, g := range convGeometries {
+			oh := ConvOutSize(g.h, g.kh, g.stride, g.pad)
+			ow := ConvOutSize(g.w, g.kw, g.stride, g.pad)
+			cols := randTensor(r, g.n*oh*ow, g.c*g.kh*g.kw)
+			got := Col2Im(cols, g.n, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad)
+			want := Col2ImNaive(cols, g.n, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad)
+			assertUlpEqual(t, "Col2Im", got, want)
+
+			dirty := Full(999, g.n, g.c, g.h, g.w)
+			assertUlpEqual(t, "Col2ImInto", Col2ImInto(dirty, cols, g.kh, g.kw, g.stride, g.pad), want)
+		}
+	})
+}
+
+func TestRepackIntoMatchesNaive(t *testing.T) {
+	runWorkerModes(t, func(t *testing.T) {
+		r := rng.New(23)
+		for _, g := range convGeometries {
+			oh := ConvOutSize(g.h, g.kh, g.stride, g.pad)
+			ow := ConvOutSize(g.w, g.kw, g.stride, g.pad)
+			img := randTensor(r, g.n, g.c, oh, ow)
+			rows := NCHWToRows(img)
+			back := RowsToNCHW(rows, g.n, g.c, oh, ow)
+			assertUlpEqual(t, "rows round-trip", back, img)
+
+			dirtyRows := Full(999, g.n*oh*ow, g.c)
+			assertUlpEqual(t, "NCHWToRowsInto", NCHWToRowsInto(dirtyRows, img), rows)
+			dirtyImg := Full(999, g.n, g.c, oh, ow)
+			assertUlpEqual(t, "RowsToNCHWInto", RowsToNCHWInto(dirtyImg, rows), img)
+		}
+	})
+}
+
+// TestConvGemmIntoMatchesUnfusedPipeline verifies the fused
+// GEMM+bias+repack against the naive reference pipeline it replaces:
+// rows = cols·wᵀ (naive), bias broadcast, rows→NCHW.
+func TestConvGemmIntoMatchesUnfusedPipeline(t *testing.T) {
+	runWorkerModes(t, func(t *testing.T) {
+		r := rng.New(24)
+		for _, g := range convGeometries {
+			for _, outC := range []int{1, 3, 4, 7, 16} {
+				oh := ConvOutSize(g.h, g.kh, g.stride, g.pad)
+				ow := ConvOutSize(g.w, g.kw, g.stride, g.pad)
+				x := randTensor(r, g.n, g.c, g.h, g.w)
+				w := randTensor(r, outC, g.c*g.kh*g.kw)
+				bias := randTensor(r, outC)
+
+				cols := Im2ColNaive(x, g.kh, g.kw, g.stride, g.pad)
+				rows := MatMulTBNaive(cols, w)
+				rows.AddRowVector(bias)
+				want := RowsToNCHW(rows, g.n, outC, oh, ow)
+
+				dst := Full(999, g.n, outC, oh, ow)
+				got := ConvGemmInto(dst, Im2Col(x, g.kh, g.kw, g.stride, g.pad), w, bias)
+				if !AllClose(got, want, 1e-5) {
+					t.Fatalf("ConvGemmInto mismatch at geometry %+v outC=%d", g, outC)
+				}
+			}
+		}
+	})
+}
+
+// TestConvGemmIntoNilBias pins the bias-less path.
+func TestConvGemmIntoNilBias(t *testing.T) {
+	r := rng.New(25)
+	x := randTensor(r, 2, 3, 8, 8)
+	w := randTensor(r, 5, 27)
+	cols := Im2Col(x, 3, 3, 1, 1)
+	got := ConvGemmInto(New(2, 5, 8, 8), cols, w, nil)
+	want := RowsToNCHW(MatMulTBNaive(cols, w), 2, 5, 8, 8)
+	assertUlpEqual(t, "ConvGemmInto nil bias", got, want)
+}

@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"medsplit/internal/rng"
+)
+
+// The GEMM benchmarks compare the blocked engine against the retained
+// naive references at square sizes (the paper's perf trajectory is
+// tracked at 256–1024, see BENCH_tensor.json) and at the conv-lowered
+// shapes the split models actually produce. Run with:
+//
+//	go test ./internal/tensor -bench 'MatMul|Im2Col' -benchmem
+
+func benchGemm(b *testing.B, size int, fn func(a, bb *Tensor) *Tensor) {
+	r := rng.New(1)
+	x := randTensor(r, size, size)
+	y := randTensor(r, size, size)
+	flops := 2 * int64(size) * int64(size) * int64(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(x, y)
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(flops*int64(b.N))/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, size := range []int{256, 512, 1024} {
+		b.Run(fmt.Sprintf("blocked/%d", size), func(b *testing.B) {
+			benchGemm(b, size, MatMul)
+		})
+		b.Run(fmt.Sprintf("naive/%d", size), func(b *testing.B) {
+			benchGemm(b, size, MatMulNaive)
+		})
+	}
+}
+
+func BenchmarkMatMulTB(b *testing.B) {
+	for _, size := range []int{256, 512} {
+		b.Run(fmt.Sprintf("blocked/%d", size), func(b *testing.B) {
+			benchGemm(b, size, MatMulTB)
+		})
+		b.Run(fmt.Sprintf("naive/%d", size), func(b *testing.B) {
+			benchGemm(b, size, MatMulTBNaive)
+		})
+	}
+}
+
+func BenchmarkMatMulTA(b *testing.B) {
+	for _, size := range []int{256, 512} {
+		b.Run(fmt.Sprintf("blocked/%d", size), func(b *testing.B) {
+			benchGemm(b, size, MatMulTA)
+		})
+		b.Run(fmt.Sprintf("naive/%d", size), func(b *testing.B) {
+			benchGemm(b, size, MatMulTANaive)
+		})
+	}
+}
+
+// BenchmarkIm2Col measures the lowering at the CIFAR geometries the
+// VGG-lite split model sees: L1 (platform side, 3 channels in) and the
+// deeper stage-2 conv (16 channels at 16×16).
+func BenchmarkIm2Col(b *testing.B) {
+	shapes := []struct {
+		name       string
+		n, c, h, w int
+	}{
+		{"cifar-L1/8x3x32x32", 8, 3, 32, 32},
+		{"stage2/8x16x16x16", 8, 16, 16, 16},
+	}
+	for _, s := range shapes {
+		x := randTensor(rng.New(1), s.n, s.c, s.h, s.w)
+		oh := ConvOutSize(s.h, 3, 1, 1)
+		ow := ConvOutSize(s.w, 3, 1, 1)
+		dst := New(s.n*oh*ow, s.c*9)
+		b.Run("parallel/"+s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Im2ColInto(dst, x, 3, 3, 1, 1)
+			}
+		})
+		b.Run("naive/"+s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Im2ColNaive(x, 3, 3, 1, 1)
+			}
+		})
+	}
+}

@@ -6,17 +6,22 @@ import (
 	"sync"
 )
 
-// parallelThreshold is the number of multiply-adds below which MatMul
-// stays single-threaded: goroutine fan-out costs more than it saves on
-// small products.
+// parallelThreshold is the number of multiply-adds below which the GEMM
+// and im2col kernels stay single-threaded: goroutine fan-out costs more
+// than it saves on small products.
 const parallelThreshold = 1 << 18
 
-// MatMul returns the matrix product a·b for a of shape [m,k] and b of
-// shape [k,n]. The kernel uses the i-k-j loop order so the inner loop
-// streams both b and the output row sequentially (row-major friendly), and
-// fans rows out across GOMAXPROCS goroutines for large products.
-func MatMul(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul("MatMul", a, b, false, false)
+// This file holds the reference GEMM kernels: the unblocked i-k-j loops
+// the engine shipped with originally. They remain the semantic ground
+// truth — the blocked, register-tiled kernels in gemm.go are verified
+// against them bit-for-bit (or within reassociation tolerance) by the
+// differential tests, and the benchmarks report speedups relative to
+// them. Production callers should use MatMul/MatMulTA/MatMulTB, which
+// dispatch to the blocked engine.
+
+// MatMulNaive returns a·b with the reference unblocked i-k-j kernel.
+func MatMulNaive(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul("MatMulNaive", a, b, false, false)
 	out := New(m, n)
 	mulRows := func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
@@ -37,17 +42,12 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulTA returns aᵀ·b for a of shape [k,m] and b of shape [k,n],
-// producing [m,n] without materializing the transpose. Dense-layer weight
-// gradients (xᵀ·dy) use this form.
-func MatMulTA(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul("MatMulTA", a, b, true, false)
+// MatMulTANaive returns aᵀ·b with the reference outer-product kernel.
+func MatMulTANaive(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul("MatMulTANaive", a, b, true, false)
 	out := New(m, n)
-	// Accumulate outer products row-by-row of the shared k dimension.
-	// Parallelizing over output rows would race; instead give each worker
-	// a private accumulator when parallel, or run serially when small.
 	work := m * k * n
-	if work < parallelThreshold || runtime.GOMAXPROCS(0) == 1 {
+	if work < parallelThreshold || maxWorkers() == 1 {
 		for p := 0; p < k; p++ {
 			arow := a.data[p*m : (p+1)*m]
 			brow := b.data[p*n : (p+1)*n]
@@ -85,11 +85,9 @@ func MatMulTA(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulTB returns a·bᵀ for a of shape [m,k] and b of shape [n,k],
-// producing [m,n] without materializing the transpose. Dense-layer input
-// gradients (dy·wᵀ) use this form.
-func MatMulTB(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul("MatMulTB", a, b, false, true)
+// MatMulTBNaive returns a·bᵀ with the reference row-dot kernel.
+func MatMulTBNaive(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul("MatMulTBNaive", a, b, false, true)
 	out := New(m, n)
 	parallelRows(m, m*k*n, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
@@ -133,10 +131,22 @@ func checkMatMul(op string, a, b *Tensor, transA, transB bool) (m, k, n int) {
 	return m, k, n
 }
 
+// forcedWorkers, when positive, overrides GOMAXPROCS for the parallel
+// fan-out. Tests set it to exercise the multi-goroutine paths (and the
+// race detector) even on single-core runners.
+var forcedWorkers int
+
+func maxWorkers() int {
+	if forcedWorkers > 0 {
+		return forcedWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // parallelRows runs fn over [0,rows) split into contiguous chunks, one per
 // worker, when the estimated work is large enough; otherwise serially.
 func parallelRows(rows, work int, fn func(r0, r1 int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := maxWorkers()
 	if workers > rows {
 		workers = rows
 	}

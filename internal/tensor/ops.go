@@ -120,6 +120,26 @@ func SumRows(t *Tensor) *Tensor {
 	return out
 }
 
+// SumRowsAcc accumulates the column-wise sums of rank-2 t into dst
+// (length = t.Dim(1)). It is the fused form of the bias-gradient pattern
+// G.AddInPlace(SumRows(dy)) and avoids the temporary vector.
+func SumRowsAcc(dst, t *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: SumRowsAcc on rank-%d tensor", len(t.shape)))
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	if dst.Size() != cols {
+		panic(fmt.Sprintf("tensor: SumRowsAcc dst size %d, want %d", dst.Size(), cols))
+	}
+	for r := 0; r < rows; r++ {
+		row := t.data[r*cols : (r+1)*cols]
+		for c := range row {
+			dst.data[c] += row[c]
+		}
+	}
+	return dst
+}
+
 // Sum returns the sum of all elements.
 func (t *Tensor) Sum() float64 {
 	var s float64
@@ -348,6 +368,38 @@ func ConcatDim0(ts ...*Tensor) *Tensor {
 		off += len(t.data)
 	}
 	return out
+}
+
+// ConcatDim0Into stacks tensors along dimension 0 into dst, whose shape
+// must be [Σ dim0, trailing...]. It is the buffer-reusing form of
+// ConcatDim0: the split server calls it with a round-persistent fused
+// batch so concat-mode scheduling stops allocating per round.
+func ConcatDim0Into(dst *Tensor, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatDim0Into of nothing")
+	}
+	trailing := dst.shape[1:]
+	total := 0
+	for _, t := range ts {
+		if len(t.shape) != len(dst.shape) {
+			panic(fmt.Sprintf("tensor: ConcatDim0Into rank mismatch %v vs dst %v", t.shape, dst.shape))
+		}
+		for i, d := range trailing {
+			if t.shape[i+1] != d {
+				panic(fmt.Sprintf("tensor: ConcatDim0Into trailing shape mismatch %v vs dst %v", t.shape, dst.shape))
+			}
+		}
+		total += t.shape[0]
+	}
+	if total != dst.shape[0] {
+		panic(fmt.Sprintf("tensor: ConcatDim0Into inputs total dim0 %d, dst has %d", total, dst.shape[0]))
+	}
+	off := 0
+	for _, t := range ts {
+		copy(dst.data[off:], t.data)
+		off += len(t.data)
+	}
+	return dst
 }
 
 // SplitDim0 slices t into consecutive blocks along dimension 0 with the

@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pool recycles tensor backing storage through power-of-two size classes,
+// each backed by a sync.Pool. The training hot path allocates the same
+// handful of shapes every round (im2col columns, activation batches,
+// gradient matrices); routing those through a Pool turns per-round
+// allocations into constant-space buffer reuse and keeps GC pressure flat
+// as platforms × rounds grows.
+//
+// Put hands the tensor's storage back to the pool: the caller asserts
+// nothing else aliases it (no outstanding Reshape views, no retained
+// Data() slices). Violating that is a use-after-free-style aliasing bug,
+// so Put only belongs at points where ownership is unambiguous.
+type Pool struct {
+	classes [poolClasses]sync.Pool
+}
+
+// poolClasses covers buffers up to 2^31 elements — far beyond any tensor
+// this codebase materializes.
+const poolClasses = 32
+
+// Default is the package-level pool; the GEMM engine draws its packing
+// and transpose scratch from it. (The nn layers and the split server
+// reuse long-lived buffers via EnsureShape instead — their scratch has
+// layer lifetime, not call lifetime.) Independent subsystems may still
+// construct private Pools to bound cross-talk.
+var Default Pool
+
+// sizeClass returns the bucket index for a buffer of n float32s: the
+// smallest power of two ≥ n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a zero-filled tensor of the given shape, reusing pooled
+// storage when available.
+func (p *Pool) Get(shape ...int) *Tensor {
+	t := p.GetDirty(shape...)
+	t.Zero()
+	return t
+}
+
+// GetDirty returns a tensor of the given shape whose contents are
+// undefined. Use it for outputs that every kernel invocation fully
+// overwrites (MatMulInto, Im2ColInto); anything accumulated into must go
+// through Get instead.
+func (p *Pool) GetDirty(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: non-positive dimension in pooled shape")
+		}
+		n *= d
+	}
+	cls := sizeClass(n)
+	if buf, ok := p.classes[cls].Get().([]float32); ok && cap(buf) >= n {
+		return &Tensor{shape: append([]int(nil), shape...), data: buf[:n]}
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n, 1<<cls)}
+}
+
+// Put returns t's storage to the pool. t must not be used afterwards.
+// Put(nil) is a no-op so callers can release optional scratch
+// unconditionally.
+func (p *Pool) Put(t *Tensor) {
+	if t == nil || cap(t.data) == 0 {
+		return
+	}
+	buf := t.data[:cap(t.data)]
+	// Only pool power-of-two capacities: anything else (FromSlice-wrapped
+	// storage) would silently shrink its class on the next Get.
+	if cap(buf)&(cap(buf)-1) != 0 {
+		return
+	}
+	p.classes[sizeClass(cap(buf))].Put(buf)
+	t.data = nil
+	t.shape = nil
+}
+
+// EnsureShape returns a tensor of exactly the given shape, reusing t's
+// storage when its capacity suffices (contents are preserved up to the
+// new volume, which callers should treat as undefined). It is the
+// idiom for layer- or server-held scratch whose shape can drift between
+// rounds (last partial batch, per-platform batch skew).
+func EnsureShape(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: non-positive dimension in EnsureShape")
+		}
+		n *= d
+	}
+	if t != nil && cap(t.data) >= n {
+		t.shape = append(t.shape[:0], shape...)
+		t.data = t.data[:n]
+		return t
+	}
+	return New(shape...)
+}
