@@ -1,12 +1,18 @@
 # Development entry points. CI (.github/workflows/ci.yml) runs the same
-# targets, so `make test` locally reproduces the gate.
+# targets — `make ci` locally reproduces the full gate, and the
+# individual targets mirror the workflow's jobs one to one.
 
 GO ?= go
 
 # Benchmarks that feed the committed baseline (BENCH_tensor.json).
 BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound
 
-.PHONY: test bench bench-save race vet
+# Packages with concurrency worth racing: the pipelined scheduler, the
+# async transport wrappers, the parameter-server baseline and the
+# parallel tensor kernels.
+RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/syncsgd/... ./internal/tensor/...
+
+.PHONY: test bench bench-save bench-smoke race vet fmt-check ci
 
 test:
 	$(GO) build ./...
@@ -14,14 +20,30 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor/...
+	$(GO) test -race $(RACE_PKGS)
 
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+# The CI gate, job for job: lint, build+test, race, bench smoke.
+ci: fmt-check test race bench-smoke
+
 # Human-readable benchmark sweep of the tensor engine and training path.
 bench:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run NONE ./internal/tensor/ ./internal/nn/ .
+
+# One-iteration benchmark pass piped through cmd/benchjson, which fails
+# on malformed output — the cheap guard that keeps BENCH_*.json
+# regenerable.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkMatMul|BenchmarkSplitRound' -benchtime 1x -run NONE ./internal/tensor/ . \
+		| $(GO) run ./cmd/benchjson > /dev/null
+	@echo bench-smoke ok
 
 # Refresh the committed perf baseline. Compare the result against the
 # checked-in BENCH_tensor.json before committing (see README.md,

@@ -58,6 +58,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	// Zero parsed results means the input was not `go test -bench`
+	// output at all (or the bench run itself failed): fail loudly so CI
+	// smoke jobs catch a broken pipeline instead of committing an empty
+	// baseline.
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines found on stdin")
+		os.Exit(1)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

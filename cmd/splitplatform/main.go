@@ -95,11 +95,25 @@ func run(cfg experiment.Config, addr string, id, rounds int, lr float32, l1sync,
 		}
 		fmt.Printf("splitplatform %d: restored L1 from %s\n", id, loadPath)
 	}
+	// A second front instance lets the platform overlap its L1 backward
+	// with the next batch's forward when the server advertises pipelined
+	// scheduling at depth >= 2 (splitserver -pipeline N). Inert in every
+	// other mode, and NewPlatform re-copies weights/state from Front, so
+	// providing it unconditionally is safe.
+	m2, err := experiment.BuildModel(cfg)
+	if err != nil {
+		return err
+	}
+	shadow, _, err := models.Split(m2.Net, m2.DefaultCut)
+	if err != nil {
+		return err
+	}
 
 	meter := &transport.Meter{}
 	pc := core.PlatformConfig{
 		ID:          id,
 		Front:       front,
+		ShadowFront: shadow,
 		Opt:         &nn.SGD{LR: lr},
 		Loss:        nn.SoftmaxCrossEntropy{},
 		Shard:       shards[id],

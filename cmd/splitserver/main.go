@@ -39,6 +39,7 @@ func main() {
 		lr        = flag.Float64("lr", 0.05, "server-side learning rate")
 		seed      = flag.Uint64("seed", 1, "shared model seed")
 		concat    = flag.Bool("concat", false, "concatenated round mode instead of sequential")
+		pipeline  = flag.Int("pipeline", 0, "pipelined round mode with the given in-flight depth (0 = off)")
 		l1sync    = flag.Int("l1sync", 0, "average platform L1 weights every N rounds (0 = off)")
 		evalEvery = flag.Int("evalevery", 10, "evaluation phase every N rounds (0 = off)")
 		codec     = flag.String("codec", "raw", "activation codec: raw, f16, int8, topk-<frac>")
@@ -47,13 +48,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*addr, *platforms, *rounds, *arch, *classes, *width, float32(*lr), *seed, *concat, *l1sync, *evalEvery, *codec, *loadPath, *savePath); err != nil {
+	if err := run(*addr, *platforms, *rounds, *arch, *classes, *width, float32(*lr), *seed, *concat, *pipeline, *l1sync, *evalEvery, *codec, *loadPath, *savePath); err != nil {
 		fmt.Fprintln(os.Stderr, "splitserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, platforms, rounds int, arch string, classes, width int, lr float32, seed uint64, concat bool, l1sync, evalEvery int, codecName, loadPath, savePath string) error {
+func run(addr string, platforms, rounds int, arch string, classes, width int, lr float32, seed uint64, concat bool, pipeline, l1sync, evalEvery int, codecName, loadPath, savePath string) error {
 	m, err := experiment.BuildModel(experiment.Config{
 		Arch: experiment.Arch(arch), Classes: classes, Width: width, Seed: seed,
 	})
@@ -78,16 +79,23 @@ func run(addr string, platforms, rounds int, arch string, classes, width int, lr
 	if concat {
 		mode = core.RoundModeConcat
 	}
+	if pipeline > 0 {
+		if concat {
+			return fmt.Errorf("-concat and -pipeline are mutually exclusive")
+		}
+		mode = core.RoundModePipelined
+	}
 	srv, err := core.NewServer(core.ServerConfig{
-		Back:        back,
-		Opt:         &nn.SGD{LR: lr},
-		Platforms:   platforms,
-		Rounds:      rounds,
-		Mode:        mode,
-		ClipGrads:   5,
-		L1SyncEvery: l1sync,
-		EvalEvery:   evalEvery,
-		Codec:       codec,
+		Back:          back,
+		Opt:           &nn.SGD{LR: lr},
+		Platforms:     platforms,
+		Rounds:        rounds,
+		Mode:          mode,
+		PipelineDepth: pipeline,
+		ClipGrads:     5,
+		L1SyncEvery:   l1sync,
+		EvalEvery:     evalEvery,
+		Codec:         codec,
 	})
 	if err != nil {
 		return err

@@ -35,10 +35,20 @@ type RoundMode int
 // own forward/backward/step (k optimizer steps per round, the reading
 // most consistent with the paper's flowchart). Concat fuses all
 // platforms' minibatches into one batch and takes a single step per
-// round on the union gradient.
+// round on the union gradient. Pipelined keeps Sequential's optimizer
+// semantics (one step per platform, deterministic platform order) but
+// overlaps WAN I/O with server compute: per-connection reader/writer
+// goroutines (transport.AsyncConn) receive platform k+1's activations
+// and ship platform k-1's cut gradients while the server computes
+// platform k's forward/backward. At PipelineDepth 1 the training
+// trajectory is bit-identical to Sequential; at depth >= 2 platforms
+// with a ShadowFront additionally overlap their local L1 backward with
+// the next batch's forward (one-step-stale L1 weights, same final
+// accuracy — see README "Scheduling modes").
 const (
 	RoundModeSequential RoundMode = iota + 1
 	RoundModeConcat
+	RoundModePipelined
 )
 
 // String names the mode.
@@ -48,6 +58,8 @@ func (m RoundMode) String() string {
 		return "sequential"
 	case RoundModeConcat:
 		return "concat"
+	case RoundModePipelined:
+		return "pipelined"
 	default:
 		return fmt.Sprintf("roundmode(%d)", int(m))
 	}

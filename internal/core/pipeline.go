@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"medsplit/internal/nn"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// This file implements the platform side of RoundModePipelined at
+// PipelineDepth >= 2: a software pipeline that keeps one round in
+// flight so the L1 backward of round r overlaps the forward (and
+// activation upload) of round r+1.
+//
+// Schedule, per loop iteration r (label-private mode):
+//
+//	forward r          on fronts[r%2]            } overlaps the server's
+//	send activations r                           } backward/step of round
+//	finish r-1: recv cut-grad, backward, step    } r-1 and the cut-grad
+//	recv logits r, send loss-grad r              } WAN transfer
+//
+// The forward of round r therefore runs before the optimizer step of
+// round r-1 is applied: L1 weights are one step stale, the classic
+// pipeline-parallel trade (the server-side halves are never stale —
+// the server's compute loop is strictly sequential in every mode).
+// The schedule is fixed, so training remains bit-for-bit reproducible
+// for a given configuration; it just follows a different (overlapped)
+// trajectory than RoundModeSequential. The pipeline drains at L1-sync,
+// evaluation and final rounds, so synchronization points see exactly
+// the weights sequential mode would exchange at that round.
+//
+// Two front instances are required because layer instances cache
+// activations between forward and backward; alternating rounds between
+// Front and ShadowFront keeps both rounds' caches alive. The optimizer
+// (and its state) always steps Front's parameters; gradients computed
+// on the shadow are copied over first and the stepped weights are
+// mirrored back after every step. Stateful buffers (BatchNorm running
+// statistics) instead follow the forward stream: they are handed to
+// the instance about to run a forward (handStateTo), so they track the
+// same per-batch EMA chain a single sequential front would compute.
+
+// inflight is one round whose L1 backward has not happened yet.
+type inflight struct {
+	round  int
+	front  *nn.Sequential
+	acts   *tensor.Tensor
+	labels []int // label-private mode only
+	loss   float64
+	batch  int
+}
+
+// runPipelined executes the overlapped training loop. Sends go through
+// a write-only transport.AsyncConn so the activation upload of round
+// r+1 does not block the backward of round r on a slow link.
+func (p *Platform) runPipelined(conn transport.Conn) (*PlatformStats, error) {
+	stats := &PlatformStats{}
+	ac := transport.NewAsync(conn, transport.AsyncOptions{SendQueue: 4})
+	ok := false
+	defer func() {
+		if !ok {
+			ac.Abort()
+		}
+	}()
+
+	var pend *inflight
+	for r := 0; r < p.cfg.Rounds; r++ {
+		fl, err := p.startRound(ac, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, r, err)
+		}
+		if pend != nil {
+			if err := p.finishRound(ac, pend, stats); err != nil {
+				return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, pend.round, err)
+			}
+			pend = nil
+		}
+		if !p.cfg.LabelSharing {
+			if err := p.exchangeLossGrad(ac, fl); err != nil {
+				return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, r, err)
+			}
+		}
+		pend = fl
+
+		// Synchronization points drain the pipeline: the step for round
+		// r must be applied before weights are pushed, accuracy is
+		// measured, or training ends.
+		if p.syncRound(r) || p.evalRound(r) || r == p.cfg.Rounds-1 {
+			if err := p.finishRound(ac, pend, stats); err != nil {
+				return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, pend.round, err)
+			}
+			pend = nil
+		}
+		if p.syncRound(r) {
+			if err := p.l1Sync(ac, r); err != nil {
+				return nil, fmt.Errorf("core: platform %d L1 sync round %d: %w", p.cfg.ID, r, err)
+			}
+			// l1Sync installed averaged weights into Front; re-mirror.
+			if err := nn.CopyParams(p.cfg.ShadowFront.Params(), p.cfg.Front.Params()); err != nil {
+				return nil, fmt.Errorf("core: platform %d L1 sync round %d: %w", p.cfg.ID, r, err)
+			}
+		}
+		if p.evalRound(r) {
+			ev := EvalStat{Round: r, Accuracy: -1}
+			if p.cfg.Meter != nil {
+				// Exact despite the async writer: cut-grad r only arrives
+				// after the server consumed every training message of
+				// round r, so they are all flushed by now.
+				ev.TrainingBytes = TrainingBytes(p.cfg.Meter)
+			}
+			if p.cfg.EvalData != nil {
+				// Inference normalizes with running statistics: make sure
+				// Front holds the newest ones before evaluating.
+				if err := p.handStateTo(0); err != nil {
+					return nil, fmt.Errorf("core: platform %d eval round %d: %w", p.cfg.ID, r, err)
+				}
+				acc, err := p.evalExchange(ac, r)
+				if err != nil {
+					return nil, fmt.Errorf("core: platform %d eval round %d: %w", p.cfg.ID, r, err)
+				}
+				ev.Accuracy = acc
+			}
+			stats.Evals = append(stats.Evals, ev)
+		}
+	}
+	if err := p.send(ac, &wire.Message{
+		Type:     wire.MsgBye,
+		Platform: uint32(p.cfg.ID),
+		Round:    uint32(p.cfg.Rounds),
+	}); err != nil {
+		return nil, err
+	}
+	if err := ac.Stop(); err != nil {
+		return nil, fmt.Errorf("core: platform %d flushing connection: %w", p.cfg.ID, err)
+	}
+	ok = true
+	return stats, nil
+}
+
+// pipelineFront alternates rounds between the two front instances so
+// consecutive rounds' layer caches never collide.
+func (p *Platform) pipelineFront(r int) *nn.Sequential {
+	if r%2 == 1 {
+		return p.cfg.ShadowFront
+	}
+	return p.cfg.Front
+}
+
+// startRound samples the round's minibatch, runs the L1 forward on the
+// round's front instance and ships the activations (and labels, when
+// sharing). The L1 backward for this round happens later, in
+// finishRound.
+func (p *Platform) startRound(conn transport.Conn, r int) (*inflight, error) {
+	idx := p.sampler.Next()
+	x, labels := p.cfg.Shard.Batch(idx)
+	if p.cfg.Augment != nil && x.Rank() == 4 {
+		p.cfg.Augment.Apply(x)
+	}
+	f := p.pipelineFront(r)
+	if err := p.handStateTo(r % 2); err != nil {
+		return nil, err
+	}
+	a := f.Forward(x, true)
+	if err := p.send(conn, &wire.Message{
+		Type:     wire.MsgActivations,
+		Platform: uint32(p.cfg.ID),
+		Round:    uint32(r),
+		Payload:  p.cfg.Codec.EncodeTensors(a),
+	}); err != nil {
+		return nil, err
+	}
+	fl := &inflight{round: r, front: f, acts: a, batch: len(labels)}
+	if p.cfg.LabelSharing {
+		if err := p.send(conn, &wire.Message{
+			Type:     wire.MsgLabels,
+			Platform: uint32(p.cfg.ID),
+			Round:    uint32(r),
+			Payload:  wire.EncodeLabels(labels),
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		fl.labels = labels
+	}
+	return fl, nil
+}
+
+// exchangeLossGrad receives the round's logits, computes the local loss
+// gradient and ships it back (label-private mode only).
+func (p *Platform) exchangeLossGrad(conn transport.Conn, fl *inflight) error {
+	m, err := p.recv(conn, wire.MsgLogits, fl.round)
+	if err != nil {
+		return err
+	}
+	ts, derr := p.cfg.Codec.DecodeTensors(m.Payload)
+	if derr != nil || len(ts) != 1 {
+		return fmt.Errorf("%w: bad logits payload", ErrProtocol)
+	}
+	z := ts[0]
+	if z.Dim(0) != len(fl.labels) {
+		return fmt.Errorf("%w: %d logit rows for %d labels", ErrProtocol, z.Dim(0), len(fl.labels))
+	}
+	var dz *tensor.Tensor
+	fl.loss, dz = p.cfg.Loss.Loss(z, fl.labels)
+	return p.send(conn, &wire.Message{
+		Type:     wire.MsgLossGrad,
+		Platform: uint32(p.cfg.ID),
+		Round:    uint32(fl.round),
+		Payload:  p.cfg.Codec.EncodeTensors(dz),
+	})
+}
+
+// finishRound receives the round's cut gradient, runs the L1 backward
+// on the instance that did the forward, steps the canonical (Front)
+// parameters and mirrors the stepped weights onto the other instance.
+// Stateful buffers are NOT mirrored here: by this point the next
+// round's forward may already have updated the other instance's
+// statistics, and overwriting them would lose that batch. They are
+// handed over in startRound instead (handStateTo).
+func (p *Platform) finishRound(conn transport.Conn, fl *inflight, stats *PlatformStats) error {
+	m, err := p.recv(conn, wire.MsgCutGrad, fl.round)
+	if err != nil {
+		return err
+	}
+	ts, derr := p.cfg.Codec.DecodeTensors(m.Payload)
+	var da *tensor.Tensor
+	if p.cfg.LabelSharing {
+		if derr != nil || len(ts) != 2 {
+			return fmt.Errorf("%w: bad cut-grad payload (label sharing)", ErrProtocol)
+		}
+		da = ts[0]
+		fl.loss = float64(ts[1].At())
+	} else {
+		if derr != nil || len(ts) != 1 {
+			return fmt.Errorf("%w: bad cut-grad payload", ErrProtocol)
+		}
+		da = ts[0]
+	}
+	if !tensor.SameShape(da, fl.acts) {
+		return fmt.Errorf("%w: cut-grad shape %v, activations %v", ErrProtocol, da.Shape(), fl.acts.Shape())
+	}
+
+	nn.ZeroGrads(fl.front.Params())
+	fl.front.Backward(da)
+	if fl.front != p.cfg.Front {
+		// Gradients were accumulated on the shadow; move them onto the
+		// canonical params so the optimizer state always follows Front.
+		fp, sp := p.cfg.Front.Params(), fl.front.Params()
+		for i := range fp {
+			fp[i].G.CopyFrom(sp[i].G)
+		}
+	}
+	// The schedule is applied per step with the step's own round index:
+	// the step for round r lands during loop iteration r+1, and using
+	// iteration r+1's learning rate would diverge from sequential mode.
+	nn.ApplySchedule(p.cfg.Opt, p.cfg.LRSchedule, fl.round)
+	if p.cfg.ClipGrads > 0 {
+		nn.ClipGrads(p.cfg.Front.Params(), p.cfg.ClipGrads)
+	}
+	p.cfg.Opt.Step(p.cfg.Front.Params())
+	if err := nn.CopyParams(p.cfg.ShadowFront.Params(), p.cfg.Front.Params()); err != nil {
+		return fmt.Errorf("core: mirroring weights: %w", err)
+	}
+	stats.Rounds = append(stats.Rounds, RoundStat{Round: fl.round, Loss: fl.loss, Batch: fl.batch})
+	return nil
+}
+
+// handStateTo copies the newest stateful buffers (BatchNorm running
+// statistics) onto the given instance, making it the owner. Called
+// immediately before a forward on that instance — never after a later
+// forward already ran elsewhere, which would overwrite the newer
+// update — so the statistics follow the exact per-batch EMA chain a
+// single sequential front would compute.
+func (p *Platform) handStateTo(owner int) error {
+	if len(p.frontState) == 0 || p.stateOwner == owner {
+		p.stateOwner = owner
+		return nil
+	}
+	src, dst := p.frontState, p.shadowState
+	if owner == 0 {
+		src, dst = p.shadowState, p.frontState
+	}
+	if err := copyState(dst, src); err != nil {
+		return fmt.Errorf("core: mirroring state: %w", err)
+	}
+	p.stateOwner = owner
+	return nil
+}

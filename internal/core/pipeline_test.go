@@ -1,0 +1,387 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"medsplit/internal/dataset"
+	"medsplit/internal/models"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/transport"
+)
+
+// splitRun executes one full split session on a fixed-seed 2-platform
+// MLP workload and returns the final parameters (per-platform fronts,
+// then the server back) plus the per-platform stats. All randomness is
+// pinned, so two runs with the same arguments are bit-identical.
+func splitRun(t *testing.T, mode RoundMode, depth, rounds int, shadows, eval bool) ([][]*nn.Param, []*PlatformStats) {
+	t.Helper()
+	const K = 2
+	train, test := testData(t, 4, 240, 60, 91)
+	flat, flatTest := flatten(train), flatten(test)
+	in := flat.X.Dim(1)
+
+	fronts, back := buildFronts(t, 311, K, in, 4)
+	shards := dataset.ShardIID(flat.Len(), K, rng.New(92))
+	srv := defaultServer(t, back, K, rounds, func(c *ServerConfig) {
+		c.Mode = mode
+		c.PipelineDepth = depth
+		if eval {
+			c.EvalEvery = rounds
+		}
+	})
+	platforms := make([]*Platform, K)
+	for k := 0; k < K; k++ {
+		k := k
+		platforms[k] = defaultPlatform(t, k, fronts[k], flat.Subset(shards[k]), rounds, func(c *PlatformConfig) {
+			if shadows {
+				shadow, _ := buildSplitMLP(t, 311, in, 4)
+				c.ShadowFront = shadow
+			}
+			if eval {
+				c.EvalEvery = rounds
+				if k == 0 {
+					c.EvalData = flatTest
+				}
+			}
+		})
+	}
+	stats, err := RunLocal(srv, platforms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([][]*nn.Param, 0, K+1)
+	for k := 0; k < K; k++ {
+		params = append(params, fronts[k].Params())
+	}
+	params = append(params, back.Params())
+	return params, stats
+}
+
+// assertParamsBitIdentical compares two parameter sets down to the
+// float bit pattern — no tolerance.
+func assertParamsBitIdentical(t *testing.T, label string, a, b [][]*nn.Param) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d param sets vs %d", label, len(a), len(b))
+	}
+	for s := range a {
+		if len(a[s]) != len(b[s]) {
+			t.Fatalf("%s: set %d has %d vs %d params", label, s, len(a[s]), len(b[s]))
+		}
+		for i := range a[s] {
+			x, y := a[s][i].W.Data(), b[s][i].W.Data()
+			if len(x) != len(y) {
+				t.Fatalf("%s: set %d param %d size %d vs %d", label, s, i, len(x), len(y))
+			}
+			for j := range x {
+				if math.Float32bits(x[j]) != math.Float32bits(y[j]) {
+					t.Fatalf("%s: set %d param %d (%s) differs at scalar %d: %v vs %v",
+						label, s, i, a[s][i].Name, j, x[j], y[j])
+				}
+			}
+		}
+	}
+}
+
+// At PipelineDepth 1 the pipelined mode's compute schedule is exactly
+// sequential — the async transport only changes when bytes move, never
+// what is computed — so final weights must be bit-identical across the
+// whole model (both platform fronts and the server back).
+func TestPipelinedDepth1BitIdenticalToSequential(t *testing.T) {
+	const rounds = 12
+	seq, _ := splitRun(t, RoundModeSequential, 0, rounds, false, false)
+	pipe, _ := splitRun(t, RoundModePipelined, 1, rounds, false, false)
+	assertParamsBitIdentical(t, "pipelined depth 1 vs sequential", seq, pipe)
+}
+
+// A ShadowFront without pipelining at depth >= 2 is inert: the plain
+// loop runs, and the result still matches sequential bit for bit.
+func TestPipelinedDepth1IgnoresShadowFront(t *testing.T) {
+	const rounds = 8
+	seq, _ := splitRun(t, RoundModeSequential, 0, rounds, false, false)
+	pipe, _ := splitRun(t, RoundModePipelined, 1, rounds, true, false)
+	assertParamsBitIdentical(t, "pipelined depth 1 with shadow vs sequential", seq, pipe)
+}
+
+// Depth >= 2 engages the platforms' overlapped loop (one-step-stale L1
+// forward), which follows a different — but deterministic — trajectory:
+// the run must reproduce itself bit for bit, reduce the loss, and land
+// at the same accuracy level as sequential scheduling.
+func TestPipelinedDepth2DeterministicAndConverges(t *testing.T) {
+	const rounds = 30
+	a, astats := splitRun(t, RoundModePipelined, 2, rounds, true, true)
+	b, _ := splitRun(t, RoundModePipelined, 2, rounds, true, true)
+	assertParamsBitIdentical(t, "pipelined depth 2 repeat", a, b)
+
+	if astats[0].FinalLoss() >= astats[0].Rounds[0].Loss {
+		t.Fatalf("pipelined depth 2 loss did not decrease: %v -> %v",
+			astats[0].Rounds[0].Loss, astats[0].FinalLoss())
+	}
+	for k, st := range astats {
+		if len(st.Rounds) != rounds {
+			t.Fatalf("platform %d recorded %d rounds, want %d", k, len(st.Rounds), rounds)
+		}
+		for r, rs := range st.Rounds {
+			if rs.Round != r {
+				t.Fatalf("platform %d round stats out of order: %d at index %d", k, rs.Round, r)
+			}
+		}
+	}
+
+	_, seqStats := splitRun(t, RoundModeSequential, 0, rounds, false, true)
+	accSeq := seqStats[0].Evals[len(seqStats[0].Evals)-1].Accuracy
+	accPipe := astats[0].Evals[len(astats[0].Evals)-1].Accuracy
+	if accPipe < 0.3 {
+		t.Fatalf("pipelined depth 2 accuracy %v below chance band", accPipe)
+	}
+	if d := accPipe - accSeq; d > 0.2 || d < -0.2 {
+		t.Fatalf("pipelined depth 2 accuracy %v too far from sequential %v", accPipe, accSeq)
+	}
+}
+
+// The shadow front must remain an exact mirror of the canonical front
+// after training (the invariant the overlapped loop relies on).
+func TestPipelinedShadowStaysMirrored(t *testing.T) {
+	train, _ := testData(t, 3, 120, 8, 95)
+	flat := flatten(train)
+	in := flat.X.Dim(1)
+	const rounds = 9 // odd: last round ran on the shadow instance
+
+	front, back := buildSplitMLP(t, 331, in, 3)
+	shadow, _ := buildSplitMLP(t, 331, in, 3)
+	srv := defaultServer(t, back, 1, rounds, func(c *ServerConfig) {
+		c.Mode = RoundModePipelined
+		c.PipelineDepth = 2
+	})
+	plat := defaultPlatform(t, 0, front, flat, rounds, func(c *PlatformConfig) {
+		c.ShadowFront = shadow
+	})
+	if _, err := RunLocal(srv, []*Platform{plat}); err != nil {
+		t.Fatal(err)
+	}
+	fp, sp := front.Params(), shadow.Params()
+	for i := range fp {
+		x, y := fp[i].W.Data(), sp[i].W.Data()
+		for j := range x {
+			if math.Float32bits(x[j]) != math.Float32bits(y[j]) {
+				t.Fatalf("front and shadow diverged at param %d scalar %d: %v vs %v", i, j, x[j], y[j])
+			}
+		}
+	}
+}
+
+// Pipelined scheduling composes with label sharing, L1 sync and eval
+// phases: the pipeline drains at every synchronization point, so the
+// existing barriers keep their semantics. Three platforms at depth 3
+// also exercise the concurrency harder for the race detector.
+func TestPipelinedComposesWithSyncEvalAndLabelSharing(t *testing.T) {
+	train, test := testData(t, 4, 240, 60, 96)
+	flat, flatTest := flatten(train), flatten(test)
+	in := flat.X.Dim(1)
+	const rounds, K = 16, 3
+
+	for _, sharing := range []bool{false, true} {
+		fronts, back := buildFronts(t, 351, K, in, 4)
+		shards := dataset.ShardIID(flat.Len(), K, rng.New(97))
+		srv := defaultServer(t, back, K, rounds, func(c *ServerConfig) {
+			c.Mode = RoundModePipelined
+			c.PipelineDepth = 3
+			c.L1SyncEvery = 8
+			c.EvalEvery = 8
+			if sharing {
+				c.LabelSharing = true
+				c.Loss = nn.SoftmaxCrossEntropy{}
+			}
+		})
+		meters := make([]*transport.Meter, K)
+		platforms := make([]*Platform, K)
+		for k := 0; k < K; k++ {
+			k := k
+			meters[k] = &transport.Meter{}
+			platforms[k] = defaultPlatform(t, k, fronts[k], flat.Subset(shards[k]), rounds, func(c *PlatformConfig) {
+				shadow, _ := buildSplitMLP(t, 351, in, 4)
+				c.ShadowFront = shadow
+				c.L1SyncEvery = 8
+				c.EvalEvery = 8
+				c.Meter = meters[k]
+				if sharing {
+					c.LabelSharing = true
+					c.Loss = nil
+				}
+				if k == 0 {
+					c.EvalData = flatTest
+				}
+			})
+		}
+		stats, err := RunLocal(srv, platforms)
+		if err != nil {
+			t.Fatalf("sharing=%t: %v", sharing, err)
+		}
+		if stats[0].FinalLoss() >= stats[0].Rounds[0].Loss {
+			t.Fatalf("sharing=%t: loss did not decrease: %v -> %v",
+				sharing, stats[0].Rounds[0].Loss, stats[0].FinalLoss())
+		}
+		// L1 sync ran at a drained pipeline: all fronts hold identical
+		// weights after the final sync round (16 is a multiple of 8).
+		p0 := fronts[0].Params()
+		for k := 1; k < K; k++ {
+			pk := fronts[k].Params()
+			for i := range p0 {
+				x, y := p0[i].W.Data(), pk[i].W.Data()
+				for j := range x {
+					if math.Float32bits(x[j]) != math.Float32bits(y[j]) {
+						t.Fatalf("sharing=%t: fronts 0 and %d differ after L1 sync", sharing, k)
+					}
+				}
+			}
+		}
+		if stats[0].Evals[len(stats[0].Evals)-1].Accuracy < 0.3 {
+			t.Fatalf("sharing=%t: accuracy %v below chance band",
+				sharing, stats[0].Evals[len(stats[0].Evals)-1].Accuracy)
+		}
+		for k, m := range meters {
+			if TrainingBytes(m) == 0 {
+				t.Fatalf("sharing=%t: platform %d reports zero training bytes", sharing, k)
+			}
+		}
+	}
+}
+
+// A stateful front (resnet-lite's stem keeps a BatchNorm on the
+// platform) must track the same running-statistics stream in pipelined
+// depth-2 mode as in sequential mode: the state is handed to the
+// instance about to run a forward, never overwritten after a newer
+// batch already updated it. A regression here freezes the statistics
+// near their round-0 values and silently degrades eval accuracy.
+func TestPipelinedBatchNormStateTracksSequential(t *testing.T) {
+	const rounds = 12
+	run := func(pipelined bool) ([]float32, []float32) {
+		train, test := testData(t, 3, 120, 30, 501)
+		m := models.ResNetLite(3, 4, rng.New(421))
+		front, back, err := models.Split(m.Net, m.DefaultCut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := RoundModeSequential
+		depth := 0
+		if pipelined {
+			mode, depth = RoundModePipelined, 2
+		}
+		srv := defaultServer(t, back, 1, rounds, func(c *ServerConfig) {
+			c.Mode = mode
+			c.PipelineDepth = depth
+			c.EvalEvery = rounds
+		})
+		plat := defaultPlatform(t, 0, front, train, rounds, func(c *PlatformConfig) {
+			c.Batch = 8
+			c.EvalEvery = rounds
+			c.EvalData = test
+			if pipelined {
+				m2 := models.ResNetLite(3, 4, rng.New(421))
+				shadow, _, serr := models.Split(m2.Net, m2.DefaultCut)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				c.ShadowFront = shadow
+			}
+		})
+		if _, err := RunLocal(srv, []*Platform{plat}); err != nil {
+			t.Fatal(err)
+		}
+		var flatState []float32
+		for _, s := range nn.CollectState(front) {
+			flatState = append(flatState, s.Data()...)
+		}
+		// A freshly initialized front gives the round-0 reference.
+		m3 := models.ResNetLite(3, 4, rng.New(421))
+		freshFront, _, err := models.Split(m3.Net, m3.DefaultCut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var initState []float32
+		for _, s := range nn.CollectState(freshFront) {
+			initState = append(initState, s.Data()...)
+		}
+		return flatState, initState
+	}
+	seqState, initState := run(false)
+	pipeState, _ := run(true)
+
+	maxAbs := func(a, b []float32) float64 {
+		var m float64
+		for i := range a {
+			d := float64(a[i] - b[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	moved := maxAbs(seqState, initState)
+	if moved < 1e-3 {
+		t.Fatalf("sequential run barely moved the running statistics (%v); test is vacuous", moved)
+	}
+	if pipeMoved := maxAbs(pipeState, initState); pipeMoved < moved/2 {
+		t.Fatalf("pipelined running statistics look frozen: moved %v vs sequential %v", pipeMoved, moved)
+	}
+	// One-step-stale weights perturb the statistics slightly; anything
+	// beyond a fraction of the total movement means an update was lost.
+	if diff := maxAbs(pipeState, seqState); diff > moved/4 {
+		t.Fatalf("pipelined running statistics diverged from sequential: diff %v, total movement %v", diff, moved)
+	}
+}
+
+// Pipelined scheduling through a CNN front (conv + pool L1) with
+// augmentation, covering the rank-4 activation path.
+func TestPipelinedCNNFront(t *testing.T) {
+	train, _ := testData(t, 3, 60, 8, 98)
+	const rounds = 6
+	m := models.VGGLite(3, 2, rng.New(361))
+	front, back, err := models.Split(m.Net, m.DefaultCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := models.VGGLite(3, 2, rng.New(361))
+	shadow, _, err := models.Split(m2.Net, m2.DefaultCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := defaultServer(t, back, 1, rounds, func(c *ServerConfig) {
+		c.Mode = RoundModePipelined
+		c.PipelineDepth = 2
+	})
+	plat := defaultPlatform(t, 0, front, train, rounds, func(c *PlatformConfig) {
+		c.Batch = 6
+		c.ShadowFront = shadow
+		c.Augment = dataset.NewAugmenter(4, true, rng.New(99))
+	})
+	if _, err := RunLocal(srv, []*Platform{plat}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Config validation for the new mode.
+func TestPipelinedConfigValidation(t *testing.T) {
+	train, _ := testData(t, 2, 16, 4, 101)
+	flat := flatten(train)
+	_, back := buildSplitMLP(t, 371, flat.X.Dim(1), 2)
+
+	if _, err := NewServer(ServerConfig{Back: back, Opt: &nn.SGD{}, Platforms: 1, Rounds: 1, PipelineDepth: -1}); err == nil {
+		t.Fatal("negative pipeline depth accepted")
+	}
+	if _, err := NewServer(ServerConfig{Back: back, Opt: &nn.SGD{}, Platforms: 1, Rounds: 1, Mode: RoundModeSequential, PipelineDepth: 2}); err == nil {
+		t.Fatal("pipeline depth on sequential mode accepted")
+	}
+	s, err := NewServer(ServerConfig{Back: back, Opt: &nn.SGD{}, Platforms: 1, Rounds: 1, Mode: RoundModePipelined})
+	if err != nil {
+		t.Fatalf("pipelined server without explicit depth: %v", err)
+	}
+	if s.cfg.PipelineDepth != 1 {
+		t.Fatalf("default pipeline depth %d, want 1", s.cfg.PipelineDepth)
+	}
+}

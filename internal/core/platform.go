@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"medsplit/internal/dataset"
 	"medsplit/internal/nn"
@@ -20,6 +22,20 @@ type PlatformConfig struct {
 	// Front is the platform-side half of the model (L1, from
 	// models.Split).
 	Front *nn.Sequential
+	// ShadowFront, when set, is a second instance of the same front
+	// architecture. When the server runs RoundModePipelined with
+	// PipelineDepth >= 2, the platform alternates forward passes between
+	// Front and ShadowFront so the L1 backward of round r can overlap
+	// the forward of round r+1 (layer instances cache activations for
+	// backward, so one instance cannot hold two rounds in flight). The
+	// forward of round r+1 then runs one optimizer step stale. Weights
+	// and stateful buffers are copied from Front at construction;
+	// weights are re-mirrored after every step, and stateful buffers
+	// (BatchNorm running statistics) are handed to the instance about
+	// to run a forward so they follow the sequential per-batch chain.
+	// Optimizer state always lives on Front. Ignored unless the
+	// handshake selects pipelining at depth >= 2.
+	ShadowFront *nn.Sequential
 	// Opt updates Front's parameters.
 	Opt nn.Optimizer
 	// Loss computes the task loss from logits and local labels. Unused
@@ -108,6 +124,16 @@ func (s *PlatformStats) FinalLoss() float64 {
 type Platform struct {
 	cfg     PlatformConfig
 	sampler *dataset.BatchSampler
+
+	// Stateful buffers of the two front instances (BatchNorm running
+	// statistics), collected once so pipelined rounds can mirror them.
+	// stateOwner names the instance holding the newest statistics
+	// (0 = Front, 1 = ShadowFront): each training forward updates only
+	// the instance it ran on, so the stream of updates is handed from
+	// instance to instance just before the next forward.
+	frontState  []*tensor.Tensor
+	shadowState []*tensor.Tensor
+	stateOwner  int
 }
 
 // NewPlatform validates cfg and builds a platform.
@@ -140,20 +166,59 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	for i := range indices {
 		indices[i] = i
 	}
-	return &Platform{
+	p := &Platform{
 		cfg:     cfg,
 		sampler: dataset.NewBatchSampler(indices, cfg.Batch, rng.New(cfg.Seed^0x9e3779b97f4a7c15)),
-	}, nil
+	}
+	if cfg.ShadowFront != nil {
+		// The shadow starts as an exact mirror of Front: weights and
+		// stateful buffers are copied here, so the caller only has to
+		// provide a structurally identical instance.
+		if err := nn.CopyParams(cfg.ShadowFront.Params(), cfg.Front.Params()); err != nil {
+			return nil, fmt.Errorf("%w: shadow front: %v", ErrConfig, err)
+		}
+		p.frontState = nn.CollectState(cfg.Front)
+		p.shadowState = nn.CollectState(cfg.ShadowFront)
+		if len(p.frontState) != len(p.shadowState) {
+			return nil, fmt.Errorf("%w: shadow front has %d state tensors, front %d",
+				ErrConfig, len(p.shadowState), len(p.frontState))
+		}
+		if err := copyState(p.shadowState, p.frontState); err != nil {
+			return nil, fmt.Errorf("%w: shadow front: %v", ErrConfig, err)
+		}
+	}
+	return p, nil
+}
+
+// copyState copies each stateful tensor from src into dst.
+func copyState(dst, src []*tensor.Tensor) error {
+	for i := range dst {
+		if !tensor.SameShape(dst[i], src[i]) {
+			return fmt.Errorf("state tensor %d shape %v, want %v", i, dst[i].Shape(), src[i].Shape())
+		}
+		dst[i].CopyFrom(src[i])
+	}
+	return nil
 }
 
 // Run executes the full protocol against the server over conn:
 // handshake, cfg.Rounds training rounds (with L1 sync and evaluation as
 // scheduled), and shutdown. It returns the platform's measurements. The
 // connection is not closed.
+//
+// The server's HelloAck names its scheduling mode; when it advertises
+// pipelining at depth >= 2 and a ShadowFront is configured, the
+// platform switches to the overlapped loop (runPipelined). In every
+// other case — including pipelined mode at depth 1, where the platform
+// schedule is identical to sequential — the plain loop below runs.
 func (p *Platform) Run(conn transport.Conn) (*PlatformStats, error) {
 	stats := &PlatformStats{}
-	if err := p.handshake(conn); err != nil {
+	mode, depth, err := p.handshake(conn)
+	if err != nil {
 		return nil, err
+	}
+	if mode == RoundModePipelined.String() && depth >= 2 && p.cfg.ShadowFront != nil {
+		return p.runPipelined(conn)
 	}
 	for r := 0; r < p.cfg.Rounds; r++ {
 		nn.ApplySchedule(p.cfg.Opt, p.cfg.LRSchedule, r)
@@ -203,7 +268,7 @@ func (p *Platform) evalRound(r int) bool {
 	return (r+1)%p.cfg.EvalEvery == 0 || r == p.cfg.Rounds-1
 }
 
-func (p *Platform) handshake(conn transport.Conn) error {
+func (p *Platform) handshake(conn transport.Conn) (mode string, depth int, err error) {
 	meta := fmt.Sprintf("v=1;rounds=%d;labelshare=%t;sync=%d;eval=%d;codec=%s;evaluator=%t",
 		p.cfg.Rounds, p.cfg.LabelSharing, p.cfg.L1SyncEvery, p.cfg.EvalEvery, p.cfg.Codec.Name(), p.cfg.EvalData != nil)
 	if err := p.send(conn, &wire.Message{
@@ -211,12 +276,36 @@ func (p *Platform) handshake(conn transport.Conn) error {
 		Platform: uint32(p.cfg.ID),
 		Payload:  wire.EncodeText(meta),
 	}); err != nil {
-		return err
+		return "", 0, err
 	}
-	if _, err := p.recv(conn, wire.MsgHelloAck, -1); err != nil {
-		return fmt.Errorf("core: platform %d handshake: %w", p.cfg.ID, err)
+	m, err := p.recv(conn, wire.MsgHelloAck, -1)
+	if err != nil {
+		return "", 0, fmt.Errorf("core: platform %d handshake: %w", p.cfg.ID, err)
 	}
-	return nil
+	ack, err := wire.DecodeText(m.Payload)
+	if err != nil {
+		return "", 0, fmt.Errorf("core: platform %d handshake ack: %w", p.cfg.ID, err)
+	}
+	mode, depth = parseAck(ack)
+	return mode, depth, nil
+}
+
+// parseAck extracts the server's scheduling mode and pipeline depth
+// from the HelloAck payload ("mode=pipelined;depth=2"). Depth defaults
+// to 1 when absent, matching non-pipelined servers.
+func parseAck(meta string) (mode string, depth int) {
+	depth = 1
+	for _, f := range strings.Split(meta, ";") {
+		if v, ok := strings.CutPrefix(f, "mode="); ok {
+			mode = v
+		}
+		if v, ok := strings.CutPrefix(f, "depth="); ok {
+			if n, aerr := strconv.Atoi(v); aerr == nil && n > 0 {
+				depth = n
+			}
+		}
+	}
+	return mode, depth
 }
 
 // trainStep performs one local minibatch through the split protocol and

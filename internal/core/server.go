@@ -21,8 +21,15 @@ type ServerConfig struct {
 	Platforms int
 	// Rounds is the number of synchronous training rounds.
 	Rounds int
-	// Mode selects Sequential (default) or Concat scheduling.
+	// Mode selects Sequential (default), Concat or Pipelined scheduling.
 	Mode RoundMode
+	// PipelineDepth bounds how many rounds of platform messages the
+	// pipelined mode's per-connection readers may buffer ahead of the
+	// compute loop (and is advertised to platforms at the handshake so
+	// they can overlap their own L1 backward with the next forward when
+	// depth >= 2). Defaults to 1, which is bit-identical to Sequential.
+	// Only meaningful with RoundModePipelined.
+	PipelineDepth int
 	// LabelSharing enables the 2-message ablation where platforms ship
 	// labels and the server computes the loss. Requires Loss.
 	LabelSharing bool
@@ -79,8 +86,19 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = RoundModeSequential
 	}
-	if cfg.Mode != RoundModeSequential && cfg.Mode != RoundModeConcat {
+	switch cfg.Mode {
+	case RoundModeSequential, RoundModeConcat, RoundModePipelined:
+	default:
 		return nil, fmt.Errorf("%w: round mode %v", ErrConfig, cfg.Mode)
+	}
+	if cfg.PipelineDepth < 0 {
+		return nil, fmt.Errorf("%w: pipeline depth %d", ErrConfig, cfg.PipelineDepth)
+	}
+	if cfg.PipelineDepth > 1 && cfg.Mode != RoundModePipelined {
+		return nil, fmt.Errorf("%w: pipeline depth %d requires RoundModePipelined", ErrConfig, cfg.PipelineDepth)
+	}
+	if cfg.Mode == RoundModePipelined && cfg.PipelineDepth == 0 {
+		cfg.PipelineDepth = 1
 	}
 	if cfg.LabelSharing && cfg.Loss == nil {
 		return nil, fmt.Errorf("%w: label sharing requires a server-side loss", ErrConfig)
@@ -99,20 +117,76 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // connections (conns[k] talks to platform k). It performs the
 // handshake, cfg.Rounds training rounds, the scheduled evaluation
 // phases, and the shutdown, then returns. Connections are not closed.
+//
+// In pipelined mode each connection is wrapped in a transport.AsyncConn
+// so WAN I/O overlaps server compute; the wrappers are flushed and
+// joined before Serve returns (on errors, the caller unblocks any
+// remaining wrapper goroutine by closing the connections, which every
+// caller in this repo does).
 func (s *Server) Serve(conns []transport.Conn) error {
 	if len(conns) != s.cfg.Platforms {
 		return fmt.Errorf("%w: %d connections for %d platforms", ErrConfig, len(conns), s.cfg.Platforms)
 	}
+	if s.cfg.Mode == RoundModePipelined {
+		return s.servePipelined(conns)
+	}
+	return s.serve(conns)
+}
+
+// servePipelined runs serve over async connection wrappers. The
+// compute loop is byte-for-byte the sequential one — the overlap comes
+// entirely from the transport layer, which is why PipelineDepth=1 is
+// bit-identical to RoundModeSequential: reader goroutines prefetch
+// platform k+1's activations while the server computes platform k, and
+// writer goroutines ship platform k-1's cut gradients in the
+// background.
+func (s *Server) servePipelined(conns []transport.Conn) error {
+	// Queue depths in messages: a platform sends at most 3 training
+	// messages per round (activations, labels, loss-grad), plus sync and
+	// eval control; 4 per in-flight round plus slack covers every mode.
+	depth := 4*s.cfg.PipelineDepth + 4
+	async := make([]*transport.AsyncConn, len(conns))
+	wrapped := make([]transport.Conn, len(conns))
+	for k, c := range conns {
+		async[k] = transport.NewAsync(c, transport.AsyncOptions{
+			SendQueue: depth,
+			RecvQueue: depth,
+			// Bye is the last message a platform ever sends, so the reader
+			// can exit after delivering it and Stop below joins cleanly.
+			StopRead: func(m *wire.Message) bool { return m.Type == wire.MsgBye },
+		})
+		wrapped[k] = async[k]
+	}
+	if err := s.serve(wrapped); err != nil {
+		for _, a := range async {
+			a.Abort()
+		}
+		return err
+	}
+	// Stop every wrapper even when one fails to flush: returning early
+	// would leave the remaining writer goroutines parked on their
+	// queues forever (closing the inner connection only unblocks
+	// goroutines inside inner I/O, not channel waits).
+	var flushErr error
+	for k, a := range async {
+		if err := a.Stop(); err != nil && flushErr == nil {
+			flushErr = fmt.Errorf("core: server flushing platform %d: %w", k, err)
+		}
+	}
+	return flushErr
+}
+
+func (s *Server) serve(conns []transport.Conn) error {
 	if err := s.handshake(conns); err != nil {
 		return err
 	}
 	for r := 0; r < s.cfg.Rounds; r++ {
 		nn.ApplySchedule(s.cfg.Opt, s.cfg.LRSchedule, r)
 		var err error
-		if s.cfg.Mode == RoundModeSequential {
-			err = s.sequentialRound(conns, r)
-		} else {
+		if s.cfg.Mode == RoundModeConcat {
 			err = s.concatRound(conns, r)
+		} else {
+			err = s.sequentialRound(conns, r)
 		}
 		if err != nil {
 			return fmt.Errorf("core: server round %d: %w", r, err)
@@ -179,10 +253,16 @@ func (s *Server) handshake(conns []transport.Conn) error {
 			}
 			s.evaluator = k
 		}
+		ack := "mode=" + s.cfg.Mode.String()
+		if s.cfg.Mode == RoundModePipelined {
+			// Platforms use the advertised depth to decide whether to
+			// overlap their local L1 backward with the next forward.
+			ack = fmt.Sprintf("%s;depth=%d", ack, s.cfg.PipelineDepth)
+		}
 		if err := s.send(conn, &wire.Message{
 			Type:     wire.MsgHelloAck,
 			Platform: uint32(k),
-			Payload:  wire.EncodeText("mode=" + s.cfg.Mode.String()),
+			Payload:  wire.EncodeText(ack),
 		}, k, -1); err != nil {
 			return err
 		}

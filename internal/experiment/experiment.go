@@ -84,6 +84,14 @@ type Config struct {
 	// ConcatRounds uses the server's concatenated round mode instead of
 	// sequential per-platform steps.
 	ConcatRounds bool
+	// Pipelined uses the server's pipelined round mode: sequential
+	// optimizer semantics with WAN I/O overlapped against server
+	// compute. Mutually exclusive with ConcatRounds. Split scheme only.
+	Pipelined bool
+	// PipelineDepth bounds the in-flight rounds in pipelined mode
+	// (default 2, which also enables the platforms' shadow-front
+	// overlap; 1 is bit-identical to sequential scheduling).
+	PipelineDepth int
 	// Codec names the activation-path compression codec ("raw", "f16",
 	// "int8", "topk-<frac>"; default "raw"). Split scheme only.
 	Codec string
@@ -143,6 +151,9 @@ func (c Config) withDefaults() Config {
 		if c.EvalEvery < 1 {
 			c.EvalEvery = 1
 		}
+	}
+	if c.Pipelined && c.PipelineDepth == 0 {
+		c.PipelineDepth = 2
 	}
 	return c
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"medsplit/internal/core"
 	"medsplit/internal/dataset"
 	"medsplit/internal/fedavg"
+	"medsplit/internal/geonet"
 	"medsplit/internal/metrics"
 	"medsplit/internal/models"
 	"medsplit/internal/nn"
@@ -82,6 +84,37 @@ func RunSplit(cfg Config) (*Result, error) {
 	if cfg.ConcatRounds {
 		mode = core.RoundModeConcat
 	}
+	if cfg.Pipelined {
+		if cfg.ConcatRounds {
+			return nil, fmt.Errorf("experiment: ConcatRounds and Pipelined are mutually exclusive")
+		}
+		mode = core.RoundModePipelined
+	}
+	// Shadow fronts let platforms overlap their L1 backward with the
+	// next batch's forward at depth >= 2. Each shadow comes from a full
+	// BuildModel whose back half is discarded — wasteful in principle,
+	// but it is one-time startup work, the builds run concurrently, and
+	// there is no front-only constructor; NewPlatform re-copies weights
+	// and state from Front, so only the structure matters.
+	var shadows []*nn.Sequential
+	if cfg.Pipelined && cfg.PipelineDepth >= 2 {
+		extra, err := buildModels(cfg, cfg.Platforms)
+		if err != nil {
+			return nil, err
+		}
+		shadows = make([]*nn.Sequential, cfg.Platforms)
+		for k, m := range extra {
+			cut := m.DefaultCut
+			if cfg.Cut > 0 {
+				cut = cfg.Cut
+			}
+			f, _, err := models.Split(m.Net, cut)
+			if err != nil {
+				return nil, err
+			}
+			shadows[k] = f
+		}
+	}
 	codec := wire.Codec(wire.RawCodec{})
 	if cfg.Codec != "" {
 		var cerr error
@@ -91,15 +124,16 @@ func RunSplit(cfg Config) (*Result, error) {
 		}
 	}
 	scfg := core.ServerConfig{
-		Back:        back,
-		Opt:         &nn.SGD{LR: cfg.LR},
-		Platforms:   cfg.Platforms,
-		Rounds:      cfg.Rounds,
-		Mode:        mode,
-		ClipGrads:   5,
-		L1SyncEvery: cfg.L1SyncEvery,
-		EvalEvery:   cfg.EvalEvery,
-		Codec:       codec,
+		Back:          back,
+		Opt:           &nn.SGD{LR: cfg.LR},
+		Platforms:     cfg.Platforms,
+		Rounds:        cfg.Rounds,
+		Mode:          mode,
+		PipelineDepth: cfg.PipelineDepth,
+		ClipGrads:     5,
+		L1SyncEvery:   cfg.L1SyncEvery,
+		EvalEvery:     cfg.EvalEvery,
+		Codec:         codec,
 	}
 	if cfg.LabelSharing {
 		scfg.LabelSharing = true
@@ -128,6 +162,9 @@ func RunSplit(cfg Config) (*Result, error) {
 			Seed:         cfg.Seed + uint64(1000+k),
 			Codec:        codec,
 			Meter:        meters[k],
+		}
+		if shadows != nil {
+			pc.ShadowFront = shadows[k]
 		}
 		if cfg.LabelSharing {
 			pc.Loss = nil
@@ -173,14 +210,36 @@ func RunSplit(cfg Config) (*Result, error) {
 	res.FinalAccuracy = res.Curve.Final().Accuracy
 	res.TrainingBytes = res.Curve.Final().Bytes
 
-	if cfg.Topology != nil {
-		up := make([]int64, cfg.Platforms)
-		down := make([]int64, cfg.Platforms)
-		for k, m := range meters {
-			up[k] = trainTx(m) / int64(cfg.Rounds)
-			down[k] = trainRx(m) / int64(cfg.Rounds)
+	// Meter reads below are exact, not racy snapshots: RunLocal joined
+	// the server and every platform goroutine (including the pipelined
+	// mode's async reader/writer goroutines, which Serve/Run flush
+	// before returning), so all CountTx/CountRx calls happen-before
+	// this point. See the contract on transport.Meter.
+	// A topology without regions skips the wall-clock annotation, the
+	// behavior the legacy simTime path had.
+	if cfg.Topology != nil && len(cfg.Regions) > 0 {
+		// Sequential and pipelined estimates come from the same
+		// schedule-aware model (geonet.SplitRoundShape walks), so their
+		// Result.RoundTime values are directly comparable. Concat mode
+		// is a genuine barrier round — every platform's exchange
+		// overlaps around one fused step — so it keeps the
+		// slowest-platform model, like the sync-SGD baseline.
+		var rt time.Duration
+		var err error
+		switch {
+		case cfg.Pipelined:
+			rt, err = cfg.Topology.PipelinedSplitRoundTime(cfg.Regions, splitShape(meters, cfg.Rounds), cfg.PipelineDepth)
+		case cfg.ConcatRounds:
+			up := make([]int64, cfg.Platforms)
+			down := make([]int64, cfg.Platforms)
+			for k, m := range meters {
+				up[k] = trainTx(m) / int64(cfg.Rounds)
+				down[k] = trainRx(m) / int64(cfg.Rounds)
+			}
+			rt, err = cfg.simTime(up, down)
+		default:
+			rt, err = cfg.Topology.SequentialSplitRoundTime(cfg.Regions, splitShape(meters, cfg.Rounds))
 		}
-		rt, err := cfg.simTime(up, down)
 		if err != nil {
 			return nil, err
 		}
@@ -188,6 +247,27 @@ func RunSplit(cfg Config) (*Result, error) {
 		annotateSimTime(&res.Curve, rt)
 	}
 	return res, nil
+}
+
+// splitShape derives the per-message, per-platform round payloads the
+// schedule-aware geonet estimators need from the platforms' meters.
+// Totals divide evenly because every round moves the same message
+// set; L1-sync and eval traffic use different message types and stay
+// excluded.
+func splitShape(meters []*transport.Meter, rounds int) geonet.SplitRoundShape {
+	s := geonet.SplitRoundShape{
+		ActsBytes:     make([]int64, len(meters)),
+		LogitsBytes:   make([]int64, len(meters)),
+		LossGradBytes: make([]int64, len(meters)),
+		CutGradBytes:  make([]int64, len(meters)),
+	}
+	for k, m := range meters {
+		s.ActsBytes[k] = (m.TxBytesByType(wire.MsgActivations) + m.TxBytesByType(wire.MsgLabels)) / int64(rounds)
+		s.LogitsBytes[k] = m.RxBytesByType(wire.MsgLogits) / int64(rounds)
+		s.LossGradBytes[k] = m.TxBytesByType(wire.MsgLossGrad) / int64(rounds)
+		s.CutGradBytes[k] = m.RxBytesByType(wire.MsgCutGrad) / int64(rounds)
+	}
+	return s
 }
 
 // RunSyncSGD trains the config with the paper's baseline (Large-Scale

@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"io"
+	"sync"
+
+	"medsplit/internal/wire"
+)
+
+// AsyncOptions configures an AsyncConn.
+type AsyncOptions struct {
+	// SendQueue is the bounded outbound queue depth. Send blocks once
+	// this many messages are waiting for the writer goroutine, so a slow
+	// link exerts backpressure instead of buffering without bound.
+	// Values below 1 are treated as 1.
+	SendQueue int
+	// RecvQueue is the bounded inbound queue depth. Zero disables the
+	// reader goroutine entirely: Recv passes straight through to the
+	// inner connection and only sends are asynchronous.
+	RecvQueue int
+	// StopRead, when set, is consulted after each inbound message has
+	// been queued; returning true makes the reader goroutine exit
+	// cleanly. Protocols with a terminal message (the split protocol's
+	// Bye) use it so Stop can join the reader without closing the inner
+	// connection.
+	StopRead func(*wire.Message) bool
+}
+
+// AsyncConn decouples a Conn's I/O from the goroutine driving the
+// protocol: a writer goroutine drains a bounded send queue and, when
+// RecvQueue > 0, a reader goroutine eagerly pulls inbound messages into
+// a bounded receive queue. The protocol loop then overlaps its compute
+// with the wire — Send returns as soon as the message is queued, and
+// Recv returns messages the reader prefetched while the caller was
+// busy. Per-direction FIFO order is preserved, so wrapping a
+// connection never changes protocol semantics, only timing.
+//
+// Error propagation: the first write error is returned by the Send that
+// queued behind it and by Stop; the first read error is returned by
+// Recv once the receive queue drains. Close always tears the wrapper
+// down (closing the inner connection); Stop flushes and detaches
+// without touching the inner connection; Abort releases queue-blocked
+// callers on error paths without closing anything.
+//
+// A single goroutine must own Send/Stop and a single goroutine must own
+// Recv, mirroring the Conn contract.
+type AsyncConn struct {
+	inner Conn
+	opts  AsyncOptions
+
+	sendq    chan *wire.Message
+	recvq    chan *wire.Message // nil when RecvQueue == 0
+	done     chan struct{}      // closed by Close/Abort
+	stopSend chan struct{}      // closed by Stop: flush and exit
+
+	writerDone chan struct{}
+	readerDone chan struct{} // closed when the reader exits; nil without a reader
+
+	mu       sync.Mutex
+	sendErr  error
+	recvErr  error
+	stopping bool
+
+	closeOnce sync.Once
+	stopOnce  sync.Once
+	abortOnce sync.Once
+}
+
+var _ Conn = (*AsyncConn)(nil)
+
+// NewAsync wraps c. The wrapper's goroutines run until Close, Stop, a
+// connection error, or (reader only) StopRead.
+func NewAsync(c Conn, opts AsyncOptions) *AsyncConn {
+	if opts.SendQueue < 1 {
+		opts.SendQueue = 1
+	}
+	a := &AsyncConn{
+		inner:      c,
+		opts:       opts,
+		sendq:      make(chan *wire.Message, opts.SendQueue),
+		done:       make(chan struct{}),
+		stopSend:   make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	go a.writer()
+	if opts.RecvQueue > 0 {
+		a.recvq = make(chan *wire.Message, opts.RecvQueue)
+		a.readerDone = make(chan struct{})
+		go a.reader()
+	}
+	return a
+}
+
+func (a *AsyncConn) writer() {
+	defer close(a.writerDone)
+	for {
+		select {
+		case m := <-a.sendq:
+			if err := a.inner.Send(m); err != nil {
+				a.setSendErr(err)
+				return
+			}
+		case <-a.stopSend:
+			// Flush whatever Send queued before Stop, then exit.
+			for {
+				select {
+				case m := <-a.sendq:
+					if err := a.inner.Send(m); err != nil {
+						a.setSendErr(err)
+						return
+					}
+				default:
+					return
+				}
+			}
+		case <-a.done:
+			return
+		}
+	}
+}
+
+func (a *AsyncConn) reader() {
+	defer close(a.readerDone)
+	for {
+		m, err := a.inner.Recv()
+		if err != nil {
+			a.setRecvErr(err)
+			return
+		}
+		select {
+		case a.recvq <- m:
+		case <-a.done:
+			return
+		}
+		if a.opts.StopRead != nil && a.opts.StopRead(m) {
+			return
+		}
+	}
+}
+
+// Send queues m for the writer goroutine, blocking while the send queue
+// is full. It returns the writer's error once one has occurred.
+func (a *AsyncConn) Send(m *wire.Message) error {
+	a.mu.Lock()
+	stopping := a.stopping
+	a.mu.Unlock()
+	if stopping {
+		return ErrClosed
+	}
+	// Check for shutdown before offering to the queue: with both cases
+	// ready, select would otherwise queue a message no writer will ever
+	// flush.
+	select {
+	case <-a.done:
+		return ErrClosed
+	case <-a.writerDone:
+		if err := a.firstErr(); err != nil {
+			return err
+		}
+		return ErrClosed
+	default:
+	}
+	select {
+	case a.sendq <- m:
+		return nil
+	case <-a.writerDone:
+		if err := a.firstErr(); err != nil {
+			return err
+		}
+		return ErrClosed
+	case <-a.done:
+		return ErrClosed
+	}
+}
+
+// Recv returns the next inbound message. With a reader goroutine,
+// prefetched messages are returned immediately and, after the reader
+// exits, the queue is drained before the reader's error (io.EOF when it
+// stopped at a StopRead sentinel) is surfaced. Without a reader it is a
+// passthrough to the inner connection.
+func (a *AsyncConn) Recv() (*wire.Message, error) {
+	if a.recvq == nil {
+		return a.inner.Recv()
+	}
+	select {
+	case m := <-a.recvq:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-a.recvq:
+		return m, nil
+	case <-a.readerDone:
+		select {
+		case m := <-a.recvq:
+			return m, nil
+		default:
+		}
+		a.mu.Lock()
+		err := a.recvErr
+		a.mu.Unlock()
+		if err == nil {
+			err = io.EOF
+		}
+		return nil, err
+	case <-a.done:
+		return nil, ErrClosed
+	}
+}
+
+// Stop flushes queued sends, joins the wrapper goroutines, and leaves
+// the inner connection open and usable — the graceful detach for a
+// protocol that finished cleanly. When a reader goroutine is running,
+// Stop must only be called after it is guaranteed to finish (its
+// StopRead sentinel was received, or a read error occurred); otherwise
+// Stop would block until the caller closes the inner connection. It
+// returns the first write error, if any.
+func (a *AsyncConn) Stop() error {
+	a.stopOnce.Do(func() {
+		a.mu.Lock()
+		a.stopping = true
+		a.mu.Unlock()
+		close(a.stopSend)
+	})
+	<-a.writerDone
+	if a.readerDone != nil {
+		<-a.readerDone
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sendErr
+}
+
+// Abort releases queue-blocked Send/Recv callers without closing the
+// inner connection and without waiting for the goroutines: a goroutine
+// parked inside the inner connection's Send or Recv exits only when the
+// owner of that connection closes it (RunLocal and the TCP commands
+// close their connections on every exit path). Use on error paths where
+// the caller still owns the connection.
+func (a *AsyncConn) Abort() {
+	a.abortOnce.Do(func() { close(a.done) })
+}
+
+// Close aborts the wrapper, closes the inner connection (which unblocks
+// any goroutine parked in inner I/O), and joins both goroutines.
+func (a *AsyncConn) Close() error {
+	var err error
+	a.closeOnce.Do(func() {
+		a.Abort()
+		err = a.inner.Close()
+		<-a.writerDone
+		if a.readerDone != nil {
+			<-a.readerDone
+		}
+	})
+	return err
+}
+
+func (a *AsyncConn) setSendErr(err error) {
+	a.mu.Lock()
+	if a.sendErr == nil {
+		a.sendErr = err
+	}
+	a.mu.Unlock()
+}
+
+func (a *AsyncConn) setRecvErr(err error) {
+	a.mu.Lock()
+	if a.recvErr == nil {
+		a.recvErr = err
+	}
+	a.mu.Unlock()
+}
+
+func (a *AsyncConn) firstErr() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sendErr != nil {
+		return a.sendErr
+	}
+	return a.recvErr
+}

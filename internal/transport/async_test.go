@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"medsplit/internal/wire"
+)
+
+// waitGoroutines polls until the live goroutine count is back at or
+// below base, failing with a stack dump otherwise. Tests in this
+// package do not run in parallel, so the count is meaningful.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d live, want <= %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestAsyncConnContract: an AsyncConn pair must satisfy the same
+// behavioral contract as the transports it wraps.
+func TestAsyncConnContract(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p, q := Pipe()
+	a := NewAsync(p, AsyncOptions{SendQueue: 4, RecvQueue: 4})
+	b := NewAsync(q, AsyncOptions{SendQueue: 4, RecvQueue: 4})
+	exerciseConnPair(t, a, b)
+	b.Close()
+	waitGoroutines(t, base)
+}
+
+// TestAsyncConnPrefetch: the reader goroutine must pull messages in
+// while the consumer is busy, and deliver them in order.
+func TestAsyncConnPrefetch(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p, q := Pipe()
+	a := NewAsync(p, AsyncOptions{SendQueue: 1, RecvQueue: 8})
+	defer a.Close()
+	defer q.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 8; i++ {
+			if err := q.Send(msg(wire.MsgActivations, uint32(i))); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	// The peer's sends complete against an unbuffered pipe only because
+	// the async reader is consuming; the consumer hasn't called Recv yet.
+	if err := <-done; err != nil {
+		t.Fatalf("peer send: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		m, err := a.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Round != uint32(i) {
+			t.Fatalf("out of order: got %d want %d", m.Round, i)
+		}
+	}
+	a.Close()
+	q.Close()
+	waitGoroutines(t, base)
+}
+
+// TestAsyncConnBoundedSendQueue: Send must block (backpressure), not
+// buffer without bound, once the queue is full and the peer stalls.
+func TestAsyncConnBoundedSendQueue(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p, q := Pipe()
+	a := NewAsync(p, AsyncOptions{SendQueue: 2})
+	defer q.Close()
+
+	// The pipe is unbuffered and the peer never reads: the writer
+	// goroutine parks in inner.Send holding one message, the queue holds
+	// two more, so sends 1-3 succeed and send 4 must block.
+	blocked := make(chan struct{})
+	go func() {
+		for i := 0; i < 4; i++ {
+			if i == 3 {
+				close(blocked)
+			}
+			if err := a.Send(msg(wire.MsgActivations, uint32(i))); err != nil {
+				return // unblocked by Close below
+			}
+		}
+	}()
+	<-blocked
+	select {
+	case <-time.After(50 * time.Millisecond):
+		// Still blocked after the queue filled: bounded as intended.
+	}
+	a.Close()
+	q.Close()
+	waitGoroutines(t, base)
+}
+
+// TestAsyncConnStopFlushes: Stop must deliver every queued message to
+// the peer before detaching, and leave the inner connection usable.
+func TestAsyncConnStopFlushes(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p, q := Pipe()
+	a := NewAsync(p, AsyncOptions{SendQueue: 8})
+
+	var got []uint32
+	var mu sync.Mutex
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for i := 0; i < 5; i++ {
+			m, err := q.Recv()
+			if err != nil {
+				t.Errorf("peer recv: %v", err)
+				return
+			}
+			mu.Lock()
+			got = append(got, m.Round)
+			mu.Unlock()
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if err := a.Send(msg(wire.MsgCutGrad, uint32(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := a.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	<-recvDone
+	mu.Lock()
+	n := len(got)
+	mu.Unlock()
+	if n != 5 {
+		t.Fatalf("peer received %d of 5 queued messages after Stop", n)
+	}
+	// Sends after Stop are rejected; the inner conn still works.
+	if err := a.Send(msg(wire.MsgAck, 0)); err == nil {
+		t.Fatal("send after Stop must fail")
+	}
+	go func() { q.Recv() }()
+	if err := p.Send(msg(wire.MsgAck, 9)); err != nil {
+		t.Fatalf("inner conn unusable after Stop: %v", err)
+	}
+	p.Close()
+	q.Close()
+	waitGoroutines(t, base)
+}
+
+// TestAsyncConnStopRead: the reader must exit at its sentinel so Stop
+// can join it without closing the inner connection.
+func TestAsyncConnStopRead(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p, q := Pipe()
+	a := NewAsync(p, AsyncOptions{SendQueue: 1, RecvQueue: 4,
+		StopRead: func(m *wire.Message) bool { return m.Type == wire.MsgBye }})
+
+	go func() {
+		q.Send(msg(wire.MsgActivations, 0))
+		q.Send(msg(wire.MsgBye, 1))
+	}()
+	for i := 0; i < 2; i++ {
+		if _, err := a.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	// Reader exited at Bye; further Recv reports end of stream rather
+	// than blocking on the inner connection.
+	if _, err := a.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("recv after sentinel: %v, want io.EOF", err)
+	}
+	if err := a.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	p.Close()
+	q.Close()
+	waitGoroutines(t, base)
+}
+
+// TestAsyncConnErrorPropagation: a peer death must surface on both
+// Recv (read error) and Send (write error), not hang.
+func TestAsyncConnErrorPropagation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p, q := Pipe()
+	a := NewAsync(p, AsyncOptions{SendQueue: 2, RecvQueue: 2})
+	q.Close()
+
+	if _, err := a.Recv(); err == nil {
+		t.Fatal("recv from dead peer must fail")
+	}
+	// The writer hits the dead pipe on the first flush; the error
+	// surfaces on a subsequent Send or on Stop.
+	var sendErr error
+	for i := 0; i < 10 && sendErr == nil; i++ {
+		sendErr = a.Send(msg(wire.MsgAck, uint32(i)))
+		time.Sleep(time.Millisecond)
+	}
+	if sendErr == nil {
+		t.Fatal("send to dead peer never failed")
+	}
+	a.Close()
+	waitGoroutines(t, base)
+}
+
+// TestAsyncConnMetered: AsyncConn composes with Metered, and joining
+// the wrapper (Stop) makes the counts exact.
+func TestAsyncConnMetered(t *testing.T) {
+	p, q := Pipe()
+	meter := &Meter{}
+	a := NewAsync(Metered(p, meter), AsyncOptions{SendQueue: 4})
+	go func() {
+		for {
+			if _, err := q.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	m := msg(wire.MsgActivations, 0, 1, 2, 3, 4)
+	for i := 0; i < 3; i++ {
+		if err := a.Send(m); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if err := a.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if got, want := meter.TxBytes(), int64(3*m.WireSize()); got != want {
+		t.Fatalf("metered %d bytes after Stop, want %d", got, want)
+	}
+	p.Close()
+	q.Close()
+}

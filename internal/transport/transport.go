@@ -35,6 +35,20 @@ type Listener interface {
 
 // Meter counts traffic crossing a connection. All methods are safe for
 // concurrent use. The zero value is ready to use.
+//
+// Happens-before contract: the counters are lock-free atomics, so a
+// concurrent read is never a data race — but it may observe a total
+// that is mid-round, because an AsyncConn writer goroutine counts a
+// message only when it actually reaches the inner connection. A reader
+// that needs a *final* total must establish happens-before with every
+// goroutine that touched the meter: in this repo, core.RunLocal joins
+// the server and all platform goroutines before returning (and the
+// pipelined mode flushes its async writers before Serve/Run return), so
+// experiment's trainTx/trainRx reads after RunLocal are exact.
+// Mid-session snapshots (the platform's per-eval TrainingBytes) are
+// exact for a different reason: the protocol's request/response
+// causality guarantees every training message of the finished round was
+// flushed before the snapshot point.
 type Meter struct {
 	txBytes atomic.Int64
 	rxBytes atomic.Int64
