@@ -4,8 +4,9 @@
 
 GO ?= go
 
-# Benchmarks that feed the committed baseline (BENCH_tensor.json).
-BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound
+# Benchmarks that feed the committed baselines (BENCH_tensor.json,
+# BENCH_wire.json).
+BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound|BenchmarkCodec
 
 # Packages with concurrency worth racing: the pipelined scheduler, the
 # async transport wrappers, the parameter-server baseline and the
@@ -33,22 +34,36 @@ fmt-check:
 # The CI gate, job for job: lint, build+test, race, bench smoke.
 ci: fmt-check test race bench-smoke
 
-# Human-readable benchmark sweep of the tensor engine and training path.
+# Human-readable benchmark sweep of the tensor engine, codecs and
+# training path.
 bench:
-	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run NONE ./internal/tensor/ ./internal/nn/ .
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run NONE ./internal/tensor/ ./internal/nn/ ./internal/compress/ .
 
 # One-iteration benchmark pass piped through cmd/benchjson, which fails
 # on malformed output — the cheap guard that keeps BENCH_*.json
-# regenerable.
+# regenerable. -benchmem is load-bearing: it puts allocs/op on every
+# line, so the JSON trajectory tracks the wire path's allocation wins.
 bench-smoke:
-	$(GO) test -bench 'BenchmarkMatMul|BenchmarkSplitRound' -benchtime 1x -run NONE ./internal/tensor/ . \
+	$(GO) test -bench 'BenchmarkMatMul|BenchmarkSplitRound|BenchmarkCodec' -benchmem -benchtime 1x -run NONE ./internal/tensor/ ./internal/compress/ . \
 		| $(GO) run ./cmd/benchjson > /dev/null
 	@echo bench-smoke ok
 
-# Refresh the committed perf baseline. Compare the result against the
-# checked-in BENCH_tensor.json before committing (see README.md,
+# Refresh the committed perf baselines. Compare the result against the
+# checked-in BENCH_*.json before committing (see README.md,
 # "Performance methodology").
 bench-save:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run NONE \
 		./internal/tensor/ ./internal/nn/ . | $(GO) run ./cmd/benchjson > BENCH_tensor.json
 	@echo wrote BENCH_tensor.json
+
+# Refresh the wire-path baseline: codec micro-benchmarks plus the
+# end-to-end split round, with allocs/op (the headline metric of the
+# zero-allocation wire path). The notes pin the pre-redesign allocs/op
+# so the committed file carries its own before/after.
+bench-save-wire:
+	$(GO) test -bench 'BenchmarkCodec|BenchmarkSplitRound' -benchmem -run NONE \
+		./internal/compress/ . | $(GO) run ./cmd/benchjson \
+		-note 'pre-zero-alloc-wire baseline (PR2): BenchmarkSplitRound allocs/op mlp=4573 mlp/pipelined=5130 vgg-lite=9638 vgg-lite/pipelined=10487' \
+		-note 'differential tests: compress kernels bit-for-bit serial vs parallel (raw/f16/int8), top-k tie multiset (internal/compress/kernels_test.go)' \
+		> BENCH_wire.json
+	@echo wrote BENCH_wire.json

@@ -11,6 +11,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -36,16 +37,31 @@ type File struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	Notes      []string `json:"notes,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
+// notesFlag collects repeated -note flags.
+type notesFlag []string
+
+func (n *notesFlag) String() string { return strings.Join(*n, "; ") }
+
+func (n *notesFlag) Set(v string) error {
+	*n = append(*n, v)
+	return nil
+}
+
 func main() {
+	var notes notesFlag
+	flag.Var(&notes, "note", "free-form note recorded in the JSON header (repeatable); use it to pin the baseline a benchmark run is compared against")
+	flag.Parse()
 	out := File{
 		Schema:     "medsplit-bench-v1",
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Notes:      notes,
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -9,9 +9,9 @@ import (
 
 func TestSplitRoundBytesMatchesHandComputation(t *testing.T) {
 	// One platform, batch 2, cut activations 3, 4 classes, label-private.
-	// Each tensor message: 20B header + 2B payload header + tensor
-	// encoding (1 + 4*rank + 4*elems).
-	const hdr, pl = 20, 2
+	// Each tensor message: 20B header + 3B payload header (kind byte +
+	// uint16 tensor count) + tensor encoding (1 + 4*rank + 4*elems).
+	const hdr, pl = 20, 3
 	actMsg := hdr + pl + 1 + 8 + 4*2*3
 	logitMsg := hdr + pl + 1 + 8 + 4*2*4
 	want := int64(2*actMsg + 2*logitMsg)

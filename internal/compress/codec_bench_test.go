@@ -1,0 +1,64 @@
+package compress
+
+import (
+	"testing"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+	"medsplit/internal/wire"
+)
+
+// Codec micro-benchmarks: encode and decode one activation-sized tensor
+// batch ([32, 2048], the cut-layer shape of a width-scaled VGG front)
+// per op, through both the allocating and the buffer-reusing paths. Run
+// with -benchmem; the Into arms are the steady-state round path and
+// should report ~zero allocs/op. The results feed BENCH_wire.json (see
+// `make bench-save-wire`).
+
+func benchTensor() *tensor.Tensor {
+	x := tensor.New(32, 2048)
+	x.FillNormal(rng.New(77), 0, 1)
+	return x
+}
+
+func benchCodec(b *testing.B, codec wire.ReusableCodec) {
+	x := benchTensor()
+	payload := codec.EncodeTensors(x)
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(4 * x.Size()))
+		for i := 0; i < b.N; i++ {
+			codec.EncodeTensors(x)
+		}
+	})
+	b.Run("encode_into", func(b *testing.B) {
+		b.SetBytes(int64(4 * x.Size()))
+		buf := make([]byte, 0, len(payload))
+		for i := 0; i < b.N; i++ {
+			buf = codec.EncodeTensorsInto(buf[:0], x)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(4 * x.Size()))
+		for i := 0; i < b.N; i++ {
+			if _, err := codec.DecodeTensors(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode_into", func(b *testing.B) {
+		b.SetBytes(int64(4 * x.Size()))
+		var dst []*tensor.Tensor
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = codec.DecodeTensorsInto(dst, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkCodecRaw(b *testing.B)  { benchCodec(b, wire.RawCodec{}) }
+func BenchmarkCodecF16(b *testing.B)  { benchCodec(b, Float16{}) }
+func BenchmarkCodecInt8(b *testing.B) { benchCodec(b, Int8{}) }
+func BenchmarkCodecTopK(b *testing.B) { benchCodec(b, TopK{Fraction: 0.1}) }

@@ -5,8 +5,13 @@
 // learning literature and give the repo's compression ablation its
 // bytes-vs-accuracy trade-off curve.
 //
-// Every codec satisfies wire.Codec and produces self-describing
-// payloads; both protocol ends agree on the codec at handshake time.
+// Every codec satisfies wire.ReusableCodec: the Into variants append
+// into caller-owned (typically pooled) payload buffers and decode into
+// caller-owned tensors, so the steady-state round loop performs no
+// payload or tensor allocations; the element kernels fan out across
+// cores for large tensors (see kernels.go). Payloads are
+// self-describing and both protocol ends agree on the codec at
+// handshake time.
 package compress
 
 import (
@@ -14,7 +19,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"medsplit/internal/tensor"
 	"medsplit/internal/wire"
@@ -34,57 +38,69 @@ const (
 // maxDecodeElems mirrors the tensor decoder's allocation cap.
 const maxDecodeElems = 1 << 28
 
+// headerSize is the payload prefix: kind byte + uint16 tensor count
+// (one byte would silently truncate counts above 255 — see the
+// matching widening in package wire).
+const headerSize = 3
+
 // Float16 ships IEEE-754 half-precision values: 2 bytes per element,
 // ~3 decimal digits of precision — usually indistinguishable training
 // curves at half the wire cost.
 type Float16 struct{}
 
-var _ wire.Codec = Float16{}
+var _ wire.ReusableCodec = Float16{}
 
 // Name returns "f16".
 func (Float16) Name() string { return "f16" }
 
 // EncodeTensors packs tensors as half-precision.
-func (Float16) EncodeTensors(ts ...*tensor.Tensor) []byte {
-	size := 2
+func (c Float16) EncodeTensors(ts ...*tensor.Tensor) []byte {
+	size := headerSize
 	for _, t := range ts {
 		size += shapeSize(t) + 2*t.Size()
 	}
-	buf := make([]byte, 0, size)
-	buf = append(buf, kindF16, byte(len(ts)))
+	return c.EncodeTensorsInto(make([]byte, 0, size), ts...)
+}
+
+// EncodeTensorsInto packs tensors as half-precision into buf.
+func (Float16) EncodeTensorsInto(buf []byte, ts ...*tensor.Tensor) []byte {
+	buf = appendHeader(buf, kindF16, len(ts))
 	for _, t := range ts {
 		buf = appendShape(buf, t)
-		for _, v := range t.Data() {
-			buf = binary.LittleEndian.AppendUint16(buf, f32ToF16(v))
-		}
+		d := t.Data()
+		base := len(buf)
+		buf = growBytes(buf, 2*len(d))
+		putF16(buf[base:], d)
 	}
 	return buf
 }
 
 // DecodeTensors unpacks half-precision tensors.
-func (Float16) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+func (c Float16) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+	return c.DecodeTensorsInto(nil, buf)
+}
+
+// DecodeTensorsInto unpacks half-precision tensors, reusing dst.
+func (Float16) DecodeTensorsInto(dst []*tensor.Tensor, buf []byte) ([]*tensor.Tensor, error) {
 	rest, n, err := checkHeader(buf, kindF16, "f16")
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*tensor.Tensor, 0, n)
+	out := ensureTensorSlots(dst, n)
+	shapeBuf := make([]int, 0, 8)
 	for i := 0; i < n; i++ {
-		var shape []int
 		var vol int
-		shape, vol, rest, err = readShape(rest)
+		shapeBuf, vol, rest, err = readShape(rest, shapeBuf)
 		if err != nil {
 			return nil, err
 		}
 		if len(rest) < 2*vol {
 			return nil, fmt.Errorf("%w: truncated f16 data", ErrBadPayload)
 		}
-		t := tensor.New(shape...)
-		d := t.Data()
-		for j := range d {
-			d[j] = f16ToF32(binary.LittleEndian.Uint16(rest[2*j:]))
-		}
+		t := tensor.EnsureShape(out[i], shapeBuf...)
+		getF16(t.Data(), rest)
 		rest = rest[2*vol:]
-		out = append(out, t)
+		out[i] = t
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
@@ -97,52 +113,57 @@ func (Float16) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
 // float32 with visible but usually tolerable quantization noise.
 type Int8 struct{}
 
-var _ wire.Codec = Int8{}
+var _ wire.ReusableCodec = Int8{}
 
 // Name returns "int8".
 func (Int8) Name() string { return "int8" }
 
 // EncodeTensors packs tensors as 8-bit quantized values.
-func (Int8) EncodeTensors(ts ...*tensor.Tensor) []byte {
-	size := 2
+func (c Int8) EncodeTensors(ts ...*tensor.Tensor) []byte {
+	size := headerSize
 	for _, t := range ts {
 		size += shapeSize(t) + 8 + t.Size()
 	}
-	buf := make([]byte, 0, size)
-	buf = append(buf, kindInt8, byte(len(ts)))
+	return c.EncodeTensorsInto(make([]byte, 0, size), ts...)
+}
+
+// EncodeTensorsInto packs tensors as 8-bit quantized values into buf,
+// with a fused parallel min/max pass feeding the quantizer.
+func (Int8) EncodeTensorsInto(buf []byte, ts ...*tensor.Tensor) []byte {
+	buf = appendHeader(buf, kindInt8, len(ts))
 	for _, t := range ts {
 		buf = appendShape(buf, t)
-		lo, hi := rangeOf(t.Data())
+		d := t.Data()
+		lo, hi := rangeOf(d)
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(lo))
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(hi))
 		scale := float32(0)
 		if hi > lo {
 			scale = 255 / (hi - lo)
 		}
-		for _, v := range t.Data() {
-			q := (v - lo) * scale
-			if q < 0 {
-				q = 0
-			} else if q > 255 {
-				q = 255
-			}
-			buf = append(buf, byte(q+0.5))
-		}
+		base := len(buf)
+		buf = growBytes(buf, len(d))
+		quantize8(buf[base:], d, lo, scale)
 	}
 	return buf
 }
 
 // DecodeTensors unpacks 8-bit quantized tensors.
-func (Int8) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+func (c Int8) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+	return c.DecodeTensorsInto(nil, buf)
+}
+
+// DecodeTensorsInto unpacks 8-bit quantized tensors, reusing dst.
+func (Int8) DecodeTensorsInto(dst []*tensor.Tensor, buf []byte) ([]*tensor.Tensor, error) {
 	rest, n, err := checkHeader(buf, kindInt8, "int8")
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*tensor.Tensor, 0, n)
+	out := ensureTensorSlots(dst, n)
+	shapeBuf := make([]int, 0, 8)
 	for i := 0; i < n; i++ {
-		var shape []int
 		var vol int
-		shape, vol, rest, err = readShape(rest)
+		shapeBuf, vol, rest, err = readShape(rest, shapeBuf)
 		if err != nil {
 			return nil, err
 		}
@@ -156,13 +177,10 @@ func (Int8) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
 		if hi > lo {
 			step = (hi - lo) / 255
 		}
-		t := tensor.New(shape...)
-		d := t.Data()
-		for j := range d {
-			d[j] = lo + float32(rest[j])*step
-		}
+		t := tensor.EnsureShape(out[i], shapeBuf...)
+		dequantize8(t.Data(), rest, lo, step)
 		rest = rest[vol:]
-		out = append(out, t)
+		out[i] = t
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
@@ -179,7 +197,7 @@ type TopK struct {
 	Fraction float64
 }
 
-var _ wire.Codec = TopK{}
+var _ wire.ReusableCodec = TopK{}
 
 // Name returns e.g. "topk-0.10".
 func (c TopK) Name() string { return fmt.Sprintf("topk-%.2f", c.fraction()) }
@@ -193,19 +211,40 @@ func (c TopK) fraction() float64 {
 
 // EncodeTensors packs the top-|k| entries of each tensor.
 func (c TopK) EncodeTensors(ts ...*tensor.Tensor) []byte {
-	buf := []byte{kindTopK, byte(len(ts))}
+	size := headerSize
+	for _, t := range ts {
+		size += shapeSize(t) + 4 + 8*c.kFor(t.Size())
+	}
+	return c.EncodeTensorsInto(make([]byte, 0, size), ts...)
+}
+
+func (c TopK) kFor(n int) int {
+	k := int(math.Ceil(c.fraction() * float64(n)))
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// EncodeTensorsInto packs the top-|k| entries of each tensor into buf.
+// Selection is an O(n) quickselect on magnitudes (see topKIndices);
+// exact magnitude ties at the k-th position may resolve to different
+// indices than another implementation, which is within the codec's
+// contract.
+func (c TopK) EncodeTensorsInto(buf []byte, ts ...*tensor.Tensor) []byte {
+	buf = appendHeader(buf, kindTopK, len(ts))
+	var idx []int32
 	for _, t := range ts {
 		buf = appendShape(buf, t)
 		d := t.Data()
-		k := int(math.Ceil(c.fraction() * float64(len(d))))
-		if k > len(d) {
-			k = len(d)
-		}
-		idx := topKIndices(d, k)
+		k := c.kFor(len(d))
+		idx = topKIndices(d, k, idx)
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
-		for _, i := range idx {
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
-			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(d[i]))
+		base := len(buf)
+		buf = growBytes(buf, 8*k)
+		for j, i := range idx {
+			binary.LittleEndian.PutUint32(buf[base+8*j:], uint32(i))
+			binary.LittleEndian.PutUint32(buf[base+8*j+4:], math.Float32bits(d[i]))
 		}
 	}
 	return buf
@@ -213,15 +252,20 @@ func (c TopK) EncodeTensors(ts ...*tensor.Tensor) []byte {
 
 // DecodeTensors unpacks sparse tensors, zero-filling dropped entries.
 func (c TopK) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
+	return c.DecodeTensorsInto(nil, buf)
+}
+
+// DecodeTensorsInto unpacks sparse tensors, reusing dst.
+func (TopK) DecodeTensorsInto(dst []*tensor.Tensor, buf []byte) ([]*tensor.Tensor, error) {
 	rest, n, err := checkHeader(buf, kindTopK, "topk")
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*tensor.Tensor, 0, n)
+	out := ensureTensorSlots(dst, n)
+	shapeBuf := make([]int, 0, 8)
 	for i := 0; i < n; i++ {
-		var shape []int
 		var vol int
-		shape, vol, rest, err = readShape(rest)
+		shapeBuf, vol, rest, err = readShape(rest, shapeBuf)
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +277,8 @@ func (c TopK) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
 		if k < 0 || k > vol || len(rest) < 8*k {
 			return nil, fmt.Errorf("%w: bad top-k count %d", ErrBadPayload, k)
 		}
-		t := tensor.New(shape...)
+		t := tensor.EnsureShape(out[i], shapeBuf...)
+		t.Zero() // reused storage: dropped entries must decode as zero
 		d := t.Data()
 		for j := 0; j < k; j++ {
 			pos := binary.LittleEndian.Uint32(rest[8*j:])
@@ -243,7 +288,7 @@ func (c TopK) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
 			d[pos] = math.Float32frombits(binary.LittleEndian.Uint32(rest[8*j+4:]))
 		}
 		rest = rest[8*k:]
-		out = append(out, t)
+		out[i] = t
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(rest))
@@ -273,6 +318,18 @@ func ByName(name string) (wire.Codec, error) {
 
 func shapeSize(t *tensor.Tensor) int { return 1 + 4*t.Rank() }
 
+// appendHeader writes the kind byte and uint16 tensor count, panicking
+// on counts the format cannot represent (mirrors wire.EncodeTensorsInto).
+func appendHeader(buf []byte, kind byte, n int) []byte {
+	if n > wire.MaxTensorsPerPayload {
+		panic(fmt.Sprintf("compress: %d tensors exceed the payload maximum %d", n, wire.MaxTensorsPerPayload))
+	}
+	var hdr [headerSize]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint16(hdr[1:], uint16(n))
+	return append(buf, hdr[:]...)
+}
+
 func appendShape(buf []byte, t *tensor.Tensor) []byte {
 	shape := t.Shape()
 	buf = append(buf, byte(len(shape)))
@@ -282,7 +339,29 @@ func appendShape(buf []byte, t *tensor.Tensor) []byte {
 	return buf
 }
 
-func readShape(buf []byte) (shape []int, vol int, rest []byte, err error) {
+// growBytes extends buf by n bytes, reallocating only when capacity is
+// short.
+func growBytes(buf []byte, n int) []byte {
+	if cap(buf)-len(buf) >= n {
+		return buf[:len(buf)+n]
+	}
+	out := make([]byte, len(buf)+n, 2*(len(buf)+n))
+	copy(out, buf)
+	return out
+}
+
+// ensureTensorSlots grows dst to hold n tensor pointers, reusing its
+// backing array, and returns the n-slot prefix.
+func ensureTensorSlots(dst []*tensor.Tensor, n int) []*tensor.Tensor {
+	for len(dst) < n {
+		dst = append(dst, nil)
+	}
+	return dst[:n]
+}
+
+// readShape parses a shape prefix into the reusable `into` slice,
+// returning the shape, its volume and the remaining bytes.
+func readShape(buf []byte, into []int) (shape []int, vol int, rest []byte, err error) {
 	if len(buf) < 1 {
 		return nil, 0, nil, fmt.Errorf("%w: missing shape", ErrBadPayload)
 	}
@@ -291,14 +370,14 @@ func readShape(buf []byte) (shape []int, vol int, rest []byte, err error) {
 	if len(buf) < 4*rank {
 		return nil, 0, nil, fmt.Errorf("%w: truncated shape", ErrBadPayload)
 	}
-	shape = make([]int, rank)
+	shape = into[:0]
 	vol = 1
-	for i := range shape {
+	for i := 0; i < rank; i++ {
 		d := int(binary.LittleEndian.Uint32(buf[4*i:]))
 		if d <= 0 {
 			return nil, 0, nil, fmt.Errorf("%w: dimension %d", ErrBadPayload, d)
 		}
-		shape[i] = d
+		shape = append(shape, d)
 		vol *= d
 		if vol > maxDecodeElems {
 			return nil, 0, nil, fmt.Errorf("%w: volume exceeds cap", ErrBadPayload)
@@ -308,50 +387,10 @@ func readShape(buf []byte) (shape []int, vol int, rest []byte, err error) {
 }
 
 func checkHeader(buf []byte, kind byte, name string) (rest []byte, n int, err error) {
-	if len(buf) < 2 || buf[0] != kind {
+	if len(buf) < headerSize || buf[0] != kind {
 		return nil, 0, fmt.Errorf("%w: not a %s payload", ErrBadPayload, name)
 	}
-	return buf[2:], int(buf[1]), nil
-}
-
-func rangeOf(d []float32) (lo, hi float32) {
-	if len(d) == 0 {
-		return 0, 0
-	}
-	lo, hi = d[0], d[0]
-	for _, v := range d[1:] {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	return lo, hi
-}
-
-// topKIndices returns the indices of the k largest-magnitude entries,
-// in ascending index order for cache-friendly decode.
-func topKIndices(d []float32, k int) []int {
-	idx := make([]int, len(d))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Partial selection via full sort is fine at the sizes the protocol
-	// ships (batch × activation width); avoid premature cleverness.
-	sort.Slice(idx, func(a, b int) bool {
-		va, vb := d[idx[a]], d[idx[b]]
-		if va < 0 {
-			va = -va
-		}
-		if vb < 0 {
-			vb = -vb
-		}
-		return va > vb
-	})
-	top := idx[:k]
-	sort.Ints(top)
-	return top
+	return buf[headerSize:], int(binary.LittleEndian.Uint16(buf[1:])), nil
 }
 
 // f32ToF16 converts to IEEE-754 binary16 with round-to-nearest-even.

@@ -153,7 +153,12 @@ func (p *Platform) pipelineFront(r int) *nn.Sequential {
 // finishRound.
 func (p *Platform) startRound(conn transport.Conn, r int) (*inflight, error) {
 	idx := p.sampler.Next()
-	x, labels := p.cfg.Shard.Batch(idx)
+	// Slot r%2 follows the front instance: the instance's backward (in
+	// finishRound, one round later) reads the batch its Forward cached,
+	// so the batch must live as long as the instance's round is in
+	// flight.
+	x, labels := p.cfg.Shard.BatchInto(p.batchX[r%2], p.batchLabels[r%2], idx)
+	p.batchX[r%2], p.batchLabels[r%2] = x, labels
 	if p.cfg.Augment != nil && x.Rank() == 4 {
 		p.cfg.Augment.Apply(x)
 	}
@@ -166,7 +171,7 @@ func (p *Platform) startRound(conn transport.Conn, r int) (*inflight, error) {
 		Type:     wire.MsgActivations,
 		Platform: uint32(p.cfg.ID),
 		Round:    uint32(r),
-		Payload:  p.cfg.Codec.EncodeTensors(a),
+		Payload:  p.encActs.encode(p.cfg.Codec, a),
 	}); err != nil {
 		return nil, err
 	}
@@ -176,7 +181,7 @@ func (p *Platform) startRound(conn transport.Conn, r int) (*inflight, error) {
 			Type:     wire.MsgLabels,
 			Platform: uint32(p.cfg.ID),
 			Round:    uint32(r),
-			Payload:  wire.EncodeLabels(labels),
+			Payload:  p.encLabels.encodeLabels(labels),
 		}); err != nil {
 			return nil, err
 		}
@@ -193,10 +198,12 @@ func (p *Platform) exchangeLossGrad(conn transport.Conn, fl *inflight) error {
 	if err != nil {
 		return err
 	}
-	ts, derr := p.cfg.Codec.DecodeTensors(m.Payload)
+	ts, derr := wire.DecodeInto(p.cfg.Codec, p.logitsDec, m.Payload)
 	if derr != nil || len(ts) != 1 {
 		return fmt.Errorf("%w: bad logits payload", ErrProtocol)
 	}
+	p.logitsDec = ts
+	releasePayload(m)
 	z := ts[0]
 	if z.Dim(0) != len(fl.labels) {
 		return fmt.Errorf("%w: %d logit rows for %d labels", ErrProtocol, z.Dim(0), len(fl.labels))
@@ -207,7 +214,7 @@ func (p *Platform) exchangeLossGrad(conn transport.Conn, fl *inflight) error {
 		Type:     wire.MsgLossGrad,
 		Platform: uint32(p.cfg.ID),
 		Round:    uint32(fl.round),
-		Payload:  p.cfg.Codec.EncodeTensors(dz),
+		Payload:  p.encGrad.encode(p.cfg.Codec, dz),
 	})
 }
 
@@ -223,7 +230,7 @@ func (p *Platform) finishRound(conn transport.Conn, fl *inflight, stats *Platfor
 	if err != nil {
 		return err
 	}
-	ts, derr := p.cfg.Codec.DecodeTensors(m.Payload)
+	ts, derr := wire.DecodeInto(p.cfg.Codec, p.cutDec, m.Payload)
 	var da *tensor.Tensor
 	if p.cfg.LabelSharing {
 		if derr != nil || len(ts) != 2 {
@@ -237,6 +244,8 @@ func (p *Platform) finishRound(conn transport.Conn, fl *inflight, stats *Platfor
 		}
 		da = ts[0]
 	}
+	p.cutDec = ts
+	releasePayload(m)
 	if !tensor.SameShape(da, fl.acts) {
 		return fmt.Errorf("%w: cut-grad shape %v, activations %v", ErrProtocol, da.Shape(), fl.acts.Shape())
 	}

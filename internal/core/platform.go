@@ -134,6 +134,25 @@ type Platform struct {
 	frontState  []*tensor.Tensor
 	shadowState []*tensor.Tensor
 	stateOwner  int
+
+	// Wire-path scratch (see wirebuf.go): decode targets for the two
+	// inbound training messages, reused round after round, and pooled
+	// encode buffers for the two outbound ones. Each message type is in
+	// flight at most once per platform, in both the plain and the
+	// pipelined loop, so one slot per type suffices.
+	logitsDec []*tensor.Tensor
+	cutDec    []*tensor.Tensor
+	encActs   payloadSizer
+	encGrad   payloadSizer
+	encLabels payloadSizer
+
+	// Minibatch gather scratch. Two slots because the pipelined loop
+	// keeps one round in flight: the front instance for round r caches
+	// its input batch until finishRound's backward, which runs after
+	// round r+1's batch has already been gathered. Slot r%2 tracks the
+	// front instance the round runs on; the plain loop only uses slot 0.
+	batchX      [2]*tensor.Tensor
+	batchLabels [2][]int
 }
 
 // NewPlatform validates cfg and builds a platform.
@@ -312,7 +331,8 @@ func parseAck(meta string) (mode string, depth int) {
 // returns the training loss observed for it.
 func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch int, err error) {
 	idx := p.sampler.Next()
-	x, labels := p.cfg.Shard.Batch(idx)
+	x, labels := p.cfg.Shard.BatchInto(p.batchX[0], p.batchLabels[0], idx)
+	p.batchX[0], p.batchLabels[0] = x, labels
 	if p.cfg.Augment != nil && x.Rank() == 4 {
 		p.cfg.Augment.Apply(x)
 	}
@@ -322,7 +342,7 @@ func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch in
 		Type:     wire.MsgActivations,
 		Platform: uint32(p.cfg.ID),
 		Round:    uint32(r),
-		Payload:  p.cfg.Codec.EncodeTensors(a),
+		Payload:  p.encActs.encode(p.cfg.Codec, a),
 	}); err != nil {
 		return 0, 0, err
 	}
@@ -333,7 +353,7 @@ func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch in
 			Type:     wire.MsgLabels,
 			Platform: uint32(p.cfg.ID),
 			Round:    uint32(r),
-			Payload:  wire.EncodeLabels(labels),
+			Payload:  p.encLabels.encodeLabels(labels),
 		}); err != nil {
 			return 0, 0, err
 		}
@@ -341,10 +361,12 @@ func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch in
 		if err != nil {
 			return 0, 0, err
 		}
-		ts, derr := p.cfg.Codec.DecodeTensors(m.Payload)
+		ts, derr := wire.DecodeInto(p.cfg.Codec, p.cutDec, m.Payload)
 		if derr != nil || len(ts) != 2 {
 			return 0, 0, fmt.Errorf("%w: bad cut-grad payload (label sharing)", ErrProtocol)
 		}
+		p.cutDec = ts
+		releasePayload(m)
 		da = ts[0]
 		loss = float64(ts[1].At())
 	} else {
@@ -352,10 +374,12 @@ func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch in
 		if err != nil {
 			return 0, 0, err
 		}
-		ts, derr := p.cfg.Codec.DecodeTensors(m.Payload)
+		ts, derr := wire.DecodeInto(p.cfg.Codec, p.logitsDec, m.Payload)
 		if derr != nil || len(ts) != 1 {
 			return 0, 0, fmt.Errorf("%w: bad logits payload", ErrProtocol)
 		}
+		p.logitsDec = ts
+		releasePayload(m)
 		z := ts[0]
 		if z.Dim(0) != len(labels) {
 			return 0, 0, fmt.Errorf("%w: %d logit rows for %d labels", ErrProtocol, z.Dim(0), len(labels))
@@ -366,7 +390,7 @@ func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch in
 			Type:     wire.MsgLossGrad,
 			Platform: uint32(p.cfg.ID),
 			Round:    uint32(r),
-			Payload:  p.cfg.Codec.EncodeTensors(dz),
+			Payload:  p.encGrad.encode(p.cfg.Codec, dz),
 		}); err != nil {
 			return 0, 0, err
 		}
@@ -374,10 +398,12 @@ func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch in
 		if err != nil {
 			return 0, 0, err
 		}
-		ts, derr = p.cfg.Codec.DecodeTensors(m.Payload)
+		ts, derr = wire.DecodeInto(p.cfg.Codec, p.cutDec, m.Payload)
 		if derr != nil || len(ts) != 1 {
 			return 0, 0, fmt.Errorf("%w: bad cut-grad payload", ErrProtocol)
 		}
+		p.cutDec = ts
+		releasePayload(m)
 		da = ts[0]
 	}
 	if !tensor.SameShape(da, a) {

@@ -67,6 +67,17 @@ type Server struct {
 	// minibatches stops allocating once batch shapes stabilize.
 	fusedActs *tensor.Tensor
 	fusedGrad *tensor.Tensor
+
+	// Wire-path scratch (see wirebuf.go). Decoded-tensor slices are per
+	// platform because concat mode holds every platform's activations
+	// and loss gradients at once; sequential mode simply reuses slot k.
+	// Encode buffers come from the shared pool via the per-site sizers.
+	actsDec    [][]*tensor.Tensor
+	gradDec    [][]*tensor.Tensor
+	labelsDec  [][]int
+	lossScalar *tensor.Tensor // label-sharing loss value, reused per round
+	encLogits  payloadSizer
+	encCut     payloadSizer
 }
 
 // NewServer validates cfg and builds a server.
@@ -110,6 +121,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:       cfg,
 		lastBatch: make([]int, cfg.Platforms),
 		evaluator: -1,
+		actsDec:   make([][]*tensor.Tensor, cfg.Platforms),
+		gradDec:   make([][]*tensor.Tensor, cfg.Platforms),
+		labelsDec: make([][]int, cfg.Platforms),
 	}, nil
 }
 
@@ -309,7 +323,7 @@ func (s *Server) sequentialRound(conns []transport.Conn, r int) error {
 				Type:     wire.MsgLogits,
 				Platform: uint32(k),
 				Round:    uint32(r),
-				Payload:  s.cfg.Codec.EncodeTensors(z),
+				Payload:  s.encLogits.encode(s.cfg.Codec, z),
 			}, k, r); err != nil {
 				return err
 			}
@@ -317,10 +331,12 @@ func (s *Server) sequentialRound(conns []transport.Conn, r int) error {
 			if err != nil {
 				return err
 			}
-			ts, derr := s.cfg.Codec.DecodeTensors(m.Payload)
+			ts, derr := wire.DecodeInto(s.cfg.Codec, s.gradDec[k], m.Payload)
 			if derr != nil || len(ts) != 1 {
 				return fmt.Errorf("%w: bad loss-grad payload from platform %d", ErrProtocol, k)
 			}
+			s.gradDec[k] = ts
+			releasePayload(m)
 			dz = ts[0]
 			if !tensor.SameShape(dz, z) {
 				return fmt.Errorf("%w: loss-grad shape %v, logits %v", ErrProtocol, dz.Shape(), z.Shape())
@@ -333,11 +349,15 @@ func (s *Server) sequentialRound(conns []transport.Conn, r int) error {
 		}
 		s.cfg.Opt.Step(s.cfg.Back.Params())
 
-		cutPayload := s.cfg.Codec.EncodeTensors(da)
+		var cutPayload []byte
 		if s.cfg.LabelSharing {
-			lossScalar := tensor.New()
-			lossScalar.Set(float32(lossVal))
-			cutPayload = s.cfg.Codec.EncodeTensors(da, lossScalar)
+			if s.lossScalar == nil {
+				s.lossScalar = tensor.New()
+			}
+			s.lossScalar.Set(float32(lossVal))
+			cutPayload = s.encCut.encode(s.cfg.Codec, da, s.lossScalar)
+		} else {
+			cutPayload = s.encCut.encode(s.cfg.Codec, da)
 		}
 		if err := s.send(conn, &wire.Message{
 			Type:     wire.MsgCutGrad,
@@ -397,7 +417,7 @@ func (s *Server) concatRound(conns []transport.Conn, r int) error {
 				Type:     wire.MsgLogits,
 				Platform: uint32(k),
 				Round:    uint32(r),
-				Payload:  s.cfg.Codec.EncodeTensors(zs[k]),
+				Payload:  s.encLogits.encode(s.cfg.Codec, zs[k]),
 			}, k, r); err != nil {
 				return err
 			}
@@ -408,10 +428,12 @@ func (s *Server) concatRound(conns []transport.Conn, r int) error {
 			if err != nil {
 				return err
 			}
-			ts, derr := s.cfg.Codec.DecodeTensors(m.Payload)
+			ts, derr := wire.DecodeInto(s.cfg.Codec, s.gradDec[k], m.Payload)
 			if derr != nil || len(ts) != 1 {
 				return fmt.Errorf("%w: bad loss-grad payload from platform %d", ErrProtocol, k)
 			}
+			s.gradDec[k] = ts
+			releasePayload(m)
 			// Rescale from per-platform mean to union mean.
 			ts[0].Scale(float32(sizes[k]) / float32(total))
 			grads[k] = ts[0]
@@ -430,11 +452,15 @@ func (s *Server) concatRound(conns []transport.Conn, r int) error {
 
 	das := tensor.SplitDim0(da, sizes)
 	for k, conn := range conns {
-		payload := s.cfg.Codec.EncodeTensors(das[k])
+		var payload []byte
 		if s.cfg.LabelSharing {
-			lossScalar := tensor.New()
-			lossScalar.Set(float32(lossVals[k]))
-			payload = s.cfg.Codec.EncodeTensors(das[k], lossScalar)
+			if s.lossScalar == nil {
+				s.lossScalar = tensor.New()
+			}
+			s.lossScalar.Set(float32(lossVals[k]))
+			payload = s.encCut.encode(s.cfg.Codec, das[k], s.lossScalar)
+		} else {
+			payload = s.encCut.encode(s.cfg.Codec, das[k])
 		}
 		if err := s.send(conn, &wire.Message{
 			Type:     wire.MsgCutGrad,
@@ -449,26 +475,34 @@ func (s *Server) concatRound(conns []transport.Conn, r int) error {
 }
 
 // recvActivations reads platform k's minibatch activations (and, in
-// label-sharing mode, the label vector that follows).
+// label-sharing mode, the label vector that follows) into the
+// platform's decode scratch, recycling the payload buffers. The
+// returned tensor is owned by the server and valid until platform k's
+// next activations decode — which in every round mode happens after the
+// round's backward has consumed it.
 func (s *Server) recvActivations(conn transport.Conn, r, k int) (*tensor.Tensor, []int, error) {
 	m, err := s.recv(conn, wire.MsgActivations, r, k)
 	if err != nil {
 		return nil, nil, err
 	}
-	ts, derr := s.cfg.Codec.DecodeTensors(m.Payload)
+	ts, derr := wire.DecodeInto(s.cfg.Codec, s.actsDec[k], m.Payload)
 	if derr != nil || len(ts) != 1 {
 		return nil, nil, fmt.Errorf("%w: bad activations payload from platform %d", ErrProtocol, k)
 	}
+	s.actsDec[k] = ts
+	releasePayload(m)
 	var labels []int
 	if s.cfg.LabelSharing {
 		lm, err := s.recv(conn, wire.MsgLabels, r, k)
 		if err != nil {
 			return nil, nil, err
 		}
-		labels, err = wire.DecodeLabels(lm.Payload)
+		labels, err = wire.DecodeLabelsInto(s.labelsDec[k], lm.Payload)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: bad labels payload from platform %d", ErrProtocol, k)
 		}
+		s.labelsDec[k] = labels
+		releasePayload(lm)
 		if len(labels) != ts[0].Dim(0) {
 			return nil, nil, fmt.Errorf("%w: %d labels for %d activations", ErrProtocol, len(labels), ts[0].Dim(0))
 		}

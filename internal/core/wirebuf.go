@@ -1,0 +1,45 @@
+package core
+
+import (
+	"medsplit/internal/tensor"
+	"medsplit/internal/wire"
+)
+
+// This file holds the engine's side of the zero-allocation wire path:
+// per-call-site pooled encode buffers and per-connection decode scratch.
+// Encode buffers are drawn from the process-wide wire.Buffers pool and
+// handed to the transport with the message (the receiver releases them
+// after decode — see the ownership rules on wire.BufferPool); decoded
+// tensors live in scratch slices owned by the protocol loops, reused
+// round after round once shapes stabilize.
+
+// payloadSizer remembers the largest payload a call site has produced
+// so the next round's pooled buffer is already big enough and the
+// append inside the codec never reallocates. One sizer per message
+// site; the high-water mark covers per-platform batch-size skew.
+type payloadSizer struct{ max int }
+
+// encode packs ts through codec into a pooled buffer.
+func (ps *payloadSizer) encode(codec wire.Codec, ts ...*tensor.Tensor) []byte {
+	buf := wire.EncodeInto(codec, wire.Buffers.Get(ps.max), ts...)
+	if len(buf) > ps.max {
+		ps.max = len(buf)
+	}
+	return buf
+}
+
+// encodeLabels packs a label vector into a pooled buffer.
+func (ps *payloadSizer) encodeLabels(labels []int) []byte {
+	buf := wire.EncodeLabelsInto(wire.Buffers.Get(ps.max), labels)
+	if len(buf) > ps.max {
+		ps.max = len(buf)
+	}
+	return buf
+}
+
+// releasePayload recycles a fully decoded inbound payload. Only the
+// four per-connection training messages go through here — broadcast
+// payloads (L1 sync) must never be released by their receivers.
+func releasePayload(m *wire.Message) {
+	wire.ReleasePayload(&wire.Buffers, m)
+}

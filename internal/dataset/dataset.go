@@ -41,6 +41,15 @@ func (d *Dataset) SampleShape() []int { return d.X.Shape()[1:] }
 // Batch gathers the samples at the given indices into a fresh tensor and
 // label slice.
 func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
+	return d.BatchInto(nil, nil, indices)
+}
+
+// BatchInto gathers the samples at the given indices, reusing x's and
+// labels' storage when their capacity suffices (both may be nil, which
+// is exactly Batch). Training loops pass the previous round's batch
+// back in, so the per-round gather stops allocating once batch shapes
+// stabilize.
+func (d *Dataset) BatchInto(x *tensor.Tensor, labels []int, indices []int) (*tensor.Tensor, []int) {
 	if len(indices) == 0 {
 		panic("dataset: empty batch")
 	}
@@ -50,8 +59,12 @@ func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
 		sampleSize *= s
 	}
 	outShape := append([]int{len(indices)}, sampleShape...)
-	out := tensor.New(outShape...)
-	labels := make([]int, len(indices))
+	out := tensor.EnsureShape(x, outShape...)
+	if cap(labels) >= len(indices) {
+		labels = labels[:len(indices)]
+	} else {
+		labels = make([]int, len(indices))
+	}
 	src := d.X.Data()
 	dst := out.Data()
 	for i, idx := range indices {

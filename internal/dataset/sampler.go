@@ -16,6 +16,7 @@ type BatchSampler struct {
 	r       *rng.RNG
 	cursor  int
 	epoch   int
+	out     []int // Next's reusable result slice
 }
 
 // NewBatchSampler builds a sampler over the given indices. batch must be
@@ -43,15 +44,19 @@ func (s *BatchSampler) Epoch() int { return s.epoch }
 
 // Next returns the next minibatch of indices. When fewer than a full
 // batch remain in the epoch, the sampler reshuffles and starts the next
-// epoch, so every batch has exactly BatchSize elements.
+// epoch, so every batch has exactly BatchSize elements. The returned
+// slice is sampler-owned scratch, valid until the next call to Next —
+// callers that need it longer must copy it.
 func (s *BatchSampler) Next() []int {
 	if s.cursor+s.batch > len(s.indices) {
 		s.r.Shuffle(s.indices)
 		s.cursor = 0
 		s.epoch++
 	}
-	out := make([]int, s.batch)
-	copy(out, s.indices[s.cursor:s.cursor+s.batch])
+	if s.out == nil {
+		s.out = make([]int, s.batch)
+	}
+	copy(s.out, s.indices[s.cursor:s.cursor+s.batch])
 	s.cursor += s.batch
-	return out
+	return s.out
 }

@@ -251,5 +251,7 @@ func (c Config) simTime(up, down []int64) (time.Duration, error) {
 }
 
 // newLoss returns the task loss; one place to change if the paper's
-// task shifts.
-func newLoss() nn.Loss { return nn.SoftmaxCrossEntropy{} }
+// task shifts. Every party gets its own instance: the reusing variant
+// holds per-instance gradient scratch, so sharing one across goroutines
+// would race.
+func newLoss() nn.Loss { return &nn.ReusingSoftmaxCrossEntropy{} }

@@ -8,9 +8,15 @@ import (
 )
 
 // ReLU is the rectified linear activation max(0, x).
+//
+// Like every layer in this package, the output and input-gradient
+// tensors are layer-owned scratch, valid until the layer's next
+// Forward/Backward (the Conv2D lifetime contract).
 type ReLU struct {
 	name string
 	mask []bool
+	out  *tensor.Tensor
+	dx   *tensor.Tensor
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -23,7 +29,8 @@ func (r *ReLU) Name() string { return r.name }
 
 // Forward zeroes negative entries.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	r.out = r.out.EnsureShapeOf(x)
+	out := r.out
 	xd, od := x.Data(), out.Data()
 	if train {
 		// Reuse the layer-owned mask across rounds; every entry is
@@ -32,11 +39,14 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			r.mask = make([]bool, len(xd))
 		}
 		mask := r.mask[:len(xd)]
+		// Scratch is dirty: write every element, not just positives.
 		for i, v := range xd {
 			on := v > 0
 			mask[i] = on
 			if on {
 				od[i] = v
+			} else {
+				od[i] = 0
 			}
 		}
 		r.mask = mask
@@ -45,6 +55,8 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for i, v := range xd {
 		if v > 0 {
 			od[i] = v
+		} else {
+			od[i] = 0
 		}
 	}
 	return out
@@ -58,11 +70,14 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Size() != len(r.mask) {
 		panic(fmt.Sprintf("nn: %s: gradient size %d, want %d", r.name, grad.Size(), len(r.mask)))
 	}
-	dx := tensor.New(grad.Shape()...)
+	r.dx = r.dx.EnsureShapeOf(grad)
+	dx := r.dx
 	gd, dd := grad.Data(), dx.Data()
 	for i, on := range r.mask {
 		if on {
 			dd[i] = gd[i]
+		} else {
+			dd[i] = 0
 		}
 	}
 	return dx
@@ -77,6 +92,8 @@ type LeakyReLU struct {
 	name  string
 	alpha float32
 	x     *tensor.Tensor
+	out   *tensor.Tensor
+	dx    *tensor.Tensor
 }
 
 var _ Layer = (*LeakyReLU)(nil)
@@ -91,7 +108,8 @@ func (l *LeakyReLU) Name() string { return l.name }
 
 // Forward applies the leaky rectifier.
 func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	l.out = l.out.EnsureShapeOf(x)
+	out := l.out
 	xd, od := x.Data(), out.Data()
 	for i, v := range xd {
 		if v > 0 {
@@ -111,7 +129,8 @@ func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.x == nil {
 		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", l.name))
 	}
-	dx := tensor.New(grad.Shape()...)
+	l.dx = l.dx.EnsureShapeOf(grad)
+	dx := l.dx
 	gd, dd, xd := grad.Data(), dx.Data(), l.x.Data()
 	for i := range gd {
 		if xd[i] > 0 {
@@ -129,7 +148,8 @@ func (l *LeakyReLU) Params() []*Param { return nil }
 // Sigmoid is the logistic activation 1/(1+e^-x).
 type Sigmoid struct {
 	name string
-	y    *tensor.Tensor
+	out  *tensor.Tensor // shared train/eval scratch
+	y    *tensor.Tensor // backward cache; nil after an eval Forward
 }
 
 var _ Layer = (*Sigmoid)(nil)
@@ -142,13 +162,18 @@ func (s *Sigmoid) Name() string { return s.name }
 
 // Forward applies the logistic function.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	s.out = s.out.EnsureShapeOf(x)
+	out := s.out
 	xd, od := x.Data(), out.Data()
 	for i, v := range xd {
 		od[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
 	if train {
 		s.y = out
+	} else {
+		// Eval overwrites the shared scratch; invalidate the backward
+		// cache so a stale Backward panics instead of using eval values.
+		s.y = nil
 	}
 	return out
 }
@@ -172,7 +197,9 @@ func (s *Sigmoid) Params() []*Param { return nil }
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
 	name string
-	y    *tensor.Tensor
+	out  *tensor.Tensor // shared train/eval scratch
+	y    *tensor.Tensor // backward cache; nil after an eval Forward
+	dx   *tensor.Tensor
 }
 
 var _ Layer = (*Tanh)(nil)
@@ -185,13 +212,18 @@ func (t *Tanh) Name() string { return t.name }
 
 // Forward applies tanh.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	t.out = t.out.EnsureShapeOf(x)
+	out := t.out
 	xd, od := x.Data(), out.Data()
 	for i, v := range xd {
 		od[i] = float32(math.Tanh(float64(v)))
 	}
 	if train {
 		t.y = out
+	} else {
+		// Eval overwrites the shared scratch; invalidate the backward
+		// cache so a stale Backward panics instead of using eval values.
+		t.y = nil
 	}
 	return out
 }
@@ -201,7 +233,8 @@ func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if t.y == nil {
 		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", t.name))
 	}
-	dx := tensor.New(grad.Shape()...)
+	t.dx = t.dx.EnsureShapeOf(grad)
+	dx := t.dx
 	gd, dd, yd := grad.Data(), dx.Data(), t.y.Data()
 	for i := range gd {
 		dd[i] = gd[i] * (1 - yd[i]*yd[i])

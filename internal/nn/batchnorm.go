@@ -28,8 +28,11 @@ type BatchNorm struct {
 
 	// Backward cache. xhat is layer-owned scratch reused across calls
 	// (same lifetime contract as Conv2D's column matrix: Backward runs
-	// before the next Forward overwrites it).
+	// before the next Forward overwrites it). out/dx are the forward
+	// output and backward input-gradient scratch under the same contract.
 	xhat    *tensor.Tensor
+	out     *tensor.Tensor
+	dx      *tensor.Tensor
 	invStd  []float32
 	inShape []int
 
@@ -169,8 +172,9 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		invStd[ch] = float32(1 / math.Sqrt(float64(variance[ch]+b.eps)))
 	}
 
-	out := tensor.New(x.Shape()...)
-	b.xhat = tensor.EnsureShape(b.xhat, x.Shape()...)
+	b.out = b.out.EnsureShapeOf(x)
+	out := b.out // apply writes every element
+	b.xhat = b.xhat.EnsureShapeOf(x)
 	b.apply(x, b.xhat, out, mean, invStd, spatial)
 	if train {
 		b.invStd = invStd
@@ -246,7 +250,8 @@ func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		bg[ch] += sumDy[ch]
 	}
 
-	dx := tensor.New(b.inShape...)
+	b.dx = tensor.EnsureShape(b.dx, b.inShape...)
+	dx := b.dx // the forEach pass below writes every element
 	dd := dx.Data()
 	g := b.gamma.W.Data()
 	b.forEach(n, spatial, func(ch, idx int) {

@@ -28,6 +28,8 @@ type Conv2D struct {
 	cols        *tensor.Tensor // persistent im2col scratch, valid after any Forward
 	gRows       *tensor.Tensor // backward scratch: grad in rows layout
 	dCols       *tensor.Tensor // backward scratch: column-matrix gradient
+	out         *tensor.Tensor // forward output scratch (same lifetime contract)
+	dx          *tensor.Tensor // backward input-gradient scratch
 	n, inH, inW int
 	outH, outW  int
 }
@@ -64,7 +66,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	ow := tensor.ConvOutSize(w, c.kw, c.stride, c.pad)
 	c.cols = tensor.EnsureShape(c.cols, n*oh*ow, c.inC*c.kh*c.kw)
 	tensor.Im2ColInto(c.cols, x, c.kh, c.kw, c.stride, c.pad)
-	out := tensor.New(n, c.outC, oh, ow)
+	c.out = tensor.EnsureShape(c.out, n, c.outC, oh, ow)
+	out := c.out
 	tensor.ConvGemmInto(out, c.cols, c.w.W, c.b.W)
 	if train {
 		c.n, c.inH, c.inW = n, h, w
@@ -93,8 +96,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	tensor.SumRowsAcc(c.b.G, c.gRows)
 	c.dCols = tensor.EnsureShape(c.dCols, rows, c.inC*c.kh*c.kw)
 	tensor.MatMulInto(c.dCols, c.gRows, c.w.W) // [n*oh*ow, inC*kh*kw]
-	dx := tensor.New(c.n, c.inC, c.inH, c.inW)
-	return tensor.Col2ImInto(dx, c.dCols, c.kh, c.kw, c.stride, c.pad)
+	// Col2ImInto zeroes dst before accumulating, so dirty scratch is fine.
+	c.dx = tensor.EnsureShape(c.dx, c.n, c.inC, c.inH, c.inW)
+	return tensor.Col2ImInto(c.dx, c.dCols, c.kh, c.kw, c.stride, c.pad)
 }
 
 // Params returns the kernel and bias parameters.

@@ -9,12 +9,20 @@ import (
 
 // Dense is a fully connected layer: y = x·W + b for x of shape
 // [batch, in].
+//
+// The output and input-gradient tensors are layer-owned scratch reused
+// across calls (same lifetime contract as Conv2D's scratch): a result
+// is valid until the layer's next Forward/Backward, which every
+// training and evaluation loop in this codebase satisfies — consumers
+// read a layer's output before driving the next batch through it.
 type Dense struct {
 	name string
 	w    *Param // [in, out]
 	b    *Param // [out]
 
-	x *tensor.Tensor // cached input for Backward
+	x  *tensor.Tensor // cached input for Backward
+	y  *tensor.Tensor // forward output scratch
+	dx *tensor.Tensor // backward input-gradient scratch
 }
 
 var _ Layer = (*Dense)(nil)
@@ -48,9 +56,10 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		d.x = x
 	}
-	y := tensor.MatMul(x, d.w.W)
-	y.AddRowVector(d.b.W)
-	return y
+	d.y = tensor.EnsureShape(d.y, x.Dim(0), d.w.W.Dim(1))
+	tensor.MatMulInto(d.y, x, d.w.W)
+	d.y.AddRowVector(d.b.W)
+	return d.y
 }
 
 // Backward accumulates dW = xᵀ·dy and db = Σ rows(dy), returning
@@ -62,7 +71,8 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	tensor.MatMulTAAcc(d.w.G, d.x, grad)
 	tensor.SumRowsAcc(d.b.G, grad)
-	return tensor.MatMulTB(grad, d.w.W)
+	d.dx = tensor.EnsureShape(d.dx, grad.Dim(0), d.w.W.Dim(0))
+	return tensor.MatMulTBInto(d.dx, grad, d.w.W)
 }
 
 // Params returns the weight and bias parameters.

@@ -30,6 +30,40 @@ func (SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
 
 // Loss computes mean cross entropy and its gradient (softmax − onehot)/n.
 func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	grad := tensor.New(logits.Dim(0), logits.Dim(1))
+	total := softmaxXentInto(grad, logits, labels)
+	return total, grad
+}
+
+// ReusingSoftmaxCrossEntropy is SoftmaxCrossEntropy with a loss-owned
+// gradient tensor reused across calls: the returned gradient is valid
+// until the next Loss call on the same instance. The training loops
+// consume the gradient immediately (encode it onto the wire or run the
+// backward pass), so each party holds its own instance and the per-round
+// gradient allocation disappears. A Loss instance serves one goroutine.
+type ReusingSoftmaxCrossEntropy struct {
+	grad *tensor.Tensor
+}
+
+var _ Loss = (*ReusingSoftmaxCrossEntropy)(nil)
+
+// Name returns "softmax-xent" — the reuse policy is local, not part of
+// the protocol-visible identity.
+func (*ReusingSoftmaxCrossEntropy) Name() string { return "softmax-xent" }
+
+// Loss computes mean cross entropy and its gradient into reused scratch.
+func (l *ReusingSoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	l.grad = tensor.EnsureShape(l.grad, logits.Dim(0), logits.Dim(1))
+	total := softmaxXentInto(l.grad, logits, labels)
+	return total, l.grad
+}
+
+// softmaxXentInto writes (softmax − onehot)/n into grad in one fused
+// row-wise pass — the softmax lands directly in the gradient tensor, so
+// no separate probability tensor is materialized — and returns the mean
+// cross entropy. The softmax numerics (max shift, float64 sum, inverse
+// multiply) match tensor.SoftmaxRows exactly.
+func softmaxXentInto(grad, logits *tensor.Tensor, labels []int) float64 {
 	if logits.Rank() != 2 {
 		panic(fmt.Sprintf("nn: cross-entropy logits %v, want rank 2", logits.Shape()))
 	}
@@ -37,23 +71,41 @@ func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
 	}
-	probs := tensor.SoftmaxRows(logits)
-	grad := probs.Clone()
 	var total float64
 	invN := float32(1) / float32(n)
 	for i, lab := range labels {
 		if lab < 0 || lab >= classes {
 			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", lab, classes))
 		}
-		p := float64(probs.At(i, lab))
+		in := logits.Row(i)
+		out := grad.Row(i)
+		m := in[0]
+		for _, v := range in[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for c, v := range in {
+			e := math.Exp(float64(v - m))
+			out[c] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for c := range out {
+			out[c] *= inv
+		}
+		p := float64(out[lab])
 		if p < 1e-12 {
 			p = 1e-12
 		}
 		total -= math.Log(p)
-		grad.Set(grad.At(i, lab)-1, i, lab)
+		out[lab] -= 1
+		for c := range out {
+			out[c] *= invN
+		}
 	}
-	grad.Scale(invN)
-	return total / float64(n), grad
+	return total / float64(n)
 }
 
 // MSE is the mean-squared-error loss against one-hot targets. It exists

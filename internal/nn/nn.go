@@ -310,6 +310,12 @@ func DecodeModelInto(params []*Param, state []*tensor.Tensor, buf []byte) error 
 type Sequential struct {
 	name   string
 	layers []Layer
+
+	// params caches the concatenated parameter list: the layer set is
+	// fixed at construction, and the training loop asks for Params
+	// several times per round (zero, clip, step, mirror), which made the
+	// repeated concatenation a per-round allocation hot spot.
+	params []*Param
 }
 
 var _ Layer = (*Sequential)(nil)
@@ -343,11 +349,16 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params returns the concatenated parameters of all layers, in layer
-// order.
+// order. The list is computed once and cached — callers must treat it
+// as read-only and must not mutate the chain's layer set afterwards
+// (nothing in this repo does; models are assembled before training).
 func (s *Sequential) Params() []*Param {
-	var out []*Param
-	for _, l := range s.layers {
-		out = append(out, l.Params()...)
+	if s.params == nil {
+		out := []*Param{}
+		for _, l := range s.layers {
+			out = append(out, l.Params()...)
+		}
+		s.params = out
 	}
-	return out
+	return s.params
 }

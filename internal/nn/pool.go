@@ -12,6 +12,8 @@ type MaxPool2D struct {
 	k, stride int
 	argmax    []int // flat input index of each output's max
 	inShape   []int
+	out       *tensor.Tensor // forward output scratch (layer lifetime contract)
+	dx        *tensor.Tensor // backward input-gradient scratch
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -33,7 +35,8 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := tensor.ConvOutSize(h, m.k, m.stride, 0)
 	ow := tensor.ConvOutSize(w, m.k, m.stride, 0)
-	out := tensor.New(n, c, oh, ow)
+	m.out = tensor.EnsureShape(m.out, n, c, oh, ow)
+	out := m.out // every element is written below
 	var argmax []int
 	if train {
 		// Reuse the layer-owned index buffer across rounds; every entry
@@ -94,7 +97,9 @@ func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Size() != len(m.argmax) {
 		panic(fmt.Sprintf("nn: %s: gradient size %d, want %d", m.name, grad.Size(), len(m.argmax)))
 	}
-	dx := tensor.New(m.inShape...)
+	m.dx = tensor.EnsureShape(m.dx, m.inShape...)
+	m.dx.Zero() // scatter-accumulate below needs a clean slate
+	dx := m.dx
 	dd, gd := dx.Data(), grad.Data()
 	for oIdx, iIdx := range m.argmax {
 		dd[iIdx] += gd[oIdx]
@@ -111,6 +116,8 @@ func (m *MaxPool2D) Params() []*Param { return nil }
 type GlobalAvgPool struct {
 	name    string
 	inShape []int
+	out     *tensor.Tensor
+	dx      *tensor.Tensor
 }
 
 var _ Layer = (*GlobalAvgPool)(nil)
@@ -129,7 +136,8 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s: GlobalAvgPool input %v, want rank 4", g.name, x.Shape()))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := tensor.New(n, c)
+	g.out = tensor.EnsureShape(g.out, n, c)
+	out := g.out // every element is written below
 	xd := x.Data()
 	inv := 1 / float32(h*w)
 	for in := 0; in < n; in++ {
@@ -154,7 +162,8 @@ func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s: Backward before train-mode Forward", g.name))
 	}
 	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
-	dx := tensor.New(g.inShape...)
+	g.dx = tensor.EnsureShape(g.dx, g.inShape...)
+	dx := g.dx // every element is written below
 	dd := dx.Data()
 	inv := 1 / float32(h*w)
 	for in := 0; in < n; in++ {
@@ -179,6 +188,8 @@ type AvgPool2D struct {
 	name      string
 	k, stride int
 	inShape   []int
+	out       *tensor.Tensor
+	dx        *tensor.Tensor
 }
 
 var _ Layer = (*AvgPool2D)(nil)
@@ -199,7 +210,8 @@ func (a *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := tensor.ConvOutSize(h, a.k, a.stride, 0)
 	ow := tensor.ConvOutSize(w, a.k, a.stride, 0)
-	out := tensor.New(n, c, oh, ow)
+	a.out = tensor.EnsureShape(a.out, n, c, oh, ow)
+	out := a.out // every element is written below
 	xd, od := x.Data(), out.Data()
 	inv := 1 / float32(a.k*a.k)
 	for in := 0; in < n; in++ {
@@ -233,7 +245,9 @@ func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	n, c, h, w := a.inShape[0], a.inShape[1], a.inShape[2], a.inShape[3]
 	oh, ow := grad.Dim(2), grad.Dim(3)
-	dx := tensor.New(a.inShape...)
+	a.dx = tensor.EnsureShape(a.dx, a.inShape...)
+	a.dx.Zero() // overlapping windows accumulate below
+	dx := a.dx
 	dd, gd := dx.Data(), grad.Data()
 	inv := 1 / float32(a.k*a.k)
 	for in := 0; in < n; in++ {

@@ -63,38 +63,51 @@ func im2col(dst, x *Tensor, kh, kw, stride, pad int) {
 	xd, dd := x.data, dst.data
 	// One unit of work is an (in, oy) strip: ow consecutive rows of the
 	// column matrix. Strips touch disjoint output rows, so workers never
-	// overlap.
-	parallelRows(n*oh, n*oh*ow*rowLen, func(u0, u1 int) {
-		for u := u0; u < u1; u++ {
-			in, oy := u/oh, u%oh
-			imgBase := in * c * h * w
-			iy0 := oy*stride - pad
-			for ox := 0; ox < ow; ox++ {
-				ix0 := ox*stride - pad
-				row := dd[(u*ow+ox)*rowLen:][:rowLen]
-				for ch := 0; ch < c; ch++ {
-					chBase := imgBase + ch*h*w
-					for ky := 0; ky < kh; ky++ {
-						iy := iy0 + ky
-						seg := row[(ch*kh+ky)*kw : (ch*kh+ky)*kw+kw]
-						if iy < 0 || iy >= h {
-							zeroFloats(seg) // padding
-							continue
-						}
-						srcRow := xd[chBase+iy*w : chBase+(iy+1)*w]
-						for kx := 0; kx < kw; kx++ {
-							ix := ix0 + kx
-							if ix >= 0 && ix < w {
-								seg[kx] = srcRow[ix]
-							} else {
-								seg[kx] = 0
-							}
+	// overlap. The serial guard runs before the closure is built so
+	// small shapes pay no per-call allocation (see serialRows).
+	work := n * oh * ow * rowLen
+	if serialRows(n*oh, work) {
+		im2colRange(dd, xd, c, h, w, oh, ow, kh, kw, stride, pad, 0, n*oh)
+		return
+	}
+	parallelRows(n*oh, work, func(u0, u1 int) {
+		im2colRange(dd, xd, c, h, w, oh, ow, kh, kw, stride, pad, u0, u1)
+	})
+}
+
+// im2colRange fills column-matrix strips [u0,u1), one strip per (in, oy)
+// pair.
+func im2colRange(dd, xd []float32, c, h, w, oh, ow, kh, kw, stride, pad, u0, u1 int) {
+	rowLen := c * kh * kw
+	for u := u0; u < u1; u++ {
+		in, oy := u/oh, u%oh
+		imgBase := in * c * h * w
+		iy0 := oy*stride - pad
+		for ox := 0; ox < ow; ox++ {
+			ix0 := ox*stride - pad
+			row := dd[(u*ow+ox)*rowLen:][:rowLen]
+			for ch := 0; ch < c; ch++ {
+				chBase := imgBase + ch*h*w
+				for ky := 0; ky < kh; ky++ {
+					iy := iy0 + ky
+					seg := row[(ch*kh+ky)*kw : (ch*kh+ky)*kw+kw]
+					if iy < 0 || iy >= h {
+						zeroFloats(seg) // padding
+						continue
+					}
+					srcRow := xd[chBase+iy*w : chBase+(iy+1)*w]
+					for kx := 0; kx < kw; kx++ {
+						ix := ix0 + kx
+						if ix >= 0 && ix < w {
+							seg[kx] = srcRow[ix]
+						} else {
+							seg[kx] = 0
 						}
 					}
 				}
 			}
 		}
-	})
+	}
 }
 
 // Im2ColNaive is the retained single-threaded reference implementation;
@@ -167,38 +180,50 @@ func col2imInto(img, cols *Tensor, kh, kw, stride, pad int, zeroFirst bool) {
 		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match [%d,%d]", cols.shape, n*oh*ow, rowLen))
 	}
 	cd, id := cols.data, img.data
-	parallelRows(n, n*oh*ow*rowLen, func(n0, n1 int) {
-		for in := n0; in < n1; in++ {
-			imgBase := in * c * h * w
-			if zeroFirst {
-				zeroFloats(id[imgBase : imgBase+c*h*w])
-			}
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy*stride - pad
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox*stride - pad
-					row := cd[((in*oh+oy)*ow+ox)*rowLen:][:rowLen]
-					for ch := 0; ch < c; ch++ {
-						chBase := imgBase + ch*h*w
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							src := row[(ch*kh+ky)*kw : (ch*kh+ky)*kw+kw]
-							dstRow := id[chBase+iy*w : chBase+(iy+1)*w]
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix >= 0 && ix < w {
-									dstRow[ix] += src[kx]
-								}
+	work := n * oh * ow * rowLen
+	if serialRows(n, work) {
+		col2imRange(id, cd, c, h, w, oh, ow, kh, kw, stride, pad, zeroFirst, 0, n)
+		return
+	}
+	parallelRows(n, work, func(n0, n1 int) {
+		col2imRange(id, cd, c, h, w, oh, ow, kh, kw, stride, pad, zeroFirst, n0, n1)
+	})
+}
+
+// col2imRange scatters column-matrix gradients back into image samples
+// [n0,n1).
+func col2imRange(id, cd []float32, c, h, w, oh, ow, kh, kw, stride, pad int, zeroFirst bool, n0, n1 int) {
+	rowLen := c * kh * kw
+	for in := n0; in < n1; in++ {
+		imgBase := in * c * h * w
+		if zeroFirst {
+			zeroFloats(id[imgBase : imgBase+c*h*w])
+		}
+		for oy := 0; oy < oh; oy++ {
+			iy0 := oy*stride - pad
+			for ox := 0; ox < ow; ox++ {
+				ix0 := ox*stride - pad
+				row := cd[((in*oh+oy)*ow+ox)*rowLen:][:rowLen]
+				for ch := 0; ch < c; ch++ {
+					chBase := imgBase + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						src := row[(ch*kh+ky)*kw : (ch*kh+ky)*kw+kw]
+						dstRow := id[chBase+iy*w : chBase+(iy+1)*w]
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < w {
+								dstRow[ix] += src[kx]
 							}
 						}
 					}
 				}
 			}
 		}
-	})
+	}
 }
 
 // Col2ImNaive is the retained single-threaded reference implementation.
@@ -258,18 +283,26 @@ func RowsToNCHWInto(dst, rows *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: RowsToNCHW shape %v does not match [%d,%d]", rows.shape, n*oh*ow, c))
 	}
 	rd, od := rows.data, dst.data
+	if serialRows(n*oh, n*oh*ow*c) {
+		rowsToNCHWRange(od, rd, c, oh, ow, 0, n*oh)
+		return dst
+	}
 	parallelRows(n*oh, n*oh*ow*c, func(u0, u1 int) {
-		for u := u0; u < u1; u++ {
-			in, oy := u/oh, u%oh
-			for ox := 0; ox < ow; ox++ {
-				src := rd[(u*ow+ox)*c:][:c]
-				for ch := 0; ch < c; ch++ {
-					od[((in*c+ch)*oh+oy)*ow+ox] = src[ch]
-				}
-			}
-		}
+		rowsToNCHWRange(od, rd, c, oh, ow, u0, u1)
 	})
 	return dst
+}
+
+func rowsToNCHWRange(od, rd []float32, c, oh, ow, u0, u1 int) {
+	for u := u0; u < u1; u++ {
+		in, oy := u/oh, u%oh
+		for ox := 0; ox < ow; ox++ {
+			src := rd[(u*ow+ox)*c:][:c]
+			for ch := 0; ch < c; ch++ {
+				od[((in*c+ch)*oh+oy)*ow+ox] = src[ch]
+			}
+		}
+	}
 }
 
 // NCHWToRows is the inverse of RowsToNCHW: it flattens an NCHW tensor
@@ -294,18 +327,26 @@ func NCHWToRowsInto(dst, x *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: NCHWToRowsInto dst shape %v, want [%d,%d]", dst.shape, n*oh*ow, c))
 	}
 	xd, od := x.data, dst.data
+	if serialRows(n*oh, n*oh*ow*c) {
+		nchwToRowsRange(od, xd, c, oh, ow, 0, n*oh)
+		return dst
+	}
 	parallelRows(n*oh, n*oh*ow*c, func(u0, u1 int) {
-		for u := u0; u < u1; u++ {
-			in, oy := u/oh, u%oh
-			for ox := 0; ox < ow; ox++ {
-				row := od[(u*ow+ox)*c:][:c]
-				for ch := 0; ch < c; ch++ {
-					row[ch] = xd[((in*c+ch)*oh+oy)*ow+ox]
-				}
-			}
-		}
+		nchwToRowsRange(od, xd, c, oh, ow, u0, u1)
 	})
 	return dst
+}
+
+func nchwToRowsRange(od, xd []float32, c, oh, ow, u0, u1 int) {
+	for u := u0; u < u1; u++ {
+		in, oy := u/oh, u%oh
+		for ox := 0; ox < ow; ox++ {
+			row := od[(u*ow+ox)*c:][:c]
+			for ch := 0; ch < c; ch++ {
+				row[ch] = xd[((in*c+ch)*oh+oy)*ow+ox]
+			}
+		}
+	}
 }
 
 // ConvGemmInto fuses the three tail stages of an im2col convolution
@@ -336,60 +377,71 @@ func ConvGemmInto(dst, cols, w, bias *Tensor) *Tensor {
 		bd = bias.data
 	}
 	cd, wd, od := cols.data, w.data, dst.data
-	plane := oh * ow
 	// Fan out over (sample, output-row) strips as in im2col. Each strip
 	// reads its cols rows once and streams the kernel matrix per pixel
 	// with a 4-wide output-channel register tile, so each loaded column
 	// value feeds four dot products. (A 2-pixel × 4-channel tile was
 	// measured slower here: its fourteen live values spill registers.)
-	parallelRows(n*oh, n*oh*ow*outC*k, func(u0, u1 int) {
-		for u := u0; u < u1; u++ {
-			in, oy := u/oh, u%oh
-			outBase := in*outC*plane + oy*ow
-			for ox := 0; ox < ow; ox++ {
-				crow := cd[(u*ow+ox)*k:][:k]
-				oc := 0
-				for ; oc+4 <= outC; oc += 4 {
-					w0 := wd[(oc+0)*k : (oc+0)*k+k]
-					w1 := wd[(oc+1)*k : (oc+1)*k+k]
-					w2 := wd[(oc+2)*k : (oc+2)*k+k]
-					w3 := wd[(oc+3)*k : (oc+3)*k+k]
-					w0 = w0[:len(crow)]
-					w1 = w1[:len(crow)]
-					w2 = w2[:len(crow)]
-					w3 = w3[:len(crow)]
-					var s0, s1, s2, s3 float32
-					for p, cv := range crow {
-						s0 += cv * w0[p]
-						s1 += cv * w1[p]
-						s2 += cv * w2[p]
-						s3 += cv * w3[p]
-					}
-					if bd != nil {
-						s0 += bd[oc]
-						s1 += bd[oc+1]
-						s2 += bd[oc+2]
-						s3 += bd[oc+3]
-					}
-					od[outBase+(oc+0)*plane+ox] = s0
-					od[outBase+(oc+1)*plane+ox] = s1
-					od[outBase+(oc+2)*plane+ox] = s2
-					od[outBase+(oc+3)*plane+ox] = s3
-				}
-				for ; oc < outC; oc++ {
-					wrow := wd[oc*k : oc*k+k]
-					wrow = wrow[:len(crow)]
-					var s float32
-					for p, cv := range crow {
-						s += cv * wrow[p]
-					}
-					if bd != nil {
-						s += bd[oc]
-					}
-					od[outBase+oc*plane+ox] = s
-				}
-			}
-		}
+	work := n * oh * ow * outC * k
+	if serialRows(n*oh, work) {
+		convGemmRange(od, cd, wd, bd, outC, k, oh, ow, 0, n*oh)
+		return dst
+	}
+	parallelRows(n*oh, work, func(u0, u1 int) {
+		convGemmRange(od, cd, wd, bd, outC, k, oh, ow, u0, u1)
 	})
 	return dst
+}
+
+// convGemmRange computes output strips [u0,u1) of the fused
+// GEMM+bias+repack pass, one strip per (in, oy) pair.
+func convGemmRange(od, cd, wd, bd []float32, outC, k, oh, ow, u0, u1 int) {
+	plane := oh * ow
+	for u := u0; u < u1; u++ {
+		in, oy := u/oh, u%oh
+		outBase := in*outC*plane + oy*ow
+		for ox := 0; ox < ow; ox++ {
+			crow := cd[(u*ow+ox)*k:][:k]
+			oc := 0
+			for ; oc+4 <= outC; oc += 4 {
+				w0 := wd[(oc+0)*k : (oc+0)*k+k]
+				w1 := wd[(oc+1)*k : (oc+1)*k+k]
+				w2 := wd[(oc+2)*k : (oc+2)*k+k]
+				w3 := wd[(oc+3)*k : (oc+3)*k+k]
+				w0 = w0[:len(crow)]
+				w1 = w1[:len(crow)]
+				w2 = w2[:len(crow)]
+				w3 = w3[:len(crow)]
+				var s0, s1, s2, s3 float32
+				for p, cv := range crow {
+					s0 += cv * w0[p]
+					s1 += cv * w1[p]
+					s2 += cv * w2[p]
+					s3 += cv * w3[p]
+				}
+				if bd != nil {
+					s0 += bd[oc]
+					s1 += bd[oc+1]
+					s2 += bd[oc+2]
+					s3 += bd[oc+3]
+				}
+				od[outBase+(oc+0)*plane+ox] = s0
+				od[outBase+(oc+1)*plane+ox] = s1
+				od[outBase+(oc+2)*plane+ox] = s2
+				od[outBase+(oc+3)*plane+ox] = s3
+			}
+			for ; oc < outC; oc++ {
+				wrow := wd[oc*k : oc*k+k]
+				wrow = wrow[:len(crow)]
+				var s float32
+				for p, cv := range crow {
+					s += cv * wrow[p]
+				}
+				if bd != nil {
+					s += bd[oc]
+				}
+				od[outBase+oc*plane+ox] = s
+			}
+		}
+	}
 }

@@ -111,25 +111,42 @@ func checkGemmDst(op string, dst *Tensor, m, n int) {
 func gemmNN(out, a, b *Tensor) {
 	m, k, n := a.shape[0], a.shape[1], b.shape[1]
 	if m < 8 {
-		parallelRows(m, m*k*n, func(r0, r1 int) {
-			gemmPanelNN(out.data, a.data, b.data, r0, r1, k, n, 0, false)
-		})
+		if serialRows(m, m*k*n) {
+			gemmPanelNN(out.data, a.data, b.data, 0, m, k, n, 0, false)
+		} else {
+			parallelRows(m, m*k*n, func(r0, r1 int) {
+				gemmPanelNN(out.data, a.data, b.data, r0, r1, k, n, 0, false)
+			})
+		}
 		return
 	}
-	bt := Default.GetDirty(n, k)
-	btd, bd := bt.data, b.data
-	parallelRows(n, 2*n*k, func(c0, c1 int) {
-		for c := c0; c < c1; c++ {
-			row := btd[c*k : c*k+k]
-			for p := range row {
-				row[p] = bd[p*n+c]
-			}
+	btd, bd := Default.GetBuf(n*k), b.data
+	if serialRows(n, 2*n*k) {
+		transposeRange(btd, bd, k, n, 0, n)
+	} else {
+		parallelRows(n, 2*n*k, func(c0, c1 int) {
+			transposeRange(btd, bd, k, n, c0, c1)
+		})
+	}
+	if serialRows(m, m*k*n) {
+		gemmTBPanel(out.data, a.data, btd, 0, m, k, n)
+	} else {
+		parallelRows(m, m*k*n, func(r0, r1 int) {
+			gemmTBPanel(out.data, a.data, btd, r0, r1, k, n)
+		})
+	}
+	Default.PutBuf(btd)
+}
+
+// transposeRange writes columns [c0,c1) of the [k,n] matrix bd into the
+// corresponding k-contiguous rows of btd.
+func transposeRange(btd, bd []float32, k, n, c0, c1 int) {
+	for c := c0; c < c1; c++ {
+		row := btd[c*k : c*k+k]
+		for p := range row {
+			row[p] = bd[p*n+c]
 		}
-	})
-	parallelRows(m, m*k*n, func(r0, r1 int) {
-		gemmTBPanel(out.data, a.data, btd, r0, r1, k, n)
-	})
-	Default.Put(bt)
+	}
 }
 
 // gemmPanelNN computes out rows [r0,r1) of an a·b product where the a
@@ -233,28 +250,37 @@ func gemmPanelNN(out, arows, b []float32, r0, r1, k, n, rowOff int, acc bool) {
 func gemmTA(out, a, b *Tensor, acc bool) {
 	k, m := a.shape[0], a.shape[1]
 	n := b.shape[1]
-	ad := a.data
+	if serialRows(m, m*k*n) {
+		gemmTARange(out.data, a.data, b.data, m, k, n, 0, m, acc)
+		return
+	}
 	parallelRows(m, m*k*n, func(r0, r1 int) {
-		rows := r1 - r0
-		pack := Default.GetDirty(rows, min(gemmKC, k))
-		pk := pack.data
-		for p0 := 0; p0 < k; p0 += gemmKC {
-			p1 := min(p0+gemmKC, k)
-			kb := p1 - p0
-			for i := r0; i < r1; i++ {
-				row := pk[(i-r0)*kb : (i-r0)*kb+kb]
-				for p := p0; p < p1; p++ {
-					row[p-p0] = ad[p*m+i]
-				}
-			}
-			// One packed panel is a [rows, kb] a-block starting at
-			// contraction offset p0: run the row kernel with b shifted to
-			// the same offset, accumulating for every panel after the
-			// first.
-			gemmPanelNN(out.data, pk, b.data[p0*n:], r0, r1, kb, n, r0, acc || p0 > 0)
-		}
-		Default.Put(pack)
+		gemmTARange(out.data, a.data, b.data, m, k, n, r0, r1, acc)
 	})
+}
+
+// gemmTARange computes out rows [r0,r1) of an aᵀ·b product by packing
+// gemmKC-wide panels of aᵀ into pooled scratch and running the row
+// kernel over them.
+func gemmTARange(od, ad, bd []float32, m, k, n, r0, r1 int, acc bool) {
+	rows := r1 - r0
+	pk := Default.GetBuf(rows * min(gemmKC, k))
+	for p0 := 0; p0 < k; p0 += gemmKC {
+		p1 := min(p0+gemmKC, k)
+		kb := p1 - p0
+		for i := r0; i < r1; i++ {
+			row := pk[(i-r0)*kb : (i-r0)*kb+kb]
+			for p := p0; p < p1; p++ {
+				row[p-p0] = ad[p*m+i]
+			}
+		}
+		// One packed panel is a [rows, kb] a-block starting at
+		// contraction offset p0: run the row kernel with b shifted to
+		// the same offset, accumulating for every panel after the
+		// first.
+		gemmPanelNN(od, pk, bd[p0*n:], r0, r1, kb, n, r0, acc || p0 > 0)
+	}
+	Default.PutBuf(pk)
 }
 
 // gemmTB computes out = a·bᵀ (a is [m,k], b is [n,k]) with a 4×4
@@ -263,6 +289,10 @@ func gemmTA(out, a, b *Tensor, acc bool) {
 // chains. Both operands are k-contiguous, so no packing is needed.
 func gemmTB(out, a, b *Tensor) {
 	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	if serialRows(m, m*k*n) {
+		gemmTBPanel(out.data, a.data, b.data, 0, m, k, n)
+		return
+	}
 	parallelRows(m, m*k*n, func(r0, r1 int) {
 		gemmTBPanel(out.data, a.data, b.data, r0, r1, k, n)
 	})

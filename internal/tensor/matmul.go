@@ -143,6 +143,16 @@ func maxWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// serialRows reports whether a kernel over the given rows/work should
+// run on the calling goroutine. Hot call sites check it BEFORE building
+// the closure they would hand to parallelRows: the closure escapes into
+// the goroutine fan-out, so constructing it costs a heap allocation per
+// call even when the serial branch inside parallelRows runs — a cost
+// that dominated the small-shape training path.
+func serialRows(rows, work int) bool {
+	return work < parallelThreshold || rows <= 1 || maxWorkers() <= 1
+}
+
 // parallelRows runs fn over [0,rows) split into contiguous chunks, one per
 // worker, when the estimated work is large enough; otherwise serially.
 func parallelRows(rows, work int, fn func(r0, r1 int)) {

@@ -18,6 +18,11 @@ import (
 // so Put only belongs at points where ownership is unambiguous.
 type Pool struct {
 	classes [poolClasses]sync.Pool
+	// boxes recycles the *[]float32 wrappers the class pools store:
+	// putting a bare []float32 into a sync.Pool boxes the slice header
+	// into a freshly allocated interface value every time, which made
+	// every pooled GEMM scratch cost one small allocation per Put.
+	boxes sync.Pool
 }
 
 // poolClasses covers buffers up to 2^31 elements — far beyond any tensor
@@ -61,10 +66,42 @@ func (p *Pool) GetDirty(shape ...int) *Tensor {
 		n *= d
 	}
 	cls := sizeClass(n)
-	if buf, ok := p.classes[cls].Get().([]float32); ok && cap(buf) >= n {
+	if b, ok := p.classes[cls].Get().(*[]float32); ok && cap(*b) >= n {
+		buf := *b
+		*b = nil
+		p.boxes.Put(b)
 		return &Tensor{shape: append([]int(nil), shape...), data: buf[:n]}
 	}
 	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n, 1<<cls)}
+}
+
+// GetBuf returns a raw scratch buffer of exactly n float32s with
+// undefined contents, skipping the Tensor wrapper (and its two header
+// allocations) for kernels that only ever touch the flat storage. Pair
+// every GetBuf with a PutBuf.
+func (p *Pool) GetBuf(n int) []float32 {
+	cls := sizeClass(n)
+	if b, ok := p.classes[cls].Get().(*[]float32); ok && cap(*b) >= n {
+		buf := *b
+		*b = nil
+		p.boxes.Put(b)
+		return buf[:n]
+	}
+	return make([]float32, n, 1<<cls)
+}
+
+// PutBuf returns a GetBuf buffer to the pool. The buffer must not be
+// used afterwards.
+func (p *Pool) PutBuf(buf []float32) {
+	if cap(buf) == 0 || cap(buf)&(cap(buf)-1) != 0 {
+		return
+	}
+	b, _ := p.boxes.Get().(*[]float32)
+	if b == nil {
+		b = new([]float32)
+	}
+	*b = buf[:cap(buf)]
+	p.classes[sizeClass(cap(buf))].Put(b)
 }
 
 // Put returns t's storage to the pool. t must not be used afterwards.
@@ -80,7 +117,12 @@ func (p *Pool) Put(t *Tensor) {
 	if cap(buf)&(cap(buf)-1) != 0 {
 		return
 	}
-	p.classes[sizeClass(cap(buf))].Put(buf)
+	b, _ := p.boxes.Get().(*[]float32)
+	if b == nil {
+		b = new([]float32)
+	}
+	*b = buf
+	p.classes[sizeClass(cap(buf))].Put(b)
 	t.data = nil
 	t.shape = nil
 }
@@ -104,4 +146,11 @@ func EnsureShape(t *Tensor, shape ...int) *Tensor {
 		return t
 	}
 	return New(shape...)
+}
+
+// EnsureShapeOf is EnsureShape with src's shape, without materializing
+// the intermediate shape copy Shape() would allocate — the idiom for
+// layer scratch shaped like the layer input.
+func (t *Tensor) EnsureShapeOf(src *Tensor) *Tensor {
+	return EnsureShape(t, src.shape...)
 }

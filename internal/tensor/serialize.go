@@ -15,6 +15,12 @@ import (
 //
 // The format is fixed-size given a shape, which lets the wire layer
 // pre-compute exact message sizes for communication accounting.
+//
+// Encode and decode are the split protocol's per-message hot path, so
+// both convert in place over pre-sized buffers (no per-element append)
+// and fan the conversion loop out across cores for large tensors, and
+// DecodeInto reuses caller-owned tensor storage so steady-state rounds
+// stop allocating.
 
 // ErrCorrupt is returned when encoded tensor bytes cannot be decoded.
 var ErrCorrupt = errors.New("tensor: corrupt encoding")
@@ -39,27 +45,89 @@ func EncodedSizeFor(shape ...int) int {
 }
 
 // AppendTo appends t's binary encoding to buf and returns the extended
-// slice.
+// slice. The data section is written with a chunked parallel loop for
+// large tensors.
 func (t *Tensor) AppendTo(buf []byte) []byte {
 	if len(t.shape) > 255 {
 		panic(fmt.Sprintf("tensor: rank %d exceeds encodable maximum 255", len(t.shape)))
 	}
-	buf = append(buf, byte(len(t.shape)))
-	var tmp [4]byte
+	base := len(buf)
+	need := t.EncodedSize()
+	buf = growBytes(buf, need)
+	buf[base] = byte(len(t.shape))
+	off := base + 1
 	for _, d := range t.shape {
-		binary.LittleEndian.PutUint32(tmp[:], uint32(d))
-		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint32(buf[off:], uint32(d))
+		off += 4
 	}
-	for _, v := range t.data {
-		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(v))
-		buf = append(buf, tmp[:]...)
-	}
+	putFloats(buf[off:off+4*len(t.data)], t.data)
 	return buf
+}
+
+// growBytes extends buf by n bytes (reallocating only when capacity is
+// short) and returns the extended slice. The reallocation doubles so a
+// cold multi-tensor encode copies O(log) times, not once per tensor —
+// same policy as the compress codecs' growBytes.
+func growBytes(buf []byte, n int) []byte {
+	if cap(buf)-len(buf) >= n {
+		return buf[:len(buf)+n]
+	}
+	out := make([]byte, len(buf)+n, 2*(len(buf)+n))
+	copy(out, buf)
+	return out
+}
+
+// putFloats writes src as little-endian float32 bits into dst
+// (len(dst) must be 4*len(src)), fanning out for large tensors. The
+// serial guard runs before the closure is built so small tensors pay no
+// per-call allocation (see serialRows).
+func putFloats(dst []byte, src []float32) {
+	if serialRows(len(src), 4*len(src)) {
+		putFloatsRange(dst, src, 0, len(src))
+		return
+	}
+	parallelRows(len(src), 4*len(src), func(i0, i1 int) {
+		putFloatsRange(dst, src, i0, i1)
+	})
+}
+
+func putFloatsRange(dst []byte, src []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(src[i]))
+	}
+}
+
+// getFloats reads little-endian float32 bits from src into dst
+// (len(src) must be 4*len(dst)), fanning out for large tensors.
+func getFloats(dst []float32, src []byte) {
+	if serialRows(len(dst), 4*len(dst)) {
+		getFloatsRange(dst, src, 0, len(dst))
+		return
+	}
+	parallelRows(len(dst), 4*len(dst), func(i0, i1 int) {
+		getFloatsRange(dst, src, i0, i1)
+	})
+}
+
+func getFloatsRange(dst []float32, src []byte, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+	}
 }
 
 // Decode parses one tensor from the front of buf, returning the tensor
 // and the remaining bytes.
 func Decode(buf []byte) (*Tensor, []byte, error) {
+	return DecodeInto(nil, buf)
+}
+
+// DecodeInto parses one tensor from the front of buf into dst, reusing
+// dst's storage when its capacity suffices (dst may be nil, in which
+// case a fresh tensor is allocated — Decode is exactly DecodeInto(nil,
+// buf)). It returns the decoded tensor (dst when storage was reused)
+// and the remaining bytes. The returned tensor never aliases buf, so
+// the caller may recycle the payload buffer immediately after decode.
+func DecodeInto(dst *Tensor, buf []byte) (*Tensor, []byte, error) {
 	if len(buf) < 1 {
 		return nil, nil, fmt.Errorf("%w: empty buffer", ErrCorrupt)
 	}
@@ -68,26 +136,33 @@ func Decode(buf []byte) (*Tensor, []byte, error) {
 	if len(buf) < 4*rank {
 		return nil, nil, fmt.Errorf("%w: truncated shape (rank %d)", ErrCorrupt, rank)
 	}
-	shape := make([]int, rank)
 	vol := 1
-	for i := range shape {
+	for i := 0; i < rank; i++ {
 		d := int(binary.LittleEndian.Uint32(buf[4*i:]))
 		if d <= 0 {
 			return nil, nil, fmt.Errorf("%w: non-positive dimension %d", ErrCorrupt, d)
 		}
-		shape[i] = d
 		vol *= d
 		if vol > maxDecodeElems {
 			return nil, nil, fmt.Errorf("%w: volume exceeds decoder cap", ErrCorrupt)
 		}
 	}
+	if len(buf) < 4*rank+4*vol {
+		return nil, nil, fmt.Errorf("%w: truncated data (want %d floats, have %d bytes)", ErrCorrupt, vol, len(buf)-4*rank)
+	}
+	if dst == nil {
+		dst = &Tensor{}
+	}
+	dst.shape = dst.shape[:0]
+	for i := 0; i < rank; i++ {
+		dst.shape = append(dst.shape, int(binary.LittleEndian.Uint32(buf[4*i:])))
+	}
 	buf = buf[4*rank:]
-	if len(buf) < 4*vol {
-		return nil, nil, fmt.Errorf("%w: truncated data (want %d floats, have %d bytes)", ErrCorrupt, vol, len(buf))
+	if cap(dst.data) >= vol {
+		dst.data = dst.data[:vol]
+	} else {
+		dst.data = make([]float32, vol)
 	}
-	data := make([]float32, vol)
-	for i := range data {
-		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
-	}
-	return &Tensor{shape: shape, data: data}, buf[4*vol:], nil
+	getFloats(dst.data, buf[:4*vol])
+	return dst, buf[4*vol:], nil
 }

@@ -42,6 +42,17 @@ type AsyncOptions struct {
 // without touching the inner connection; Abort releases queue-blocked
 // callers on error paths without closing anything.
 //
+// Buffer recycling: the wrapper moves messages by reference and never
+// copies payloads, so the Conn ownership rules pass straight through —
+// a payload given to Send stays untouched in the send queue until the
+// writer goroutine delivers it to the inner connection (the sender must
+// not recycle it, even after Send returns), and a payload surfacing
+// from Recv was drawn from wire.Buffers by the inner transport's reader
+// (the consumer releases it after decode, which is when it re-enters
+// the pool). Messages dropped on the floor by Abort/Close are simply
+// garbage collected; the pool never sees them, so teardown cannot
+// poison it with buffers a goroutine still references.
+//
 // A single goroutine must own Send/Stop and a single goroutine must own
 // Recv, mirroring the Conn contract.
 type AsyncConn struct {

@@ -16,6 +16,13 @@ import (
 // Channels are unbuffered: a Send completes only when the peer receives
 // it, which mirrors the strict request/response rhythm of the split
 // protocol and means no message can be silently lost at Close.
+//
+// Because delivery is by reference, the Conn ownership rules are
+// load-bearing here: the receiver gets the sender's payload bytes, so a
+// sender that kept writing into a sent buffer would corrupt the peer.
+// The flip side is that when the receiver releases a decoded payload to
+// wire.Buffers, the very same buffer becomes available to the sender's
+// next encode — in-process rounds recycle one buffer set endlessly.
 func Pipe() (Conn, Conn) {
 	ab := make(chan *wire.Message)
 	ba := make(chan *wire.Message)

@@ -56,7 +56,11 @@ func (c *tcpConn) Send(m *wire.Message) error {
 }
 
 func (c *tcpConn) Recv() (*wire.Message, error) {
-	m, _, err := wire.Read(c.br)
+	// Payloads come from the shared buffer pool: the protocol loop that
+	// consumes the message releases them after decode (see the ownership
+	// rules on wire.BufferPool), so steady-state receiving allocates
+	// nothing but the message struct.
+	m, _, err := wire.ReadPooled(c.br, &wire.Buffers)
 	return m, err
 }
 

@@ -20,6 +20,16 @@ var ErrClosed = errors.New("transport: connection closed")
 // Conn is a bidirectional, ordered message stream. Send and Recv may be
 // called from different goroutines; neither may be called concurrently
 // with itself.
+//
+// Payload ownership: a message handed to Send belongs to the connection
+// (and, transitively, to the peer — the in-process pipe transport
+// delivers the same bytes by reference, and an async wrapper may still
+// be queueing them) from the moment Send is called; the caller must not
+// mutate, reuse or pool the payload afterwards. A message returned by
+// Recv belongs to the caller, which may recycle the payload through
+// wire.Buffers once decoded. This is what lets both transports run the
+// steady-state round loop without payload allocations: senders draw
+// encode buffers from the pool, receivers release them after decode.
 type Conn interface {
 	Send(m *wire.Message) error
 	Recv() (*wire.Message, error)

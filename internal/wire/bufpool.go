@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// BufferPool recycles payload byte buffers through power-of-two size
+// classes, each backed by a sync.Pool. The split protocol encodes the
+// same handful of payload sizes every round, so routing payloads
+// through a pool turns per-message allocations into constant-space
+// buffer reuse.
+//
+// Ownership protocol (see also the transport package):
+//
+//   - A sender draws a buffer with Get, fills it (EncodeTensorsInto and
+//     friends append into it) and hands it to Conn.Send as the message
+//     payload. From that point the payload belongs to the receiving
+//     side: the in-process pipe transport delivers the very same bytes
+//     by reference, so the sender must not touch or re-Put the buffer
+//     after Send.
+//   - A receiver that has fully consumed a payload (decoded it into
+//     tensors that do not alias the buffer) releases it with Put —
+//     typically via ReleasePayload. Releasing is optional: a payload
+//     that is never Put is simply garbage collected, so partial
+//     adoption is safe.
+//   - A payload shared across several Send calls (a broadcast) must not
+//     be released by its receivers: each receiver would Put the same
+//     backing array, and two later Gets would alias. Only payloads with
+//     exactly one receiver go back to the pool; in this repo that is
+//     the four per-connection training messages.
+//
+// The zero value is ready to use. All methods are safe for concurrent
+// use; a Put/Get pair synchronizes through the sync.Pool, so handing a
+// buffer from one goroutine to another through the pool is race-free.
+type BufferPool struct {
+	classes [32]sync.Pool
+	// boxes recycles the *[]byte wrappers the class pools store, so Put
+	// does not allocate a fresh box per call (a bare []byte stored in a
+	// sync.Pool would escape into a new interface box every time).
+	boxes sync.Pool
+}
+
+// Buffers is the process-wide payload pool. The transports and the core
+// protocol loops share it, so a buffer released by a pipe receiver is
+// immediately reusable by the sender that originally drew it.
+var Buffers BufferPool
+
+// bufClass returns the bucket index for an n-byte buffer: the smallest
+// power of two >= n.
+func bufClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns an empty buffer (len 0) with capacity at least n, reusing
+// pooled storage when available. Append into it and pass the result to
+// Put when done.
+func (p *BufferPool) Get(n int) []byte {
+	cls := bufClass(n)
+	if b, ok := p.classes[cls].Get().(*[]byte); ok && cap(*b) >= n {
+		buf := (*b)[:0]
+		*b = nil
+		p.boxes.Put(b)
+		return buf
+	}
+	return make([]byte, 0, 1<<cls)
+}
+
+// Put returns buf's storage to the pool. buf must not be used
+// afterwards. Buffers with non-power-of-two capacity (not produced by
+// Get) are dropped rather than pooled, so Put is safe to call on any
+// payload.
+func (p *BufferPool) Put(buf []byte) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	b, _ := p.boxes.Get().(*[]byte)
+	if b == nil {
+		b = new([]byte)
+	}
+	*b = buf[:0]
+	p.classes[bufClass(c)].Put(b)
+}
+
+// ReleasePayload returns m's payload to the pool. Call it only as the
+// payload's sole receiver, after decoding; the message must not be read
+// for payload *contents* afterwards. The message struct itself is left
+// untouched — over the in-process pipe transport it is shared with the
+// sender, whose metering still reads the payload length after delivery,
+// so detaching the slice here would race.
+func ReleasePayload(p *BufferPool, m *Message) {
+	if m == nil || m.Payload == nil {
+		return
+	}
+	p.Put(m.Payload)
+}

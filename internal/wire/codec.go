@@ -24,11 +24,53 @@ type Codec interface {
 	DecodeTensors(buf []byte) ([]*tensor.Tensor, error)
 }
 
+// ReusableCodec is the buffer-reusing superset of Codec that every
+// codec in this repo implements. Steady-state protocol loops use it so
+// a round performs zero payload and tensor allocations:
+//
+//   - EncodeTensorsInto appends the payload to a caller-owned buffer
+//     (typically drawn from a BufferPool) instead of allocating one.
+//   - DecodeTensorsInto decodes into caller-owned tensors position by
+//     position, reusing their storage when shapes repeat across rounds.
+//     Decoded tensors never alias the payload buffer, so the caller may
+//     recycle it immediately after decode.
+//
+// Codec remains the minimal interface third-party codecs implement;
+// EncodeInto/DecodeInto fall back to the allocating methods when the
+// codec does not satisfy ReusableCodec.
+type ReusableCodec interface {
+	Codec
+	// EncodeTensorsInto appends the payload for ts to buf and returns
+	// the extended slice.
+	EncodeTensorsInto(buf []byte, ts ...*tensor.Tensor) []byte
+	// DecodeTensorsInto unpacks a payload, reusing dst's tensors (and
+	// the slice itself) when capacities suffice. dst may be nil.
+	DecodeTensorsInto(dst []*tensor.Tensor, buf []byte) ([]*tensor.Tensor, error)
+}
+
+// EncodeInto encodes through c's buffer-reusing path when available and
+// falls back to the allocating path otherwise.
+func EncodeInto(c Codec, buf []byte, ts ...*tensor.Tensor) []byte {
+	if rc, ok := c.(ReusableCodec); ok {
+		return rc.EncodeTensorsInto(buf, ts...)
+	}
+	return append(buf, c.EncodeTensors(ts...)...)
+}
+
+// DecodeInto decodes through c's tensor-reusing path when available and
+// falls back to the allocating path otherwise.
+func DecodeInto(c Codec, dst []*tensor.Tensor, buf []byte) ([]*tensor.Tensor, error) {
+	if rc, ok := c.(ReusableCodec); ok {
+		return rc.DecodeTensorsInto(dst, buf)
+	}
+	return c.DecodeTensors(buf)
+}
+
 // RawCodec is the exact float32 codec (the paper's implicit choice).
 // Its payloads are identical to EncodeTensors/DecodeTensors.
 type RawCodec struct{}
 
-var _ Codec = RawCodec{}
+var _ ReusableCodec = RawCodec{}
 
 // Name returns "raw".
 func (RawCodec) Name() string { return "raw" }
@@ -36,9 +78,19 @@ func (RawCodec) Name() string { return "raw" }
 // EncodeTensors packs exact float32 tensors.
 func (RawCodec) EncodeTensors(ts ...*tensor.Tensor) []byte { return EncodeTensors(ts...) }
 
+// EncodeTensorsInto packs exact float32 tensors into buf.
+func (RawCodec) EncodeTensorsInto(buf []byte, ts ...*tensor.Tensor) []byte {
+	return EncodeTensorsInto(buf, ts...)
+}
+
 // DecodeTensors unpacks exact float32 tensors.
 func (RawCodec) DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
-	ts, err := DecodeTensors(buf)
+	return RawCodec{}.DecodeTensorsInto(nil, buf)
+}
+
+// DecodeTensorsInto unpacks exact float32 tensors, reusing dst.
+func (RawCodec) DecodeTensorsInto(dst []*tensor.Tensor, buf []byte) ([]*tensor.Tensor, error) {
+	ts, err := DecodeTensorsInto(dst, buf)
 	if err != nil {
 		return nil, fmt.Errorf("wire: raw codec: %w", err)
 	}

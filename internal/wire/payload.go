@@ -11,7 +11,9 @@ import (
 // Payload helpers. The split protocol moves tensors (activations and
 // gradients) and, in the label-sharing ablation, integer label vectors.
 // Payloads are self-describing: a one-byte kind, a count, then the
-// items.
+// items. Tensor payloads carry a uint16 count — the original one-byte
+// count silently truncated len(ts) above 255, which an L1 sync of a
+// deep front model can exceed.
 
 // payload kinds.
 const (
@@ -20,17 +22,39 @@ const (
 	payloadText    byte = 3
 )
 
+// tensorsHeaderSize is the tensor payload prefix: kind byte + uint16
+// tensor count.
+const tensorsHeaderSize = 3
+
+// MaxTensorsPerPayload is the largest tensor count one payload encodes.
+const MaxTensorsPerPayload = 1<<16 - 1
+
 // ErrBadPayload is returned when a payload cannot be decoded.
 var ErrBadPayload = errors.New("wire: bad payload")
 
-// EncodeTensors packs tensors into a payload.
+// EncodeTensors packs tensors into a freshly allocated payload.
+// Steady-state paths should prefer EncodeTensorsInto with a pooled
+// buffer (see BufferPool).
 func EncodeTensors(ts ...*tensor.Tensor) []byte {
-	size := 2
+	size := tensorsHeaderSize
 	for _, t := range ts {
 		size += t.EncodedSize()
 	}
-	buf := make([]byte, 0, size)
-	buf = append(buf, payloadTensors, byte(len(ts)))
+	return EncodeTensorsInto(make([]byte, 0, size), ts...)
+}
+
+// EncodeTensorsInto appends the tensor payload to buf and returns the
+// extended slice, growing it only when capacity is short. It panics
+// when more than MaxTensorsPerPayload tensors are passed — silently
+// truncating the count would desynchronize the two protocol ends.
+func EncodeTensorsInto(buf []byte, ts ...*tensor.Tensor) []byte {
+	if len(ts) > MaxTensorsPerPayload {
+		panic(fmt.Sprintf("wire: %d tensors exceed the payload maximum %d", len(ts), MaxTensorsPerPayload))
+	}
+	var hdr [tensorsHeaderSize]byte
+	hdr[0] = payloadTensors
+	binary.LittleEndian.PutUint16(hdr[1:], uint16(len(ts)))
+	buf = append(buf, hdr[:]...)
 	for _, t := range ts {
 		buf = t.AppendTo(buf)
 	}
@@ -40,27 +64,42 @@ func EncodeTensors(ts ...*tensor.Tensor) []byte {
 // TensorsPayloadSize returns the payload size EncodeTensors would
 // produce for tensors of the given shapes.
 func TensorsPayloadSize(shapes ...[]int) int {
-	size := 2
+	size := tensorsHeaderSize
 	for _, s := range shapes {
 		size += tensor.EncodedSizeFor(s...)
 	}
 	return size
 }
 
-// DecodeTensors unpacks a payload built by EncodeTensors.
+// DecodeTensors unpacks a payload built by EncodeTensors into freshly
+// allocated tensors.
 func DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
-	if len(buf) < 2 || buf[0] != payloadTensors {
+	return DecodeTensorsInto(nil, buf)
+}
+
+// DecodeTensorsInto unpacks a payload built by EncodeTensors, reusing
+// the tensors (and the slice) of dst position by position: dst[i]'s
+// storage backs the i-th decoded tensor when its capacity suffices.
+// dst may be nil or shorter than the payload's count; missing positions
+// allocate. The returned slice is dst (possibly grown) truncated to the
+// decoded count, and never aliases buf — the caller may recycle the
+// payload buffer as soon as DecodeTensorsInto returns.
+func DecodeTensorsInto(dst []*tensor.Tensor, buf []byte) ([]*tensor.Tensor, error) {
+	if len(buf) < tensorsHeaderSize || buf[0] != payloadTensors {
 		return nil, fmt.Errorf("%w: not a tensor payload", ErrBadPayload)
 	}
-	n := int(buf[1])
-	buf = buf[2:]
-	out := make([]*tensor.Tensor, 0, n)
+	n := int(binary.LittleEndian.Uint16(buf[1:]))
+	buf = buf[tensorsHeaderSize:]
+	for len(dst) < n {
+		dst = append(dst, nil)
+	}
+	out := dst[:n]
 	for i := 0; i < n; i++ {
-		t, rest, err := tensor.Decode(buf)
+		t, rest, err := tensor.DecodeInto(out[i], buf)
 		if err != nil {
 			return nil, fmt.Errorf("%w: tensor %d: %v", ErrBadPayload, i, err)
 		}
-		out = append(out, t)
+		out[i] = t
 		buf = rest
 	}
 	if len(buf) != 0 {
@@ -71,9 +110,14 @@ func DecodeTensors(buf []byte) ([]*tensor.Tensor, error) {
 
 // EncodeLabels packs a label vector into a payload.
 func EncodeLabels(labels []int) []byte {
-	buf := make([]byte, 0, 5+4*len(labels))
-	buf = append(buf, payloadLabels)
+	return EncodeLabelsInto(make([]byte, 0, 5+4*len(labels)), labels)
+}
+
+// EncodeLabelsInto appends a label payload to buf and returns the
+// extended slice.
+func EncodeLabelsInto(buf []byte, labels []int) []byte {
 	var tmp [4]byte
+	buf = append(buf, payloadLabels)
 	binary.LittleEndian.PutUint32(tmp[:], uint32(len(labels)))
 	buf = append(buf, tmp[:]...)
 	for _, lab := range labels {
@@ -85,6 +129,12 @@ func EncodeLabels(labels []int) []byte {
 
 // DecodeLabels unpacks a payload built by EncodeLabels.
 func DecodeLabels(buf []byte) ([]int, error) {
+	return DecodeLabelsInto(nil, buf)
+}
+
+// DecodeLabelsInto unpacks a label payload, reusing dst's storage when
+// its capacity suffices. The result never aliases buf.
+func DecodeLabelsInto(dst []int, buf []byte) ([]int, error) {
 	if len(buf) < 5 || buf[0] != payloadLabels {
 		return nil, fmt.Errorf("%w: not a label payload", ErrBadPayload)
 	}
@@ -93,11 +143,15 @@ func DecodeLabels(buf []byte) ([]int, error) {
 	if len(buf) != 4*n {
 		return nil, fmt.Errorf("%w: %d bytes for %d labels", ErrBadPayload, len(buf), n)
 	}
-	out := make([]int, n)
-	for i := range out {
-		out[i] = int(int32(binary.LittleEndian.Uint32(buf[4*i:])))
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]int, n)
 	}
-	return out, nil
+	for i := range dst {
+		dst[i] = int(int32(binary.LittleEndian.Uint32(buf[4*i:])))
+	}
+	return dst, nil
 }
 
 // EncodeText packs a short string (error messages, hello metadata).

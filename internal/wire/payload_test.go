@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+)
+
+// TestWideTensorCount: the uint16 count encoding must round-trip
+// payloads with more than 255 tensors — the original one-byte count
+// silently truncated them (300 tensors decoded as 44).
+func TestWideTensorCount(t *testing.T) {
+	ts := make([]*tensor.Tensor, 300)
+	for i := range ts {
+		ts[i] = tensor.Full(float32(i), 2)
+	}
+	got, err := DecodeTensors(EncodeTensors(ts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("decoded %d tensors, want 300", len(got))
+	}
+	if got[299].At(0) != 299 {
+		t.Fatalf("tensor 299 decoded as %v", got[299].At(0))
+	}
+}
+
+// TestEncodeTensorsRejectsOverflow: counts the format cannot represent
+// must panic instead of truncating.
+func TestEncodeTensorsRejectsOverflow(t *testing.T) {
+	scalar := tensor.New()
+	ts := make([]*tensor.Tensor, MaxTensorsPerPayload+1)
+	for i := range ts {
+		ts[i] = scalar
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeTensors accepted an untruncatable count")
+		}
+	}()
+	EncodeTensors(ts...)
+}
+
+// TestDecodeTensorsCorruptInputs: table-driven malformed payloads. Every
+// case must fail cleanly with ErrBadPayload — never panic, never
+// silently succeed.
+func TestDecodeTensorsCorruptInputs(t *testing.T) {
+	r := rng.New(9)
+	x := tensor.New(3, 5)
+	x.FillNormal(r, 0, 1)
+	good := EncodeTensors(x, x)
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"kind only", []byte{1}},
+		{"wrong kind", append([]byte{9}, good[1:]...)},
+		{"count only", good[:3]},
+		{"truncated mid-shape", good[:5]},
+		{"truncated mid-data", good[:len(good)/2]},
+		{"one byte short", good[:len(good)-1]},
+		{"overlong", append(append([]byte{}, good...), 0xEE)},
+		{"count larger than tensors", func() []byte {
+			b := append([]byte{}, good...)
+			b[1] = 3 // claims 3 tensors, carries 2
+			return b
+		}()},
+		{"count smaller than tensors", func() []byte {
+			b := append([]byte{}, good...)
+			b[1] = 1 // claims 1 tensor, carries 2 -> trailing bytes
+			return b
+		}()},
+		{"zero dimension", func() []byte {
+			b := append([]byte{}, good...)
+			b[4] = 0 // first dim of first shape
+			return b
+		}()},
+		{"hostile volume", func() []byte {
+			b := append([]byte{}, good...)
+			// First tensor claims [0xffffffff, 5]: volume overflows cap.
+			b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeTensors(tc.buf); !errors.Is(err, ErrBadPayload) {
+				t.Fatalf("err = %v, want ErrBadPayload", err)
+			}
+		})
+	}
+}
+
+// TestDecodeTensorsIntoReuse: same-shape payloads must decode into the
+// previous tensors' storage without reallocating, and the decoded
+// tensors must never alias the payload.
+func TestDecodeTensorsIntoReuse(t *testing.T) {
+	r := rng.New(10)
+	a := tensor.New(4, 6)
+	a.FillNormal(r, 0, 1)
+	payload := EncodeTensors(a)
+	dst, err := DecodeTensorsInto(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := &dst[0].Data()[0]
+	// Corrupting the payload after decode must not affect the tensors:
+	// the last payload byte backs the last element's high bits.
+	saved := dst[0].At(3, 5)
+	payload[len(payload)-1] ^= 0xff
+	if dst[0].At(3, 5) != saved {
+		t.Fatal("decoded tensor aliases the payload buffer")
+	}
+	payload[len(payload)-1] ^= 0xff
+	dst2, err := DecodeTensorsInto(dst, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dst2[0].Data()[0] != before {
+		t.Fatal("same-shape decode reallocated storage")
+	}
+	if !tensor.AllClose(dst2[0], a, 0) {
+		t.Fatal("reused decode lost values")
+	}
+}
+
+// TestBufferPoolRecycles: a released buffer must come back from the
+// next suitably-sized Get, and oddly-sized buffers must be dropped.
+func TestBufferPoolRecycles(t *testing.T) {
+	var p BufferPool
+	buf := p.Get(1000)
+	if len(buf) != 0 || cap(buf) < 1000 {
+		t.Fatalf("Get(1000): len %d cap %d", len(buf), cap(buf))
+	}
+	buf = append(buf, make([]byte, 700)...)
+	first := &buf[:cap(buf)][0]
+	p.Put(buf)
+	again := p.Get(900)
+	if cap(again) < 900 {
+		t.Fatalf("recycled Get(900) cap %d", cap(again))
+	}
+	if &again[:cap(again)][0] != first {
+		t.Fatal("Get did not recycle the released buffer")
+	}
+	// Non-power-of-two capacities are dropped, not pooled.
+	p.Put(make([]byte, 0, 1000))
+	odd := p.Get(1000)
+	if cap(odd) == 1000 {
+		t.Fatal("pooled a non-power-of-two buffer")
+	}
+	// ReleasePayload tolerates nil messages and payloads.
+	ReleasePayload(&p, nil)
+	ReleasePayload(&p, &Message{Type: MsgAck})
+}
+
+// TestReadPooled: frames read through a pool must carry the exact
+// payload and recycle through the pool after release.
+func TestReadPooled(t *testing.T) {
+	var p BufferPool
+	m := &Message{Type: MsgActivations, Platform: 2, Round: 7, Payload: []byte{1, 2, 3, 4, 5}}
+	var stream bytes.Buffer
+	if _, err := m.Write(&stream); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := ReadPooled(&stream, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != m.WireSize() || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("ReadPooled mismatch: %d bytes, payload %v", n, got.Payload)
+	}
+	if c := cap(got.Payload); c&(c-1) != 0 {
+		t.Fatalf("pooled payload capacity %d not a power of two", c)
+	}
+	ReleasePayload(&p, got)
+	if buf := p.Get(5); cap(buf) < 5 {
+		t.Fatal("released payload did not return to the pool")
+	}
+}
+
+// FuzzDecodeTensors hammers the payload decoder with arbitrary bytes:
+// it must never panic or allocate unboundedly, and everything it
+// accepts must re-encode to a payload that decodes to the same tensors.
+func FuzzDecodeTensors(f *testing.F) {
+	r := rng.New(11)
+	x := tensor.New(2, 3)
+	x.FillNormal(r, 0, 1)
+	f.Add(EncodeTensors(x))
+	f.Add(EncodeTensors())
+	f.Add([]byte{payloadTensors, 1, 0, 1, 0, 0, 0, 0})
+	f.Add([]byte{payloadTensors, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := DecodeTensors(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeTensors(EncodeTensors(ts...))
+		if err != nil {
+			t.Fatalf("re-encoded payload failed to decode: %v", err)
+		}
+		if len(back) != len(ts) {
+			t.Fatalf("%d tensors became %d after round trip", len(ts), len(back))
+		}
+		for i := range ts {
+			if !tensor.SameShape(ts[i], back[i]) {
+				t.Fatalf("tensor %d changed shape", i)
+			}
+		}
+	})
+}

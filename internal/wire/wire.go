@@ -90,8 +90,12 @@ type Message struct {
 
 // Framing constants.
 const (
-	magic   uint16 = 0x5D17 // "SplIT"
-	version uint8  = 1
+	magic uint16 = 0x5D17 // "SplIT"
+	// version 2: tensor payload counts widened from one byte to uint16
+	// (the old encoding silently truncated counts above 255). The bump
+	// makes old/new binaries fail fast with ErrBadVersion at the first
+	// frame instead of misdecoding payload headers mid-training.
+	version uint8 = 2
 
 	// headerSize: magic(2) + version(1) + type(1) + platform(4) +
 	// round(4) + payloadLen(4) + crc(4).
@@ -147,8 +151,21 @@ func (m *Message) Write(w io.Writer) (int, error) {
 }
 
 // Read parses one frame from r, returning the message and the bytes
-// consumed.
+// consumed. The payload is freshly allocated; transports on the
+// steady-state round path use ReadPooled instead.
 func Read(r io.Reader) (*Message, int, error) {
+	return readFrame(r, nil)
+}
+
+// ReadPooled parses one frame from r, drawing the payload buffer from
+// pool. The caller (or whoever it hands the message to) owns the
+// payload and should release it with ReleasePayload once decoded, which
+// is what makes the receive path allocation-free in steady state.
+func ReadPooled(r io.Reader, pool *BufferPool) (*Message, int, error) {
+	return readFrame(r, pool)
+}
+
+func readFrame(r io.Reader, pool *BufferPool) (*Message, int, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		// Propagate EOF unwrapped so callers can detect clean shutdown.
@@ -177,7 +194,11 @@ func Read(r io.Reader) (*Message, int, error) {
 		Round:    binary.LittleEndian.Uint32(hdr[8:]),
 	}
 	if plen > 0 {
-		m.Payload = make([]byte, plen)
+		if pool != nil {
+			m.Payload = pool.Get(int(plen))[:plen]
+		} else {
+			m.Payload = make([]byte, plen)
+		}
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
 			return nil, headerSize, fmt.Errorf("wire: reading payload: %w", err)
 		}
