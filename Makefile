@@ -13,7 +13,7 @@ BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm
 # parallel tensor kernels.
 RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/syncsgd/... ./internal/tensor/...
 
-.PHONY: test bench bench-save bench-smoke race vet fmt-check ci
+.PHONY: test bench bench-save bench-smoke fuzz-smoke cover vuln race vet fmt-check ci
 
 test:
 	$(GO) build ./...
@@ -31,8 +31,30 @@ fmt-check:
 		echo "files need gofmt:"; echo "$$out"; exit 1; \
 	fi
 
-# The CI gate, job for job: lint, build+test, race, bench smoke.
-ci: fmt-check test race bench-smoke
+# Short coverage-guided runs of the binary decoders that face untrusted
+# bytes: the tensor payload decoder (wire) and the session snapshot
+# decoder (core). Mirrors CI's fuzz-smoke job; seconds per target keeps
+# the gate fast while still shaking out fresh panics.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz 'FuzzDecodeTensors' -fuzztime 10s ./internal/wire/
+	$(GO) test -run NONE -fuzz 'FuzzDecodeSnapshot' -fuzztime 10s ./internal/core/
+	@echo fuzz-smoke ok
+
+# Coverage summary for the engine core (the session/checkpoint/recovery
+# refactor's home) plus its wire and transport substrate.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/wire/ ./internal/transport/
+	@$(GO) tool cover -func=cover.out | grep -E '^total|session.go|checkpoint.go|recovery.go' | tail -20
+	@echo "full per-function report: $(GO) tool cover -func=cover.out"
+
+# Known-vulnerability scan (runs in CI's lint job; needs network to
+# install the scanner the first time).
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
+
+# The CI gate, job for job: lint, build+test, race, bench smoke, fuzz
+# smoke. govulncheck is CI-only (network).
+ci: fmt-check test race bench-smoke fuzz-smoke
 
 # Human-readable benchmark sweep of the tensor engine, codecs and
 # training path.

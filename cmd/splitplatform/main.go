@@ -8,12 +8,23 @@
 // assignment are derived deterministically from the shared seed, so
 // every process independently computes the same shards. Exactly one
 // platform should pass -evaluator when -evalevery is non-zero.
+//
+// Long runs survive interruptions: -checkpoint-dir/-checkpoint-every
+// write session snapshots at round boundaries (plus a last-boundary
+// snapshot if the session dies mid-round), SIGINT/SIGTERM triggers a
+// final checkpoint and a clean exit, -resume continues from a snapshot
+// directory, and -rejoin-window lets the platform redial and rejoin a
+// recovery-enabled server after a connection drop.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"medsplit/internal/compress"
 	"medsplit/internal/core"
@@ -45,8 +56,12 @@ func main() {
 		evalEvery = flag.Int("evalevery", 10, "eval every N rounds (must match server)")
 		evaluator = flag.Bool("evaluator", false, "this platform measures test accuracy")
 		codec     = flag.String("codec", "raw", "activation codec: raw, f16, int8, topk-<frac> (must match server)")
-		loadPath  = flag.String("load", "", "restore the L1 half from a checkpoint before training")
-		savePath  = flag.String("save", "", "write the L1 half to a checkpoint after training")
+		loadPath  = flag.String("load", "", "restore the L1 half from a weights-only checkpoint before training")
+		savePath  = flag.String("save", "", "write the L1 half to a weights-only checkpoint after training")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for session snapshots (full resumable state)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "write a session snapshot every N rounds (requires -checkpoint-dir)")
+		resumeDir = flag.String("resume", "", "resume the session from the snapshots in this directory")
+		rejoinWin = flag.Duration("rejoin-window", 0, "redial and rejoin for this long after a connection drop (0 = off)")
 	)
 	flag.Parse()
 
@@ -63,17 +78,42 @@ func main() {
 		Alpha:        *alpha,
 		Seed:         *seed,
 	}
-	if err := run(cfg, *addr, *id, *rounds, float32(*lr), *l1sync, *evalEvery, *evaluator, *codec, *loadPath, *savePath); err != nil {
+	err := run(cfg, platformOpts{
+		addr: *addr, id: *id, rounds: *rounds, lr: float32(*lr),
+		l1sync: *l1sync, evalEvery: *evalEvery, evaluator: *evaluator,
+		codec: *codec, loadPath: *loadPath, savePath: *savePath,
+		ckptDir: *ckptDir, ckptEvery: *ckptEvery, resumeDir: *resumeDir,
+		rejoinWindow: *rejoinWin,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrStopped) {
+			fmt.Printf("splitplatform %d: stopped gracefully: %v\n", *id, err)
+			return
+		}
 		fmt.Fprintln(os.Stderr, "splitplatform:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg experiment.Config, addr string, id, rounds int, lr float32, l1sync, evalEvery int, evaluator bool, codecName, loadPath, savePath string) error {
-	if id < 0 || id >= cfg.Platforms {
-		return fmt.Errorf("platform id %d out of range [0,%d)", id, cfg.Platforms)
+type platformOpts struct {
+	addr               string
+	id, rounds         int
+	lr                 float32
+	l1sync, evalEvery  int
+	evaluator          bool
+	codec              string
+	loadPath, savePath string
+	ckptDir            string
+	ckptEvery          int
+	resumeDir          string
+	rejoinWindow       time.Duration
+}
+
+func run(cfg experiment.Config, o platformOpts) error {
+	if o.id < 0 || o.id >= cfg.Platforms {
+		return fmt.Errorf("platform id %d out of range [0,%d)", o.id, cfg.Platforms)
 	}
-	codec, err := compress.ByName(codecName)
+	codec, err := compress.ByName(o.codec)
 	if err != nil {
 		return err
 	}
@@ -89,11 +129,21 @@ func run(cfg experiment.Config, addr string, id, rounds int, lr float32, l1sync,
 	if err != nil {
 		return err
 	}
-	if loadPath != "" {
-		if err := nn.LoadCheckpointFile(loadPath, front.Params(), nn.CollectState(front)); err != nil {
+	if o.loadPath != "" {
+		if err := nn.LoadCheckpointFile(o.loadPath, front.Params(), nn.CollectState(front)); err != nil {
 			return err
 		}
-		fmt.Printf("splitplatform %d: restored L1 from %s\n", id, loadPath)
+		fmt.Printf("splitplatform %d: restored L1 from %s\n", o.id, o.loadPath)
+	}
+	startRound := 0
+	var snap *core.Snapshot
+	if o.resumeDir != "" {
+		snap, err = core.LoadLatestSnapshot(o.resumeDir, core.RolePlatform, o.id)
+		if err != nil {
+			return err
+		}
+		startRound = snap.NextRound
+		fmt.Printf("splitplatform %d: resuming at round %d from %s\n", o.id, startRound, o.resumeDir)
 	}
 	// A second front instance lets the platform overlap its L1 backward
 	// with the next batch's forward when the server advertises pipelined
@@ -111,53 +161,84 @@ func run(cfg experiment.Config, addr string, id, rounds int, lr float32, l1sync,
 
 	meter := &transport.Meter{}
 	pc := core.PlatformConfig{
-		ID:          id,
-		Front:       front,
-		ShadowFront: shadow,
-		Opt:         &nn.SGD{LR: lr},
-		Loss:        nn.SoftmaxCrossEntropy{},
-		Shard:       shards[id],
-		Batch:       batches[id],
-		Rounds:      rounds,
-		ClipGrads:   5,
-		L1SyncEvery: l1sync,
-		EvalEvery:   evalEvery,
-		Seed:        cfg.Seed + uint64(1000+id),
-		Codec:       codec,
-		Meter:       meter,
+		ID:              o.id,
+		Front:           front,
+		ShadowFront:     shadow,
+		Opt:             &nn.SGD{LR: o.lr},
+		Loss:            nn.SoftmaxCrossEntropy{},
+		Shard:           shards[o.id],
+		Batch:           batches[o.id],
+		Rounds:          o.rounds,
+		StartRound:      startRound,
+		ClipGrads:       5,
+		L1SyncEvery:     o.l1sync,
+		EvalEvery:       o.evalEvery,
+		CheckpointEvery: o.ckptEvery,
+		CheckpointDir:   o.ckptDir,
+		Seed:            cfg.Seed + uint64(1000+o.id),
+		Codec:           codec,
+		Meter:           meter,
 	}
-	if evaluator {
+	if o.evaluator {
 		pc.EvalData = test
+	}
+	if o.rejoinWindow > 0 {
+		pc.RejoinWindow = o.rejoinWindow
+		pc.Redial = func() (transport.Conn, error) {
+			c, err := transport.Dial(o.addr)
+			if err != nil {
+				return nil, err
+			}
+			return transport.Metered(c, meter), nil
+		}
 	}
 	plat, err := core.NewPlatform(pc)
 	if err != nil {
 		return err
 	}
+	if snap != nil {
+		if err := plat.RestoreSnapshot(snap); err != nil {
+			return err
+		}
+	}
 
-	conn, err := transport.Dial(addr)
+	conn, err := transport.Dial(o.addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
 	fmt.Printf("splitplatform %d: %d local samples, batch %d, connected to %s\n",
-		id, shards[id].Len(), batches[id], addr)
+		o.id, shards[o.id].Len(), batches[o.id], o.addr)
+
+	// First SIGINT/SIGTERM: finish the round, write a final checkpoint,
+	// close cleanly. Second signal: exit immediately.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		fmt.Printf("splitplatform %d: signal received; stopping at the next round boundary (repeat to force quit)\n", o.id)
+		plat.Stop()
+		<-sigCh
+		os.Exit(1)
+	}()
 
 	stats, err := plat.Run(transport.Metered(conn, meter))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("splitplatform %d: %d rounds, final loss %.4f, training traffic %s\n",
-		id, len(stats.Rounds), stats.FinalLoss(), metrics.FormatBytes(core.TrainingBytes(meter)))
+		o.id, len(stats.Rounds), stats.FinalLoss(), metrics.FormatBytes(core.TrainingBytes(meter)))
 	for _, ev := range stats.Evals {
 		if ev.Accuracy >= 0 {
-			fmt.Printf("splitplatform %d: round %d test accuracy %.1f%%\n", id, ev.Round, 100*ev.Accuracy)
+			fmt.Printf("splitplatform %d: round %d test accuracy %.1f%%\n", o.id, ev.Round, 100*ev.Accuracy)
 		}
 	}
-	if savePath != "" {
-		if err := nn.SaveCheckpointFile(savePath, front.Params(), nn.CollectState(front)); err != nil {
+	if o.savePath != "" {
+		if err := nn.SaveCheckpointFile(o.savePath, front.Params(), nn.CollectState(front)); err != nil {
 			return err
 		}
-		fmt.Printf("splitplatform %d: saved L1 to %s\n", id, savePath)
+		fmt.Printf("splitplatform %d: saved L1 to %s\n", o.id, o.savePath)
 	}
 	return nil
 }

@@ -11,12 +11,23 @@
 //	splitserver   -addr :7700 -platforms 2 -rounds 40
 //	splitplatform -addr 127.0.0.1:7700 -id 0 -platforms 2 -rounds 40 -evaluator
 //	splitplatform -addr 127.0.0.1:7700 -id 1 -platforms 2 -rounds 40
+//
+// Long runs survive interruptions: -checkpoint-dir/-checkpoint-every
+// write session snapshots at round boundaries, SIGINT/SIGTERM triggers
+// a final checkpoint and a clean exit, and -resume continues from a
+// snapshot directory. With -rejoin-window the server also keeps
+// accepting connections so a platform that lost its link can rejoin
+// mid-session instead of killing the job.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"medsplit/internal/compress"
 	"medsplit/internal/core"
@@ -30,38 +41,73 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7700", "listen address")
-		platforms = flag.Int("platforms", 2, "number of platforms to serve")
-		rounds    = flag.Int("rounds", 40, "training rounds")
-		arch      = flag.String("arch", "vgg-lite", "model: mlp, vgg-lite, resnet-lite")
-		classes   = flag.Int("classes", 10, "label count")
-		width     = flag.Int("width", 8, "model width")
-		lr        = flag.Float64("lr", 0.05, "server-side learning rate")
-		seed      = flag.Uint64("seed", 1, "shared model seed")
-		concat    = flag.Bool("concat", false, "concatenated round mode instead of sequential")
-		pipeline  = flag.Int("pipeline", 0, "pipelined round mode with the given in-flight depth (0 = off)")
-		l1sync    = flag.Int("l1sync", 0, "average platform L1 weights every N rounds (0 = off)")
-		evalEvery = flag.Int("evalevery", 10, "evaluation phase every N rounds (0 = off)")
-		codec     = flag.String("codec", "raw", "activation codec: raw, f16, int8, topk-<frac>")
-		loadPath  = flag.String("load", "", "restore the server half from a checkpoint before training")
-		savePath  = flag.String("save", "", "write the server half to a checkpoint after training")
+		addr       = flag.String("addr", ":7700", "listen address")
+		platforms  = flag.Int("platforms", 2, "number of platforms to serve")
+		rounds     = flag.Int("rounds", 40, "training rounds")
+		arch       = flag.String("arch", "vgg-lite", "model: mlp, vgg-lite, resnet-lite")
+		classes    = flag.Int("classes", 10, "label count")
+		width      = flag.Int("width", 8, "model width")
+		lr         = flag.Float64("lr", 0.05, "server-side learning rate")
+		seed       = flag.Uint64("seed", 1, "shared model seed")
+		concat     = flag.Bool("concat", false, "concatenated round mode instead of sequential")
+		pipeline   = flag.Int("pipeline", 0, "pipelined round mode with the given in-flight depth (0 = off)")
+		l1sync     = flag.Int("l1sync", 0, "average platform L1 weights every N rounds (0 = off)")
+		evalEvery  = flag.Int("evalevery", 10, "evaluation phase every N rounds (0 = off)")
+		codec      = flag.String("codec", "raw", "activation codec: raw, f16, int8, topk-<frac>")
+		loadPath   = flag.String("load", "", "restore the server half from a weights-only checkpoint before training")
+		savePath   = flag.String("save", "", "write the server half to a weights-only checkpoint after training")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for session snapshots (full resumable state)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "write a session snapshot every N rounds (requires -checkpoint-dir)")
+		resumeDir  = flag.String("resume", "", "resume the session from the snapshots in this directory")
+		rejoinWin  = flag.Duration("rejoin-window", 0, "accept platform rejoins for this long after a dropout (0 = off)")
+		rejoinWait = flag.Bool("rejoin-wait", true, "block the round for a rejoin (false: proceed without the platform)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *platforms, *rounds, *arch, *classes, *width, float32(*lr), *seed, *concat, *pipeline, *l1sync, *evalEvery, *codec, *loadPath, *savePath); err != nil {
+	if err := run(serverOpts{
+		addr: *addr, platforms: *platforms, rounds: *rounds, arch: *arch,
+		classes: *classes, width: *width, lr: float32(*lr), seed: *seed,
+		concat: *concat, pipeline: *pipeline, l1sync: *l1sync, evalEvery: *evalEvery,
+		codec: *codec, loadPath: *loadPath, savePath: *savePath,
+		ckptDir: *ckptDir, ckptEvery: *ckptEvery, resumeDir: *resumeDir,
+		rejoinWindow: *rejoinWin, rejoinWait: *rejoinWait,
+	}); err != nil {
+		if errors.Is(err, core.ErrStopped) {
+			fmt.Println("splitserver: stopped gracefully:", err)
+			return
+		}
 		fmt.Fprintln(os.Stderr, "splitserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, platforms, rounds int, arch string, classes, width int, lr float32, seed uint64, concat bool, pipeline, l1sync, evalEvery int, codecName, loadPath, savePath string) error {
+type serverOpts struct {
+	addr               string
+	platforms, rounds  int
+	arch               string
+	classes, width     int
+	lr                 float32
+	seed               uint64
+	concat             bool
+	pipeline           int
+	l1sync, evalEvery  int
+	codec              string
+	loadPath, savePath string
+	ckptDir            string
+	ckptEvery          int
+	resumeDir          string
+	rejoinWindow       time.Duration
+	rejoinWait         bool
+}
+
+func run(o serverOpts) error {
 	m, err := experiment.BuildModel(experiment.Config{
-		Arch: experiment.Arch(arch), Classes: classes, Width: width, Seed: seed,
+		Arch: experiment.Arch(o.arch), Classes: o.classes, Width: o.width, Seed: o.seed,
 	})
 	if err != nil {
 		return err
 	}
-	codec, err := compress.ByName(codecName)
+	codec, err := compress.ByName(o.codec)
 	if err != nil {
 		return err
 	}
@@ -69,47 +115,76 @@ func run(addr string, platforms, rounds int, arch string, classes, width int, lr
 	if err != nil {
 		return err
 	}
-	if loadPath != "" {
-		if err := nn.LoadCheckpointFile(loadPath, back.Params(), nn.CollectState(back)); err != nil {
+	if o.loadPath != "" {
+		if err := nn.LoadCheckpointFile(o.loadPath, back.Params(), nn.CollectState(back)); err != nil {
 			return err
 		}
-		fmt.Printf("splitserver: restored server half from %s\n", loadPath)
+		fmt.Printf("splitserver: restored server half from %s\n", o.loadPath)
+	}
+	startRound := 0
+	var snap *core.Snapshot
+	if o.resumeDir != "" {
+		snap, err = core.LoadLatestSnapshot(o.resumeDir, core.RoleServer, 0)
+		if err != nil {
+			return err
+		}
+		startRound = snap.NextRound
+		fmt.Printf("splitserver: resuming at round %d from %s\n", startRound, o.resumeDir)
 	}
 	mode := core.RoundModeSequential
-	if concat {
+	if o.concat {
 		mode = core.RoundModeConcat
 	}
-	if pipeline > 0 {
-		if concat {
+	if o.pipeline > 0 {
+		if o.concat {
 			return fmt.Errorf("-concat and -pipeline are mutually exclusive")
 		}
 		mode = core.RoundModePipelined
 	}
-	srv, err := core.NewServer(core.ServerConfig{
-		Back:          back,
-		Opt:           &nn.SGD{LR: lr},
-		Platforms:     platforms,
-		Rounds:        rounds,
-		Mode:          mode,
-		PipelineDepth: pipeline,
-		ClipGrads:     5,
-		L1SyncEvery:   l1sync,
-		EvalEvery:     evalEvery,
-		Codec:         codec,
-	})
+	scfg := core.ServerConfig{
+		Back:            back,
+		Opt:             &nn.SGD{LR: o.lr},
+		Platforms:       o.platforms,
+		Rounds:          o.rounds,
+		StartRound:      startRound,
+		Mode:            mode,
+		PipelineDepth:   o.pipeline,
+		ClipGrads:       5,
+		L1SyncEvery:     o.l1sync,
+		EvalEvery:       o.evalEvery,
+		CheckpointEvery: o.ckptEvery,
+		CheckpointDir:   o.ckptDir,
+		Codec:           codec,
+	}
+	var broker *core.RejoinBroker
+	if o.rejoinWindow > 0 {
+		broker = core.NewRejoinBroker()
+		defer broker.Close()
+		policy := core.WaitForRejoin
+		if !o.rejoinWait {
+			policy = core.ProceedWithout
+		}
+		scfg.Recovery = &core.RecoveryConfig{Policy: policy, Window: o.rejoinWindow, Broker: broker}
+	}
+	srv, err := core.NewServer(scfg)
 	if err != nil {
 		return err
 	}
+	if snap != nil {
+		if err := srv.RestoreSnapshot(snap); err != nil {
+			return err
+		}
+	}
 
-	l, err := transport.Listen(addr)
+	l, err := transport.Listen(o.addr)
 	if err != nil {
 		return err
 	}
 	defer l.Close()
 	fmt.Printf("splitserver: %s model, %d params server-side, listening on %s for %d platforms\n",
-		m.Name, nn.ParamCount(back.Params()), l.Addr(), platforms)
+		m.Name, nn.ParamCount(back.Params()), l.Addr(), o.platforms)
 
-	conns, meter, err := acceptPlatforms(l, platforms)
+	conns, meter, err := acceptPlatforms(l, o.platforms)
 	if err != nil {
 		return err
 	}
@@ -119,17 +194,50 @@ func run(addr string, platforms, rounds int, arch string, classes, width int, lr
 		}
 	}()
 
+	// Keep accepting after the initial handshakes when rejoins are
+	// allowed: a reconnecting platform opens a fresh connection whose
+	// first frame is a MsgRejoin; the broker routes it to the session.
+	// Closing the listener (deferred above) unblocks and ends the loop.
+	if broker != nil {
+		go func() {
+			for {
+				raw, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go func(c transport.Conn) {
+					if err := broker.Offer(transport.Metered(c, meter)); err != nil {
+						fmt.Fprintln(os.Stderr, "splitserver: rejected rejoin:", err)
+					}
+				}(raw)
+			}
+		}()
+	}
+
+	// First SIGINT/SIGTERM: finish the round, write a final checkpoint,
+	// close cleanly. Second signal: exit immediately.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		<-sigCh
+		fmt.Println("splitserver: signal received; stopping at the next round boundary (repeat to force quit)")
+		srv.Stop()
+		<-sigCh
+		os.Exit(1)
+	}()
+
 	if err := srv.Serve(conns); err != nil {
 		return err
 	}
-	fmt.Printf("splitserver: training complete after %d rounds\n", rounds)
+	fmt.Printf("splitserver: training complete after %d rounds\n", o.rounds)
 	fmt.Printf("splitserver: training traffic %s (all platforms, both directions)\n",
 		metrics.FormatBytes(core.TrainingBytes(meter)))
-	if savePath != "" {
-		if err := nn.SaveCheckpointFile(savePath, back.Params(), nn.CollectState(back)); err != nil {
+	if o.savePath != "" {
+		if err := nn.SaveCheckpointFile(o.savePath, back.Params(), nn.CollectState(back)); err != nil {
 			return err
 		}
-		fmt.Printf("splitserver: saved server half to %s\n", savePath)
+		fmt.Printf("splitserver: saved server half to %s\n", o.savePath)
 	}
 	return nil
 }

@@ -71,6 +71,10 @@ var (
 	ErrProtocol = errors.New("core: protocol violation")
 	// ErrConfig reports an invalid or inconsistent configuration.
 	ErrConfig = errors.New("core: invalid configuration")
+	// ErrStopped reports a graceful shutdown: the party finished its
+	// round, wrote its final checkpoint (when configured) and left the
+	// session on purpose (see Server.Stop / Platform.Stop).
+	ErrStopped = errors.New("core: stopped at round boundary by request")
 )
 
 // TraceEvent records one protocol step as observed by a party. The

@@ -9,12 +9,14 @@ import (
 	"medsplit/internal/wire"
 )
 
-// This file implements the platform side of RoundModePipelined at
-// PipelineDepth >= 2: a software pipeline that keeps one round in
-// flight so the L1 backward of round r overlaps the forward (and
-// activation upload) of round r+1.
+// This file implements the platform's overlapped scheduler — the
+// RoundModePipelined / PipelineDepth >= 2 counterpart of runPlain: a
+// software pipeline that keeps one round in flight so the L1 backward
+// of round r overlaps the forward (and activation upload) of round
+// r+1. It drives the same session state machine as the plain
+// scheduler; only the Train phase differs.
 //
-// Schedule, per loop iteration r (label-private mode):
+// Schedule, per Train phase r (label-private mode):
 //
 //	forward r          on fronts[r%2]            } overlaps the server's
 //	send activations r                           } backward/step of round
@@ -28,8 +30,9 @@ import (
 // The schedule is fixed, so training remains bit-for-bit reproducible
 // for a given configuration; it just follows a different (overlapped)
 // trajectory than RoundModeSequential. The pipeline drains at L1-sync,
-// evaluation and final rounds, so synchronization points see exactly
-// the weights sequential mode would exchange at that round.
+// evaluation, final and checkpoint rounds, so synchronization points
+// (and snapshots) see exactly the weights sequential mode would
+// exchange at that round.
 //
 // Two front instances are required because layer instances cache
 // activations between forward and backward; alternating rounds between
@@ -51,11 +54,10 @@ type inflight struct {
 	batch  int
 }
 
-// runPipelined executes the overlapped training loop. Sends go through
-// a write-only transport.AsyncConn so the activation upload of round
-// r+1 does not block the backward of round r on a slow link.
-func (p *Platform) runPipelined(conn transport.Conn) (*PlatformStats, error) {
-	stats := &PlatformStats{}
+// runOverlapped executes the overlapped training schedule. Sends go
+// through a write-only transport.AsyncConn so the activation upload of
+// round r+1 does not block the backward of round r on a slow link.
+func (p *Platform) runOverlapped(conn transport.Conn, sess *Session, stats *PlatformStats) (*PlatformStats, error) {
 	ac := transport.NewAsync(conn, transport.AsyncOptions{SendQueue: 4})
 	ok := false
 	defer func() {
@@ -64,35 +66,44 @@ func (p *Platform) runPipelined(conn transport.Conn) (*PlatformStats, error) {
 		}
 	}()
 
-	var pend *inflight
-	for r := 0; r < p.cfg.Rounds; r++ {
-		fl, err := p.startRound(ac, r)
-		if err != nil {
-			return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, r, err)
+	finish := func() error {
+		if p.pend == nil {
+			return nil
 		}
-		if pend != nil {
-			if err := p.finishRound(ac, pend, stats); err != nil {
-				return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, pend.round, err)
-			}
-			pend = nil
+		fl := p.pend
+		p.pend = nil
+		if err := p.finishRound(ac, fl, stats); err != nil {
+			return fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, fl.round, err)
 		}
-		if !p.cfg.LabelSharing {
-			if err := p.exchangeLossGrad(ac, fl); err != nil {
+		return nil
+	}
+	for {
+		switch sess.State() {
+		case StateTrain:
+			r := sess.Round()
+			fl, err := p.startRound(ac, r)
+			if err != nil {
 				return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, r, err)
 			}
-		}
-		pend = fl
-
-		// Synchronization points drain the pipeline: the step for round
-		// r must be applied before weights are pushed, accuracy is
-		// measured, or training ends.
-		if p.syncRound(r) || p.evalRound(r) || r == p.cfg.Rounds-1 {
-			if err := p.finishRound(ac, pend, stats); err != nil {
-				return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, pend.round, err)
+			if err := finish(); err != nil {
+				return nil, err
 			}
-			pend = nil
-		}
-		if p.syncRound(r) {
+			if !p.cfg.LabelSharing {
+				if err := p.exchangeLossGrad(ac, fl); err != nil {
+					return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, r, err)
+				}
+			}
+			p.pend = fl
+			// Synchronization points drain the pipeline: the step for
+			// round r must be applied before weights are pushed, accuracy
+			// is measured, a snapshot is taken, or training ends.
+			if p.drainAfter(sess, r) {
+				if err := finish(); err != nil {
+					return nil, err
+				}
+			}
+		case StateL1Sync:
+			r := sess.Round()
 			if err := p.l1Sync(ac, r); err != nil {
 				return nil, fmt.Errorf("core: platform %d L1 sync round %d: %w", p.cfg.ID, r, err)
 			}
@@ -100,42 +111,45 @@ func (p *Platform) runPipelined(conn transport.Conn) (*PlatformStats, error) {
 			if err := nn.CopyParams(p.cfg.ShadowFront.Params(), p.cfg.Front.Params()); err != nil {
 				return nil, fmt.Errorf("core: platform %d L1 sync round %d: %w", p.cfg.ID, r, err)
 			}
-		}
-		if p.evalRound(r) {
-			ev := EvalStat{Round: r, Accuracy: -1}
-			if p.cfg.Meter != nil {
-				// Exact despite the async writer: cut-grad r only arrives
-				// after the server consumed every training message of
-				// round r, so they are all flushed by now.
-				ev.TrainingBytes = TrainingBytes(p.cfg.Meter)
+		case StateEval:
+			// Inference normalizes with running statistics: make sure
+			// Front holds the newest ones before evaluating.
+			if err := p.evalPoint(ac, sess.Round(), stats, func() error { return p.handStateTo(0) }); err != nil {
+				return nil, err
 			}
-			if p.cfg.EvalData != nil {
-				// Inference normalizes with running statistics: make sure
-				// Front holds the newest ones before evaluating.
-				if err := p.handStateTo(0); err != nil {
-					return nil, fmt.Errorf("core: platform %d eval round %d: %w", p.cfg.ID, r, err)
-				}
-				acc, err := p.evalExchange(ac, r)
-				if err != nil {
-					return nil, fmt.Errorf("core: platform %d eval round %d: %w", p.cfg.ID, r, err)
-				}
-				ev.Accuracy = acc
+		case StateDone:
+			if err := p.send(ac, &wire.Message{
+				Type:     wire.MsgBye,
+				Platform: uint32(p.cfg.ID),
+				Round:    uint32(p.cfg.Rounds),
+			}); err != nil {
+				return nil, err
 			}
-			stats.Evals = append(stats.Evals, ev)
+			if err := ac.Stop(); err != nil {
+				return nil, fmt.Errorf("core: platform %d flushing connection: %w", p.cfg.ID, err)
+			}
+			ok = true
+			return stats, nil
+		}
+		if err := p.advance(sess, ac); err != nil {
+			return nil, err
 		}
 	}
-	if err := p.send(ac, &wire.Message{
-		Type:     wire.MsgBye,
-		Platform: uint32(p.cfg.ID),
-		Round:    uint32(p.cfg.Rounds),
-	}); err != nil {
-		return nil, err
+}
+
+// drainAfter reports whether the pipeline must drain after round r's
+// start phase: before an L1 sync, an evaluation, the final round, a
+// checkpoint boundary, or a graceful stop — every point that must
+// observe fully stepped weights.
+func (p *Platform) drainAfter(sess *Session, r int) bool {
+	plan := sess.plan
+	if plan.syncRound(r) || plan.evalRound(r) || r == plan.rounds-1 {
+		return true
 	}
-	if err := ac.Stop(); err != nil {
-		return nil, fmt.Errorf("core: platform %d flushing connection: %w", p.cfg.ID, err)
+	if p.stop.Load() {
+		return true
 	}
-	ok = true
-	return stats, nil
+	return p.cfg.CheckpointDir != "" && checkpointDue(p.cfg.CheckpointEvery, r+1, false)
 }
 
 // pipelineFront alternates rounds between the two front instances so

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"medsplit/internal/dataset"
 	"medsplit/internal/nn"
@@ -56,6 +59,9 @@ type PlatformConfig struct {
 	// Rounds is the number of training rounds (must match the server
 	// and all other platforms; validated at handshake).
 	Rounds int
+	// StartRound is the first round to execute: 0 for a fresh run, the
+	// checkpoint's NextRound when resuming. Must match the server's.
+	StartRound int
 	// LabelSharing enables the 2-message ablation: labels accompany the
 	// activations and the server computes the loss.
 	LabelSharing bool
@@ -73,6 +79,27 @@ type PlatformConfig struct {
 	EvalData *dataset.Dataset
 	// EvalBatch is the evaluation batch size (default 64).
 	EvalBatch int
+	// CheckpointEvery, when positive, writes a snapshot of the
+	// platform's state to CheckpointDir at every round boundary where
+	// the completed-round count is a multiple of it. Requires
+	// CheckpointDir.
+	CheckpointEvery int
+	// CheckpointDir, when set, receives snapshot files
+	// (platform-<id>.ckpt). With it set the platform also keeps an
+	// in-memory boundary snapshot and writes it out when the session
+	// dies mid-round (a server stop, a fatal peer error), so the last
+	// consistent state is never lost.
+	CheckpointDir string
+	// Redial, when set together with RejoinWindow, enables dropout
+	// recovery: after a connection error during a training exchange the
+	// platform redials, replays the handshake with a Rejoin carrying
+	// its protocol position, and resumes where the server tells it to.
+	// The returned connection should carry the same metering wrapper as
+	// the original. Requires the server to run a RecoveryConfig.
+	Redial func() (transport.Conn, error)
+	// RejoinWindow bounds how long the platform keeps trying to rejoin
+	// after a connection error before giving up.
+	RejoinWindow time.Duration
 	// Seed seeds the platform's minibatch sampler.
 	Seed uint64
 	// LRSchedule, when set, adjusts the optimizer's learning rate at the
@@ -88,6 +115,48 @@ type PlatformConfig struct {
 	// training-traffic bytes at each evaluation point (wrap the
 	// connection with transport.Metered on the same meter).
 	Meter *transport.Meter
+}
+
+// validate checks the configuration for consistency and fills
+// defaults. All PlatformConfig rules live here.
+func (cfg *PlatformConfig) validate() error {
+	if cfg.Front == nil {
+		return fmt.Errorf("%w: nil front network", ErrConfig)
+	}
+	if cfg.Opt == nil {
+		return fmt.Errorf("%w: nil optimizer", ErrConfig)
+	}
+	if cfg.Shard == nil || cfg.Shard.Len() == 0 {
+		return fmt.Errorf("%w: platform %d has no local data", ErrConfig, cfg.ID)
+	}
+	if cfg.Batch <= 0 {
+		return fmt.Errorf("%w: batch size %d", ErrConfig, cfg.Batch)
+	}
+	if cfg.Rounds <= 0 {
+		return fmt.Errorf("%w: %d rounds", ErrConfig, cfg.Rounds)
+	}
+	if cfg.StartRound < 0 || cfg.StartRound >= cfg.Rounds {
+		return fmt.Errorf("%w: start round %d of %d", ErrConfig, cfg.StartRound, cfg.Rounds)
+	}
+	if !cfg.LabelSharing && cfg.Loss == nil {
+		return fmt.Errorf("%w: label-private mode requires a platform-side loss", ErrConfig)
+	}
+	if cfg.EvalData != nil && cfg.EvalBatch == 0 {
+		cfg.EvalBatch = 64
+	}
+	if cfg.CheckpointEvery < 0 {
+		return fmt.Errorf("%w: checkpoint every %d rounds", ErrConfig, cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
+		return fmt.Errorf("%w: CheckpointEvery without CheckpointDir", ErrConfig)
+	}
+	if (cfg.Redial != nil) != (cfg.RejoinWindow > 0) {
+		return fmt.Errorf("%w: Redial and RejoinWindow must be set together", ErrConfig)
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = wire.RawCodec{}
+	}
+	return nil
 }
 
 // RoundStat records one round of local training.
@@ -124,6 +193,18 @@ func (s *PlatformStats) FinalLoss() float64 {
 type Platform struct {
 	cfg     PlatformConfig
 	sampler *dataset.BatchSampler
+	stop    atomic.Bool
+
+	// stash is the in-memory boundary snapshot (CheckpointDir mode):
+	// the platform's complete state as of the last round boundary,
+	// written to disk if the session dies mid-round.
+	stash *Snapshot
+
+	// pend is the overlapped scheduler's in-flight round (nil in the
+	// plain scheduler, and at every drained boundary). While non-nil,
+	// weights lag one step behind the round counter, so snapshots and
+	// stashes are skipped.
+	pend *inflight
 
 	// Stateful buffers of the two front instances (BatchNorm running
 	// statistics), collected once so pipelined rounds can mirror them.
@@ -157,29 +238,8 @@ type Platform struct {
 
 // NewPlatform validates cfg and builds a platform.
 func NewPlatform(cfg PlatformConfig) (*Platform, error) {
-	if cfg.Front == nil {
-		return nil, fmt.Errorf("%w: nil front network", ErrConfig)
-	}
-	if cfg.Opt == nil {
-		return nil, fmt.Errorf("%w: nil optimizer", ErrConfig)
-	}
-	if cfg.Shard == nil || cfg.Shard.Len() == 0 {
-		return nil, fmt.Errorf("%w: platform %d has no local data", ErrConfig, cfg.ID)
-	}
-	if cfg.Batch <= 0 {
-		return nil, fmt.Errorf("%w: batch size %d", ErrConfig, cfg.Batch)
-	}
-	if cfg.Rounds <= 0 {
-		return nil, fmt.Errorf("%w: %d rounds", ErrConfig, cfg.Rounds)
-	}
-	if !cfg.LabelSharing && cfg.Loss == nil {
-		return nil, fmt.Errorf("%w: label-private mode requires a platform-side loss", ErrConfig)
-	}
-	if cfg.EvalData != nil && cfg.EvalBatch == 0 {
-		cfg.EvalBatch = 64
-	}
-	if cfg.Codec == nil {
-		cfg.Codec = wire.RawCodec{}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	indices := make([]int, cfg.Shard.Len())
 	for i := range indices {
@@ -209,6 +269,12 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	return p, nil
 }
 
+// Stop requests a graceful shutdown: the platform finishes the round
+// in flight, writes a final checkpoint (when CheckpointDir is set),
+// notifies the server, and Run returns ErrStopped. Safe to call from
+// any goroutine (the signal handlers in cmd/splitplatform do).
+func (p *Platform) Stop() { p.stop.Store(true) }
+
 // copyState copies each stateful tensor from src into dst.
 func copyState(dst, src []*tensor.Tensor) error {
 	for i := range dst {
@@ -220,76 +286,203 @@ func copyState(dst, src []*tensor.Tensor) error {
 	return nil
 }
 
+// plan derives the deterministic session schedule from the config.
+// It must equal the server's (the handshake validates the inputs).
+func (p *Platform) plan() sessionPlan {
+	return sessionPlan{
+		start:       p.cfg.StartRound,
+		rounds:      p.cfg.Rounds,
+		l1SyncEvery: p.cfg.L1SyncEvery,
+		evalEvery:   p.cfg.EvalEvery,
+	}
+}
+
 // Run executes the full protocol against the server over conn:
-// handshake, cfg.Rounds training rounds (with L1 sync and evaluation as
-// scheduled), and shutdown. It returns the platform's measurements. The
-// connection is not closed.
+// handshake, the training rounds (with L1 sync and evaluation as
+// scheduled), and shutdown. It returns the platform's measurements.
+// The connection is not closed.
 //
 // The server's HelloAck names its scheduling mode; when it advertises
 // pipelining at depth >= 2 and a ShadowFront is configured, the
-// platform switches to the overlapped loop (runPipelined). In every
-// other case — including pipelined mode at depth 1, where the platform
-// schedule is identical to sequential — the plain loop below runs.
+// platform switches to the overlapped scheduler (runOverlapped). In
+// every other case — including pipelined mode at depth 1, where the
+// platform schedule is identical to sequential — the plain scheduler
+// runs. Both drive the same session state machine.
 func (p *Platform) Run(conn transport.Conn) (*PlatformStats, error) {
-	stats := &PlatformStats{}
+	if p.cfg.Redial != nil {
+		rc := transport.NewReconnectable(conn)
+		conn = rc
+	}
+	sess := newSession(p.plan())
 	mode, depth, err := p.handshake(conn)
 	if err != nil {
 		return nil, err
 	}
+	stats := &PlatformStats{}
+	p.refreshStash(sess.Round())
 	if mode == RoundModePipelined.String() && depth >= 2 && p.cfg.ShadowFront != nil {
-		return p.runPipelined(conn)
+		stats, err = p.runOverlapped(conn, sess, stats)
+	} else {
+		stats, err = p.runPlain(conn, sess, stats)
 	}
-	for r := 0; r < p.cfg.Rounds; r++ {
-		nn.ApplySchedule(p.cfg.Opt, p.cfg.LRSchedule, r)
-		loss, batch, err := p.trainStep(conn, r)
-		if err != nil {
-			return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, r, err)
-		}
-		stats.Rounds = append(stats.Rounds, RoundStat{Round: r, Loss: loss, Batch: batch})
-		if p.syncRound(r) {
-			if err := p.l1Sync(conn, r); err != nil {
-				return nil, fmt.Errorf("core: platform %d L1 sync round %d: %w", p.cfg.ID, r, err)
-			}
-		}
-		if p.evalRound(r) {
-			ev := EvalStat{Round: r, Accuracy: -1}
-			if p.cfg.Meter != nil {
-				ev.TrainingBytes = TrainingBytes(p.cfg.Meter)
-			}
-			if p.cfg.EvalData != nil {
-				acc, err := p.evalExchange(conn, r)
-				if err != nil {
-					return nil, fmt.Errorf("core: platform %d eval round %d: %w", p.cfg.ID, r, err)
+	if err != nil && !errors.Is(err, ErrStopped) {
+		p.writeStashOnAbort()
+	}
+	return stats, err
+}
+
+// runPlain walks the session state machine with the plain (one round
+// in flight) scheduler.
+func (p *Platform) runPlain(conn transport.Conn, sess *Session, stats *PlatformStats) (*PlatformStats, error) {
+	for {
+		switch sess.State() {
+		case StateTrain:
+			r := sess.Round()
+			nn.ApplySchedule(p.cfg.Opt, p.cfg.LRSchedule, r)
+			loss, batch, err := p.trainStep(conn, r)
+			var ff *fastForwardError
+			if errors.As(err, &ff) {
+				// The server proceeded without us while we were
+				// disconnected; realign at the round it assigned.
+				if serr := sess.SkipTo(ff.round); serr != nil {
+					return nil, serr
 				}
-				ev.Accuracy = acc
+				continue
 			}
-			stats.Evals = append(stats.Evals, ev)
+			if err != nil {
+				return nil, fmt.Errorf("core: platform %d round %d: %w", p.cfg.ID, r, err)
+			}
+			stats.Rounds = append(stats.Rounds, RoundStat{Round: r, Loss: loss, Batch: batch})
+		case StateL1Sync:
+			if err := p.l1Sync(conn, sess.Round()); err != nil {
+				return nil, fmt.Errorf("core: platform %d L1 sync round %d: %w", p.cfg.ID, sess.Round(), err)
+			}
+		case StateEval:
+			if err := p.evalPoint(conn, sess.Round(), stats, nil); err != nil {
+				return nil, err
+			}
+		case StateDone:
+			if err := p.send(conn, &wire.Message{
+				Type:     wire.MsgBye,
+				Platform: uint32(p.cfg.ID),
+				Round:    uint32(p.cfg.Rounds),
+			}); err != nil {
+				return nil, err
+			}
+			return stats, nil
+		}
+		if err := p.advance(sess, conn); err != nil {
+			return nil, err
 		}
 	}
-	if err := p.send(conn, &wire.Message{
-		Type:     wire.MsgBye,
-		Platform: uint32(p.cfg.ID),
-		Round:    uint32(p.cfg.Rounds),
-	}); err != nil {
-		return nil, err
-	}
-	return stats, nil
 }
 
-func (p *Platform) syncRound(r int) bool {
-	return p.cfg.L1SyncEvery > 0 && (r+1)%p.cfg.L1SyncEvery == 0
+// advance moves the session forward and runs the round-boundary hooks
+// (checkpoints, graceful stop, stash refresh).
+func (p *Platform) advance(sess *Session, conn transport.Conn) error {
+	prev := sess.Round()
+	st := sess.Advance()
+	if st == StateDone || (st == StateTrain && sess.Round() != prev) {
+		return p.atBoundary(sess, conn, prev+1)
+	}
+	return nil
 }
 
-func (p *Platform) evalRound(r int) bool {
-	if p.cfg.EvalEvery <= 0 {
-		return false
+// atBoundary runs the platform's round-boundary hooks. completed is
+// the number of rounds fully finished.
+func (p *Platform) atBoundary(sess *Session, conn transport.Conn, completed int) error {
+	stopping := p.stop.Load() && sess.State() != StateDone
+	if p.cfg.CheckpointDir != "" {
+		if checkpointDue(p.cfg.CheckpointEvery, completed, false) {
+			path := PlatformSnapshotPath(p.cfg.CheckpointDir, p.cfg.ID)
+			if err := SaveSnapshotFile(path, p.Snapshot(completed)); err != nil {
+				return fmt.Errorf("core: platform %d checkpoint at round %d: %w", p.cfg.ID, completed, err)
+			}
+		}
+		p.refreshStash(completed)
 	}
-	return (r+1)%p.cfg.EvalEvery == 0 || r == p.cfg.Rounds-1
+	if stopping {
+		// The stop snapshot goes to the stash file (never the scheduled
+		// checkpoint, which must stay a matched set across parties), and
+		// it persists the in-memory stash rather than live state: in the
+		// overlapped scheduler a Stop() can land after drainAfter already
+		// decided not to drain, leaving an in-flight round whose step has
+		// not been applied — the stash is the last state that is
+		// guaranteed boundary-consistent.
+		if p.cfg.CheckpointDir != "" && p.stash != nil {
+			path := PlatformStashPath(p.cfg.CheckpointDir, p.cfg.ID)
+			if err := SaveSnapshotFile(path, p.stash); err != nil {
+				return fmt.Errorf("core: platform %d stop checkpoint: %w", p.cfg.ID, err)
+			}
+		}
+		// Best-effort, non-blocking notice: the server surfaces it as a
+		// peer error when it next serves this platform's slot, and the
+		// other platforms can then save their own boundary stashes. The
+		// caller closes the connection after Run returns, which reaps
+		// the goroutine if nobody ever receives.
+		msg := &wire.Message{
+			Type:     wire.MsgErrorMsg,
+			Platform: uint32(p.cfg.ID),
+			Payload:  wire.EncodeText(fmt.Sprintf("platform %d stopping: checkpointed %d rounds", p.cfg.ID, completed)),
+		}
+		go func() { _ = conn.Send(msg) }()
+		return fmt.Errorf("%w: platform %d after %d rounds", ErrStopped, p.cfg.ID, completed)
+	}
+	return nil
+}
+
+// refreshStash captures the boundary snapshot kept in memory for
+// abort-time persistence. Only active in CheckpointDir mode, and only
+// at drained boundaries (the overlapped scheduler's in-flight round
+// would otherwise be captured with its step missing).
+func (p *Platform) refreshStash(nextRound int) {
+	if p.cfg.CheckpointDir == "" || p.pend != nil {
+		return
+	}
+	p.stash = p.Snapshot(nextRound)
+}
+
+// writeStashOnAbort persists the last boundary snapshot after a fatal
+// mid-round error (best effort — the session is already failing, so a
+// save error is not allowed to mask the original one). It writes the
+// stash file, never the scheduled-checkpoint file: the peers did not
+// checkpoint this boundary, so overwriting the scheduled file would
+// destroy the last matched set and make resume impossible.
+func (p *Platform) writeStashOnAbort() {
+	if p.stash == nil || p.cfg.CheckpointDir == "" {
+		return
+	}
+	_ = SaveSnapshotFile(PlatformStashPath(p.cfg.CheckpointDir, p.cfg.ID), p.stash)
+}
+
+// evalPoint records one evaluation point (and, on the evaluator, runs
+// the accuracy exchange). syncState, when non-nil, is called before an
+// evaluator exchange to make Front hold the newest BatchNorm state
+// (overlapped scheduler only).
+func (p *Platform) evalPoint(conn transport.Conn, r int, stats *PlatformStats, syncState func() error) error {
+	ev := EvalStat{Round: r, Accuracy: -1}
+	if p.cfg.Meter != nil {
+		ev.TrainingBytes = TrainingBytes(p.cfg.Meter)
+	}
+	if p.cfg.EvalData != nil {
+		if syncState != nil {
+			if err := syncState(); err != nil {
+				return fmt.Errorf("core: platform %d eval round %d: %w", p.cfg.ID, r, err)
+			}
+		}
+		acc, err := p.evalExchange(conn, r)
+		if err != nil {
+			return fmt.Errorf("core: platform %d eval round %d: %w", p.cfg.ID, r, err)
+		}
+		ev.Accuracy = acc
+	}
+	stats.Evals = append(stats.Evals, ev)
+	return nil
 }
 
 func (p *Platform) handshake(conn transport.Conn) (mode string, depth int, err error) {
-	meta := fmt.Sprintf("v=1;rounds=%d;labelshare=%t;sync=%d;eval=%d;codec=%s;evaluator=%t",
-		p.cfg.Rounds, p.cfg.LabelSharing, p.cfg.L1SyncEvery, p.cfg.EvalEvery, p.cfg.Codec.Name(), p.cfg.EvalData != nil)
+	meta := helloBase(p.cfg.Rounds, p.cfg.LabelSharing, p.cfg.L1SyncEvery, p.cfg.EvalEvery, p.cfg.Codec.Name(), p.cfg.StartRound)
+	meta = fmt.Sprintf("%s;evaluator=%t", meta, p.cfg.EvalData != nil)
 	if err := p.send(conn, &wire.Message{
 		Type:     wire.MsgHello,
 		Platform: uint32(p.cfg.ID),
@@ -327,8 +520,11 @@ func parseAck(meta string) (mode string, depth int) {
 	return mode, depth
 }
 
-// trainStep performs one local minibatch through the split protocol and
-// returns the training loss observed for it.
+// trainStep performs one local minibatch through the split protocol as
+// an explicit stage machine and returns the training loss observed for
+// it. Compute (forward, loss, backward, step) is bound to stage
+// transitions, so a dropout recovery re-entering a wire stage never
+// recomputes; the L1 step applies exactly once per round.
 func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch int, err error) {
 	idx := p.sampler.Next()
 	x, labels := p.cfg.Shard.BatchInto(p.batchX[0], p.batchLabels[0], idx)
@@ -338,73 +534,72 @@ func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch in
 	}
 
 	a := p.cfg.Front.Forward(x, true)
-	if err := p.send(conn, &wire.Message{
-		Type:     wire.MsgActivations,
-		Platform: uint32(p.cfg.ID),
-		Round:    uint32(r),
-		Payload:  p.encActs.encode(p.cfg.Codec, a),
-	}); err != nil {
-		return 0, 0, err
-	}
-
-	var da *tensor.Tensor
-	if p.cfg.LabelSharing {
-		if err := p.send(conn, &wire.Message{
-			Type:     wire.MsgLabels,
-			Platform: uint32(p.cfg.ID),
-			Round:    uint32(r),
-			Payload:  p.encLabels.encodeLabels(labels),
-		}); err != nil {
-			return 0, 0, err
+	var da, dz *tensor.Tensor
+	pos := posActs
+	for pos != posDone {
+		var err error
+		switch pos {
+		case posActs:
+			err = p.send(conn, &wire.Message{
+				Type:     wire.MsgActivations,
+				Platform: uint32(p.cfg.ID),
+				Round:    uint32(r),
+				Payload:  p.encActs.encode(p.cfg.Codec, a),
+			})
+			if err == nil {
+				if p.cfg.LabelSharing {
+					pos = posLabels
+				} else {
+					pos = posLogits
+				}
+			}
+		case posLabels:
+			err = p.send(conn, &wire.Message{
+				Type:     wire.MsgLabels,
+				Platform: uint32(p.cfg.ID),
+				Round:    uint32(r),
+				Payload:  p.encLabels.encodeLabels(labels),
+			})
+			if err == nil {
+				pos = posCutGrad
+			}
+		case posLogits:
+			var z *tensor.Tensor
+			z, err = p.recvLogits(conn, r)
+			if err == nil {
+				if z.Dim(0) != len(labels) {
+					return 0, 0, fmt.Errorf("%w: %d logit rows for %d labels", ErrProtocol, z.Dim(0), len(labels))
+				}
+				loss, dz = p.cfg.Loss.Loss(z, labels)
+				pos = posLossGrad
+			}
+		case posLossGrad:
+			err = p.send(conn, &wire.Message{
+				Type:     wire.MsgLossGrad,
+				Platform: uint32(p.cfg.ID),
+				Round:    uint32(r),
+				Payload:  p.encGrad.encode(p.cfg.Codec, dz),
+			})
+			if err == nil {
+				pos = posCutGrad
+			}
+		case posCutGrad:
+			var lossVal float64
+			da, lossVal, err = p.recvCutGrad(conn, r)
+			if err == nil {
+				if p.cfg.LabelSharing {
+					loss = lossVal
+				}
+				pos = posDone
+			}
 		}
-		m, err := p.recv(conn, wire.MsgCutGrad, r)
 		if err != nil {
-			return 0, 0, err
+			resume, rerr := p.maybeRejoin(conn, r, pos, err)
+			if rerr != nil {
+				return 0, 0, rerr
+			}
+			pos = resume
 		}
-		ts, derr := wire.DecodeInto(p.cfg.Codec, p.cutDec, m.Payload)
-		if derr != nil || len(ts) != 2 {
-			return 0, 0, fmt.Errorf("%w: bad cut-grad payload (label sharing)", ErrProtocol)
-		}
-		p.cutDec = ts
-		releasePayload(m)
-		da = ts[0]
-		loss = float64(ts[1].At())
-	} else {
-		m, err := p.recv(conn, wire.MsgLogits, r)
-		if err != nil {
-			return 0, 0, err
-		}
-		ts, derr := wire.DecodeInto(p.cfg.Codec, p.logitsDec, m.Payload)
-		if derr != nil || len(ts) != 1 {
-			return 0, 0, fmt.Errorf("%w: bad logits payload", ErrProtocol)
-		}
-		p.logitsDec = ts
-		releasePayload(m)
-		z := ts[0]
-		if z.Dim(0) != len(labels) {
-			return 0, 0, fmt.Errorf("%w: %d logit rows for %d labels", ErrProtocol, z.Dim(0), len(labels))
-		}
-		var dz *tensor.Tensor
-		loss, dz = p.cfg.Loss.Loss(z, labels)
-		if err := p.send(conn, &wire.Message{
-			Type:     wire.MsgLossGrad,
-			Platform: uint32(p.cfg.ID),
-			Round:    uint32(r),
-			Payload:  p.encGrad.encode(p.cfg.Codec, dz),
-		}); err != nil {
-			return 0, 0, err
-		}
-		m, err = p.recv(conn, wire.MsgCutGrad, r)
-		if err != nil {
-			return 0, 0, err
-		}
-		ts, derr = wire.DecodeInto(p.cfg.Codec, p.cutDec, m.Payload)
-		if derr != nil || len(ts) != 1 {
-			return 0, 0, fmt.Errorf("%w: bad cut-grad payload", ErrProtocol)
-		}
-		p.cutDec = ts
-		releasePayload(m)
-		da = ts[0]
 	}
 	if !tensor.SameShape(da, a) {
 		return 0, 0, fmt.Errorf("%w: cut-grad shape %v, activations %v", ErrProtocol, da.Shape(), a.Shape())
@@ -417,6 +612,45 @@ func (p *Platform) trainStep(conn transport.Conn, r int) (loss float64, batch in
 	}
 	p.cfg.Opt.Step(p.cfg.Front.Params())
 	return loss, len(labels), nil
+}
+
+// recvLogits reads and decodes the round's logits.
+func (p *Platform) recvLogits(conn transport.Conn, r int) (*tensor.Tensor, error) {
+	m, err := p.recv(conn, wire.MsgLogits, r)
+	if err != nil {
+		return nil, err
+	}
+	ts, derr := wire.DecodeInto(p.cfg.Codec, p.logitsDec, m.Payload)
+	if derr != nil || len(ts) != 1 {
+		return nil, fmt.Errorf("%w: bad logits payload", ErrProtocol)
+	}
+	p.logitsDec = ts
+	releasePayload(m)
+	return ts[0], nil
+}
+
+// recvCutGrad reads and decodes the round's cut gradient (and the loss
+// scalar in label-sharing mode).
+func (p *Platform) recvCutGrad(conn transport.Conn, r int) (*tensor.Tensor, float64, error) {
+	m, err := p.recv(conn, wire.MsgCutGrad, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	ts, derr := wire.DecodeInto(p.cfg.Codec, p.cutDec, m.Payload)
+	if p.cfg.LabelSharing {
+		if derr != nil || len(ts) != 2 {
+			return nil, 0, fmt.Errorf("%w: bad cut-grad payload (label sharing)", ErrProtocol)
+		}
+		p.cutDec = ts
+		releasePayload(m)
+		return ts[0], float64(ts[1].At()), nil
+	}
+	if derr != nil || len(ts) != 1 {
+		return nil, 0, fmt.Errorf("%w: bad cut-grad payload", ErrProtocol)
+	}
+	p.cutDec = ts
+	releasePayload(m)
+	return ts[0], 0, nil
 }
 
 // l1Sync pushes L1 weights to the server and installs the weighted

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"medsplit/internal/nn"
 	"medsplit/internal/tensor"
@@ -19,8 +21,13 @@ type ServerConfig struct {
 	Opt nn.Optimizer
 	// Platforms is the number of platforms that will connect.
 	Platforms int
-	// Rounds is the number of synchronous training rounds.
+	// Rounds is the number of synchronous training rounds. When
+	// resuming, rounds in [StartRound, Rounds) execute.
 	Rounds int
+	// StartRound is the first round to execute: 0 for a fresh run, the
+	// checkpoint's NextRound when resuming (see RestoreSnapshot). All
+	// parties must agree; the handshake validates it.
+	StartRound int
 	// Mode selects Sequential (default), Concat or Pipelined scheduling.
 	Mode RoundMode
 	// PipelineDepth bounds how many rounds of platform messages the
@@ -28,7 +35,7 @@ type ServerConfig struct {
 	// compute loop (and is advertised to platforms at the handshake so
 	// they can overlap their own L1 backward with the next forward when
 	// depth >= 2). Defaults to 1, which is bit-identical to Sequential.
-	// Only meaningful with RoundModePipelined.
+	// Only valid with RoundModePipelined.
 	PipelineDepth int
 	// LabelSharing enables the 2-message ablation where platforms ship
 	// labels and the server computes the loss. Requires Loss.
@@ -44,6 +51,17 @@ type ServerConfig struct {
 	// EvalEvery, when positive, schedules evaluation phases every so
 	// many rounds (and after the final round).
 	EvalEvery int
+	// CheckpointEvery, when positive, writes a snapshot of the server's
+	// state to CheckpointDir at every round boundary where the number
+	// of completed rounds is a multiple of it. Requires CheckpointDir.
+	CheckpointEvery int
+	// CheckpointDir, when set, receives snapshot files (server.ckpt). A
+	// graceful Stop also writes its final checkpoint here.
+	CheckpointDir string
+	// Recovery, when set, enables platform-dropout recovery: a platform
+	// whose connection dies mid-round can rejoin through the broker and
+	// resume. Sequential mode only.
+	Recovery *RecoveryConfig
 	// LRSchedule, when set, adjusts the optimizer's learning rate at the
 	// start of every round (see nn.StepDecay, nn.CosineDecay).
 	LRSchedule nn.Schedule
@@ -57,11 +75,101 @@ type ServerConfig struct {
 	Trace TraceFunc
 }
 
+// validate checks the configuration for consistency and fills
+// defaults. All ServerConfig rules live here — NewServer is the only
+// caller, so every constructed server passed exactly this gate.
+func (cfg *ServerConfig) validate() error {
+	if cfg.Back == nil {
+		return fmt.Errorf("%w: nil back network", ErrConfig)
+	}
+	if cfg.Opt == nil {
+		return fmt.Errorf("%w: nil optimizer", ErrConfig)
+	}
+	if cfg.Platforms <= 0 {
+		return fmt.Errorf("%w: %d platforms", ErrConfig, cfg.Platforms)
+	}
+	if cfg.Rounds <= 0 {
+		return fmt.Errorf("%w: %d rounds", ErrConfig, cfg.Rounds)
+	}
+	if cfg.StartRound < 0 || cfg.StartRound >= cfg.Rounds {
+		return fmt.Errorf("%w: start round %d of %d", ErrConfig, cfg.StartRound, cfg.Rounds)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = RoundModeSequential
+	}
+	switch cfg.Mode {
+	case RoundModeSequential, RoundModeConcat, RoundModePipelined:
+	default:
+		return fmt.Errorf("%w: round mode %v", ErrConfig, cfg.Mode)
+	}
+	if cfg.PipelineDepth < 0 {
+		return fmt.Errorf("%w: pipeline depth %d", ErrConfig, cfg.PipelineDepth)
+	}
+	if cfg.PipelineDepth > 0 && cfg.Mode != RoundModePipelined {
+		return fmt.Errorf("%w: pipeline depth %d requires RoundModePipelined", ErrConfig, cfg.PipelineDepth)
+	}
+	if cfg.Mode == RoundModePipelined && cfg.PipelineDepth == 0 {
+		cfg.PipelineDepth = 1
+	}
+	if cfg.LabelSharing && cfg.Loss == nil {
+		return fmt.Errorf("%w: label sharing requires a server-side loss", ErrConfig)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return fmt.Errorf("%w: checkpoint every %d rounds", ErrConfig, cfg.CheckpointEvery)
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
+		return fmt.Errorf("%w: CheckpointEvery without CheckpointDir", ErrConfig)
+	}
+	if cfg.Recovery != nil {
+		if cfg.Mode != RoundModeSequential {
+			return fmt.Errorf("%w: dropout recovery requires RoundModeSequential, got %v", ErrConfig, cfg.Mode)
+		}
+		if err := cfg.Recovery.validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = wire.RawCodec{}
+	}
+	return nil
+}
+
+// platformState is the server's per-platform connection state: the
+// transport endpoint, the connection status, and the recovery
+// bookkeeping the rejoin handshake needs.
+type platformState struct {
+	conn   transport.Conn
+	rc     *transport.Reconnectable // == conn when recovery is enabled
+	status PlatformStatus
+
+	// droppedRound is the round during which the connection died
+	// (meaningful while status == PlatformDropped).
+	droppedRound int
+
+	// lastCut replays the most recent cut-gradient payload to a
+	// platform that died waiting for it (recovery mode only): by the
+	// time such a platform rejoins, the server may have moved on and
+	// could no longer recompute the gradient from live state.
+	lastCut      []byte
+	lastCutRound int
+	lastCutLoss  bool // payload carries the label-sharing loss scalar
+}
+
 // Server runs the server side of the split-learning protocol.
 type Server struct {
 	cfg       ServerConfig
+	sched     roundScheduler
+	sess      *Session
+	plats     []*platformState
 	lastBatch []int // most recent minibatch rows seen per platform
 	evaluator int   // platform id that runs eval phases; -1 if none
+	stop      atomic.Bool
+
+	// stash is the in-memory boundary snapshot (CheckpointDir mode):
+	// the server's complete state as of the last round boundary,
+	// written to the stash file if the session dies mid-round, so a
+	// platform failure never costs more than the unfinished round.
+	stash *Snapshot
 
 	// Concat-mode scratch, reused across rounds so fusing per-platform
 	// minibatches stops allocating once batch shapes stabilize.
@@ -82,55 +190,54 @@ type Server struct {
 
 // NewServer validates cfg and builds a server.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Back == nil {
-		return nil, fmt.Errorf("%w: nil back network", ErrConfig)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.Opt == nil {
-		return nil, fmt.Errorf("%w: nil optimizer", ErrConfig)
-	}
-	if cfg.Platforms <= 0 {
-		return nil, fmt.Errorf("%w: %d platforms", ErrConfig, cfg.Platforms)
-	}
-	if cfg.Rounds <= 0 {
-		return nil, fmt.Errorf("%w: %d rounds", ErrConfig, cfg.Rounds)
-	}
-	if cfg.Mode == 0 {
-		cfg.Mode = RoundModeSequential
-	}
-	switch cfg.Mode {
-	case RoundModeSequential, RoundModeConcat, RoundModePipelined:
-	default:
-		return nil, fmt.Errorf("%w: round mode %v", ErrConfig, cfg.Mode)
-	}
-	if cfg.PipelineDepth < 0 {
-		return nil, fmt.Errorf("%w: pipeline depth %d", ErrConfig, cfg.PipelineDepth)
-	}
-	if cfg.PipelineDepth > 1 && cfg.Mode != RoundModePipelined {
-		return nil, fmt.Errorf("%w: pipeline depth %d requires RoundModePipelined", ErrConfig, cfg.PipelineDepth)
-	}
-	if cfg.Mode == RoundModePipelined && cfg.PipelineDepth == 0 {
-		cfg.PipelineDepth = 1
-	}
-	if cfg.LabelSharing && cfg.Loss == nil {
-		return nil, fmt.Errorf("%w: label sharing requires a server-side loss", ErrConfig)
-	}
-	if cfg.Codec == nil {
-		cfg.Codec = wire.RawCodec{}
-	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		lastBatch: make([]int, cfg.Platforms),
 		evaluator: -1,
 		actsDec:   make([][]*tensor.Tensor, cfg.Platforms),
 		gradDec:   make([][]*tensor.Tensor, cfg.Platforms),
 		labelsDec: make([][]int, cfg.Platforms),
-	}, nil
+	}
+	if cfg.Mode == RoundModeConcat {
+		s.sched = concatScheduler{}
+	} else {
+		s.sched = sequentialScheduler{}
+	}
+	return s, nil
+}
+
+// Stop requests a graceful shutdown: the server finishes the round in
+// flight, writes a final checkpoint (when CheckpointDir is set),
+// notifies the platforms, and Serve returns ErrStopped. Safe to call
+// from any goroutine (the signal handlers in cmd/splitserver do).
+func (s *Server) Stop() { s.stop.Store(true) }
+
+// plan derives the deterministic session schedule from the config.
+func (s *Server) plan() sessionPlan {
+	return sessionPlan{
+		start:       s.cfg.StartRound,
+		rounds:      s.cfg.Rounds,
+		l1SyncEvery: s.cfg.L1SyncEvery,
+		evalEvery:   s.cfg.EvalEvery,
+	}
+}
+
+// roundScheduler is how a scheduling mode executes one Train phase.
+// The session machine owns everything else — what phase comes next,
+// when to sync, evaluate, checkpoint or stop — so the three modes
+// differ only in how a round's bytes and compute are ordered.
+type roundScheduler interface {
+	trainRound(s *Server, r int) error
 }
 
 // Serve drives the full protocol over the given per-platform
 // connections (conns[k] talks to platform k). It performs the
-// handshake, cfg.Rounds training rounds, the scheduled evaluation
-// phases, and the shutdown, then returns. Connections are not closed.
+// handshake, the training rounds with the scheduled L1-sync and
+// evaluation phases, and the shutdown, then returns. Connections are
+// not closed.
 //
 // In pipelined mode each connection is wrapped in a transport.AsyncConn
 // so WAN I/O overlaps server compute; the wrappers are flushed and
@@ -141,10 +248,38 @@ func (s *Server) Serve(conns []transport.Conn) error {
 	if len(conns) != s.cfg.Platforms {
 		return fmt.Errorf("%w: %d connections for %d platforms", ErrConfig, len(conns), s.cfg.Platforms)
 	}
+	var err error
 	if s.cfg.Mode == RoundModePipelined {
-		return s.servePipelined(conns)
+		err = s.servePipelined(conns)
+	} else {
+		err = s.serve(conns)
 	}
-	return s.serve(conns)
+	if err != nil && !errors.Is(err, ErrStopped) {
+		// Mid-round failure: persist the last consistent boundary so the
+		// session can resume from it (graceful stops already wrote it).
+		s.writeStashOnAbort()
+	}
+	return err
+}
+
+// refreshStash captures the boundary snapshot kept in memory for
+// abort-time persistence. Only active in CheckpointDir mode.
+func (s *Server) refreshStash(nextRound int) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	s.stash = s.Snapshot(nextRound)
+}
+
+// writeStashOnAbort persists the last boundary snapshot after a fatal
+// mid-round error (best effort: the session is already failing). It
+// writes the stash file, never the scheduled-checkpoint file — a crash
+// must not destroy the last matched checkpoint set.
+func (s *Server) writeStashOnAbort() {
+	if s.stash == nil || s.cfg.CheckpointDir == "" {
+		return
+	}
+	_ = SaveSnapshotFile(ServerStashPath(s.cfg.CheckpointDir), s.stash)
 }
 
 // servePipelined runs serve over async connection wrappers. The
@@ -190,58 +325,124 @@ func (s *Server) servePipelined(conns []transport.Conn) error {
 	return flushErr
 }
 
+// serve walks the session state machine. The scheduler executes Train
+// phases; everything else — handshake, L1 sync, eval, checkpoints,
+// graceful stop, shutdown — is shared across modes.
 func (s *Server) serve(conns []transport.Conn) error {
-	if err := s.handshake(conns); err != nil {
-		return err
+	s.plats = make([]*platformState, len(conns))
+	for k, c := range conns {
+		ps := &platformState{conn: c, status: PlatformActive}
+		if s.cfg.Recovery != nil {
+			ps.rc = transport.NewReconnectable(c)
+			ps.conn = ps.rc
+		}
+		s.plats[k] = ps
 	}
-	for r := 0; r < s.cfg.Rounds; r++ {
-		nn.ApplySchedule(s.cfg.Opt, s.cfg.LRSchedule, r)
-		var err error
-		if s.cfg.Mode == RoundModeConcat {
-			err = s.concatRound(conns, r)
-		} else {
-			err = s.sequentialRound(conns, r)
+	s.sess = newSession(s.plan())
+	s.refreshStash(s.cfg.StartRound)
+	for {
+		switch s.sess.State() {
+		case StateHandshake:
+			if err := s.handshake(); err != nil {
+				return err
+			}
+		case StateTrain:
+			r := s.sess.Round()
+			nn.ApplySchedule(s.cfg.Opt, s.cfg.LRSchedule, r)
+			s.adoptRejoiners(r)
+			if err := s.sched.trainRound(s, r); err != nil {
+				return fmt.Errorf("core: server round %d: %w", r, err)
+			}
+		case StateL1Sync:
+			if err := s.l1Sync(s.sess.Round()); err != nil {
+				return fmt.Errorf("core: server L1 sync round %d: %w", s.sess.Round(), err)
+			}
+		case StateEval:
+			if err := s.evalIfPresent(s.sess.Round()); err != nil {
+				return fmt.Errorf("core: server eval round %d: %w", s.sess.Round(), err)
+			}
+		case StateDone:
+			return s.shutdown()
 		}
-		if err != nil {
-			return fmt.Errorf("core: server round %d: %w", r, err)
-		}
-		if s.syncRound(r) {
-			if err := s.l1Sync(conns, r); err != nil {
-				return fmt.Errorf("core: server L1 sync round %d: %w", r, err)
+		prev := s.sess.Round()
+		st := s.sess.Advance()
+		if st == StateDone || (st == StateTrain && s.sess.Round() != prev) {
+			if err := s.atBoundary(prev + 1); err != nil {
+				return err
 			}
 		}
-		if s.evalRound(r) && s.evaluator >= 0 {
-			if err := s.evalPhase(conns[s.evaluator], r); err != nil {
-				return fmt.Errorf("core: server eval round %d: %w", r, err)
+	}
+}
+
+// atBoundary runs the round-boundary hooks: scheduled checkpoints and
+// the graceful-stop check. completed is the number of rounds fully
+// finished (train + any sync/eval phases).
+func (s *Server) atBoundary(completed int) error {
+	stopping := s.stop.Load() && s.sess.State() != StateDone
+	if s.cfg.CheckpointDir != "" {
+		if checkpointDue(s.cfg.CheckpointEvery, completed, false) {
+			if err := SaveSnapshotFile(ServerSnapshotPath(s.cfg.CheckpointDir), s.Snapshot(completed)); err != nil {
+				return fmt.Errorf("core: server checkpoint at round %d: %w", completed, err)
 			}
 		}
+		s.refreshStash(completed)
 	}
-	// Shutdown: every platform says goodbye.
-	for k, conn := range conns {
-		if _, err := s.recv(conn, wire.MsgBye, -1, k); err != nil {
-			return fmt.Errorf("core: platform %d shutdown: %w", k, err)
+	if stopping {
+		// The stop snapshot goes to the stash file: the other parties
+		// did not checkpoint this boundary on their schedules, so the
+		// scheduled set must stay intact as a matched fallback.
+		if s.cfg.CheckpointDir != "" {
+			if err := SaveSnapshotFile(ServerStashPath(s.cfg.CheckpointDir), s.stash); err != nil {
+				return fmt.Errorf("core: server stop checkpoint at round %d: %w", completed, err)
+			}
 		}
+		// Best-effort, non-blocking notification: a platform already
+		// blocked sending its next round's activations cannot take this
+		// message (over the in-process pipe transport nobody is
+		// receiving), so a synchronous send here would deadlock. The
+		// caller closes the connections right after Serve returns, which
+		// both delivers the close to the platforms and reaps these
+		// goroutines.
+		for k, ps := range s.plats {
+			if ps.status != PlatformActive {
+				continue
+			}
+			// Raw send, no tracing: TraceFuncs are not required to be
+			// goroutine-safe and the session goroutine moves on.
+			msg := &wire.Message{
+				Type:     wire.MsgErrorMsg,
+				Platform: uint32(k),
+				Payload:  wire.EncodeText(fmt.Sprintf("server stopping: checkpointed %d rounds", completed)),
+			}
+			conn := ps.conn
+			go func() { _ = conn.Send(msg) }()
+		}
+		return fmt.Errorf("%w: after %d rounds", ErrStopped, completed)
 	}
 	return nil
 }
 
-func (s *Server) syncRound(r int) bool {
-	return s.cfg.L1SyncEvery > 0 && (r+1)%s.cfg.L1SyncEvery == 0
-}
-
-func (s *Server) evalRound(r int) bool {
-	if s.cfg.EvalEvery <= 0 {
-		return false
+// shutdown completes the session: every active platform says goodbye.
+// Dropped platforms (ProceedWithout policy) have nothing to say.
+func (s *Server) shutdown() error {
+	for k, ps := range s.plats {
+		if ps.status != PlatformActive {
+			continue
+		}
+		if _, err := s.recv(ps.conn, wire.MsgBye, -1, k); err != nil {
+			return fmt.Errorf("core: platform %d shutdown: %w", k, err)
+		}
+		ps.status = PlatformDone
 	}
-	return (r+1)%s.cfg.EvalEvery == 0 || r == s.cfg.Rounds-1
+	return nil
 }
 
 // handshake validates every platform's declared configuration against
 // the server's, and learns which platform (if any) evaluates.
-func (s *Server) handshake(conns []transport.Conn) error {
-	want := fmt.Sprintf("v=1;rounds=%d;labelshare=%t;sync=%d;eval=%d;codec=%s",
-		s.cfg.Rounds, s.cfg.LabelSharing, s.cfg.L1SyncEvery, s.cfg.EvalEvery, s.cfg.Codec.Name())
-	for k, conn := range conns {
+func (s *Server) handshake() error {
+	want := helloBase(s.cfg.Rounds, s.cfg.LabelSharing, s.cfg.L1SyncEvery, s.cfg.EvalEvery, s.cfg.Codec.Name(), s.cfg.StartRound)
+	for k, ps := range s.plats {
+		conn := ps.conn
 		m, err := s.recv(conn, wire.MsgHello, -1, k)
 		if err != nil {
 			return fmt.Errorf("core: hello from platform %d: %w", k, err)
@@ -287,6 +488,19 @@ func (s *Server) handshake(conns []transport.Conn) error {
 	return nil
 }
 
+// helloBase builds the comparable handshake string both parties derive
+// from their configs. The start field appears only on resumed runs, so
+// fresh-run handshakes stay wire-compatible round-trip for round-trip
+// with earlier releases.
+func helloBase(rounds int, labelShare bool, sync, eval int, codec string, start int) string {
+	base := fmt.Sprintf("v=1;rounds=%d;labelshare=%t;sync=%d;eval=%d;codec=%s",
+		rounds, labelShare, sync, eval, codec)
+	if start > 0 {
+		base = fmt.Sprintf("%s;start=%d", base, start)
+	}
+	return base
+}
+
 // parseHello splits a hello meta string into the comparable base part
 // and the evaluator flag.
 func parseHello(meta string) (base string, evaluator bool, err error) {
@@ -304,90 +518,180 @@ func parseHello(meta string) (base string, evaluator bool, err error) {
 	}
 }
 
-// sequentialRound serves one training round in sequential mode: each
-// platform's minibatch gets its own forward/backward/optimizer step.
-func (s *Server) sequentialRound(conns []transport.Conn, r int) error {
-	for k, conn := range conns {
-		a, labels, err := s.recvActivations(conn, r, k)
-		if err != nil {
-			return err
-		}
-		s.lastBatch[k] = a.Dim(0)
-		z := s.cfg.Back.Forward(a, true)
-		var dz *tensor.Tensor
-		var lossVal float64
-		if s.cfg.LabelSharing {
-			lossVal, dz = s.cfg.Loss.Loss(z, labels)
-		} else {
-			if err := s.send(conn, &wire.Message{
-				Type:     wire.MsgLogits,
-				Platform: uint32(k),
-				Round:    uint32(r),
-				Payload:  s.encLogits.encode(s.cfg.Codec, z),
-			}, k, r); err != nil {
-				return err
-			}
-			m, err := s.recv(conn, wire.MsgLossGrad, r, k)
-			if err != nil {
-				return err
-			}
-			ts, derr := wire.DecodeInto(s.cfg.Codec, s.gradDec[k], m.Payload)
-			if derr != nil || len(ts) != 1 {
-				return fmt.Errorf("%w: bad loss-grad payload from platform %d", ErrProtocol, k)
-			}
-			s.gradDec[k] = ts
-			releasePayload(m)
-			dz = ts[0]
-			if !tensor.SameShape(dz, z) {
-				return fmt.Errorf("%w: loss-grad shape %v, logits %v", ErrProtocol, dz.Shape(), z.Shape())
-			}
-		}
-		nn.ZeroGrads(s.cfg.Back.Params())
-		da := s.cfg.Back.Backward(dz)
-		if s.cfg.ClipGrads > 0 {
-			nn.ClipGrads(s.cfg.Back.Params(), s.cfg.ClipGrads)
-		}
-		s.cfg.Opt.Step(s.cfg.Back.Params())
+// sequentialScheduler processes each platform's minibatch as its own
+// forward/backward/optimizer step (k steps per round, the reading most
+// consistent with the paper's flowchart). It is the only scheduler
+// that supports dropout recovery: each platform's exchange is an
+// independent stage machine, so a dead platform can be skipped or
+// resumed without touching the others.
+type sequentialScheduler struct{}
 
-		var cutPayload []byte
-		if s.cfg.LabelSharing {
-			if s.lossScalar == nil {
-				s.lossScalar = tensor.New()
-			}
-			s.lossScalar.Set(float32(lossVal))
-			cutPayload = s.encCut.encode(s.cfg.Codec, da, s.lossScalar)
-		} else {
-			cutPayload = s.encCut.encode(s.cfg.Codec, da)
+func (sequentialScheduler) trainRound(s *Server, r int) error {
+	for k := range s.plats {
+		if s.plats[k].status == PlatformDropped {
+			continue
 		}
-		if err := s.send(conn, &wire.Message{
-			Type:     wire.MsgCutGrad,
-			Platform: uint32(k),
-			Round:    uint32(r),
-			Payload:  cutPayload,
-		}, k, r); err != nil {
+		if err := s.seqExchange(k, r); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// concatRound serves one training round in concat mode: all platforms'
-// minibatches are fused into a single batch and the server takes one
-// optimizer step on the union gradient. Per-platform loss gradients are
-// rescaled by s_k/S so the fused gradient is the mean over the union
-// batch regardless of per-platform batch sizes.
-func (s *Server) concatRound(conns []transport.Conn, r int) error {
+// Wire positions within one platform's train exchange, in protocol
+// order. Both parties number them identically; the rejoin handshake
+// exchanges positions to agree where a recovered round resumes.
+const (
+	posActs     = 0 // platform → server: activations
+	posLabels   = 1 // platform → server: labels (label-sharing mode)
+	posLogits   = 2 // server → platform: logits (label-private mode)
+	posLossGrad = 3 // platform → server: loss gradients (label-private mode)
+	posCutGrad  = 4 // server → platform: cut gradients
+	posDone     = 5 // exchange complete
+)
+
+// seqExchange runs one platform's training exchange for round r as an
+// explicit stage machine. Compute (forward, backward, optimizer step)
+// is bound to stage *transitions*, so re-entering a wire stage after a
+// dropout recovery never recomputes — BatchNorm statistics and
+// optimizer state advance exactly once per round no matter how many
+// times the wire stages retry.
+func (s *Server) seqExchange(k, r int) error {
+	ps := s.plats[k]
+	conn := ps.conn
+	var a, z, da *tensor.Tensor
+	var labels []int
+	var lossVal float64
+	pos := posActs
+	for pos != posDone {
+		var err error
+		switch pos {
+		case posActs:
+			a, err = s.recvActs(conn, r, k)
+			if err == nil {
+				s.lastBatch[k] = a.Dim(0)
+				if s.cfg.LabelSharing {
+					pos = posLabels
+				} else {
+					z = s.cfg.Back.Forward(a, true)
+					pos = posLogits
+				}
+			}
+		case posLabels:
+			labels, err = s.recvLabels(conn, r, k, a.Dim(0))
+			if err == nil {
+				z = s.cfg.Back.Forward(a, true)
+				var dz *tensor.Tensor
+				lossVal, dz = s.cfg.Loss.Loss(z, labels)
+				da = s.backwardStep(dz)
+				pos = posCutGrad
+			}
+		case posLogits:
+			err = s.send(conn, &wire.Message{
+				Type:     wire.MsgLogits,
+				Platform: uint32(k),
+				Round:    uint32(r),
+				Payload:  s.encLogits.encode(s.cfg.Codec, z),
+			}, k, r)
+			if err == nil {
+				pos = posLossGrad
+			}
+		case posLossGrad:
+			var dz *tensor.Tensor
+			dz, err = s.recvLossGrad(conn, r, k, z)
+			if err == nil {
+				da = s.backwardStep(dz)
+				pos = posCutGrad
+			}
+		case posCutGrad:
+			err = s.sendCutGrad(ps, k, r, da, lossVal)
+			if err == nil {
+				pos = posDone
+			}
+		}
+		if err != nil {
+			resume, skip, rerr := s.handleDrop(k, r, pos, err)
+			if rerr != nil {
+				return rerr
+			}
+			if skip {
+				return nil
+			}
+			pos = resume
+		}
+	}
+	return nil
+}
+
+// backwardStep runs the server backward pass and optimizer step for
+// one minibatch, returning the cut gradient.
+func (s *Server) backwardStep(dz *tensor.Tensor) *tensor.Tensor {
+	nn.ZeroGrads(s.cfg.Back.Params())
+	da := s.cfg.Back.Backward(dz)
+	if s.cfg.ClipGrads > 0 {
+		nn.ClipGrads(s.cfg.Back.Params(), s.cfg.ClipGrads)
+	}
+	s.cfg.Opt.Step(s.cfg.Back.Params())
+	return da
+}
+
+// sendCutGrad ships the cut gradient (plus the loss scalar in
+// label-sharing mode). In recovery mode the encoded payload is also
+// cached so a platform that died waiting for it can be replayed after
+// the server has moved on.
+func (s *Server) sendCutGrad(ps *platformState, k, r int, da *tensor.Tensor, lossVal float64) error {
+	var payload []byte
+	if s.cfg.LabelSharing {
+		if s.lossScalar == nil {
+			s.lossScalar = tensor.New()
+		}
+		s.lossScalar.Set(float32(lossVal))
+		payload = s.encCut.encode(s.cfg.Codec, da, s.lossScalar)
+	} else {
+		payload = s.encCut.encode(s.cfg.Codec, da)
+	}
+	if s.cfg.Recovery != nil {
+		ps.lastCut = append(ps.lastCut[:0], payload...)
+		ps.lastCutRound = r
+		ps.lastCutLoss = s.cfg.LabelSharing
+	}
+	return s.send(ps.conn, &wire.Message{
+		Type:     wire.MsgCutGrad,
+		Platform: uint32(k),
+		Round:    uint32(r),
+		Payload:  payload,
+	}, k, r)
+}
+
+// concatScheduler fuses all platforms' minibatches into a single batch
+// and takes one optimizer step per round on the union gradient.
+// Per-platform loss gradients are rescaled by s_k/S so the fused
+// gradient is the mean over the union batch regardless of per-platform
+// batch sizes.
+type concatScheduler struct{}
+
+func (concatScheduler) trainRound(s *Server, r int) error {
+	conns := make([]transport.Conn, len(s.plats))
+	for k, ps := range s.plats {
+		conns[k] = ps.conn
+	}
 	acts := make([]*tensor.Tensor, len(conns))
 	labelsPer := make([][]int, len(conns))
 	sizes := make([]int, len(conns))
 	total := 0
 	for k, conn := range conns {
-		a, labels, err := s.recvActivations(conn, r, k)
+		a, err := s.recvActs(conn, r, k)
 		if err != nil {
 			return err
 		}
+		if s.cfg.LabelSharing {
+			labels, err := s.recvLabels(conn, r, k, a.Dim(0))
+			if err != nil {
+				return err
+			}
+			labelsPer[k] = labels
+		}
 		acts[k] = a
-		labelsPer[k] = labels
 		sizes[k] = a.Dim(0)
 		s.lastBatch[k] = sizes[k]
 		total += sizes[k]
@@ -424,31 +728,20 @@ func (s *Server) concatRound(conns []transport.Conn, r int) error {
 		}
 		grads := make([]*tensor.Tensor, len(conns))
 		for k, conn := range conns {
-			m, err := s.recv(conn, wire.MsgLossGrad, r, k)
+			g, err := s.recvLossGrad(conn, r, k, zs[k])
 			if err != nil {
 				return err
 			}
-			ts, derr := wire.DecodeInto(s.cfg.Codec, s.gradDec[k], m.Payload)
-			if derr != nil || len(ts) != 1 {
-				return fmt.Errorf("%w: bad loss-grad payload from platform %d", ErrProtocol, k)
-			}
-			s.gradDec[k] = ts
-			releasePayload(m)
 			// Rescale from per-platform mean to union mean.
-			ts[0].Scale(float32(sizes[k]) / float32(total))
-			grads[k] = ts[0]
+			g.Scale(float32(sizes[k]) / float32(total))
+			grads[k] = g
 		}
 		gradShape := append([]int{total}, grads[0].Shape()[1:]...)
 		s.fusedGrad = tensor.EnsureShape(s.fusedGrad, gradShape...)
 		dz = tensor.ConcatDim0Into(s.fusedGrad, grads...)
 	}
 
-	nn.ZeroGrads(s.cfg.Back.Params())
-	da := s.cfg.Back.Backward(dz)
-	if s.cfg.ClipGrads > 0 {
-		nn.ClipGrads(s.cfg.Back.Params(), s.cfg.ClipGrads)
-	}
-	s.cfg.Opt.Step(s.cfg.Back.Params())
+	da := s.backwardStep(dz)
 
 	das := tensor.SplitDim0(da, sizes)
 	for k, conn := range conns {
@@ -474,48 +767,76 @@ func (s *Server) concatRound(conns []transport.Conn, r int) error {
 	return nil
 }
 
-// recvActivations reads platform k's minibatch activations (and, in
-// label-sharing mode, the label vector that follows) into the
-// platform's decode scratch, recycling the payload buffers. The
+// recvActs reads platform k's minibatch activations into the
+// platform's decode scratch, recycling the payload buffer. The
 // returned tensor is owned by the server and valid until platform k's
-// next activations decode — which in every round mode happens after the
-// round's backward has consumed it.
-func (s *Server) recvActivations(conn transport.Conn, r, k int) (*tensor.Tensor, []int, error) {
+// next activations decode — which in every round mode happens after
+// the round's backward has consumed it.
+func (s *Server) recvActs(conn transport.Conn, r, k int) (*tensor.Tensor, error) {
 	m, err := s.recv(conn, wire.MsgActivations, r, k)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	ts, derr := wire.DecodeInto(s.cfg.Codec, s.actsDec[k], m.Payload)
 	if derr != nil || len(ts) != 1 {
-		return nil, nil, fmt.Errorf("%w: bad activations payload from platform %d", ErrProtocol, k)
+		return nil, fmt.Errorf("%w: bad activations payload from platform %d", ErrProtocol, k)
 	}
 	s.actsDec[k] = ts
 	releasePayload(m)
-	var labels []int
-	if s.cfg.LabelSharing {
-		lm, err := s.recv(conn, wire.MsgLabels, r, k)
-		if err != nil {
-			return nil, nil, err
-		}
-		labels, err = wire.DecodeLabelsInto(s.labelsDec[k], lm.Payload)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%w: bad labels payload from platform %d", ErrProtocol, k)
-		}
-		s.labelsDec[k] = labels
-		releasePayload(lm)
-		if len(labels) != ts[0].Dim(0) {
-			return nil, nil, fmt.Errorf("%w: %d labels for %d activations", ErrProtocol, len(labels), ts[0].Dim(0))
-		}
-	}
-	return ts[0], labels, nil
+	return ts[0], nil
 }
 
-// l1Sync averages the platforms' L1 weights (weighted by their latest
-// minibatch sizes) and redistributes the result.
-func (s *Server) l1Sync(conns []transport.Conn, r int) error {
+// recvLabels reads platform k's label vector (label-sharing mode) and
+// validates its length against the activation batch.
+func (s *Server) recvLabels(conn transport.Conn, r, k, batch int) ([]int, error) {
+	lm, err := s.recv(conn, wire.MsgLabels, r, k)
+	if err != nil {
+		return nil, err
+	}
+	labels, derr := wire.DecodeLabelsInto(s.labelsDec[k], lm.Payload)
+	if derr != nil {
+		return nil, fmt.Errorf("%w: bad labels payload from platform %d", ErrProtocol, k)
+	}
+	s.labelsDec[k] = labels
+	releasePayload(lm)
+	if len(labels) != batch {
+		return nil, fmt.Errorf("%w: %d labels for %d activations", ErrProtocol, len(labels), batch)
+	}
+	return labels, nil
+}
+
+// recvLossGrad reads platform k's loss gradient and validates its
+// shape against the logits it answers.
+func (s *Server) recvLossGrad(conn transport.Conn, r, k int, z *tensor.Tensor) (*tensor.Tensor, error) {
+	m, err := s.recv(conn, wire.MsgLossGrad, r, k)
+	if err != nil {
+		return nil, err
+	}
+	ts, derr := wire.DecodeInto(s.cfg.Codec, s.gradDec[k], m.Payload)
+	if derr != nil || len(ts) != 1 {
+		return nil, fmt.Errorf("%w: bad loss-grad payload from platform %d", ErrProtocol, k)
+	}
+	s.gradDec[k] = ts
+	releasePayload(m)
+	dz := ts[0]
+	if !tensor.SameShape(dz, z) {
+		return nil, fmt.Errorf("%w: loss-grad shape %v, logits %v", ErrProtocol, dz.Shape(), z.Shape())
+	}
+	return dz, nil
+}
+
+// l1Sync averages the active platforms' L1 weights (weighted by their
+// latest minibatch sizes) and redistributes the result. Dropped
+// platforms (ProceedWithout policy) neither contribute nor receive;
+// they re-align at their next L1 sync after rejoining.
+func (s *Server) l1Sync(r int) error {
 	var lists [][]*tensor.Tensor
-	for k, conn := range conns {
-		m, err := s.recv(conn, wire.MsgModelPush, r, k)
+	var weights []float64
+	for k, ps := range s.plats {
+		if ps.status != PlatformActive {
+			continue
+		}
+		m, err := s.recv(ps.conn, wire.MsgModelPush, r, k)
 		if err != nil {
 			return err
 		}
@@ -524,15 +845,19 @@ func (s *Server) l1Sync(conns []transport.Conn, r int) error {
 			return fmt.Errorf("%w: bad L1 push from platform %d", ErrProtocol, k)
 		}
 		if len(lists) > 0 && len(ts) != len(lists[0]) {
-			return fmt.Errorf("%w: platform %d pushed %d tensors, platform 0 pushed %d", ErrProtocol, k, len(ts), len(lists[0]))
+			return fmt.Errorf("%w: platform %d pushed %d tensors, want %d", ErrProtocol, k, len(ts), len(lists[0]))
 		}
 		lists = append(lists, ts)
+		weights = append(weights, float64(s.lastBatch[k]))
+	}
+	if len(lists) == 0 {
+		return fmt.Errorf("%w: L1 sync with no active platforms", ErrProtocol)
 	}
 	// Weighted average into fresh tensors.
 	avg := make([]*tensor.Tensor, len(lists[0]))
 	var totalW float64
-	for k := range lists {
-		totalW += float64(s.lastBatch[k])
+	for _, w := range weights {
+		totalW += w
 	}
 	if totalW == 0 {
 		return fmt.Errorf("%w: L1 sync before any training batch", ErrProtocol)
@@ -541,14 +866,17 @@ func (s *Server) l1Sync(conns []transport.Conn, r int) error {
 		avg[i] = tensor.New(lists[0][i].Shape()...)
 		for k, ts := range lists {
 			if !tensor.SameShape(ts[i], avg[i]) {
-				return fmt.Errorf("%w: platform %d L1 tensor %d shape %v, want %v", ErrProtocol, k, i, ts[i].Shape(), avg[i].Shape())
+				return fmt.Errorf("%w: L1 tensor %d shape %v, want %v", ErrProtocol, i, ts[i].Shape(), avg[i].Shape())
 			}
-			avg[i].AxpyInPlace(float32(float64(s.lastBatch[k])/totalW), ts[i])
+			avg[i].AxpyInPlace(float32(weights[k]/totalW), ts[i])
 		}
 	}
 	payload := wire.EncodeTensors(avg...)
-	for k, conn := range conns {
-		if err := s.send(conn, &wire.Message{
+	for k, ps := range s.plats {
+		if ps.status != PlatformActive {
+			continue
+		}
+		if err := s.send(ps.conn, &wire.Message{
 			Type:     wire.MsgModelPush,
 			Platform: uint32(k),
 			Round:    uint32(r),
@@ -558,6 +886,15 @@ func (s *Server) l1Sync(conns []transport.Conn, r int) error {
 		}
 	}
 	return nil
+}
+
+// evalIfPresent runs the evaluation phase when an evaluator exists and
+// is connected.
+func (s *Server) evalIfPresent(r int) error {
+	if s.evaluator < 0 || s.plats[s.evaluator].status != PlatformActive {
+		return nil
+	}
+	return s.evalPhase(s.plats[s.evaluator].conn, r)
 }
 
 // evalPhase answers a stream of evaluation batches from the evaluator

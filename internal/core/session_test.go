@@ -1,0 +1,141 @@
+package core
+
+import "testing"
+
+// walk records the (state, round) sequence a session produces.
+func walk(s *Session) []string {
+	var out []string
+	for {
+		out = append(out, s.State().String()+":"+itoa(s.Round()))
+		if s.State() == StateDone {
+			return out
+		}
+		s.Advance()
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// The session must produce the exact phase sequence of the paper's
+// flow: handshake, per-round train with sync/eval where scheduled, and
+// a final-round eval, then done.
+func TestSessionPhaseSequence(t *testing.T) {
+	s := newSession(sessionPlan{rounds: 4, l1SyncEvery: 2, evalEvery: 3})
+	want := []string{
+		"handshake:0",
+		"train:0",
+		"train:1", "l1sync:1",
+		"train:2", "eval:2",
+		"train:3", "l1sync:3", "eval:3", // final round always evals
+		"done:4",
+	}
+	got := walk(s)
+	if len(got) != len(want) {
+		t.Fatalf("sequence %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// Without sync or eval the session is a plain round loop.
+func TestSessionPlainRounds(t *testing.T) {
+	s := newSession(sessionPlan{rounds: 3})
+	want := []string{"handshake:0", "train:0", "train:1", "train:2", "done:3"}
+	got := walk(s)
+	if len(got) != len(want) {
+		t.Fatalf("sequence %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// A resumed session starts at its checkpointed round and preserves the
+// absolute schedule: sync/eval rounds fall exactly where an
+// uninterrupted session would put them.
+func TestSessionResumePreservesAbsoluteSchedule(t *testing.T) {
+	s := newSession(sessionPlan{start: 3, rounds: 6, l1SyncEvery: 2, evalEvery: 5})
+	want := []string{
+		"handshake:3",
+		"train:3", "l1sync:3",
+		"train:4", "eval:4",
+		"train:5", "l1sync:5", "eval:5",
+		"done:6",
+	}
+	got := walk(s)
+	if len(got) != len(want) {
+		t.Fatalf("sequence %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// SkipTo jumps forward to a train phase (the ProceedWithout rejoin
+// path) and rejects going backwards or past the end.
+func TestSessionSkipTo(t *testing.T) {
+	s := newSession(sessionPlan{rounds: 10})
+	s.Advance() // handshake -> train:0
+	if err := s.SkipTo(6); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateTrain || s.Round() != 6 {
+		t.Fatalf("after SkipTo: %v round %d", s.State(), s.Round())
+	}
+	if err := s.SkipTo(2); err == nil {
+		t.Fatal("skipped backwards")
+	}
+	if err := s.SkipTo(10); err == nil {
+		t.Fatal("skipped past the end")
+	}
+}
+
+// Advancing past Done stays at Done.
+func TestSessionDoneIsTerminal(t *testing.T) {
+	s := newSession(sessionPlan{rounds: 1})
+	for i := 0; i < 5; i++ {
+		s.Advance()
+	}
+	if s.State() != StateDone {
+		t.Fatalf("state %v, want done", s.State())
+	}
+}
+
+func TestSessionStateStrings(t *testing.T) {
+	states := map[SessionState]string{
+		StateHandshake: "handshake", StateTrain: "train", StateL1Sync: "l1sync",
+		StateEval: "eval", StateDone: "done",
+	}
+	for st, want := range states {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+	statuses := map[PlatformStatus]string{
+		PlatformActive: "active", PlatformDropped: "dropped", PlatformDone: "done",
+	}
+	for st, want := range statuses {
+		if st.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

@@ -29,6 +29,14 @@ func NewAugmenter(pad int, flip bool, r *rng.RNG) *Augmenter {
 	return &Augmenter{Pad: pad, Flip: flip, r: r}
 }
 
+// RNGSnapshot captures the augmenter's random stream so a resumed run
+// draws the same crop offsets and flip decisions an uninterrupted run
+// would have.
+func (a *Augmenter) RNGSnapshot() rng.Snapshot { return a.r.Snapshot() }
+
+// RestoreRNG overwrites the augmenter's random stream.
+func (a *Augmenter) RestoreRNG(s rng.Snapshot) { a.r.Restore(s) }
+
 // Apply augments a batch [n, c, h, w] in place and returns it. Each
 // sample gets an independent crop offset and flip decision.
 func (a *Augmenter) Apply(x *tensor.Tensor) *tensor.Tensor {

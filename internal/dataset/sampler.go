@@ -42,6 +42,58 @@ func (s *BatchSampler) BatchSize() int { return s.batch }
 // Epoch returns how many full passes have been completed.
 func (s *BatchSampler) Epoch() int { return s.epoch }
 
+// SamplerSnapshot is the full serializable state of a BatchSampler:
+// the current epoch permutation, the cursor within it, the epoch count
+// and the shuffling RNG. Restoring it resumes the exact batch stream a
+// checkpointed training run was drawing.
+type SamplerSnapshot struct {
+	Indices []int
+	Cursor  int
+	Epoch   int
+	RNG     rng.Snapshot
+}
+
+// Snapshot captures the sampler's state. The indices are copied.
+func (s *BatchSampler) Snapshot() SamplerSnapshot {
+	return SamplerSnapshot{
+		Indices: append([]int(nil), s.indices...),
+		Cursor:  s.cursor,
+		Epoch:   s.epoch,
+		RNG:     s.r.Snapshot(),
+	}
+}
+
+// Restore overwrites the sampler's state with a snapshot. It fails if
+// the snapshot was taken over a different index-set size — that means
+// the checkpoint belongs to a different shard.
+func (s *BatchSampler) Restore(snap SamplerSnapshot) error {
+	if len(snap.Indices) != len(s.indices) {
+		return fmt.Errorf("dataset: sampler snapshot has %d indices, sampler has %d", len(snap.Indices), len(s.indices))
+	}
+	if snap.Cursor < 0 || snap.Cursor > len(s.indices) {
+		return fmt.Errorf("dataset: sampler snapshot cursor %d out of range [0,%d]", snap.Cursor, len(s.indices))
+	}
+	copy(s.indices, snap.Indices)
+	s.cursor = snap.Cursor
+	s.epoch = snap.Epoch
+	s.r.Restore(snap.RNG)
+	return nil
+}
+
+// Skip advances the sampler by n batches without materializing them —
+// how a platform that missed rounds while disconnected realigns its
+// batch stream with the round counter before rejoining.
+func (s *BatchSampler) Skip(n int) {
+	for i := 0; i < n; i++ {
+		if s.cursor+s.batch > len(s.indices) {
+			s.r.Shuffle(s.indices)
+			s.cursor = 0
+			s.epoch++
+		}
+		s.cursor += s.batch
+	}
+}
+
 // Next returns the next minibatch of indices. When fewer than a full
 // batch remain in the epoch, the sampler reshuffles and starts the next
 // epoch, so every batch has exactly BatchSize elements. The returned

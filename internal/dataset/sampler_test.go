@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"testing"
+
+	"medsplit/internal/rng"
+)
+
+// A restored sampler must reproduce the exact batch stream the
+// original would have drawn — across epoch boundaries, where the
+// permutation reshuffles.
+func TestSamplerSnapshotRestoreResumesBatchStream(t *testing.T) {
+	mk := func() *BatchSampler {
+		return NewBatchSampler(seqIndices(23), 5, rng.New(71))
+	}
+	s := mk()
+	for i := 0; i < 7; i++ { // crosses one reshuffle (23/5 = 4 batches/epoch)
+		s.Next()
+	}
+	snap := s.Snapshot()
+
+	var want [][]int
+	for i := 0; i < 12; i++ {
+		want = append(want, append([]int(nil), s.Next()...))
+	}
+
+	s2 := mk()
+	if err := s2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		got := s2.Next()
+		if len(got) != len(w) {
+			t.Fatalf("batch %d: %d indices, want %d", i, len(got), len(w))
+		}
+		for j := range w {
+			if got[j] != w[j] {
+				t.Fatalf("batch %d index %d: restored %d, want %d", i, j, got[j], w[j])
+			}
+		}
+	}
+	if s2.Epoch() != s.Epoch() {
+		t.Fatalf("epoch %d after restore+replay, want %d", s2.Epoch(), s.Epoch())
+	}
+}
+
+// Restore must reject a snapshot from a different shard size — that
+// checkpoint belongs to another platform.
+func TestSamplerRestoreRejectsWrongShard(t *testing.T) {
+	a := NewBatchSampler(seqIndices(20), 4, rng.New(1))
+	b := NewBatchSampler(seqIndices(24), 4, rng.New(1))
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("restored a snapshot with a mismatched index-set size")
+	}
+	bad := a.Snapshot()
+	bad.Cursor = 99
+	if err := a.Restore(bad); err == nil {
+		t.Fatal("restored a snapshot with an out-of-range cursor")
+	}
+}
+
+// Skip(n) must land the sampler exactly where n Next() calls would.
+func TestSamplerSkipMatchesNext(t *testing.T) {
+	a := NewBatchSampler(seqIndices(17), 4, rng.New(9))
+	b := NewBatchSampler(seqIndices(17), 4, rng.New(9))
+	for i := 0; i < 11; i++ { // crosses reshuffles
+		a.Next()
+	}
+	b.Skip(11)
+	for i := 0; i < 8; i++ {
+		ba, bb := a.Next(), b.Next()
+		for j := range ba {
+			if ba[j] != bb[j] {
+				t.Fatalf("batch %d diverged after Skip: %v vs %v", i, ba, bb)
+			}
+		}
+	}
+	if a.Epoch() != b.Epoch() {
+		t.Fatalf("Skip epoch %d, Next epoch %d", b.Epoch(), a.Epoch())
+	}
+}
+
+// The augmenter's RNG snapshot must resume its decision stream.
+func TestAugmenterRNGSnapshotRestore(t *testing.T) {
+	a := NewAugmenter(2, true, rng.New(5))
+	// Burn some draws through the underlying stream.
+	for i := 0; i < 9; i++ {
+		a.r.Float64()
+	}
+	snap := a.RNGSnapshot()
+	var want []float64
+	for i := 0; i < 20; i++ {
+		want = append(want, a.r.Float64())
+	}
+	b := NewAugmenter(2, true, rng.New(0))
+	b.RestoreRNG(snap)
+	for i, w := range want {
+		if got := b.r.Float64(); got != w {
+			t.Fatalf("draw %d: restored %v, want %v", i, got, w)
+		}
+	}
+}

@@ -95,6 +95,19 @@ type Config struct {
 	// Codec names the activation-path compression codec ("raw", "f16",
 	// "int8", "topk-<frac>"; default "raw"). Split scheme only.
 	Codec string
+	// CheckpointDir, when set, makes every party (server and all
+	// platforms) write session snapshots there. Split scheme only.
+	CheckpointDir string
+	// CheckpointEvery writes snapshots every so many completed rounds
+	// (requires CheckpointDir). Negative values are rejected.
+	CheckpointEvery int
+	// ResumeFrom, when set, restores the whole session — server and
+	// every platform — from the snapshots in the given directory (a
+	// previous run's CheckpointDir) and continues training from the
+	// checkpointed round. The resumed trajectory is bit-identical to an
+	// uninterrupted run for sequential, concat and depth-1 pipelined
+	// scheduling. Split scheme only.
+	ResumeFrom string
 	// Augment enables platform-local random crop (pad 4) and horizontal
 	// flip on training minibatches. Split scheme, image models only.
 	Augment bool
@@ -156,6 +169,31 @@ func (c Config) withDefaults() Config {
 		c.PipelineDepth = 2
 	}
 	return c
+}
+
+// validate rejects inconsistent configurations. All cross-field Config
+// rules live here; the Run* entry points call it right after
+// withDefaults.
+func (c Config) validate() error {
+	if c.ConcatRounds && c.Pipelined {
+		return fmt.Errorf("experiment: ConcatRounds and Pipelined are mutually exclusive")
+	}
+	if c.PipelineDepth > 0 && !c.Pipelined {
+		return fmt.Errorf("experiment: PipelineDepth %d without Pipelined", c.PipelineDepth)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("experiment: negative CheckpointEvery %d", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
+		return fmt.Errorf("experiment: CheckpointEvery without CheckpointDir")
+	}
+	if c.Platforms <= 0 {
+		return fmt.Errorf("experiment: %d platforms", c.Platforms)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("experiment: %d rounds", c.Rounds)
+	}
+	return nil
 }
 
 // BuildModel constructs one model instance for the config. Calling it

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"testing"
+
+	"medsplit/internal/core"
+)
+
+// A RunSplit interrupted at a checkpoint and resumed in a fresh
+// "process" (fresh models, data, samplers — everything rebuilt from
+// the config, state restored from the snapshots) must land at exactly
+// the same final accuracy as the uninterrupted run: the restored
+// trajectory is bit-identical, so even the float comparison is exact.
+func TestRunSplitResumeMatchesUninterrupted(t *testing.T) {
+	full, err := RunSplit(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	seg1 := fastCfg()
+	seg1.Rounds = 13 // interrupt at an "odd" round, mid eval interval
+	seg1.CheckpointDir = dir
+	seg1.CheckpointEvery = 13
+	if _, err := RunSplit(seg1); err != nil {
+		t.Fatal(err)
+	}
+
+	seg2 := fastCfg()
+	seg2.ResumeFrom = dir
+	res, err := RunSplit(seg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy != full.FinalAccuracy {
+		t.Fatalf("resumed accuracy %v, uninterrupted %v", res.FinalAccuracy, full.FinalAccuracy)
+	}
+	// The resumed curve only covers resumed rounds, all past the cut.
+	for _, p := range res.Curve.Points {
+		if p.Round < 13 {
+			t.Fatalf("resumed curve contains pre-checkpoint round %d", p.Round)
+		}
+	}
+
+	// The snapshots carry the round counter.
+	snap, err := core.LoadSnapshotFile(core.ServerSnapshotPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NextRound != 13 {
+		t.Fatalf("server snapshot resumes at %d, want 13", snap.NextRound)
+	}
+}
+
+// Resume also composes with the pipelined scheduler at depth 1, where
+// the trajectory is defined to match sequential bit for bit.
+func TestRunSplitResumePipelinedDepth1(t *testing.T) {
+	base := fastCfg()
+	base.Pipelined = true
+	base.PipelineDepth = 1
+
+	full, err := RunSplit(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seg1 := base
+	seg1.Rounds = 11
+	seg1.CheckpointDir = dir
+	seg1.CheckpointEvery = 11
+	if _, err := RunSplit(seg1); err != nil {
+		t.Fatal(err)
+	}
+	seg2 := base
+	seg2.ResumeFrom = dir
+	res, err := RunSplit(seg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy != full.FinalAccuracy {
+		t.Fatalf("resumed accuracy %v, uninterrupted %v", res.FinalAccuracy, full.FinalAccuracy)
+	}
+}
+
+// Config.validate catches the cross-field mistakes table-driven.
+func TestConfigValidationTable(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"valid", nil, true},
+		{"concat and pipelined", func(c *Config) { c.ConcatRounds = true; c.Pipelined = true }, false},
+		{"pipeline depth without pipelined", func(c *Config) { c.PipelineDepth = 2 }, false},
+		{"negative checkpoint every", func(c *Config) { c.CheckpointEvery = -3 }, false},
+		{"checkpoint every without dir", func(c *Config) { c.CheckpointEvery = 4 }, false},
+		{"checkpoint every with dir", func(c *Config) { c.CheckpointEvery = 4; c.CheckpointDir = t.TempDir() }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := fastCfg()
+			cfg.Rounds = 2 // keep the valid arms fast
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			}
+			_, err := RunSplit(cfg)
+			if tc.ok && err != nil {
+				t.Fatalf("valid config rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}

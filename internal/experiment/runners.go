@@ -45,13 +45,50 @@ func buildModels(cfg Config, count int) ([]*models.Model, error) {
 	return ms, nil
 }
 
+// loadResumeSnapshots reads the server's and every platform's most
+// advanced snapshot (scheduled checkpoint or abort/stop stash,
+// whichever is newer — see core.LoadLatestSnapshot) from a previous
+// run's checkpoint directory and validates that they all stopped at
+// the same round boundary.
+func loadResumeSnapshots(dir string, platforms int) (srv *core.Snapshot, plats []*core.Snapshot, err error) {
+	srv, err = core.LoadLatestSnapshot(dir, core.RoleServer, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	plats = make([]*core.Snapshot, platforms)
+	for k := range plats {
+		plats[k], err = core.LoadLatestSnapshot(dir, core.RolePlatform, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		if plats[k].NextRound != srv.NextRound {
+			return nil, nil, fmt.Errorf("experiment: platform %d checkpointed at round %d, server at %d",
+				k, plats[k].NextRound, srv.NextRound)
+		}
+	}
+	return srv, plats, nil
+}
+
 // RunSplit trains the config with the paper's split-learning framework
 // and returns the accuracy-vs-communication curve.
 func RunSplit(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	shards, test, batches, err := BuildData(cfg)
 	if err != nil {
 		return nil, err
+	}
+	var srvSnap *core.Snapshot
+	var platSnaps []*core.Snapshot
+	startRound := 0
+	if cfg.ResumeFrom != "" {
+		srvSnap, platSnaps, err = loadResumeSnapshots(cfg.ResumeFrom, cfg.Platforms)
+		if err != nil {
+			return nil, err
+		}
+		startRound = srvSnap.NextRound
 	}
 	// One identically initialized model instance per platform (fronts)
 	// plus one for the server (back) — the paper's "same weights in L1"
@@ -85,9 +122,6 @@ func RunSplit(cfg Config) (*Result, error) {
 		mode = core.RoundModeConcat
 	}
 	if cfg.Pipelined {
-		if cfg.ConcatRounds {
-			return nil, fmt.Errorf("experiment: ConcatRounds and Pipelined are mutually exclusive")
-		}
 		mode = core.RoundModePipelined
 	}
 	// Shadow fronts let platforms overlap their L1 backward with the
@@ -124,16 +158,19 @@ func RunSplit(cfg Config) (*Result, error) {
 		}
 	}
 	scfg := core.ServerConfig{
-		Back:          back,
-		Opt:           &nn.SGD{LR: cfg.LR},
-		Platforms:     cfg.Platforms,
-		Rounds:        cfg.Rounds,
-		Mode:          mode,
-		PipelineDepth: cfg.PipelineDepth,
-		ClipGrads:     5,
-		L1SyncEvery:   cfg.L1SyncEvery,
-		EvalEvery:     cfg.EvalEvery,
-		Codec:         codec,
+		Back:            back,
+		Opt:             &nn.SGD{LR: cfg.LR},
+		Platforms:       cfg.Platforms,
+		Rounds:          cfg.Rounds,
+		StartRound:      startRound,
+		Mode:            mode,
+		PipelineDepth:   cfg.PipelineDepth,
+		ClipGrads:       5,
+		L1SyncEvery:     cfg.L1SyncEvery,
+		EvalEvery:       cfg.EvalEvery,
+		CheckpointEvery: cfg.CheckpointEvery,
+		CheckpointDir:   cfg.CheckpointDir,
+		Codec:           codec,
 	}
 	if cfg.LabelSharing {
 		scfg.LabelSharing = true
@@ -143,25 +180,33 @@ func RunSplit(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if srvSnap != nil {
+		if err := srv.RestoreSnapshot(srvSnap); err != nil {
+			return nil, err
+		}
+	}
 	meters := make([]*transport.Meter, cfg.Platforms)
 	platforms := make([]*core.Platform, cfg.Platforms)
 	for k := 0; k < cfg.Platforms; k++ {
 		meters[k] = &transport.Meter{}
 		pc := core.PlatformConfig{
-			ID:           k,
-			Front:        fronts[k],
-			Opt:          &nn.SGD{LR: cfg.LR},
-			Loss:         newLoss(),
-			Shard:        shards[k],
-			Batch:        batches[k],
-			Rounds:       cfg.Rounds,
-			LabelSharing: cfg.LabelSharing,
-			ClipGrads:    5,
-			L1SyncEvery:  cfg.L1SyncEvery,
-			EvalEvery:    cfg.EvalEvery,
-			Seed:         cfg.Seed + uint64(1000+k),
-			Codec:        codec,
-			Meter:        meters[k],
+			ID:              k,
+			Front:           fronts[k],
+			Opt:             &nn.SGD{LR: cfg.LR},
+			Loss:            newLoss(),
+			Shard:           shards[k],
+			Batch:           batches[k],
+			Rounds:          cfg.Rounds,
+			StartRound:      startRound,
+			LabelSharing:    cfg.LabelSharing,
+			ClipGrads:       5,
+			L1SyncEvery:     cfg.L1SyncEvery,
+			EvalEvery:       cfg.EvalEvery,
+			CheckpointEvery: cfg.CheckpointEvery,
+			CheckpointDir:   cfg.CheckpointDir,
+			Seed:            cfg.Seed + uint64(1000+k),
+			Codec:           codec,
+			Meter:           meters[k],
 		}
 		if shadows != nil {
 			pc.ShadowFront = shadows[k]
@@ -178,6 +223,11 @@ func RunSplit(cfg Config) (*Result, error) {
 		p, err := core.NewPlatform(pc)
 		if err != nil {
 			return nil, err
+		}
+		if platSnaps != nil {
+			if err := p.RestoreSnapshot(platSnaps[k]); err != nil {
+				return nil, err
+			}
 		}
 		platforms[k] = p
 	}
@@ -202,8 +252,10 @@ func RunSplit(cfg Config) (*Result, error) {
 			Accuracy: stats[0].Evals[i].Accuracy,
 			Bytes:    bytes,
 		}
-		if len(stats[0].Rounds) > pt.Round {
-			pt.Loss = stats[0].Rounds[pt.Round].Loss
+		// Stats index by executed round: resumed runs start at
+		// startRound, so absolute round r lives at index r-startRound.
+		if ri := pt.Round - startRound; ri >= 0 && ri < len(stats[0].Rounds) {
+			pt.Loss = stats[0].Rounds[ri].Loss
 		}
 		res.Curve.Append(pt)
 	}
@@ -224,21 +276,24 @@ func RunSplit(cfg Config) (*Result, error) {
 		// is a genuine barrier round — every platform's exchange
 		// overlaps around one fused step — so it keeps the
 		// slowest-platform model, like the sync-SGD baseline.
+		// Meters only saw the rounds this process executed, which on a
+		// resumed run is fewer than cfg.Rounds.
+		executed := cfg.Rounds - startRound
 		var rt time.Duration
 		var err error
 		switch {
 		case cfg.Pipelined:
-			rt, err = cfg.Topology.PipelinedSplitRoundTime(cfg.Regions, splitShape(meters, cfg.Rounds), cfg.PipelineDepth)
+			rt, err = cfg.Topology.PipelinedSplitRoundTime(cfg.Regions, splitShape(meters, executed), cfg.PipelineDepth)
 		case cfg.ConcatRounds:
 			up := make([]int64, cfg.Platforms)
 			down := make([]int64, cfg.Platforms)
 			for k, m := range meters {
-				up[k] = trainTx(m) / int64(cfg.Rounds)
-				down[k] = trainRx(m) / int64(cfg.Rounds)
+				up[k] = trainTx(m) / int64(executed)
+				down[k] = trainRx(m) / int64(executed)
 			}
 			rt, err = cfg.simTime(up, down)
 		default:
-			rt, err = cfg.Topology.SequentialSplitRoundTime(cfg.Regions, splitShape(meters, cfg.Rounds))
+			rt, err = cfg.Topology.SequentialSplitRoundTime(cfg.Regions, splitShape(meters, executed))
 		}
 		if err != nil {
 			return nil, err
@@ -274,6 +329,9 @@ func splitShape(meters []*transport.Meter, rounds int) geonet.SplitRoundShape {
 // Synchronous SGD).
 func RunSyncSGD(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	shards, test, batches, err := BuildData(cfg)
 	if err != nil {
 		return nil, err
@@ -366,6 +424,9 @@ func RunSyncSGD(cfg Config) (*Result, error) {
 // de facto standard).
 func RunFedAvg(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	shards, test, batches, err := BuildData(cfg)
 	if err != nil {
 		return nil, err

@@ -131,6 +131,126 @@ func (a *Adam) Step(params []*Param) {
 	}
 }
 
+// OptimizerState is an optimizer's internal state, captured for
+// checkpointing: scalar counters (e.g. Adam's step count) as raw
+// uint64 values and per-parameter state tensors in a deterministic
+// order. The tensors are deep copies — mutating the live optimizer
+// after capture does not corrupt the snapshot.
+type OptimizerState struct {
+	Scalars []uint64
+	Tensors []*tensor.Tensor
+}
+
+// StatefulOptimizer is implemented by optimizers whose updates depend
+// on accumulated internal state (momentum buffers, moment estimates).
+// CaptureState/RestoreState order state tensors by the params list, so
+// two structurally identical models exchange state losslessly. Plain
+// SGD is stateless and does not implement the interface.
+type StatefulOptimizer interface {
+	Optimizer
+	CaptureState(params []*Param) OptimizerState
+	RestoreState(params []*Param, st OptimizerState) error
+}
+
+// cloneTensor deep-copies t (zeros when t is nil, shaped like ref).
+func cloneTensor(t *tensor.Tensor, ref *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(ref.Shape()...)
+	if t != nil {
+		out.CopyFrom(t)
+	}
+	return out
+}
+
+var _ StatefulOptimizer = (*Momentum)(nil)
+
+// CaptureState snapshots the velocity buffers, one per param in params
+// order (zeros for params never stepped).
+func (m *Momentum) CaptureState(params []*Param) OptimizerState {
+	st := OptimizerState{Tensors: make([]*tensor.Tensor, len(params))}
+	for i, p := range params {
+		st.Tensors[i] = cloneTensor(m.velocity[p], p.W)
+	}
+	return st
+}
+
+// RestoreState overwrites the velocity buffers from a snapshot.
+func (m *Momentum) RestoreState(params []*Param, st OptimizerState) error {
+	if len(st.Scalars) != 0 || len(st.Tensors) != len(params) {
+		return fmt.Errorf("nn: momentum state has %d scalars / %d tensors, want 0 / %d",
+			len(st.Scalars), len(st.Tensors), len(params))
+	}
+	if m.velocity == nil {
+		m.velocity = make(map[*Param]*tensor.Tensor, len(params))
+	}
+	for i, p := range params {
+		if !tensor.SameShape(st.Tensors[i], p.W) {
+			return fmt.Errorf("nn: momentum state tensor %d shape %v, want %v", i, st.Tensors[i].Shape(), p.W.Shape())
+		}
+		m.velocity[p] = cloneTensor(st.Tensors[i], p.W)
+	}
+	return nil
+}
+
+var _ StatefulOptimizer = (*Adam)(nil)
+
+// CaptureState snapshots the step count and first/second moment
+// estimates ([m, v] per param, in params order).
+func (a *Adam) CaptureState(params []*Param) OptimizerState {
+	st := OptimizerState{
+		Scalars: []uint64{uint64(a.t)},
+		Tensors: make([]*tensor.Tensor, 0, 2*len(params)),
+	}
+	for _, p := range params {
+		st.Tensors = append(st.Tensors, cloneTensor(a.m[p], p.W), cloneTensor(a.v[p], p.W))
+	}
+	return st
+}
+
+// RestoreState overwrites the step count and moment estimates.
+func (a *Adam) RestoreState(params []*Param, st OptimizerState) error {
+	if len(st.Scalars) != 1 || len(st.Tensors) != 2*len(params) {
+		return fmt.Errorf("nn: adam state has %d scalars / %d tensors, want 1 / %d",
+			len(st.Scalars), len(st.Tensors), 2*len(params))
+	}
+	if a.m == nil {
+		a.m = make(map[*Param]*tensor.Tensor, len(params))
+		a.v = make(map[*Param]*tensor.Tensor, len(params))
+	}
+	a.t = int(st.Scalars[0])
+	for i, p := range params {
+		mt, vt := st.Tensors[2*i], st.Tensors[2*i+1]
+		if !tensor.SameShape(mt, p.W) || !tensor.SameShape(vt, p.W) {
+			return fmt.Errorf("nn: adam state tensors for param %d mismatch shape %v", i, p.W.Shape())
+		}
+		a.m[p] = cloneTensor(mt, p.W)
+		a.v[p] = cloneTensor(vt, p.W)
+	}
+	return nil
+}
+
+// CaptureOptimizerState captures opt's state, or an empty state for
+// stateless optimizers (SGD).
+func CaptureOptimizerState(opt Optimizer, params []*Param) OptimizerState {
+	if so, ok := opt.(StatefulOptimizer); ok {
+		return so.CaptureState(params)
+	}
+	return OptimizerState{}
+}
+
+// RestoreOptimizerState restores a state captured by
+// CaptureOptimizerState into opt. A non-empty state for a stateless
+// optimizer is a config mismatch and fails.
+func RestoreOptimizerState(opt Optimizer, params []*Param, st OptimizerState) error {
+	if so, ok := opt.(StatefulOptimizer); ok {
+		return so.RestoreState(params, st)
+	}
+	if len(st.Scalars) != 0 || len(st.Tensors) != 0 {
+		return fmt.Errorf("nn: optimizer %q is stateless but checkpoint carries %d scalars / %d tensors",
+			opt.Name(), len(st.Scalars), len(st.Tensors))
+	}
+	return nil
+}
+
 // ClipGrads clamps every gradient entry into [-limit, limit]. The
 // training loops call it before the optimizer step to keep early rounds
 // stable at the small batch sizes the simulations use.

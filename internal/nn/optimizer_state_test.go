@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+)
+
+// optTestParams builds a small deterministic parameter set with
+// non-zero gradients.
+func optTestParams(seed uint64, n int) []*Param {
+	r := rng.New(seed)
+	params := make([]*Param, n)
+	for i := range params {
+		w := tensor.New(3, 4)
+		g := tensor.New(3, 4)
+		wd, gd := w.Data(), g.Data()
+		for j := range wd {
+			wd[j] = r.NormFloat32()
+			gd[j] = r.NormFloat32()
+		}
+		params[i] = &Param{Name: "p", W: w, G: g}
+		params[i].G.CopyFrom(g)
+	}
+	return params
+}
+
+func stepsBitIdentical(t *testing.T, mk func() Optimizer) {
+	t.Helper()
+	// Reference: 10 uninterrupted steps.
+	ref := optTestParams(11, 3)
+	refOpt := mk()
+	for s := 0; s < 10; s++ {
+		refOpt.Step(ref)
+	}
+
+	// Interrupted: 4 steps, capture, restore into a FRESH optimizer over
+	// a fresh (but identical) parameter set, 6 more steps.
+	a := optTestParams(11, 3)
+	aOpt := mk()
+	for s := 0; s < 4; s++ {
+		aOpt.Step(a)
+	}
+	st := CaptureOptimizerState(aOpt, a)
+
+	b := optTestParams(11, 3)
+	for i := range b {
+		b[i].W.CopyFrom(a[i].W) // weights travel via the model checkpoint
+	}
+	bOpt := mk()
+	if err := RestoreOptimizerState(bOpt, b, st); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 6; s++ {
+		bOpt.Step(b)
+	}
+
+	for i := range ref {
+		x, y := ref[i].W.Data(), b[i].W.Data()
+		for j := range x {
+			if math.Float32bits(x[j]) != math.Float32bits(y[j]) {
+				t.Fatalf("param %d scalar %d: resumed %v, uninterrupted %v", i, j, y[j], x[j])
+			}
+		}
+	}
+}
+
+// Capture-at-step-4 + restore must land bit-identical to 10
+// uninterrupted steps for every stateful optimizer.
+func TestOptimizerStateRoundTrip(t *testing.T) {
+	t.Run("sgd", func(t *testing.T) {
+		stepsBitIdentical(t, func() Optimizer { return &SGD{LR: 0.05, WeightDecay: 0.01} })
+	})
+	t.Run("momentum", func(t *testing.T) {
+		stepsBitIdentical(t, func() Optimizer { return &Momentum{LR: 0.05, Mu: 0.9} })
+	})
+	t.Run("adam", func(t *testing.T) {
+		stepsBitIdentical(t, func() Optimizer { return &Adam{LR: 0.01} })
+	})
+}
+
+// Captured tensors are deep copies: stepping the live optimizer after
+// capture must not mutate the snapshot.
+func TestOptimizerCaptureIsDeepCopy(t *testing.T) {
+	params := optTestParams(13, 2)
+	opt := &Momentum{LR: 0.1, Mu: 0.9}
+	opt.Step(params)
+	st := opt.CaptureState(params)
+	before := append([]float32(nil), st.Tensors[0].Data()...)
+	opt.Step(params)
+	after := st.Tensors[0].Data()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("captured state aliased live optimizer buffers")
+		}
+	}
+}
+
+// Restore must reject mismatched state.
+func TestOptimizerRestoreRejectsMismatch(t *testing.T) {
+	params := optTestParams(17, 2)
+	mom := &Momentum{LR: 0.1, Mu: 0.9}
+	if err := mom.RestoreState(params, OptimizerState{Tensors: []*tensor.Tensor{tensor.New(1)}}); err == nil {
+		t.Fatal("momentum accepted a state with the wrong tensor count")
+	}
+	adam := &Adam{LR: 0.1}
+	if err := adam.RestoreState(params, OptimizerState{Scalars: []uint64{1, 2}, Tensors: make([]*tensor.Tensor, 4)}); err == nil {
+		t.Fatal("adam accepted a state with the wrong scalar count")
+	}
+	sgd := &SGD{LR: 0.1}
+	if err := RestoreOptimizerState(sgd, params, OptimizerState{Scalars: []uint64{1}}); err == nil {
+		t.Fatal("stateless SGD accepted a stateful checkpoint")
+	}
+}

@@ -33,6 +33,29 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// Snapshot is the full serializable state of an RNG: restoring it
+// resumes the stream exactly where the capture left off, including the
+// spare Box-Muller variate. Checkpoint/restore of training sessions
+// depends on this being complete — a missing field would silently
+// desynchronize a resumed run from its uninterrupted twin.
+type Snapshot struct {
+	State         uint64
+	CachedNorm    float64
+	HasCachedNorm bool
+}
+
+// Snapshot captures the generator's current state.
+func (r *RNG) Snapshot() Snapshot {
+	return Snapshot{State: r.state, CachedNorm: r.cachedNorm, HasCachedNorm: r.hasCachedNorm}
+}
+
+// Restore overwrites the generator's state with a snapshot.
+func (r *RNG) Restore(s Snapshot) {
+	r.state = s.State
+	r.cachedNorm = s.CachedNorm
+	r.hasCachedNorm = s.HasCachedNorm
+}
+
 // Split derives an independent generator from r's current state. The
 // derived stream is decorrelated from the parent by mixing in a large odd
 // constant, so parent and child can be used side by side.

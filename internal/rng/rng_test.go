@@ -233,3 +233,36 @@ func BenchmarkNorm(b *testing.B) {
 		_ = r.Norm()
 	}
 }
+
+// A restored RNG must continue the stream exactly where the snapshot
+// was taken — including the Box-Muller spare, which Norm caches between
+// calls.
+func TestSnapshotRestoreResumesStream(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 17; i++ {
+		r.Uint64()
+	}
+	r.Norm() // leaves a cached spare variate
+	snap := r.Snapshot()
+	if !snap.HasCachedNorm {
+		t.Fatal("snapshot lost the cached Box-Muller spare")
+	}
+
+	var want []uint64
+	var wantNorm []float64
+	for i := 0; i < 50; i++ {
+		want = append(want, r.Uint64())
+		wantNorm = append(wantNorm, r.Norm())
+	}
+
+	r2 := New(0)
+	r2.Restore(snap)
+	for i := 0; i < 50; i++ {
+		if got := r2.Uint64(); got != want[i] {
+			t.Fatalf("Uint64 %d: restored stream %d, want %d", i, got, want[i])
+		}
+		if got := r2.Norm(); got != wantNorm[i] {
+			t.Fatalf("Norm %d: restored stream %v, want %v", i, got, wantNorm[i])
+		}
+	}
+}

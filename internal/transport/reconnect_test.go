@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"medsplit/internal/wire"
+)
+
+// A Reconnectable endpoint must keep working across a transport swap:
+// operations before the swap use the old link, operations after it use
+// the new one, and the endpoint value itself never changes.
+func TestReconnectableSwapMidStream(t *testing.T) {
+	s1, c1 := Pipe()
+	rc := NewReconnectable(c1)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m, _ := s1.Recv()
+		_ = m
+	}()
+	if err := rc.Send(&wire.Message{Type: wire.MsgAck, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// Kill the first link: the endpoint starts failing.
+	s1.Close()
+	c1.Close()
+	if err := rc.Send(&wire.Message{Type: wire.MsgAck, Round: 2}); err == nil {
+		t.Fatal("send on a dead transport succeeded")
+	}
+
+	// Swap in a fresh link: the same endpoint works again.
+	s2, c2 := Pipe()
+	old := rc.Swap(c2)
+	if old != c1 {
+		t.Fatal("Swap returned the wrong previous transport")
+	}
+	if rc.Swaps() != 1 {
+		t.Fatalf("Swaps() = %d, want 1", rc.Swaps())
+	}
+	got := make(chan *wire.Message, 1)
+	go func() {
+		m, err := s2.Recv()
+		if err != nil {
+			return
+		}
+		got <- m
+	}()
+	if err := rc.Send(&wire.Message{Type: wire.MsgAck, Round: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if m := <-got; m.Round != 3 {
+		t.Fatalf("round %d arrived on the new transport, want 3", m.Round)
+	}
+
+	// Recv side also follows the swap.
+	go func() { _ = s2.Send(&wire.Message{Type: wire.MsgBye}) }()
+	m, err := rc.Recv()
+	if err != nil || m.Type != wire.MsgBye {
+		t.Fatalf("recv after swap: %v %v", m, err)
+	}
+}
+
+// Swapping while another goroutine is blocked in Recv must not race:
+// the blocked operation finishes (or fails) on the transport it
+// started on.
+func TestReconnectableSwapConcurrentWithRecv(t *testing.T) {
+	s1, c1 := Pipe()
+	rc := NewReconnectable(c1)
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		// Depending on scheduling this Recv resolves the endpoint before
+		// or after the swap — either way it must fail cleanly once both
+		// transports close, never deliver data or hang.
+		_, err := rc.Recv()
+		if err == nil {
+			t.Error("recv on a closed transport delivered a message")
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
+			t.Errorf("unexpected recv error: %v", err)
+		}
+	}()
+	<-started
+	s2, c2 := Pipe()
+	old := rc.Swap(c2)
+	old.Close() // unblocks a Recv parked on the old transport
+	s1.Close()
+	s2.Close() // unblocks a Recv that landed on the new transport
+	c2.Close()
+	wg.Wait()
+}

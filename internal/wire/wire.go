@@ -27,7 +27,8 @@ type MsgType uint8
 // Logits, LossGrad and CutGrad are the paper's four communications
 // (Fig. 2/3); ModelPull/ModelPush/GradPush serve the parameter-server
 // baselines; Labels exists for the label-sharing ablation; Ack and
-// ErrorMsg close control loops.
+// ErrorMsg close control loops; Rejoin/RejoinAck re-attach a platform
+// that lost its connection mid-session (dropout recovery).
 const (
 	MsgHello MsgType = iota + 1
 	MsgHelloAck
@@ -44,6 +45,8 @@ const (
 	MsgEvalActivations
 	MsgEvalLogits
 	MsgBye
+	MsgRejoin
+	MsgRejoinAck
 
 	msgTypeCount = iota + 1
 )
@@ -64,6 +67,8 @@ var msgTypeNames = map[MsgType]string{
 	MsgEvalActivations: "eval-activations",
 	MsgEvalLogits:      "eval-logits",
 	MsgBye:             "bye",
+	MsgRejoin:          "rejoin",
+	MsgRejoinAck:       "rejoin-ack",
 }
 
 // String names the message type for diagnostics.
@@ -92,10 +97,14 @@ type Message struct {
 const (
 	magic uint16 = 0x5D17 // "SplIT"
 	// version 2: tensor payload counts widened from one byte to uint16
-	// (the old encoding silently truncated counts above 255). The bump
-	// makes old/new binaries fail fast with ErrBadVersion at the first
-	// frame instead of misdecoding payload headers mid-training.
-	version uint8 = 2
+	// (the old encoding silently truncated counts above 255).
+	// version 3: the Rejoin/RejoinAck dropout-recovery control pair
+	// joined the vocabulary. A version-2 peer would reject the new
+	// types with ErrBadType only when a dropout actually happened —
+	// mid-training, after hours of work — so the version bump makes
+	// mixed deployments fail fast with ErrBadVersion at the first
+	// frame instead.
+	version uint8 = 3
 
 	// headerSize: magic(2) + version(1) + type(1) + platform(4) +
 	// round(4) + payloadLen(4) + crc(4).
