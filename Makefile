@@ -9,9 +9,18 @@ GO ?= go
 BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound|BenchmarkCodec
 
 # Packages with concurrency worth racing: the pipelined scheduler, the
-# async transport wrappers, the parameter-server baseline and the
+# async transport wrappers, the simulated-WAN transport (including the
+# 100-platform scale-out soak), the parameter-server baseline and the
 # parallel tensor kernels.
-RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/syncsgd/... ./internal/tensor/...
+RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/simnet/... ./internal/syncsgd/... ./internal/tensor/...
+
+# Minimum statement coverage the cover target enforces for the engine's
+# load-bearing packages. The scenario-matrix and simnet suites lifted
+# these; the gate keeps them from silently eroding. Raise the floors
+# when coverage rises, never lower them to merge.
+COVER_MIN_core       = 82
+COVER_MIN_transport  = 87
+COVER_MIN_simnet     = 90
 
 .PHONY: test bench bench-save bench-smoke fuzz-smoke cover vuln race vet fmt-check ci
 
@@ -41,11 +50,30 @@ fuzz-smoke:
 	@echo fuzz-smoke ok
 
 # Coverage summary for the engine core (the session/checkpoint/recovery
-# refactor's home) plus its wire and transport substrate.
+# refactor's home) plus its wire, transport and simnet substrate — with
+# a hard minimum-coverage gate on the packages the scenario matrix
+# protects (runs in CI's cover job).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/wire/ ./internal/transport/
-	@$(GO) tool cover -func=cover.out | grep -E '^total|session.go|checkpoint.go|recovery.go' | tail -20
+	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/wire/ ./internal/transport/ ./internal/simnet/ | tee cover-packages.txt
+	@if grep -q '^FAIL' cover-packages.txt; then \
+		echo "cover: test failures (tee hides the pipeline status; see above)"; exit 1; \
+	fi
+	@$(GO) tool cover -func=cover.out | grep -E '^total|session.go|checkpoint.go|recovery.go|simnet.go' | tail -20
 	@echo "full per-function report: $(GO) tool cover -func=cover.out"
+	@set -e; for spec in \
+		"medsplit/internal/core:$(COVER_MIN_core)" \
+		"medsplit/internal/transport:$(COVER_MIN_transport)" \
+		"medsplit/internal/simnet:$(COVER_MIN_simnet)"; do \
+		pkg=$${spec%%:*}; min=$${spec##*:}; \
+		pct=$$(awk -v pkg="$$pkg" '$$1 == "ok" && $$2 == pkg { for (i = 3; i <= NF; i++) if ($$i == "coverage:") { sub(/%$$/, "", $$(i+1)); print $$(i+1) } }' cover-packages.txt); \
+		if [ -z "$$pct" ]; then echo "cover gate: no coverage reported for $$pkg"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v m="$$min" 'BEGIN { print (p >= m) ? 1 : 0 }'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "cover gate: $$pkg at $$pct% is below the $$min% floor"; exit 1; \
+		fi; \
+		echo "cover gate: $$pkg $$pct% >= $$min%"; \
+	done
+	@rm -f cover-packages.txt
 
 # Known-vulnerability scan (runs in CI's lint job; needs network to
 # install the scanner the first time).
@@ -66,7 +94,7 @@ bench:
 # regenerable. -benchmem is load-bearing: it puts allocs/op on every
 # line, so the JSON trajectory tracks the wire path's allocation wins.
 bench-smoke:
-	$(GO) test -bench 'BenchmarkMatMul|BenchmarkSplitRound|BenchmarkCodec' -benchmem -benchtime 1x -run NONE ./internal/tensor/ ./internal/compress/ . \
+	$(GO) test -bench 'BenchmarkMatMul|BenchmarkSplitRound|BenchmarkCodec|BenchmarkSimnetRound' -benchmem -benchtime 1x -run NONE ./internal/tensor/ ./internal/compress/ . \
 		| $(GO) run ./cmd/benchjson > /dev/null
 	@echo bench-smoke ok
 
@@ -89,3 +117,15 @@ bench-save-wire:
 		-note 'differential tests: compress kernels bit-for-bit serial vs parallel (raw/f16/int8), top-k tie multiset (internal/compress/kernels_test.go)' \
 		> BENCH_wire.json
 	@echo wrote BENCH_wire.json
+
+# Refresh the simulated-WAN scale-out baseline: full protocol rounds
+# over simnet at 5/25/100 platforms. ns/op tracks the real cost of
+# simulating a session; the sim-ms/round metric is the virtual WAN
+# round time on the arm's topology.
+bench-save-simnet:
+	$(GO) test -bench 'BenchmarkSimnetRound' -benchmem -benchtime 3x -run NONE . \
+		| $(GO) run ./cmd/benchjson \
+		-note '5-platform arm runs the paper 5-hospital topology (geonet.DefaultHospitalTopology); 25/100 use geonet.SyntheticClinics(seed 23)' \
+		-note 'sim-ms/round is virtual WAN time per synchronous round measured by the simnet clock; determinism asserted by internal/simnet soak tests' \
+		> BENCH_simnet.json
+	@echo wrote BENCH_simnet.json

@@ -26,9 +26,6 @@ func RunLocal(server *Server, platforms []*Platform) ([]*PlatformStats, error) {
 	if server == nil {
 		return nil, fmt.Errorf("%w: nil server", ErrConfig)
 	}
-	if len(platforms) != server.cfg.Platforms {
-		return nil, fmt.Errorf("%w: %d platforms for a %d-platform server", ErrConfig, len(platforms), server.cfg.Platforms)
-	}
 	serverConns := make([]transport.Conn, len(platforms))
 	platformConns := make([]transport.Conn, len(platforms))
 	for k, p := range platforms {
@@ -39,13 +36,45 @@ func RunLocal(server *Server, platforms []*Platform) ([]*PlatformStats, error) {
 		}
 		platformConns[k] = c
 	}
-	// Close everything on exit so a failing party unblocks the others.
+	return RunConnected(server, platforms, serverConns, platformConns)
+}
+
+// RunConnected executes a session over caller-provided connections:
+// serverConns[k] and platformConns[k] are the two ends of platform k's
+// link (pipes, TCP, or a simulated WAN — see internal/simnet). The
+// caller applies any metering wrapper to the platform ends before
+// passing them in; RunConnected owns the connections from here on and
+// closes them all before returning, so a failing party always unblocks
+// the others. One goroutine drives the server session and one drives
+// each platform — the per-connection I/O goroutine budget beyond that
+// belongs to the server's scheduling mode (see
+// ServerConfig.IOGoroutineBudget).
+func RunConnected(server *Server, platforms []*Platform, serverConns, platformConns []transport.Conn) ([]*PlatformStats, error) {
+	// Close everything on exit — including the validation-error exits
+	// below — so a failing party (or a misconfigured harness) always
+	// unblocks peers parked in Recv on the other end.
 	defer func() {
-		for k := range platforms {
-			serverConns[k].Close()
-			platformConns[k].Close()
+		for _, c := range serverConns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, c := range platformConns {
+			if c != nil {
+				c.Close()
+			}
 		}
 	}()
+	if server == nil {
+		return nil, fmt.Errorf("%w: nil server", ErrConfig)
+	}
+	if len(platforms) != server.cfg.Platforms {
+		return nil, fmt.Errorf("%w: %d platforms for a %d-platform server", ErrConfig, len(platforms), server.cfg.Platforms)
+	}
+	if len(serverConns) != len(platforms) || len(platformConns) != len(platforms) {
+		return nil, fmt.Errorf("%w: %d platforms with %d server / %d platform connections",
+			ErrConfig, len(platforms), len(serverConns), len(platformConns))
+	}
 
 	stats := make([]*PlatformStats, len(platforms))
 	errs := make([]error, len(platforms)+1)

@@ -9,6 +9,7 @@ import (
 	"medsplit/internal/nn"
 	"medsplit/internal/rng"
 	"medsplit/internal/transport"
+	"medsplit/internal/transport/testutil"
 )
 
 // splitRun executes one full split session on a fixed-seed 2-platform
@@ -17,6 +18,7 @@ import (
 // pinned, so two runs with the same arguments are bit-identical.
 func splitRun(t *testing.T, mode RoundMode, depth, rounds int, shadows, eval bool) ([][]*nn.Param, []*PlatformStats) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	const K = 2
 	train, test := testData(t, 4, 240, 60, 91)
 	flat, flatTest := flatten(train), flatten(test)

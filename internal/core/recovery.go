@@ -293,7 +293,7 @@ func (s *Server) handleDrop(k, r, pos int, cause error) (resume int, skip bool, 
 	if s.cfg.Recovery == nil || !recoverable(cause) {
 		return 0, false, cause
 	}
-	ps := s.plats[k]
+	ps := s.reg.state(k)
 	if s.cfg.Recovery.Policy == ProceedWithout {
 		ps.status = PlatformDropped
 		ps.droppedRound = r
@@ -400,20 +400,21 @@ func (s *Server) adoptRejoiners(r int) {
 	if s.cfg.Recovery == nil || s.cfg.Recovery.Policy != ProceedWithout {
 		return
 	}
-	for k, ps := range s.plats {
+	_ = s.reg.each(func(k int, ps *platformState) error {
 		if ps.status != PlatformDropped {
-			continue
+			return nil
 		}
 		offer := s.cfg.Recovery.Broker.take(k)
 		if offer == nil {
-			continue
+			return nil
 		}
 		if _, err := s.adopt(ps, k, r, posActs, offer); err != nil {
 			// A malformed rejoin keeps the platform dropped; it may try
 			// again at the next boundary.
 			ps.status = PlatformDropped
 		}
-	}
+		return nil
+	})
 }
 
 // ---------------------------------------------------------------------------

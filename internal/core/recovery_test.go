@@ -11,6 +11,7 @@ import (
 	"medsplit/internal/nn"
 	"medsplit/internal/rng"
 	"medsplit/internal/transport"
+	"medsplit/internal/transport/testutil"
 	"medsplit/internal/wire"
 )
 
@@ -74,6 +75,7 @@ const recoveryVictim = 1
 // stats. Fixed seeds: two runs with equal opts are bit-identical.
 func recoveryRun(t *testing.T, o recoveryOpts) ([][]*nn.Param, []*PlatformStats) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	const K = 2
 	train, _ := testData(t, 4, 240, 60, 171)
 	flat := flatten(train)
@@ -267,6 +269,7 @@ func TestProceedWithoutDeterministicCompletion(t *testing.T) {
 // victim at round 8 in every run.
 func proceedRunDeterministic(t *testing.T, rounds int) ([][]*nn.Param, []*PlatformStats) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	const K = 2
 	train, _ := testData(t, 4, 240, 60, 171)
 	flat := flatten(train)

@@ -37,6 +37,15 @@ type ServerConfig struct {
 	// depth >= 2). Defaults to 1, which is bit-identical to Sequential.
 	// Only valid with RoundModePipelined.
 	PipelineDepth int
+	// IOGoroutineBudget caps the dedicated I/O goroutines the pipelined
+	// server spawns (each overlapped connection costs two: a reader and
+	// a writer). Connections beyond the budget run synchronously inside
+	// the compute loop — final weights are identical either way, the
+	// budget only bounds how much WAN I/O overlaps compute. This is the
+	// knob that keeps a 100-platform session from minting 200 goroutines
+	// when a few dozen already hide the latency. 0 means no cap. Only
+	// valid with RoundModePipelined.
+	IOGoroutineBudget int
 	// LabelSharing enables the 2-message ablation where platforms ship
 	// labels and the server computes the loss. Requires Loss.
 	LabelSharing bool
@@ -111,6 +120,12 @@ func (cfg *ServerConfig) validate() error {
 	if cfg.Mode == RoundModePipelined && cfg.PipelineDepth == 0 {
 		cfg.PipelineDepth = 1
 	}
+	if cfg.IOGoroutineBudget < 0 {
+		return fmt.Errorf("%w: I/O goroutine budget %d", ErrConfig, cfg.IOGoroutineBudget)
+	}
+	if cfg.IOGoroutineBudget > 0 && cfg.Mode != RoundModePipelined {
+		return fmt.Errorf("%w: I/O goroutine budget %d requires RoundModePipelined", ErrConfig, cfg.IOGoroutineBudget)
+	}
 	if cfg.LabelSharing && cfg.Loss == nil {
 		return fmt.Errorf("%w: label sharing requires a server-side loss", ErrConfig)
 	}
@@ -160,7 +175,7 @@ type Server struct {
 	cfg       ServerConfig
 	sched     roundScheduler
 	sess      *Session
-	plats     []*platformState
+	reg       *platformRegistry
 	lastBatch []int // most recent minibatch rows seen per platform
 	evaluator int   // platform id that runs eval phases; -1 if none
 	stop      atomic.Bool
@@ -294,10 +309,17 @@ func (s *Server) servePipelined(conns []transport.Conn) error {
 	// messages per round (activations, labels, loss-grad), plus sync and
 	// eval control; 4 per in-flight round plus slack covers every mode.
 	depth := 4*s.cfg.PipelineDepth + 4
-	async := make([]*transport.AsyncConn, len(conns))
+	// The goroutine budget decides how many connections get dedicated
+	// reader/writer goroutines (2 each); the rest stay synchronous.
+	overlapped := len(conns)
+	if b := s.cfg.IOGoroutineBudget; b > 0 && b/2 < overlapped {
+		overlapped = b / 2
+	}
+	async := make([]*transport.AsyncConn, overlapped)
 	wrapped := make([]transport.Conn, len(conns))
-	for k, c := range conns {
-		async[k] = transport.NewAsync(c, transport.AsyncOptions{
+	copy(wrapped, conns)
+	for k := 0; k < overlapped; k++ {
+		async[k] = transport.NewAsync(conns[k], transport.AsyncOptions{
 			SendQueue: depth,
 			RecvQueue: depth,
 			// Bye is the last message a platform ever sends, so the reader
@@ -329,15 +351,7 @@ func (s *Server) servePipelined(conns []transport.Conn) error {
 // phases; everything else — handshake, L1 sync, eval, checkpoints,
 // graceful stop, shutdown — is shared across modes.
 func (s *Server) serve(conns []transport.Conn) error {
-	s.plats = make([]*platformState, len(conns))
-	for k, c := range conns {
-		ps := &platformState{conn: c, status: PlatformActive}
-		if s.cfg.Recovery != nil {
-			ps.rc = transport.NewReconnectable(c)
-			ps.conn = ps.rc
-		}
-		s.plats[k] = ps
-	}
+	s.reg = newPlatformRegistry(conns, s.cfg.Recovery != nil)
 	s.sess = newSession(s.plan())
 	s.refreshStash(s.cfg.StartRound)
 	for {
@@ -403,10 +417,7 @@ func (s *Server) atBoundary(completed int) error {
 		// caller closes the connections right after Serve returns, which
 		// both delivers the close to the platforms and reaps these
 		// goroutines.
-		for k, ps := range s.plats {
-			if ps.status != PlatformActive {
-				continue
-			}
+		_ = s.reg.eachActive(func(k int, ps *platformState) error {
 			// Raw send, no tracing: TraceFuncs are not required to be
 			// goroutine-safe and the session goroutine moves on.
 			msg := &wire.Message{
@@ -416,7 +427,8 @@ func (s *Server) atBoundary(completed int) error {
 			}
 			conn := ps.conn
 			go func() { _ = conn.Send(msg) }()
-		}
+			return nil
+		})
 		return fmt.Errorf("%w: after %d rounds", ErrStopped, completed)
 	}
 	return nil
@@ -425,23 +437,20 @@ func (s *Server) atBoundary(completed int) error {
 // shutdown completes the session: every active platform says goodbye.
 // Dropped platforms (ProceedWithout policy) have nothing to say.
 func (s *Server) shutdown() error {
-	for k, ps := range s.plats {
-		if ps.status != PlatformActive {
-			continue
-		}
+	return s.reg.eachActive(func(k int, ps *platformState) error {
 		if _, err := s.recv(ps.conn, wire.MsgBye, -1, k); err != nil {
 			return fmt.Errorf("core: platform %d shutdown: %w", k, err)
 		}
 		ps.status = PlatformDone
-	}
-	return nil
+		return nil
+	})
 }
 
 // handshake validates every platform's declared configuration against
 // the server's, and learns which platform (if any) evaluates.
 func (s *Server) handshake() error {
 	want := helloBase(s.cfg.Rounds, s.cfg.LabelSharing, s.cfg.L1SyncEvery, s.cfg.EvalEvery, s.cfg.Codec.Name(), s.cfg.StartRound)
-	for k, ps := range s.plats {
+	if err := s.reg.each(func(k int, ps *platformState) error {
 		conn := ps.conn
 		m, err := s.recv(conn, wire.MsgHello, -1, k)
 		if err != nil {
@@ -474,13 +483,13 @@ func (s *Server) handshake() error {
 			// overlap their local L1 backward with the next forward.
 			ack = fmt.Sprintf("%s;depth=%d", ack, s.cfg.PipelineDepth)
 		}
-		if err := s.send(conn, &wire.Message{
+		return s.send(conn, &wire.Message{
 			Type:     wire.MsgHelloAck,
 			Platform: uint32(k),
 			Payload:  wire.EncodeText(ack),
-		}, k, -1); err != nil {
-			return err
-		}
+		}, k, -1)
+	}); err != nil {
+		return err
 	}
 	if s.cfg.EvalEvery > 0 && s.evaluator < 0 {
 		return fmt.Errorf("%w: EvalEvery=%d but no platform declared evaluator", ErrConfig, s.cfg.EvalEvery)
@@ -527,15 +536,12 @@ func parseHello(meta string) (base string, evaluator bool, err error) {
 type sequentialScheduler struct{}
 
 func (sequentialScheduler) trainRound(s *Server, r int) error {
-	for k := range s.plats {
-		if s.plats[k].status == PlatformDropped {
-			continue
+	return s.reg.each(func(k int, ps *platformState) error {
+		if ps.status == PlatformDropped {
+			return nil
 		}
-		if err := s.seqExchange(k, r); err != nil {
-			return err
-		}
-	}
-	return nil
+		return s.seqExchange(k, r)
+	})
 }
 
 // Wire positions within one platform's train exchange, in protocol
@@ -557,7 +563,7 @@ const (
 // optimizer state advance exactly once per round no matter how many
 // times the wire stages retry.
 func (s *Server) seqExchange(k, r int) error {
-	ps := s.plats[k]
+	ps := s.reg.state(k)
 	conn := ps.conn
 	var a, z, da *tensor.Tensor
 	var labels []int
@@ -671,10 +677,11 @@ func (s *Server) sendCutGrad(ps *platformState, k, r int, da *tensor.Tensor, los
 type concatScheduler struct{}
 
 func (concatScheduler) trainRound(s *Server, r int) error {
-	conns := make([]transport.Conn, len(s.plats))
-	for k, ps := range s.plats {
+	conns := make([]transport.Conn, s.reg.len())
+	_ = s.reg.each(func(k int, ps *platformState) error {
 		conns[k] = ps.conn
-	}
+		return nil
+	})
 	acts := make([]*tensor.Tensor, len(conns))
 	labelsPer := make([][]int, len(conns))
 	sizes := make([]int, len(conns))
@@ -832,10 +839,7 @@ func (s *Server) recvLossGrad(conn transport.Conn, r, k int, z *tensor.Tensor) (
 func (s *Server) l1Sync(r int) error {
 	var lists [][]*tensor.Tensor
 	var weights []float64
-	for k, ps := range s.plats {
-		if ps.status != PlatformActive {
-			continue
-		}
+	if err := s.reg.eachActive(func(k int, ps *platformState) error {
 		m, err := s.recv(ps.conn, wire.MsgModelPush, r, k)
 		if err != nil {
 			return err
@@ -849,6 +853,9 @@ func (s *Server) l1Sync(r int) error {
 		}
 		lists = append(lists, ts)
 		weights = append(weights, float64(s.lastBatch[k]))
+		return nil
+	}); err != nil {
+		return err
 	}
 	if len(lists) == 0 {
 		return fmt.Errorf("%w: L1 sync with no active platforms", ErrProtocol)
@@ -872,29 +879,23 @@ func (s *Server) l1Sync(r int) error {
 		}
 	}
 	payload := wire.EncodeTensors(avg...)
-	for k, ps := range s.plats {
-		if ps.status != PlatformActive {
-			continue
-		}
-		if err := s.send(ps.conn, &wire.Message{
+	return s.reg.eachActive(func(k int, ps *platformState) error {
+		return s.send(ps.conn, &wire.Message{
 			Type:     wire.MsgModelPush,
 			Platform: uint32(k),
 			Round:    uint32(r),
 			Payload:  payload,
-		}, k, r); err != nil {
-			return err
-		}
-	}
-	return nil
+		}, k, r)
+	})
 }
 
 // evalIfPresent runs the evaluation phase when an evaluator exists and
 // is connected.
 func (s *Server) evalIfPresent(r int) error {
-	if s.evaluator < 0 || s.plats[s.evaluator].status != PlatformActive {
+	if s.evaluator < 0 || s.reg.state(s.evaluator).status != PlatformActive {
 		return nil
 	}
-	return s.evalPhase(s.plats[s.evaluator].conn, r)
+	return s.evalPhase(s.reg.state(s.evaluator).conn, r)
 }
 
 // evalPhase answers a stream of evaluation batches from the evaluator

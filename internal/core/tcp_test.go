@@ -7,6 +7,7 @@ import (
 	"medsplit/internal/dataset"
 	"medsplit/internal/rng"
 	"medsplit/internal/transport"
+	"medsplit/internal/transport/testutil"
 	"medsplit/internal/wire"
 )
 
@@ -16,6 +17,7 @@ import (
 // it. The same engine code must behave identically to the pipe
 // transport.
 func TestFullSessionOverTCP(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	train, test := testData(t, 3, 120, 40, 91)
 	flat, flatTest := flatten(train), flatten(test)
 	const K, rounds = 2, 10

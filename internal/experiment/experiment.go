@@ -15,6 +15,7 @@ import (
 	"medsplit/internal/models"
 	"medsplit/internal/nn"
 	"medsplit/internal/rng"
+	"medsplit/internal/simnet"
 )
 
 // Arch selects the trainable model family.
@@ -92,6 +93,11 @@ type Config struct {
 	// (default 2, which also enables the platforms' shadow-front
 	// overlap; 1 is bit-identical to sequential scheduling).
 	PipelineDepth int
+	// PipelineIOBudget caps the pipelined server's dedicated I/O
+	// goroutines (two per overlapped connection); connections beyond
+	// the budget run synchronously with identical results. 0 = no cap.
+	// Requires Pipelined. See core.ServerConfig.IOGoroutineBudget.
+	PipelineIOBudget int
 	// Codec names the activation-path compression codec ("raw", "f16",
 	// "int8", "topk-<frac>"; default "raw"). Split scheme only.
 	Codec string
@@ -116,6 +122,29 @@ type Config struct {
 	Topology *geonet.Topology
 	// Regions maps each platform to a topology region.
 	Regions []geonet.Region
+	// SimWAN runs the split session over the deterministic simulated
+	// WAN (internal/simnet) built from Topology and Regions instead of
+	// in-process pipes: every protocol byte crosses a link with the
+	// region's latency and bandwidth on a virtual clock, and the result
+	// carries the measured virtual elapsed time (Result.SimElapsed)
+	// next to the analytic estimate (Result.RoundTime). Split scheme
+	// only; requires Topology and Regions.
+	SimWAN bool
+	// SimJitter adds up to this fraction of seeded per-message jitter
+	// to simulated transfers (see simnet.Options.Jitter). Requires
+	// SimWAN.
+	SimJitter float64
+	// SimFaults scripts deterministic link failures into the simulated
+	// WAN (drop platform k at round r, partitions, swallowed payloads).
+	// Requires SimWAN; without SimRejoin a triggered fault is fatal to
+	// the session, exactly like an unhandled WAN drop.
+	SimFaults []simnet.Fault
+	// SimRejoin enables dropout recovery over the simulated WAN:
+	// "wait" (bit-identical WaitForRejoin) or "proceed"
+	// (ProceedWithout). Platforms redial through the simulated network
+	// and rejoin via the broker. Requires SimWAN and sequential
+	// scheduling (the recovery machinery's constraint).
+	SimRejoin string
 }
 
 // withDefaults fills unset fields.
@@ -181,6 +210,9 @@ func (c Config) validate() error {
 	if c.PipelineDepth > 0 && !c.Pipelined {
 		return fmt.Errorf("experiment: PipelineDepth %d without Pipelined", c.PipelineDepth)
 	}
+	if c.PipelineIOBudget != 0 && !c.Pipelined {
+		return fmt.Errorf("experiment: PipelineIOBudget %d without Pipelined", c.PipelineIOBudget)
+	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("experiment: negative CheckpointEvery %d", c.CheckpointEvery)
 	}
@@ -192,6 +224,27 @@ func (c Config) validate() error {
 	}
 	if c.Rounds <= 0 {
 		return fmt.Errorf("experiment: %d rounds", c.Rounds)
+	}
+	if c.SimWAN {
+		if c.Topology == nil {
+			return fmt.Errorf("experiment: SimWAN without a Topology")
+		}
+		if len(c.Regions) != c.Platforms {
+			return fmt.Errorf("experiment: SimWAN with %d regions for %d platforms", len(c.Regions), c.Platforms)
+		}
+		if c.SimJitter < 0 || c.SimJitter >= 1 {
+			return fmt.Errorf("experiment: SimJitter %v outside [0,1)", c.SimJitter)
+		}
+	} else if c.SimJitter != 0 || len(c.SimFaults) > 0 || c.SimRejoin != "" {
+		return fmt.Errorf("experiment: SimJitter/SimFaults/SimRejoin require SimWAN")
+	}
+	switch c.SimRejoin {
+	case "", "wait", "proceed":
+	default:
+		return fmt.Errorf("experiment: SimRejoin %q (want \"wait\" or \"proceed\")", c.SimRejoin)
+	}
+	if c.SimRejoin != "" && (c.ConcatRounds || c.Pipelined) {
+		return fmt.Errorf("experiment: SimRejoin requires sequential scheduling")
 	}
 	return nil
 }
@@ -268,9 +321,19 @@ type Result struct {
 	Curve         metrics.Curve
 	FinalAccuracy float64
 	TrainingBytes int64
-	// RoundTime is the simulated wall-clock per round (zero without a
-	// topology).
+	// RoundTime is the analytically estimated wall-clock per round
+	// (zero without a topology).
 	RoundTime time.Duration
+	// SimElapsed is the virtual wall-clock the simulated WAN measured
+	// for the whole run (zero unless SimWAN) — the executable
+	// counterpart of RoundTime's closed-form estimate.
+	SimElapsed time.Duration
+	// WeightDigest is a 64-bit FNV-1a digest over every final model
+	// parameter's raw float bits (platform fronts in id order, then the
+	// server back). Two runs that trained bit-identically share it;
+	// the differential scenario tests compare digests across
+	// transports, codecs and fault scripts. Split scheme only.
+	WeightDigest uint64
 	// ModelParams is the trainable scalar count, for context in reports.
 	ModelParams int
 }

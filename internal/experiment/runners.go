@@ -1,7 +1,10 @@
 package experiment
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sync"
 	"time"
 
@@ -14,6 +17,7 @@ import (
 	"medsplit/internal/models"
 	"medsplit/internal/nn"
 	"medsplit/internal/rng"
+	"medsplit/internal/simnet"
 	"medsplit/internal/syncsgd"
 	"medsplit/internal/transport"
 	"medsplit/internal/wire"
@@ -157,24 +161,53 @@ func RunSplit(cfg Config) (*Result, error) {
 			return nil, cerr
 		}
 	}
+	// The simulated WAN (and the rejoin broker, when faults may drop
+	// platforms) must exist before the server and platform configs: the
+	// recovery wiring closes over both.
+	var wan *simnet.Network
+	var wanPairs []simnet.Pair
+	var broker *core.RejoinBroker
+	if cfg.SimWAN {
+		var werr error
+		wan, wanPairs, werr = simnet.FromTopology(cfg.Topology, cfg.Regions, simnet.Options{
+			Seed:   cfg.Seed + 0x51A47,
+			Jitter: cfg.SimJitter,
+			Faults: cfg.SimFaults,
+		})
+		if werr != nil {
+			return nil, werr
+		}
+		if cfg.SimRejoin != "" {
+			broker = core.NewRejoinBroker()
+			defer broker.Close()
+		}
+	}
 	scfg := core.ServerConfig{
-		Back:            back,
-		Opt:             &nn.SGD{LR: cfg.LR},
-		Platforms:       cfg.Platforms,
-		Rounds:          cfg.Rounds,
-		StartRound:      startRound,
-		Mode:            mode,
-		PipelineDepth:   cfg.PipelineDepth,
-		ClipGrads:       5,
-		L1SyncEvery:     cfg.L1SyncEvery,
-		EvalEvery:       cfg.EvalEvery,
-		CheckpointEvery: cfg.CheckpointEvery,
-		CheckpointDir:   cfg.CheckpointDir,
-		Codec:           codec,
+		Back:              back,
+		Opt:               &nn.SGD{LR: cfg.LR},
+		Platforms:         cfg.Platforms,
+		Rounds:            cfg.Rounds,
+		StartRound:        startRound,
+		Mode:              mode,
+		PipelineDepth:     cfg.PipelineDepth,
+		IOGoroutineBudget: cfg.PipelineIOBudget,
+		ClipGrads:         5,
+		L1SyncEvery:       cfg.L1SyncEvery,
+		EvalEvery:         cfg.EvalEvery,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		CheckpointDir:     cfg.CheckpointDir,
+		Codec:             codec,
 	}
 	if cfg.LabelSharing {
 		scfg.LabelSharing = true
 		scfg.Loss = newLoss()
+	}
+	if broker != nil {
+		policy := core.WaitForRejoin
+		if cfg.SimRejoin == "proceed" {
+			policy = core.ProceedWithout
+		}
+		scfg.Recovery = &core.RecoveryConfig{Policy: policy, Window: 30 * time.Second, Broker: broker}
 	}
 	srv, err := core.NewServer(scfg)
 	if err != nil {
@@ -220,6 +253,22 @@ func RunSplit(cfg Config) (*Result, error) {
 		if k == 0 {
 			pc.EvalData = test
 		}
+		if broker != nil {
+			// Dropped platforms redial through the simulated network; the
+			// fresh server end reaches the session via the broker, and the
+			// platform end keeps the same meter so recovered traffic stays
+			// accounted.
+			meter := meters[k]
+			pc.RejoinWindow = 30 * time.Second
+			pc.Redial = func() (transport.Conn, error) {
+				sEnd, pEnd, derr := wan.Redial(k)
+				if derr != nil {
+					return nil, derr
+				}
+				go broker.Offer(sEnd)
+				return transport.Metered(pEnd, meter), nil
+			}
+		}
 		p, err := core.NewPlatform(pc)
 		if err != nil {
 			return nil, err
@@ -231,15 +280,30 @@ func RunSplit(cfg Config) (*Result, error) {
 		}
 		platforms[k] = p
 	}
-	stats, err := core.RunLocal(srv, platforms)
+	var stats []*core.PlatformStats
+	if cfg.SimWAN {
+		serverConns := make([]transport.Conn, cfg.Platforms)
+		platformConns := make([]transport.Conn, cfg.Platforms)
+		for k, pair := range wanPairs {
+			serverConns[k] = pair.Server
+			platformConns[k] = transport.Metered(pair.Platform, meters[k])
+		}
+		stats, err = core.RunConnected(srv, platforms, serverConns, platformConns)
+	} else {
+		stats, err = core.RunLocal(srv, platforms)
+	}
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{
-		Scheme:      "split (proposed)",
-		Curve:       metrics.Curve{Label: "split"},
-		ModelParams: whole.ParamCount(),
+		Scheme:       "split (proposed)",
+		Curve:        metrics.Curve{Label: "split"},
+		ModelParams:  whole.ParamCount(),
+		WeightDigest: weightDigest(fronts, back),
+	}
+	if wan != nil {
+		res.SimElapsed = wan.Elapsed()
 	}
 	evalCount := len(stats[0].Evals)
 	for i := 0; i < evalCount; i++ {
@@ -302,6 +366,29 @@ func RunSplit(cfg Config) (*Result, error) {
 		annotateSimTime(&res.Curve, rt)
 	}
 	return res, nil
+}
+
+// weightDigest folds every final parameter's raw float bits (fronts in
+// platform order, then the back half, little-endian) through FNV-1a.
+// Bit-identical training ⇒ equal digests; the scenario matrix tests
+// rely on this to compare runs across transports, codecs and fault
+// scripts without shipping full weight sets around.
+func weightDigest(fronts []*nn.Sequential, back *nn.Sequential) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	fold := func(seq *nn.Sequential) {
+		for _, prm := range seq.Params() {
+			for _, v := range prm.W.Data() {
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+				h.Write(buf[:])
+			}
+		}
+	}
+	for _, f := range fronts {
+		fold(f)
+	}
+	fold(back)
+	return h.Sum64()
 }
 
 // splitShape derives the per-message, per-platform round payloads the

@@ -12,6 +12,8 @@ package geonet
 import (
 	"fmt"
 	"time"
+
+	"medsplit/internal/rng"
 )
 
 // Region names a site (a hospital or the server's datacenter).
@@ -190,6 +192,51 @@ func DefaultHospitalTopology() *Topology {
 			"ucf-orlando":    {LatencyMs: 95, Mbps: 200},
 		},
 	}
+}
+
+// SyntheticClinics deterministically generates an n-clinic topology
+// around the same Seoul datacenter: a mix of metro, regional, rural and
+// overseas links whose parameters are drawn from a seeded RNG, so the
+// scale-out scenarios (25, 100 sites and beyond) have a reproducible
+// WAN to run on. Regions come back as "clinic-000" … in platform-index
+// order, ready to zip with a platform slice.
+func SyntheticClinics(n int, seed uint64) (*Topology, []Region) {
+	if n <= 0 {
+		panic(fmt.Sprintf("geonet: %d clinics", n))
+	}
+	r := rng.New(seed ^ 0xC11121C5)
+	classes := []struct {
+		weight         int
+		latLo, latHi   float64 // one-way ms
+		mbpsLo, mbpsHi float64
+	}{
+		{40, 1, 5, 500, 1000}, // metro fiber
+		{35, 5, 15, 100, 500}, // regional
+		{20, 15, 40, 20, 100}, // rural
+		{5, 80, 150, 50, 200}, // overseas partner sites
+	}
+	totalW := 0
+	for _, c := range classes {
+		totalW += c.weight
+	}
+	topo := &Topology{Server: "seoul-dc", Links: make(map[Region]Link, n)}
+	regions := make([]Region, n)
+	for i := 0; i < n; i++ {
+		w := r.Intn(totalW)
+		ci := 0
+		for w >= classes[ci].weight {
+			w -= classes[ci].weight
+			ci++
+		}
+		c := classes[ci]
+		reg := Region(fmt.Sprintf("clinic-%03d", i))
+		topo.Links[reg] = Link{
+			LatencyMs: c.latLo + (c.latHi-c.latLo)*r.Float64(),
+			Mbps:      c.mbpsLo + (c.mbpsHi-c.mbpsLo)*r.Float64(),
+		}
+		regions[i] = reg
+	}
+	return topo, regions
 }
 
 // Clock accumulates simulated time. It is not safe for concurrent use;

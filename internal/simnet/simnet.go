@@ -1,0 +1,511 @@
+// Package simnet is a deterministic simulated-WAN transport: it carries
+// wire.Messages between the platforms and the server exactly like the
+// pipe and TCP transports do (it implements transport.Conn), while
+// modeling each site's WAN link — one-way propagation latency, usable
+// bandwidth, and seeded jitter — on a virtual clock. Runs finish as
+// fast as the machine allows no matter how slow the simulated links
+// are: nothing ever sleeps, the clock is pure accounting.
+//
+// # Virtual time
+//
+// Every party (the server, each platform) owns a causal clock (node).
+// A message departs at the sender's current virtual time, waits for the
+// link to finish serializing earlier messages (per-direction busy
+// schedule), crosses the link in serialization + latency + jitter, and
+// stamps the receiver's clock forward to its delivery time on Recv.
+// Local compute is instantaneous in virtual time, so Network.Elapsed
+// measures the pure network schedule of the protocol — the quantity the
+// geonet estimators approximate analytically, now produced by running
+// the real engine.
+//
+// Determinism: a link's per-direction message sequence is fixed by the
+// protocol, and its jitter stream is seeded from Options.Seed, so every
+// per-message transfer time is reproducible. In the lockstep round
+// modes (sequential, concat) each node is driven by a single protocol
+// goroutine, which makes the full virtual timeline — and Elapsed —
+// bit-for-bit reproducible across runs. In pipelined mode the async
+// transport wrappers stamp sends from worker goroutines, so Elapsed may
+// vary within the prefetch window; trained weights are transport-timing
+// independent in every mode (the scenario matrix tests enforce it).
+//
+// # Faults
+//
+// Fault injection is scripted, not random: a Fault names the platform
+// link, the round, and optionally the message type and direction that
+// trigger it, so a "drop platform 3 while it uploads round 5's loss
+// gradients" scenario is one literal. A triggered fault severs the
+// link: in-flight messages are lost, the sender sees a connection
+// error (or a fake success with Swallow — the TCP-buffer failure mode),
+// and the peer reads io.EOF, which is exactly what core's dropout
+// recovery classifies as recoverable. Redial builds the replacement
+// connection for the rejoin handshake; FailDials makes the link stay
+// down for a deterministic number of attempts first.
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"medsplit/internal/geonet"
+	"medsplit/internal/rng"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// Dir names a transfer direction on a link.
+type Dir uint8
+
+// Link directions.
+const (
+	// DirUp is platform → server.
+	DirUp Dir = iota + 1
+	// DirDown is server → platform.
+	DirDown
+)
+
+// String names the direction.
+func (d Dir) String() string {
+	switch d {
+	case DirUp:
+		return "up"
+	case DirDown:
+		return "down"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}
+
+// Fault scripts one deterministic link failure. The link severs when a
+// message matching (Round, Type, Dir) is handed to Send; a zero Type or
+// Dir matches any. Partitions are just several Faults sharing a round.
+type Fault struct {
+	// Platform names the link (the id passed to AddLink).
+	Platform int
+	// Round triggers on messages of exactly this round.
+	Round int
+	// Type, when nonzero, narrows the trigger to one message type.
+	Type wire.MsgType
+	// Dir, when nonzero, narrows the trigger to one direction.
+	Dir Dir
+	// Swallow reports the triggering Send as successful while dropping
+	// the message — the failure mode where a payload dies buffered in a
+	// kernel socket after the sender moved on.
+	Swallow bool
+	// FailDials makes the first FailDials Redial attempts after the
+	// drop fail, a deterministic stand-in for a link that stays down
+	// for a while before the platform can rejoin.
+	FailDials int
+}
+
+// Options configures a Network.
+type Options struct {
+	// Seed derives every link's jitter stream; equal seeds give
+	// bit-identical transfer schedules.
+	Seed uint64
+	// Jitter adds up to this fraction of a message's base transfer time
+	// (serialization + latency) as seeded extra delay. Must be in
+	// [0, 1). Zero disables jitter.
+	Jitter float64
+	// QueueCap bounds each direction's in-flight messages; a sender
+	// blocks (backpressure) when the peer has not drained. Defaults to
+	// 64 — far above anything the request/response protocol queues, but
+	// a hard stop against unbounded buffering if a future protocol
+	// misbehaves.
+	QueueCap int
+	// Faults is the fault script (see Fault).
+	Faults []Fault
+}
+
+// Network is a simulated WAN: one server-side clock plus one link (and
+// clock) per platform. Safe for concurrent use by the session's
+// goroutines.
+type Network struct {
+	opts Options
+
+	server *node
+
+	mu    sync.Mutex
+	links map[int]*link
+}
+
+// New builds an empty network. Add links with AddLink or use
+// FromTopology.
+func New(opts Options) *Network {
+	if opts.Jitter < 0 || opts.Jitter >= 1 {
+		panic(fmt.Sprintf("simnet: jitter %v outside [0,1)", opts.Jitter))
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 64
+	}
+	return &Network{
+		opts:   opts,
+		server: &node{},
+		links:  make(map[int]*link),
+	}
+}
+
+// node is one party's causal virtual clock: it only moves forward, to
+// the latest delivery time the party has observed.
+type node struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (nd *node) clock() time.Duration {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.now
+}
+
+func (nd *node) observe(t time.Duration) {
+	nd.mu.Lock()
+	if t > nd.now {
+		nd.now = t
+	}
+	nd.mu.Unlock()
+}
+
+// link is one platform's WAN path: immutable parameters plus the
+// current segment (a redial replaces the segment, never the link).
+type link struct {
+	net      *Network
+	platform int
+	params   geonet.Link
+	node     *node // the platform's clock
+
+	mu        sync.Mutex
+	gen       int
+	cur       *segment
+	faults    []Fault // pending (unconsumed) faults for this link
+	failDials int     // Redial attempts that must still fail
+}
+
+// AddLink creates the platform's link with the given WAN parameters and
+// returns its two connection endpoints. Unlike geonet.Link.TransferTime
+// (which panics on non-positive bandwidth), simnet treats Mbps <= 0 as
+// an infinitely fast link and LatencyMs <= 0 as zero latency, so the
+// ideal zero-latency configuration used by the differential tests is
+// expressible.
+func (n *Network) AddLink(platform int, params geonet.Link) (serverEnd, platformEnd transport.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.links[platform]; dup {
+		panic(fmt.Sprintf("simnet: duplicate link for platform %d", platform))
+	}
+	l := &link{
+		net:      n,
+		platform: platform,
+		params:   params,
+		node:     &node{},
+	}
+	for _, f := range n.opts.Faults {
+		if f.Platform == platform {
+			l.faults = append(l.faults, f)
+		}
+	}
+	l.cur = l.newSegment(0)
+	n.links[platform] = l
+	return l.cur.server, l.cur.platform
+}
+
+// Redial replaces a platform's (typically severed) link segment with a
+// fresh one on the same parameters and clocks, returning the new
+// endpoint pair — the simulated equivalent of a platform re-dialing
+// the server for the rejoin handshake. The caller hands serverEnd to
+// whatever accepts rejoins (core.RejoinBroker.Offer) and uses
+// platformEnd as the PlatformConfig.Redial result. While a triggered
+// fault's FailDials budget lasts, Redial deterministically fails.
+func (n *Network) Redial(platform int) (serverEnd, platformEnd transport.Conn, err error) {
+	n.mu.Lock()
+	l := n.links[platform]
+	n.mu.Unlock()
+	if l == nil {
+		return nil, nil, fmt.Errorf("simnet: no link for platform %d", platform)
+	}
+	l.mu.Lock()
+	if l.failDials > 0 {
+		remaining := l.failDials - 1
+		l.failDials = remaining
+		l.mu.Unlock()
+		return nil, nil, fmt.Errorf("simnet: link %d still down (%d more dials will fail)", platform, remaining)
+	}
+	old := l.cur
+	l.gen++
+	l.cur = l.newSegment(l.gen)
+	server, platformConn := l.cur.server, l.cur.platform
+	// Drop the link lock before severing: a Send in flight on the old
+	// segment holds that segment's lock while consulting the fault
+	// script under the link lock, so severing under l.mu would invert
+	// the seg.mu → link.mu order and deadlock.
+	l.mu.Unlock()
+	old.sever() // an abandoned healthy segment must not keep delivering
+	return server, platformConn, nil
+}
+
+// Elapsed returns the latest virtual time any party has reached — the
+// simulated wall-clock of the session so far.
+func (n *Network) Elapsed() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	max := n.server.clock()
+	for _, l := range n.links {
+		if t := l.node.clock(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// PlatformClock returns one platform's virtual time (its node clock).
+func (n *Network) PlatformClock(platform int) time.Duration {
+	n.mu.Lock()
+	l := n.links[platform]
+	n.mu.Unlock()
+	if l == nil {
+		return 0
+	}
+	return l.node.clock()
+}
+
+// takeFault consumes and returns the first pending fault matching the
+// message, or nil.
+func (l *link) takeFault(m *wire.Message, dir Dir) *Fault {
+	// Caller holds l.mu (segment operations lock the link, see below).
+	for i, f := range l.faults {
+		if int(m.Round) != f.Round {
+			continue
+		}
+		if f.Type != 0 && m.Type != f.Type {
+			continue
+		}
+		if f.Dir != 0 && dir != f.Dir {
+			continue
+		}
+		l.faults = append(l.faults[:i], l.faults[i+1:]...)
+		l.failDials = f.FailDials
+		matched := f
+		return &matched
+	}
+	return nil
+}
+
+// segment is one live incarnation of a link: two directed queues plus
+// the shared condition variable both endpoints wait on. A severed or
+// replaced segment stays severed forever; a Redial builds a new one.
+type segment struct {
+	link *link
+	gen  int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	broken bool
+	up     queueState // platform → server
+	down   queueState // server → platform
+
+	server   *endpoint
+	platform *endpoint
+}
+
+// queueState is one direction's in-flight messages and transfer
+// schedule.
+type queueState struct {
+	msgs         []timedMsg
+	senderClosed bool
+	busyUntil    time.Duration // link serializer free at
+	lastDeliver  time.Duration // in-order delivery clamp
+	jitter       *rng.RNG
+}
+
+type timedMsg struct {
+	m  *wire.Message
+	at time.Duration
+}
+
+// newSegment builds a fresh segment; jitter streams are derived from
+// the network seed, the platform id, the direction and the segment
+// generation, so every incarnation's schedule is reproducible.
+func (l *link) newSegment(gen int) *segment {
+	s := &segment{link: l, gen: gen}
+	s.cond = sync.NewCond(&s.mu)
+	s.up.jitter = deriveRNG(l.net.opts.Seed, l.platform, DirUp, gen)
+	s.down.jitter = deriveRNG(l.net.opts.Seed, l.platform, DirDown, gen)
+	s.server = &endpoint{seg: s, isServer: true, node: l.net.server}
+	s.platform = &endpoint{seg: s, isServer: false, node: l.node}
+	return s
+}
+
+// deriveRNG decorrelates a per-direction jitter stream from the network
+// seed using SplitMix64's own mixing (one Split per component).
+func deriveRNG(seed uint64, platform int, dir Dir, gen int) *rng.RNG {
+	r := rng.New(seed ^ 0x517e57a7e5eed5)
+	r = rng.New(r.Uint64() + uint64(platform)*0x9e3779b97f4a7c15)
+	r = rng.New(r.Uint64() + uint64(dir))
+	return rng.New(r.Uint64() + uint64(gen)*0xbf58476d1ce4e5b9)
+}
+
+// sever kills the segment: queued messages are lost, blocked callers
+// wake with errors.
+func (s *segment) sever() {
+	s.mu.Lock()
+	s.broken = true
+	s.up.msgs = nil
+	s.down.msgs = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// transfer computes the delivery time for size wire bytes handed to the
+// queue at virtual time now, advancing the direction's schedule.
+// Caller holds s.mu.
+func (s *segment) transfer(q *queueState, now time.Duration, size int) time.Duration {
+	p := s.link.params
+	var serialize time.Duration
+	if p.Mbps > 0 {
+		serialize = time.Duration(float64(size) * 8 / (p.Mbps * 1e6) * float64(time.Second))
+	}
+	var latency time.Duration
+	if p.LatencyMs > 0 {
+		latency = time.Duration(p.LatencyMs * float64(time.Millisecond))
+	}
+	depart := now
+	if q.busyUntil > depart {
+		depart = q.busyUntil
+	}
+	q.busyUntil = depart + serialize
+	at := depart + serialize + latency
+	if j := s.link.net.opts.Jitter; j > 0 {
+		at += time.Duration(float64(serialize+latency) * j * q.jitter.Float64())
+	}
+	if at < q.lastDeliver { // in-order delivery (stream semantics)
+		at = q.lastDeliver
+	}
+	q.lastDeliver = at
+	return at
+}
+
+// endpoint is one side of a segment. It satisfies transport.Conn.
+type endpoint struct {
+	seg      *segment
+	isServer bool
+	node     *node
+
+	closed bool // guarded by seg.mu
+}
+
+var _ transport.Conn = (*endpoint)(nil)
+
+// out returns the queue this endpoint sends into and its direction.
+func (e *endpoint) out() (*queueState, Dir) {
+	if e.isServer {
+		return &e.seg.down, DirDown
+	}
+	return &e.seg.up, DirUp
+}
+
+// in returns the queue this endpoint receives from.
+func (e *endpoint) in() *queueState {
+	if e.isServer {
+		return &e.seg.up
+	}
+	return &e.seg.down
+}
+
+// Send queues m for delivery after the link's simulated transfer. It
+// blocks only for backpressure (QueueCap) — never for virtual time.
+// The message is delivered by reference, so the transport.Conn payload
+// ownership rules apply unchanged; messages lost to a severed link are
+// dropped on the floor (never recycled into wire.Buffers).
+func (e *endpoint) Send(m *wire.Message) error {
+	s := e.seg
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.closed {
+		return transport.ErrClosed
+	}
+	q, dir := e.out()
+	if s.broken || q.senderClosed || e.peer().closed {
+		return io.ErrClosedPipe
+	}
+	// Fault script: consult under the link lock so concurrent senders on
+	// the two directions race deterministically never — each fault names
+	// one direction or matches the first arrival (single consumer).
+	s.link.mu.Lock()
+	f := s.link.takeFault(m, dir)
+	s.link.mu.Unlock()
+	if f != nil {
+		s.broken = true
+		s.up.msgs = nil
+		s.down.msgs = nil
+		s.cond.Broadcast()
+		if f.Swallow {
+			return nil
+		}
+		return fmt.Errorf("simnet: link %d severed on %s r%d %s: %w",
+			s.link.platform, m.Type, m.Round, dir, io.ErrClosedPipe)
+	}
+	for len(q.msgs) >= s.link.net.opts.QueueCap {
+		s.cond.Wait()
+		if e.closed {
+			return transport.ErrClosed
+		}
+		if s.broken || e.peer().closed {
+			return io.ErrClosedPipe
+		}
+	}
+	at := s.transfer(q, e.node.clock(), m.WireSize())
+	q.msgs = append(q.msgs, timedMsg{m: m, at: at})
+	s.cond.Broadcast()
+	return nil
+}
+
+// Recv returns the next delivered message, advancing this party's
+// virtual clock to its delivery time. Messages queued before a
+// graceful peer Close still drain (stream semantics); a severed link
+// or a drained closed stream reads as io.EOF, matching the TCP and
+// pipe transports.
+func (e *endpoint) Recv() (*wire.Message, error) {
+	s := e.seg
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := e.in()
+	for {
+		if e.closed {
+			return nil, transport.ErrClosed
+		}
+		if len(q.msgs) > 0 {
+			tm := q.msgs[0]
+			q.msgs = q.msgs[1:]
+			s.cond.Broadcast() // backpressure waiters
+			e.node.observe(tm.at)
+			return tm.m, nil
+		}
+		if s.broken || q.senderClosed {
+			return nil, io.EOF
+		}
+		s.cond.Wait()
+	}
+}
+
+// Close shuts this endpoint down: its own operations return ErrClosed,
+// the peer drains any delivered messages and then reads io.EOF.
+func (e *endpoint) Close() error {
+	s := e.seg
+	s.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		q, _ := e.out()
+		q.senderClosed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (e *endpoint) peer() *endpoint {
+	if e.isServer {
+		return e.seg.platform
+	}
+	return e.seg.server
+}

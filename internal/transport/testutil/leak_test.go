@@ -1,0 +1,71 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// The detector must see a goroutine parked inside transport code and
+// stop seeing it once it exits.
+func TestDetectsTransportGoroutines(t *testing.T) {
+	baseline := medsplitGoroutines()
+
+	a, b := transport.Pipe()
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		_, _ = a.Recv() // parks in pipe Recv until b closes
+	}()
+	<-started
+
+	// The parked receiver must eventually be visible (it may take a
+	// scheduling beat for the goroutine to reach the Recv).
+	var leaked []string
+	for i := 0; i < 100; i++ {
+		leaked = leakedSince(baseline)
+		if len(leaked) > 0 {
+			break
+		}
+	}
+	if len(leaked) == 0 {
+		t.Fatal("parked transport goroutine not detected")
+	}
+	found := false
+	for _, stack := range leaked {
+		if strings.Contains(stack, "transport.(*pipeConn).Recv") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak stacks do not name the parked Recv:\n%s", strings.Join(leaked, "\n"))
+	}
+
+	b.Close()
+	<-done
+	// After the goroutine exits, the leak set must drain (poll: the
+	// runtime needs a moment to retire the goroutine).
+	for i := 0; i < 500; i++ {
+		if len(leakedSince(baseline)) == 0 {
+			return
+		}
+	}
+	t.Fatalf("goroutine still reported after exit: %v", leakedSince(baseline))
+}
+
+// VerifyNoLeaks on a clean test is silent; exercising it here also
+// keeps the cleanup path covered.
+func TestVerifyNoLeaksCleanRun(t *testing.T) {
+	VerifyNoLeaks(t)
+	a, b := transport.Pipe()
+	go func() { _ = a.Send(&wire.Message{Type: wire.MsgAck}) }()
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b.Close()
+}
