@@ -10,17 +10,18 @@ BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm
 
 # Packages with concurrency worth racing: the pipelined scheduler, the
 # async transport wrappers, the simulated-WAN transport (including the
-# 100-platform scale-out soak), the parameter-server baseline and the
-# parallel tensor kernels.
-RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/simnet/... ./internal/syncsgd/... ./internal/tensor/...
+# 100-platform scale-out soak), the parameter-server baseline, the
+# parallel tensor kernels and the replication tier's write-ahead log.
+RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/simnet/... ./internal/syncsgd/... ./internal/tensor/... ./internal/wal/...
 
 # Minimum statement coverage the cover target enforces for the engine's
-# load-bearing packages. The scenario-matrix and simnet suites lifted
-# these; the gate keeps them from silently eroding. Raise the floors
-# when coverage rises, never lower them to merge.
+# load-bearing packages. The scenario-matrix, simnet and WAL suites
+# lifted these; the gate keeps them from silently eroding. Raise the
+# floors when coverage rises, never lower them to merge.
 COVER_MIN_core       = 82
 COVER_MIN_transport  = 87
 COVER_MIN_simnet     = 90
+COVER_MIN_wal        = 85
 
 .PHONY: test bench bench-save bench-smoke fuzz-smoke cover vuln race vet fmt-check ci
 
@@ -41,12 +42,15 @@ fmt-check:
 	fi
 
 # Short coverage-guided runs of the binary decoders that face untrusted
-# bytes: the tensor payload decoder (wire) and the session snapshot
-# decoder (core). Mirrors CI's fuzz-smoke job; seconds per target keeps
-# the gate fast while still shaking out fresh panics.
+# bytes: the tensor payload decoder (wire), the session snapshot decoder
+# (core) and the write-ahead log reader (wal, which must also survive
+# torn/corrupt segment files on disk). Mirrors CI's fuzz-smoke job;
+# seconds per target keeps the gate fast while still shaking out fresh
+# panics.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz 'FuzzDecodeTensors' -fuzztime 10s ./internal/wire/
 	$(GO) test -run NONE -fuzz 'FuzzDecodeSnapshot' -fuzztime 10s ./internal/core/
+	$(GO) test -run NONE -fuzz 'FuzzWALDecode' -fuzztime 10s ./internal/wal/
 	@echo fuzz-smoke ok
 
 # Coverage summary for the engine core (the session/checkpoint/recovery
@@ -54,16 +58,17 @@ fuzz-smoke:
 # a hard minimum-coverage gate on the packages the scenario matrix
 # protects (runs in CI's cover job).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/wire/ ./internal/transport/ ./internal/simnet/ | tee cover-packages.txt
+	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/wire/ ./internal/transport/ ./internal/simnet/ ./internal/wal/ | tee cover-packages.txt
 	@if grep -q '^FAIL' cover-packages.txt; then \
 		echo "cover: test failures (tee hides the pipeline status; see above)"; exit 1; \
 	fi
-	@$(GO) tool cover -func=cover.out | grep -E '^total|session.go|checkpoint.go|recovery.go|simnet.go' | tail -20
+	@$(GO) tool cover -func=cover.out | grep -E '^total|session.go|checkpoint.go|recovery.go|simnet.go|wal.go|replication.go' | tail -24
 	@echo "full per-function report: $(GO) tool cover -func=cover.out"
 	@set -e; for spec in \
 		"medsplit/internal/core:$(COVER_MIN_core)" \
 		"medsplit/internal/transport:$(COVER_MIN_transport)" \
-		"medsplit/internal/simnet:$(COVER_MIN_simnet)"; do \
+		"medsplit/internal/simnet:$(COVER_MIN_simnet)" \
+		"medsplit/internal/wal:$(COVER_MIN_wal)"; do \
 		pkg=$${spec%%:*}; min=$${spec##*:}; \
 		pct=$$(awk -v pkg="$$pkg" '$$1 == "ok" && $$2 == pkg { for (i = 3; i <= NF; i++) if ($$i == "coverage:") { sub(/%$$/, "", $$(i+1)); print $$(i+1) } }' cover-packages.txt); \
 		if [ -z "$$pct" ]; then echo "cover gate: no coverage reported for $$pkg"; exit 1; fi; \
@@ -129,3 +134,15 @@ bench-save-simnet:
 		-note 'sim-ms/round is virtual WAN time per synchronous round measured by the simnet clock; determinism asserted by internal/simnet soak tests' \
 		> BENCH_simnet.json
 	@echo wrote BENCH_simnet.json
+
+# Refresh the replication-tier baseline: raw WAL append throughput at
+# several record sizes and fsync policies, plus full training sessions
+# with 0/1/2 warm followers (the end-to-end cost of durability-before-
+# ack on the round loop).
+bench-save-wal:
+	$(GO) test -bench 'BenchmarkWALAppend|BenchmarkReplicatedRound' -benchmem -benchtime 3x -run NONE \
+		./internal/wal/ . | $(GO) run ./cmd/benchjson \
+		-note 'replicas=0 is the unreplicated baseline (identical config to BenchmarkSplitRound mlp); replicas>0 adds WAL append + follower streams with SyncEvery=1' \
+		-note 'failover correctness (bit-identical digests after a mid-round leader kill) is asserted by internal/core and internal/experiment tests, not benchmarked here' \
+		> BENCH_wal.json
+	@echo wrote BENCH_wal.json

@@ -243,6 +243,29 @@ func BenchmarkSplitRound(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicatedRound measures what the WAL-backed replication
+// tier adds to a training round: the same split session with no
+// replication (the baseline every other benchmark runs), and with one
+// and two warm followers applying the leader's step stream. The WALs
+// live in a per-run temporary directory with the default fsync-every-
+// append policy, so the replicated arms carry real durability costs.
+func BenchmarkReplicatedRound(b *testing.B) {
+	for _, replicas := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			cfg := figCfg(experiment.ArchMLP, 10)
+			cfg.Rounds = 8
+			cfg.EvalEvery = cfg.Rounds
+			cfg.Replicas = replicas
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.RunSplit(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCompression sweeps the activation-path codecs — the repo's
 // extension of the paper toward the split-learning literature's
 // communication-reduction techniques — reporting the bytes/accuracy

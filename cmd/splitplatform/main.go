@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +63,7 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 0, "write a session snapshot every N rounds (requires -checkpoint-dir)")
 		resumeDir = flag.String("resume", "", "resume the session from the snapshots in this directory")
 		rejoinWin = flag.Duration("rejoin-window", 0, "redial and rejoin for this long after a connection drop (0 = off)")
+		failover  = flag.String("failover-addrs", "", "comma-separated standby server addresses to also try when redialing (requires -rejoin-window)")
 	)
 	flag.Parse()
 
@@ -83,7 +85,7 @@ func main() {
 		l1sync: *l1sync, evalEvery: *evalEvery, evaluator: *evaluator,
 		codec: *codec, loadPath: *loadPath, savePath: *savePath,
 		ckptDir: *ckptDir, ckptEvery: *ckptEvery, resumeDir: *resumeDir,
-		rejoinWindow: *rejoinWin,
+		rejoinWindow: *rejoinWin, failoverAddrs: *failover,
 	})
 	if err != nil {
 		if errors.Is(err, core.ErrStopped) {
@@ -107,6 +109,7 @@ type platformOpts struct {
 	ckptEvery          int
 	resumeDir          string
 	rejoinWindow       time.Duration
+	failoverAddrs      string
 }
 
 func run(cfg experiment.Config, o platformOpts) error {
@@ -182,10 +185,26 @@ func run(cfg experiment.Config, o platformOpts) error {
 	if o.evaluator {
 		pc.EvalData = test
 	}
+	if o.failoverAddrs != "" && o.rejoinWindow <= 0 {
+		return fmt.Errorf("-failover-addrs requires -rejoin-window")
+	}
 	if o.rejoinWindow > 0 {
+		// Redial attempts rotate through the primary address and every
+		// standby: after a leader crash the primary refuses, and the
+		// next attempt reaches the promoted standby. Redial is called
+		// from the single rejoin loop, so the counter needs no lock.
+		addrs := []string{o.addr}
+		if o.failoverAddrs != "" {
+			for _, a := range strings.Split(o.failoverAddrs, ",") {
+				addrs = append(addrs, strings.TrimSpace(a))
+			}
+		}
+		attempt := 0
 		pc.RejoinWindow = o.rejoinWindow
 		pc.Redial = func() (transport.Conn, error) {
-			c, err := transport.Dial(o.addr)
+			target := addrs[attempt%len(addrs)]
+			attempt++
+			c, err := transport.Dial(target)
 			if err != nil {
 				return nil, err
 			}

@@ -18,6 +18,19 @@
 // snapshot directory. With -rejoin-window the server also keeps
 // accepting connections so a platform that lost its link can rejoin
 // mid-session instead of killing the job.
+//
+// The aggregation tier itself can be replicated. The leader appends
+// every training step to a write-ahead log and streams it to warm
+// standbys before acking, so a leader crash loses nothing:
+//
+//	splitserver -addr :7800 -standby -wal-dir wal-standby -platforms 2 -rounds 40
+//	splitserver -addr :7700 -wal-dir wal-leader -replicate 127.0.0.1:7800 -platforms 2 -rounds 40
+//	splitplatform -addr 127.0.0.1:7700 -failover-addrs 127.0.0.1:7800 -rejoin-window 1m ...
+//
+// If the leader dies, the standby replays its durable log tail,
+// promotes into a serving leader at the exact step the leader
+// recorded last, and adopts the platforms as they redial — training
+// continues bit-identically to an undisturbed run.
 package main
 
 import (
@@ -26,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +50,7 @@ import (
 	"medsplit/internal/models"
 	"medsplit/internal/nn"
 	"medsplit/internal/transport"
+	"medsplit/internal/wal"
 	"medsplit/internal/wire"
 )
 
@@ -61,17 +76,29 @@ func main() {
 		resumeDir  = flag.String("resume", "", "resume the session from the snapshots in this directory")
 		rejoinWin  = flag.Duration("rejoin-window", 0, "accept platform rejoins for this long after a dropout (0 = off)")
 		rejoinWait = flag.Bool("rejoin-wait", true, "block the round for a rejoin (false: proceed without the platform)")
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory (required with -replicate and -standby)")
+		walSync    = flag.Int("wal-sync", 1, "fsync the WAL every N appends (0 = OS-buffered)")
+		replicate  = flag.String("replicate", "", "comma-separated standby addresses to stream replication to (requires -wal-dir)")
+		standby    = flag.Bool("standby", false, "run as a warm standby: apply a leader's replication stream, promote if it dies")
 	)
 	flag.Parse()
 
-	if err := run(serverOpts{
+	opts := serverOpts{
 		addr: *addr, platforms: *platforms, rounds: *rounds, arch: *arch,
 		classes: *classes, width: *width, lr: float32(*lr), seed: *seed,
 		concat: *concat, pipeline: *pipeline, l1sync: *l1sync, evalEvery: *evalEvery,
 		codec: *codec, loadPath: *loadPath, savePath: *savePath,
 		ckptDir: *ckptDir, ckptEvery: *ckptEvery, resumeDir: *resumeDir,
 		rejoinWindow: *rejoinWin, rejoinWait: *rejoinWait,
-	}); err != nil {
+		walDir: *walDir, walSync: *walSync, replicate: *replicate,
+	}
+	var err error
+	if *standby {
+		err = runStandby(opts)
+	} else {
+		err = run(opts)
+	}
+	if err != nil {
 		if errors.Is(err, core.ErrStopped) {
 			fmt.Println("splitserver: stopped gracefully:", err)
 			return
@@ -98,20 +125,33 @@ type serverOpts struct {
 	resumeDir          string
 	rejoinWindow       time.Duration
 	rejoinWait         bool
+	walDir             string
+	walSync            int
+	replicate          string
 }
 
-func run(o serverOpts) error {
+// buildBack constructs the model's server half for the configured
+// architecture and seed (identical across leader and standbys).
+func buildBack(o serverOpts) (*models.Model, *nn.Sequential, error) {
 	m, err := experiment.BuildModel(experiment.Config{
 		Arch: experiment.Arch(o.arch), Classes: o.classes, Width: o.width, Seed: o.seed,
 	})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	codec, err := compress.ByName(o.codec)
+	_, back, err := models.Split(m.Net, m.DefaultCut)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, back, nil
+}
+
+func run(o serverOpts) error {
+	m, back, err := buildBack(o)
 	if err != nil {
 		return err
 	}
-	_, back, err := models.Split(m.Net, m.DefaultCut)
+	codec, err := compress.ByName(o.codec)
 	if err != nil {
 		return err
 	}
@@ -165,6 +205,27 @@ func run(o serverOpts) error {
 			policy = core.ProceedWithout
 		}
 		scfg.Recovery = &core.RecoveryConfig{Policy: policy, Window: o.rejoinWindow, Broker: broker}
+	}
+	if o.replicate != "" {
+		if o.walDir == "" {
+			return fmt.Errorf("-replicate requires -wal-dir")
+		}
+		log, werr := wal.Open(o.walDir, wal.Options{SyncEvery: o.walSync})
+		if werr != nil {
+			return werr
+		}
+		defer log.Close()
+		var followers []transport.Conn
+		for _, faddr := range strings.Split(o.replicate, ",") {
+			fc, derr := transport.Dial(strings.TrimSpace(faddr))
+			if derr != nil {
+				return fmt.Errorf("dialing standby %s: %w", faddr, derr)
+			}
+			defer fc.Close()
+			followers = append(followers, fc)
+			fmt.Printf("splitserver: replicating to standby %s\n", faddr)
+		}
+		scfg.Replication = &core.ReplicationConfig{Log: log, Followers: followers}
 	}
 	srv, err := core.NewServer(scfg)
 	if err != nil {
@@ -232,6 +293,113 @@ func run(o serverOpts) error {
 	}
 	fmt.Printf("splitserver: training complete after %d rounds\n", o.rounds)
 	fmt.Printf("splitserver: training traffic %s (all platforms, both directions)\n",
+		metrics.FormatBytes(core.TrainingBytes(meter)))
+	if o.savePath != "" {
+		if err := nn.SaveCheckpointFile(o.savePath, back.Params(), nn.CollectState(back)); err != nil {
+			return err
+		}
+		fmt.Printf("splitserver: saved server half to %s\n", o.savePath)
+	}
+	return nil
+}
+
+// runStandby runs the warm-standby side of the replication tier: it
+// accepts the leader's replication stream on -addr, persists every
+// record to its own WAL before applying it, and — when the stream ends
+// before the session did — promotes into a serving leader, adopting the
+// platforms as they redial to this address (splitplatform
+// -failover-addrs). Promotion resumes at exactly the step the leader
+// recorded last, so training finishes bit-identically.
+func runStandby(o serverOpts) error {
+	if o.walDir == "" {
+		return fmt.Errorf("-standby requires -wal-dir")
+	}
+	if o.concat || o.pipeline > 1 {
+		return fmt.Errorf("-standby supports sequential or depth-1 pipelined sessions")
+	}
+	_, back, err := buildBack(o)
+	if err != nil {
+		return err
+	}
+	codec, err := compress.ByName(o.codec)
+	if err != nil {
+		return err
+	}
+	log, err := wal.Open(o.walDir, wal.Options{SyncEvery: o.walSync})
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+	l, err := transport.Listen(o.addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("splitserver: standby on %s awaiting the leader's replication stream\n", l.Addr())
+	stream, err := l.Accept()
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+	f, err := core.NewFollower(core.FollowerConfig{Platforms: o.platforms, Conn: stream, Log: log})
+	if err != nil {
+		return err
+	}
+	// Platforms that lose the leader redial here; the broker parks
+	// their connections for the promotion handshake. Closing the
+	// listener (deferred above) ends the loop.
+	broker := core.NewRejoinBroker()
+	defer broker.Close()
+	meter := &transport.Meter{}
+	go func() {
+		for {
+			c, aerr := l.Accept()
+			if aerr != nil {
+				return
+			}
+			go func(c transport.Conn) {
+				if oerr := broker.Offer(transport.Metered(c, meter)); oerr != nil {
+					fmt.Fprintln(os.Stderr, "splitserver: standby rejected rejoin:", oerr)
+				}
+			}(c)
+		}
+	}()
+	if err := f.Run(); err != nil {
+		return fmt.Errorf("standby: %w", err)
+	}
+	win := o.rejoinWindow
+	if win <= 0 {
+		win = time.Minute
+	}
+	fmt.Printf("splitserver: replication stream ended at watermark %d; promoting (waiting up to %v for platforms)\n",
+		f.Watermark(), win)
+	scfg := core.ServerConfig{
+		Back:            back,
+		Opt:             &nn.SGD{LR: o.lr},
+		Platforms:       o.platforms,
+		Rounds:          o.rounds,
+		ClipGrads:       5,
+		L1SyncEvery:     o.l1sync,
+		EvalEvery:       o.evalEvery,
+		CheckpointEvery: o.ckptEvery,
+		CheckpointDir:   o.ckptDir,
+		Codec:           codec,
+	}
+	promoted, conns, err := f.Promote(core.PromoteConfig{Server: scfg, Broker: broker, Window: win})
+	if err != nil {
+		return fmt.Errorf("standby: promotion failed (if the leader finished cleanly there was nothing to take over): %w", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	fmt.Println("splitserver: promoted; finishing the session")
+	if err := promoted.Serve(conns); err != nil {
+		return err
+	}
+	fmt.Printf("splitserver: training complete after %d rounds\n", o.rounds)
+	fmt.Printf("splitserver: post-failover traffic %s (all platforms, both directions)\n",
 		metrics.FormatBytes(core.TrainingBytes(meter)))
 	if o.savePath != "" {
 		if err := nn.SaveCheckpointFile(o.savePath, back.Params(), nn.CollectState(back)); err != nil {

@@ -1,0 +1,99 @@
+// Package atomicfile is the one fsync-then-rename implementation behind
+// every durable file install in medsplit: session checkpoints and abort
+// stashes (internal/core), weights-only model checkpoints (internal/nn)
+// and sealed WAL segments (internal/wal). The sequence is the classic
+// crash-safe install:
+//
+//  1. write the full content to a temp file in the target directory,
+//  2. fsync the temp file, so the bytes are on stable storage before
+//     the name exists,
+//  3. rename over the final path (atomic on POSIX filesystems),
+//  4. fsync the directory, so the rename itself survives a power cut.
+//
+// Before this package existed the repo carried three slightly different
+// temp+rename copies, none of which fsynced — a crash between the page
+// cache and the platter could install a zero-length "checkpoint". One
+// implementation means one place to get the durability story right.
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically installs data at path with 0644 permissions.
+// On any error the final path is untouched: either the previous file
+// survives intact or (for a fresh path) no file appears.
+func WriteFile(path string, data []byte) error {
+	return WriteWith(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteWith atomically installs the bytes produced by fill at path.
+// fill streams into the temp file through a plain io.Writer, so large
+// payloads (model checkpoints) never need a full in-memory copy here.
+func WriteWith(path string, fill func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: creating temp in %s: %w", dir, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicfile: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: closing %s: %w", path, err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("atomicfile: chmod %s: %w", path, err)
+	}
+	return Rename(tmp.Name(), path)
+}
+
+// Rename atomically moves an already-synced file over newpath and
+// fsyncs the parent directory, making the rename durable. oldpath and
+// newpath must live in the same directory (the WAL uses this directly
+// to seal a finished segment under its final name).
+func Rename(oldpath, newpath string) error {
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return fmt.Errorf("atomicfile: installing %s: %w", newpath, err)
+	}
+	return syncDir(filepath.Dir(newpath))
+}
+
+// syncDir fsyncs a directory so a preceding rename survives a crash.
+// Platforms whose directory handles reject Sync (some network and
+// Windows filesystems) degrade to the pre-fsync behavior rather than
+// failing the save.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicfile: opening dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !ignorableSyncError(err) {
+		return fmt.Errorf("atomicfile: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// ignorableSyncError reports whether a directory-fsync failure should
+// be tolerated (filesystems that do not support syncing directories).
+func ignorableSyncError(err error) bool {
+	var pe *os.PathError
+	if !errors.As(err, &pe) {
+		return false
+	}
+	return pe.Op == "sync" || pe.Op == "fsync"
+}

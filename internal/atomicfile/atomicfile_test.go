@@ -1,0 +1,124 @@
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileInstallsContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	want := []byte("round 7 boundary state")
+	if err := WriteFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("read back %q, want %q", got, want)
+	}
+	// No temp litter: the directory holds exactly the installed file.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "state.bin" {
+		t.Fatalf("directory holds %v, want just state.bin", ents)
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	if err := WriteFile(path, []byte("generation 1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("generation 2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "generation 2" {
+		t.Fatalf("read back %q, want generation 2", got)
+	}
+}
+
+func TestWriteWithFailureLeavesPreviousFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt")
+	if err := WriteFile(path, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("mid-write crash")
+	err := WriteWith(path, func(w io.Writer) error {
+		if _, werr := w.Write([]byte("half a checkp")); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if err == nil || !strings.Contains(err.Error(), "mid-write crash") {
+		t.Fatalf("error = %v, want the fill error", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "good" {
+		t.Fatalf("previous content %q destroyed, want %q", got, "good")
+	}
+	ents, err2 := os.ReadDir(dir)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp file leaked: %v", ents)
+	}
+}
+
+func TestWriteWithFreshPathFailureLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh")
+	err := WriteWith(path, func(io.Writer) error { return fmt.Errorf("nope") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("final path exists after failed write: %v", serr)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}
+
+func TestRenameSealsUnderFinalName(t *testing.T) {
+	dir := t.TempDir()
+	open := filepath.Join(dir, "000001.open")
+	if err := os.WriteFile(open, []byte("segment payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sealed := filepath.Join(dir, "000001.seg")
+	if err := Rename(open, sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(open); !os.IsNotExist(err) {
+		t.Fatalf("open name still present: %v", err)
+	}
+	got, err := os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "segment payload" {
+		t.Fatalf("sealed content %q", got)
+	}
+}

@@ -8,7 +8,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 
+	"medsplit/internal/atomicfile"
 	"medsplit/internal/dataset"
 	"medsplit/internal/nn"
 	"medsplit/internal/rng"
@@ -150,24 +152,12 @@ func DecodeSnapshot(buf []byte) (*Snapshot, error) {
 	return s, nil
 }
 
-// SaveSnapshotFile writes a snapshot atomically (temp file + rename),
-// so a crash mid-save never corrupts the previous checkpoint.
+// SaveSnapshotFile writes a snapshot through the shared
+// fsync-then-rename helper, so a crash mid-save never corrupts the
+// previous checkpoint and the install survives a power cut.
 func SaveSnapshotFile(path string, s *Snapshot) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".snap-*")
-	if err != nil {
-		return fmt.Errorf("core: creating snapshot temp: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(EncodeSnapshot(s)); err != nil {
-		tmp.Close()
-		return fmt.Errorf("core: writing snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("core: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("core: installing snapshot: %w", err)
+	if err := atomicfile.WriteFile(path, EncodeSnapshot(s)); err != nil {
+		return fmt.Errorf("core: saving snapshot: %w", err)
 	}
 	return nil
 }
@@ -181,9 +171,63 @@ func LoadSnapshotFile(path string) (*Snapshot, error) {
 	return DecodeSnapshot(buf)
 }
 
-// ServerSnapshotPath names the server's scheduled-checkpoint file
-// inside a checkpoint directory.
+// ServerSnapshotPath names the server's legacy single-slot
+// scheduled-checkpoint file inside a checkpoint directory. New writes
+// go to numbered generation files (ServerSnapshotGenPath); this path
+// stays readable so checkpoint directories from before retained
+// history still resume.
 func ServerSnapshotPath(dir string) string { return filepath.Join(dir, "server.ckpt") }
+
+// ServerSnapshotGenPath names one retained server checkpoint
+// generation. The generation number is the snapshot's NextRound, so
+// the filename states exactly which boundary it captures — and WAL
+// compaction can anchor to any retained generation, not only the
+// newest one.
+func ServerSnapshotGenPath(dir string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("server-%06d.ckpt", gen))
+}
+
+// serverSnapshotGens lists the retained generation numbers in dir,
+// ascending. Unparsable lookalike names are ignored rather than fatal:
+// a checkpoint directory is user-managed space.
+func serverSnapshotGens(dir string) []int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var gens []int
+	for _, e := range ents {
+		var gen int
+		if n, err := fmt.Sscanf(e.Name(), "server-%d.ckpt", &gen); n == 1 && err == nil {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Ints(gens)
+	return gens
+}
+
+// SaveServerSnapshotGen writes s as a numbered generation and prunes
+// the oldest generations beyond retain (retain <= 0 keeps everything).
+// The legacy single-slot file and the abort stash are never pruned.
+func SaveServerSnapshotGen(dir string, s *Snapshot, retain int) error {
+	if s.Role != RoleServer {
+		return fmt.Errorf("%w: generation files hold server snapshots, got %s", ErrBadSnapshot, s.Role)
+	}
+	if err := SaveSnapshotFile(ServerSnapshotGenPath(dir, s.NextRound), s); err != nil {
+		return err
+	}
+	if retain <= 0 {
+		return nil
+	}
+	gens := serverSnapshotGens(dir)
+	for len(gens) > retain {
+		if err := os.Remove(ServerSnapshotGenPath(dir, gens[0])); err != nil {
+			return fmt.Errorf("core: pruning snapshot generation %d: %w", gens[0], err)
+		}
+		gens = gens[1:]
+	}
+	return nil
+}
 
 // PlatformSnapshotPath names platform id's scheduled-checkpoint file
 // inside a checkpoint directory.
@@ -207,35 +251,45 @@ func PlatformStashPath(dir string, id int) string {
 }
 
 // LoadLatestSnapshot loads a party's most advanced snapshot from a
-// checkpoint directory: the stash if it exists and is ahead of (or the
-// only option besides) the scheduled checkpoint, the scheduled
-// checkpoint otherwise. Parties that all died in the same round agree
-// on their stash boundaries, so independent processes resolving
-// "latest" independently still converge; a genuinely mixed state
-// surfaces as a start-round mismatch at the handshake instead of
-// silent divergence.
+// checkpoint directory. For the server the candidate set is the legacy
+// single-slot file, every retained numbered generation, and the abort
+// stash; for platforms it is the scheduled checkpoint and the stash.
+// The candidate with the highest NextRound wins, ties preferring the
+// stash (matching the pre-generation behavior). Parties that all died
+// in the same round agree on their stash boundaries, so independent
+// processes resolving "latest" independently still converge; a
+// genuinely mixed state surfaces as a start-round mismatch at the
+// handshake instead of silent divergence.
 func LoadLatestSnapshot(dir string, role SnapshotRole, platform int) (*Snapshot, error) {
-	var mainPath, stashPath string
+	// Candidate paths in ascending preference: a later entry wins ties.
+	var paths []string
 	if role == RoleServer {
-		mainPath, stashPath = ServerSnapshotPath(dir), ServerStashPath(dir)
-	} else {
-		mainPath, stashPath = PlatformSnapshotPath(dir, platform), PlatformStashPath(dir, platform)
-	}
-	main, mainErr := LoadSnapshotFile(mainPath)
-	stash, stashErr := LoadSnapshotFile(stashPath)
-	switch {
-	case mainErr == nil && stashErr == nil:
-		if stash.NextRound >= main.NextRound {
-			return stash, nil
+		paths = append(paths, ServerSnapshotPath(dir))
+		for _, gen := range serverSnapshotGens(dir) {
+			paths = append(paths, ServerSnapshotGenPath(dir, gen))
 		}
-		return main, nil
-	case mainErr == nil:
-		return main, nil
-	case stashErr == nil:
-		return stash, nil
-	default:
-		return nil, fmt.Errorf("core: no snapshot for %s in %s: %v", role, dir, mainErr)
+		paths = append(paths, ServerStashPath(dir))
+	} else {
+		paths = append(paths, PlatformSnapshotPath(dir, platform), PlatformStashPath(dir, platform))
 	}
+	var best *Snapshot
+	var firstErr error
+	for _, p := range paths {
+		s, err := LoadSnapshotFile(p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || s.NextRound >= best.NextRound {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no snapshot for %s in %s: %v", role, dir, firstErr)
+	}
+	return best, nil
 }
 
 // cloneTensor deep-copies t.

@@ -327,7 +327,7 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 func TestCheckpointScheduleWritesNextRound(t *testing.T) {
 	dir := t.TempDir()
 	_ = diffRun(t, diffOpts{mode: RoundModeSequential}, 6, 0, dir, 3, false)
-	snap, err := LoadSnapshotFile(ServerSnapshotPath(dir))
+	snap, err := LoadSnapshotFile(ServerSnapshotGenPath(dir, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,7 +487,7 @@ func TestAbortStashDoesNotClobberScheduledCheckpoint(t *testing.T) {
 		path string
 		want int
 	}{
-		{"server scheduled", ServerSnapshotPath(dir), 4},
+		{"server scheduled", ServerSnapshotGenPath(dir, 4), 4},
 		{"platform 0 scheduled", PlatformSnapshotPath(dir, 0), 4},
 		{"platform 1 scheduled", PlatformSnapshotPath(dir, 1), 4},
 		{"server stash", ServerStashPath(dir), 6},

@@ -64,9 +64,20 @@ type ServerConfig struct {
 	// state to CheckpointDir at every round boundary where the number
 	// of completed rounds is a multiple of it. Requires CheckpointDir.
 	CheckpointEvery int
-	// CheckpointDir, when set, receives snapshot files (server.ckpt). A
-	// graceful Stop also writes its final checkpoint here.
+	// CheckpointDir, when set, receives snapshot files (numbered
+	// server-<round>.ckpt generations; legacy server.ckpt stays
+	// readable). A graceful Stop also writes its final checkpoint here.
 	CheckpointDir string
+	// CheckpointRetain, when positive, bounds how many numbered
+	// checkpoint generations are kept (oldest pruned first). 0 keeps
+	// every generation. Requires CheckpointDir.
+	CheckpointRetain int
+	// Replication, when set, enables the replicated aggregation tier:
+	// every training step is appended to a WAL before its cut gradient
+	// is acked, and streamed to warm followers that can promote on
+	// leader death (see Follower). Sequential and pipelined modes only;
+	// off by default and free when off.
+	Replication *ReplicationConfig
 	// Recovery, when set, enables platform-dropout recovery: a platform
 	// whose connection dies mid-round can rejoin through the broker and
 	// resume. Sequential mode only.
@@ -135,6 +146,17 @@ func (cfg *ServerConfig) validate() error {
 	if cfg.CheckpointEvery > 0 && cfg.CheckpointDir == "" {
 		return fmt.Errorf("%w: CheckpointEvery without CheckpointDir", ErrConfig)
 	}
+	if cfg.CheckpointRetain < 0 {
+		return fmt.Errorf("%w: checkpoint retain %d", ErrConfig, cfg.CheckpointRetain)
+	}
+	if cfg.CheckpointRetain > 0 && cfg.CheckpointDir == "" {
+		return fmt.Errorf("%w: CheckpointRetain without CheckpointDir", ErrConfig)
+	}
+	if cfg.Replication != nil {
+		if err := cfg.Replication.validate(cfg); err != nil {
+			return err
+		}
+	}
 	if cfg.Recovery != nil {
 		if cfg.Mode != RoundModeSequential {
 			return fmt.Errorf("%w: dropout recovery requires RoundModeSequential, got %v", ErrConfig, cfg.Mode)
@@ -180,6 +202,12 @@ type Server struct {
 	evaluator int   // platform id that runs eval phases; -1 if none
 	stop      atomic.Bool
 
+	// repl is the leader-side replication engine (nil when the
+	// replicated tier is off); promo is set only on a server built by
+	// Follower.Promote and describes the round it resumes inside.
+	repl  *replicator
+	promo *promoState
+
 	// stash is the in-memory boundary snapshot (CheckpointDir mode):
 	// the server's complete state as of the last round boundary,
 	// written to the stash file if the session dies mid-round, so a
@@ -220,6 +248,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.sched = concatScheduler{}
 	} else {
 		s.sched = sequentialScheduler{}
+	}
+	if cfg.Replication != nil {
+		s.repl = newReplicator(cfg.Replication, cfg.Platforms)
 	}
 	return s, nil
 }
@@ -357,8 +388,18 @@ func (s *Server) serve(conns []transport.Conn) error {
 	for {
 		switch s.sess.State() {
 		case StateHandshake:
-			if err := s.handshake(); err != nil {
+			if s.promo != nil {
+				// Promoted server: the platforms were validated by the dead
+				// leader's handshake and reconciled during Promote; install
+				// the session facts the handshake would have produced.
+				s.adoptPromotion()
+			} else if err := s.handshake(); err != nil {
 				return err
+			}
+			if s.repl != nil {
+				if err := s.repl.start(s); err != nil {
+					return err
+				}
 			}
 		case StateTrain:
 			r := s.sess.Round()
@@ -395,8 +436,15 @@ func (s *Server) atBoundary(completed int) error {
 	stopping := s.stop.Load() && s.sess.State() != StateDone
 	if s.cfg.CheckpointDir != "" {
 		if checkpointDue(s.cfg.CheckpointEvery, completed, false) {
-			if err := SaveSnapshotFile(ServerSnapshotPath(s.cfg.CheckpointDir), s.Snapshot(completed)); err != nil {
+			if err := SaveServerSnapshotGen(s.cfg.CheckpointDir, s.Snapshot(completed), s.cfg.CheckpointRetain); err != nil {
 				return fmt.Errorf("core: server checkpoint at round %d: %w", completed, err)
+			}
+			if s.repl != nil {
+				// The checkpoint generation is durable: re-anchor the WAL
+				// chain here and drop the records it subsumes.
+				if err := s.repl.atCheckpoint(s, completed); err != nil {
+					return err
+				}
 			}
 		}
 		s.refreshStash(completed)
@@ -540,6 +588,12 @@ func (sequentialScheduler) trainRound(s *Server, r int) error {
 		if ps.status == PlatformDropped {
 			return nil
 		}
+		if s.promo != nil && r == s.promo.round && s.promo.done[k] {
+			// Failover resume: the dead leader already recorded this
+			// platform's step for this round — it lives in the replayed
+			// state — and Promote replayed the platform its cut gradient.
+			return nil
+		}
 		return s.seqExchange(k, r)
 	})
 }
@@ -660,6 +714,14 @@ func (s *Server) sendCutGrad(ps *platformState, k, r int, da *tensor.Tensor, los
 		ps.lastCut = append(ps.lastCut[:0], payload...)
 		ps.lastCutRound = r
 		ps.lastCutLoss = s.cfg.LabelSharing
+	}
+	if s.repl != nil {
+		// Durability before acknowledgement: the step's record (state
+		// delta + this exact payload) hits the WAL and the follower
+		// streams before the platform can observe the step happened.
+		if err := s.repl.onStep(s, k, r, payload); err != nil {
+			return err
+		}
 	}
 	return s.send(ps.conn, &wire.Message{
 		Type:     wire.MsgCutGrad,

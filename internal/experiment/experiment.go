@@ -145,6 +145,25 @@ type Config struct {
 	// and rejoin via the broker. Requires SimWAN and sequential
 	// scheduling (the recovery machinery's constraint).
 	SimRejoin string
+	// Replicas runs this many in-process warm followers behind the
+	// split server: every training step is appended to a write-ahead
+	// log and streamed to the followers before its cut gradient is
+	// acked, so the aggregation tier survives a leader crash. Split
+	// scheme only; requires sequential or depth-1 pipelined scheduling.
+	Replicas int
+	// WALDir is where the replication tier keeps its write-ahead logs
+	// (a subdirectory for the leader and one per follower). Empty with
+	// Replicas > 0 uses a private temporary directory that is removed
+	// after the run. Requires Replicas.
+	WALDir string
+	// KillLeaderAt, when positive, kills the leader at that round — the
+	// server process dies while sending platform 0's cut gradient over
+	// the simulated WAN, severing every link at once — and fails the
+	// session over: the most caught-up follower promotes, the platforms
+	// redial into it, and training finishes bit-identically to an
+	// undisturbed run. Requires Replicas >= 1, SimWAN, and
+	// 0 < KillLeaderAt < Rounds.
+	KillLeaderAt int
 }
 
 // withDefaults fills unset fields.
@@ -245,6 +264,34 @@ func (c Config) validate() error {
 	}
 	if c.SimRejoin != "" && (c.ConcatRounds || c.Pipelined) {
 		return fmt.Errorf("experiment: SimRejoin requires sequential scheduling")
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("experiment: negative Replicas %d", c.Replicas)
+	}
+	if c.Replicas > 0 {
+		if c.ConcatRounds {
+			return fmt.Errorf("experiment: Replicas with ConcatRounds (replication needs per-step records)")
+		}
+		if c.Pipelined && c.PipelineDepth >= 2 {
+			return fmt.Errorf("experiment: Replicas with PipelineDepth %d (failover needs sequential or depth-1 scheduling)", c.PipelineDepth)
+		}
+	}
+	if c.WALDir != "" && c.Replicas == 0 {
+		return fmt.Errorf("experiment: WALDir without Replicas")
+	}
+	if c.KillLeaderAt != 0 {
+		if c.Replicas < 1 {
+			return fmt.Errorf("experiment: KillLeaderAt without Replicas")
+		}
+		if !c.SimWAN {
+			return fmt.Errorf("experiment: KillLeaderAt requires SimWAN")
+		}
+		if c.KillLeaderAt < 0 || c.KillLeaderAt >= c.Rounds {
+			return fmt.Errorf("experiment: KillLeaderAt %d outside (0,%d)", c.KillLeaderAt, c.Rounds)
+		}
+		if c.SimRejoin != "" {
+			return fmt.Errorf("experiment: KillLeaderAt and SimRejoin are mutually exclusive (failover owns the redial path)")
+		}
 	}
 	return nil
 }

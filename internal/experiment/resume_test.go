@@ -43,7 +43,7 @@ func TestRunSplitResumeMatchesUninterrupted(t *testing.T) {
 	}
 
 	// The snapshots carry the round counter.
-	snap, err := core.LoadSnapshotFile(core.ServerSnapshotPath(dir))
+	snap, err := core.LoadSnapshotFile(core.ServerSnapshotGenPath(dir, 13))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -168,16 +168,31 @@ func RunSplit(cfg Config) (*Result, error) {
 	var wanPairs []simnet.Pair
 	var broker *core.RejoinBroker
 	if cfg.SimWAN {
+		faults := cfg.SimFaults
+		if cfg.KillLeaderAt > 0 {
+			// Script the leader's death: the server process dies while
+			// sending platform 0's cut gradient at the kill round, every
+			// link severs at once, and the first redial attempts fail
+			// while the failover is still settling.
+			faults = append(append([]simnet.Fault(nil), faults...), simnet.Fault{
+				Platform:  0,
+				Round:     cfg.KillLeaderAt,
+				Type:      wire.MsgCutGrad,
+				Dir:       simnet.DirDown,
+				Kind:      simnet.FaultKillServer,
+				FailDials: 2,
+			})
+		}
 		var werr error
 		wan, wanPairs, werr = simnet.FromTopology(cfg.Topology, cfg.Regions, simnet.Options{
 			Seed:   cfg.Seed + 0x51A47,
 			Jitter: cfg.SimJitter,
-			Faults: cfg.SimFaults,
+			Faults: faults,
 		})
 		if werr != nil {
 			return nil, werr
 		}
-		if cfg.SimRejoin != "" {
+		if cfg.SimRejoin != "" || cfg.KillLeaderAt > 0 {
 			broker = core.NewRejoinBroker()
 			defer broker.Close()
 		}
@@ -202,12 +217,24 @@ func RunSplit(cfg Config) (*Result, error) {
 		scfg.LabelSharing = true
 		scfg.Loss = newLoss()
 	}
-	if broker != nil {
+	if broker != nil && cfg.SimRejoin != "" {
+		// Dropout recovery on the leader. The KillLeaderAt path keeps the
+		// broker but no Recovery: a killed leader must die promptly so
+		// the follower can take over, not sit out a rejoin window.
 		policy := core.WaitForRejoin
 		if cfg.SimRejoin == "proceed" {
 			policy = core.ProceedWithout
 		}
 		scfg.Recovery = &core.RecoveryConfig{Policy: policy, Window: 30 * time.Second, Broker: broker}
+	}
+	var tier *replicaTier
+	if cfg.Replicas > 0 {
+		tier, err = newReplicaTier(cfg, codec)
+		if err != nil {
+			return nil, err
+		}
+		defer tier.close()
+		scfg.Replication = &core.ReplicationConfig{Log: tier.leaderLog, Followers: tier.leaderEnds}
 	}
 	srv, err := core.NewServer(scfg)
 	if err != nil {
@@ -281,7 +308,32 @@ func RunSplit(cfg Config) (*Result, error) {
 		platforms[k] = p
 	}
 	var stats []*core.PlatformStats
-	if cfg.SimWAN {
+	switch {
+	case tier != nil:
+		// Replicated sessions need the failover-aware runner even off
+		// the simulated WAN, so build explicit conns either way.
+		serverConns := make([]transport.Conn, cfg.Platforms)
+		platformConns := make([]transport.Conn, cfg.Platforms)
+		if cfg.SimWAN {
+			for k, pair := range wanPairs {
+				serverConns[k] = pair.Server
+				platformConns[k] = transport.Metered(pair.Platform, meters[k])
+			}
+		} else {
+			for k := range serverConns {
+				s, p := transport.Pipe()
+				serverConns[k] = s
+				platformConns[k] = transport.Metered(p, meters[k])
+			}
+		}
+		var surviving *nn.Sequential
+		stats, surviving, err = tier.run(srv, platforms, serverConns, platformConns, broker)
+		if surviving != nil {
+			// A failover happened: the session's final back half lives in
+			// the promoted follower, not the dead leader.
+			back = surviving
+		}
+	case cfg.SimWAN:
 		serverConns := make([]transport.Conn, cfg.Platforms)
 		platformConns := make([]transport.Conn, cfg.Platforms)
 		for k, pair := range wanPairs {
@@ -289,7 +341,7 @@ func RunSplit(cfg Config) (*Result, error) {
 			platformConns[k] = transport.Metered(pair.Platform, meters[k])
 		}
 		stats, err = core.RunConnected(srv, platforms, serverConns, platformConns)
-	} else {
+	default:
 		stats, err = core.RunLocal(srv, platforms)
 	}
 	if err != nil {

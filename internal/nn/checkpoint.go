@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 
+	"medsplit/internal/atomicfile"
 	"medsplit/internal/tensor"
 )
 
@@ -110,25 +111,14 @@ func LoadCheckpoint(r io.Reader, params []*Param, state []*tensor.Tensor) error 
 	return nil
 }
 
-// SaveCheckpointFile writes a checkpoint atomically (temp file +
-// rename), so a crash mid-save never corrupts the previous checkpoint.
+// SaveCheckpointFile writes a checkpoint through the shared
+// fsync-then-rename helper, so a crash mid-save never corrupts the
+// previous checkpoint. SaveCheckpoint streams straight into the temp
+// file — large models never need a second in-memory copy.
 func SaveCheckpointFile(path string, params []*Param, state []*tensor.Tensor) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".ckpt-*")
-	if err != nil {
-		return fmt.Errorf("nn: creating checkpoint temp: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := SaveCheckpoint(tmp, params, state); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("nn: closing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("nn: installing checkpoint: %w", err)
-	}
-	return nil
+	return atomicfile.WriteWith(path, func(w io.Writer) error {
+		return SaveCheckpoint(w, params, state)
+	})
 }
 
 // LoadCheckpointFile reads a checkpoint from disk into the model.
@@ -139,13 +129,4 @@ func LoadCheckpointFile(path string, params []*Param, state []*tensor.Tensor) er
 	}
 	defer f.Close()
 	return LoadCheckpoint(f, params, state)
-}
-
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }

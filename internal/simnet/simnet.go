@@ -77,7 +77,36 @@ func (d Dir) String() string {
 	}
 }
 
-// Fault scripts one deterministic link failure. The link severs when a
+// FaultKind selects what a triggered fault takes down.
+type FaultKind uint8
+
+// Fault kinds. The zero value severs just the triggering link, so
+// existing fault scripts keep their meaning.
+const (
+	// FaultSever kills the triggering platform's link segment: the
+	// classic platform-dropout scenario.
+	FaultSever FaultKind = iota
+	// FaultKillServer models the server process dying: the triggering
+	// link severs, and then every other platform's link severs too —
+	// all conversations with the dead process end at once. FailDials
+	// arms on every link, so no platform can redial until the budget
+	// is spent (the window in which a follower promotes).
+	FaultKillServer
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultSever:
+		return "sever"
+	case FaultKillServer:
+		return "kill-server"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Fault scripts one deterministic failure. The trigger fires when a
 // message matching (Round, Type, Dir) is handed to Send; a zero Type or
 // Dir matches any. Partitions are just several Faults sharing a round.
 type Fault struct {
@@ -89,13 +118,17 @@ type Fault struct {
 	Type wire.MsgType
 	// Dir, when nonzero, narrows the trigger to one direction.
 	Dir Dir
+	// Kind selects the blast radius: FaultSever (default) takes down
+	// this one link, FaultKillServer takes down every link.
+	Kind FaultKind
 	// Swallow reports the triggering Send as successful while dropping
 	// the message — the failure mode where a payload dies buffered in a
 	// kernel socket after the sender moved on.
 	Swallow bool
 	// FailDials makes the first FailDials Redial attempts after the
 	// drop fail, a deterministic stand-in for a link that stays down
-	// for a while before the platform can rejoin.
+	// for a while before the platform can rejoin. With FaultKillServer
+	// the budget arms on every link, not just the triggering one.
 	FailDials int
 }
 
@@ -242,6 +275,30 @@ func (n *Network) Redial(platform int) (serverEnd, platformEnd transport.Conn, e
 	l.mu.Unlock()
 	old.sever() // an abandoned healthy segment must not keep delivering
 	return server, platformConn, nil
+}
+
+// killServer implements FaultKillServer: the server process died, so
+// every platform's current segment severs and every link arms the
+// fault's FailDials budget. The triggering link was already severed
+// (and its budget armed by takeFault) by the Send that fired the
+// fault; it is skipped here. Called with no locks held — severing
+// takes each segment's own lock.
+func (n *Network) killServer(trigger *link, failDials int) {
+	n.mu.Lock()
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		if l != trigger {
+			links = append(links, l)
+		}
+	}
+	n.mu.Unlock()
+	for _, l := range links {
+		l.mu.Lock()
+		l.failDials = failDials
+		cur := l.cur
+		l.mu.Unlock()
+		cur.sever()
+	}
 }
 
 // Elapsed returns the latest virtual time any party has reached — the
@@ -439,6 +496,16 @@ func (e *endpoint) Send(m *wire.Message) error {
 		s.up.msgs = nil
 		s.down.msgs = nil
 		s.cond.Broadcast()
+		if f.Kind == FaultKillServer {
+			// Take down every other link too — but only after releasing
+			// this segment's lock: severing walks other segments' locks,
+			// and holding ours while doing so could deadlock against a
+			// concurrent fault firing the other way (same reasoning as
+			// Redial dropping l.mu before old.sever()).
+			s.mu.Unlock()
+			s.link.net.killServer(s.link, f.FailDials)
+			s.mu.Lock() // restore for the deferred unlock
+		}
 		if f.Swallow {
 			return nil
 		}

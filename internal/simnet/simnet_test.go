@@ -193,6 +193,97 @@ func TestSwallowedSend(t *testing.T) {
 	plat.Close()
 }
 
+// FaultKillServer models total server death: the triggering link and
+// every other link sever at once, every link's redials fail for the
+// FailDials budget, then all links come back — the window in which a
+// warm follower promotes and platforms re-home to it.
+func TestKillServerFault(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	const platforms = 3
+	n := New(Options{Faults: []Fault{
+		{Platform: 1, Round: 3, Type: wire.MsgLossGrad, Dir: DirUp,
+			Kind: FaultKillServer, FailDials: 2},
+	}})
+	srv := make([]transport.Conn, platforms)
+	plat := make([]transport.Conn, platforms)
+	for k := 0; k < platforms; k++ {
+		srv[k], plat[k] = n.AddLink(k, geonet.Link{LatencyMs: 1, Mbps: 100})
+	}
+	// Pre-kill traffic flows on every link.
+	for k := 0; k < platforms; k++ {
+		if err := plat[k].Send(msg(wire.MsgActivations, 0, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv[k].Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The trigger, on platform 1's link only.
+	if err := plat[1].Send(msg(wire.MsgLossGrad, 3, 64)); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("triggering send returned %v, want io.ErrClosedPipe", err)
+	}
+	// Every link is now dead, not just the triggering one.
+	for k := 0; k < platforms; k++ {
+		if err := plat[k].Send(msg(wire.MsgActivations, 3, 64)); !errors.Is(err, io.ErrClosedPipe) {
+			t.Fatalf("platform %d send after kill returned %v, want io.ErrClosedPipe", k, err)
+		}
+		if _, err := srv[k].Recv(); err != io.EOF {
+			t.Fatalf("server recv for platform %d after kill returned %v, want io.EOF", k, err)
+		}
+	}
+	// Every link's dials fail while the shared FailDials budget lasts...
+	for i := 0; i < 2; i++ {
+		for k := 0; k < platforms; k++ {
+			if _, _, err := n.Redial(k); err == nil {
+				t.Fatalf("platform %d redial %d succeeded inside the FailDials window", k, i)
+			}
+		}
+	}
+	// ...then every platform dials into a fresh working segment.
+	for k := 0; k < platforms; k++ {
+		s2, p2, err := n.Redial(k)
+		if err != nil {
+			t.Fatalf("platform %d redial after window: %v", k, err)
+		}
+		if err := p2.Send(msg(wire.MsgRejoin, 3, 16)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s2.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		s2.Close()
+		p2.Close()
+	}
+}
+
+// A swallowed KillServer still takes the whole network down even
+// though the triggering sender saw success.
+func TestKillServerSwallowed(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	n := New(Options{Faults: []Fault{
+		{Platform: 0, Round: 1, Type: wire.MsgCutGrad, Dir: DirDown,
+			Kind: FaultKillServer, Swallow: true},
+	}})
+	srv0, plat0 := n.AddLink(0, geonet.Link{LatencyMs: 1, Mbps: 100})
+	srv1, plat1 := n.AddLink(1, geonet.Link{LatencyMs: 1, Mbps: 100})
+	if err := srv0.Send(msg(wire.MsgCutGrad, 1, 64)); err != nil {
+		t.Fatalf("swallowed send must report success, got %v", err)
+	}
+	if _, err := plat0.Recv(); err != io.EOF {
+		t.Fatalf("platform 0 recv returned %v, want io.EOF", err)
+	}
+	if err := plat1.Send(msg(wire.MsgActivations, 1, 64)); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("platform 1 send returned %v, want io.ErrClosedPipe", err)
+	}
+	if _, err := srv1.Recv(); err != io.EOF {
+		t.Fatalf("server recv for platform 1 returned %v, want io.EOF", err)
+	}
+	srv0.Close()
+	plat0.Close()
+	srv1.Close()
+	plat1.Close()
+}
+
 // Redial: fails deterministically while FailDials lasts, then yields a
 // fresh working segment on the same clocks; the severed pair stays
 // dead.

@@ -1,0 +1,512 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int, tag string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("%s-%03d", tag, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func collect(t *testing.T, l *Log, from uint64) map[uint64]string {
+	t.Helper()
+	got := map[uint64]string{}
+	err := l.Iterate(from, func(idx uint64, payload []byte) error {
+		got[idx] = string(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAppendIterateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Small segments force several rolls mid-test.
+	l := mustOpen(t, dir, Options{SegmentBytes: 64, SyncEvery: 0})
+	defer l.Close()
+	appendN(t, l, 20, "rec")
+	if first, next := l.FirstIndex(), l.NextIndex(); first != 1 || next != 21 {
+		t.Fatalf("first=%d next=%d, want 1, 21", first, next)
+	}
+	got := collect(t, l, 1)
+	if len(got) != 20 {
+		t.Fatalf("iterated %d records, want 20", len(got))
+	}
+	for i := 0; i < 20; i++ {
+		want := fmt.Sprintf("rec-%03d", i)
+		if got[uint64(i+1)] != want {
+			t.Fatalf("index %d = %q, want %q", i+1, got[uint64(i+1)], want)
+		}
+	}
+	// Partial iteration starts exactly at `from`.
+	suffix := collect(t, l, 15)
+	if len(suffix) != 6 || suffix[15] != "rec-014" {
+		t.Fatalf("suffix = %v", suffix)
+	}
+	// The roll left sealed segments under their final names.
+	sealed, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	open, _ := filepath.Glob(filepath.Join(dir, "wal-*.open"))
+	if len(sealed) == 0 || len(open) != 1 {
+		t.Fatalf("sealed=%d open=%d, want several sealed + one open", len(sealed), len(open))
+	}
+}
+
+func TestReopenResumesIndices(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 64, SyncEvery: 1})
+	appendN(t, l, 7, "a")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l = mustOpen(t, dir, Options{SegmentBytes: 64, SyncEvery: 1})
+	defer l.Close()
+	if l.NextIndex() != 8 {
+		t.Fatalf("NextIndex after reopen = %d, want 8", l.NextIndex())
+	}
+	appendN(t, l, 3, "b")
+	got := collect(t, l, 1)
+	if len(got) != 10 || got[8] != "b-000" || got[7] != "a-006" {
+		t.Fatalf("records after reopen = %v", got)
+	}
+}
+
+func TestIterateSeesUnsyncedAppends(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{SyncEvery: 0})
+	defer l.Close()
+	appendN(t, l, 3, "x")
+	if got := collect(t, l, 1); len(got) != 3 {
+		t.Fatalf("iterated %d, want 3 (unsynced appends must be visible)", len(got))
+	}
+}
+
+// writeSegment hand-crafts a single-segment log for corruption tests:
+// header + n records "payload-<i>", returning the full file bytes and
+// each record's starting offset.
+func writeSegment(base uint64, n int) (buf []byte, offsets []int) {
+	buf = append(buf, segmentHeader(base)...)
+	for i := 0; i < n; i++ {
+		offsets = append(offsets, len(buf))
+		payload := []byte(fmt.Sprintf("payload-%03d", i))
+		var frame [frameSize]byte
+		binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+		buf = append(buf, frame[:]...)
+		buf = append(buf, payload...)
+	}
+	return buf, offsets
+}
+
+func TestRecovery(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(buf []byte, offsets []int) []byte
+		want    int   // records surviving Open (when wantErr is nil)
+		wantErr error // expected Open failure
+	}{
+		{
+			name: "clean log",
+			mutate: func(buf []byte, _ []int) []byte {
+				return buf
+			},
+			want: 5,
+		},
+		{
+			name: "torn final record payload",
+			mutate: func(buf []byte, offsets []int) []byte {
+				return buf[:offsets[4]+frameSize+3] // frame landed, payload cut short
+			},
+			want: 4,
+		},
+		{
+			name: "torn final frame",
+			mutate: func(buf []byte, offsets []int) []byte {
+				return buf[:offsets[4]+5] // not even a whole frame
+			},
+			want: 4,
+		},
+		{
+			name: "bit-flipped CRC on final record",
+			mutate: func(buf []byte, offsets []int) []byte {
+				buf[offsets[4]+4] ^= 0x40 // crc field of the tail record
+				return buf
+			},
+			want: 4,
+		},
+		{
+			name: "bit-flipped CRC mid-log",
+			mutate: func(buf []byte, offsets []int) []byte {
+				buf[offsets[2]+4] ^= 0x40 // record 3 of 5: real corruption
+				return buf
+			},
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "bit-flipped payload mid-log",
+			mutate: func(buf []byte, offsets []int) []byte {
+				buf[offsets[1]+frameSize] ^= 0x01
+				return buf
+			},
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "empty segment file",
+			mutate: func(_ []byte, _ []int) []byte {
+				return nil // crash between create and header write
+			},
+			want: 0,
+		},
+		{
+			name: "truncated header",
+			mutate: func(buf []byte, _ []int) []byte {
+				return buf[:headerSize-2]
+			},
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "bad magic",
+			mutate: func(buf []byte, _ []int) []byte {
+				buf[0] = 'X'
+				return buf
+			},
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "bad version",
+			mutate: func(buf []byte, _ []int) []byte {
+				buf[4] = 99
+				return buf
+			},
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "header base disagrees with name",
+			mutate: func(buf []byte, _ []int) []byte {
+				binary.LittleEndian.PutUint64(buf[5:], 42)
+				return buf
+			},
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "absurd record length",
+			mutate: func(buf []byte, offsets []int) []byte {
+				binary.LittleEndian.PutUint32(buf[offsets[0]:], maxRecord+1)
+				return buf
+			},
+			wantErr: ErrCorrupt,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buf, offsets := writeSegment(1, 5)
+			buf = tc.mutate(buf, offsets)
+			path := filepath.Join(dir, segmentName(1, true))
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, err := Open(dir, Options{SyncEvery: 0})
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("Open error = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			got := collect(t, l, 1)
+			if len(got) != tc.want {
+				t.Fatalf("surviving records = %d, want %d", len(got), tc.want)
+			}
+			// The log stays usable: the truncated slot is reassigned.
+			idx, err := l.Append([]byte("after-recovery"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := uint64(tc.want + 1); idx != want {
+				t.Fatalf("post-recovery append index = %d, want %d", idx, want)
+			}
+		})
+	}
+}
+
+func TestCorruptSealedSegmentNeverTruncates(t *testing.T) {
+	// A torn tail is only forgivable in the final segment; sealed
+	// segments were fsynced before their rename, so damage there is
+	// corruption even at their tail.
+	dir := t.TempDir()
+	buf, offsets := writeSegment(1, 3)
+	buf = buf[:offsets[2]+frameSize+2] // torn tail...
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1, false)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// ...but a later segment exists, so segment 1 is mid-log.
+	buf2, _ := writeSegment(3, 2)
+	if err := os.WriteFile(filepath.Join(dir, segmentName(3, true)), buf2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenRejectsBrokenChains(t *testing.T) {
+	t.Run("gap in indices", func(t *testing.T) {
+		dir := t.TempDir()
+		b1, _ := writeSegment(1, 2)
+		b2, _ := writeSegment(9, 2) // should start at 3
+		os.WriteFile(filepath.Join(dir, segmentName(1, false)), b1, 0o644)
+		os.WriteFile(filepath.Join(dir, segmentName(9, true)), b2, 0o644)
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("two active segments", func(t *testing.T) {
+		dir := t.TempDir()
+		b1, _ := writeSegment(1, 2)
+		b2, _ := writeSegment(3, 1)
+		os.WriteFile(filepath.Join(dir, segmentName(1, true)), b1, 0o644)
+		os.WriteFile(filepath.Join(dir, segmentName(3, true)), b2, 0o644)
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("sealed segment above the active one", func(t *testing.T) {
+		dir := t.TempDir()
+		b1, _ := writeSegment(1, 2)
+		b2, _ := writeSegment(3, 1)
+		os.WriteFile(filepath.Join(dir, segmentName(1, true)), b1, 0o644)
+		os.WriteFile(filepath.Join(dir, segmentName(3, false)), b2, 0o644)
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Open = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestCompactBefore(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 64, SyncEvery: 0})
+	defer l.Close()
+	appendN(t, l, 30, "rec")
+	sealedBefore, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(sealedBefore) < 3 {
+		t.Fatalf("test needs several sealed segments, got %d", len(sealedBefore))
+	}
+	if err := l.CompactBefore(20); err != nil {
+		t.Fatal(err)
+	}
+	first := l.FirstIndex()
+	if first == 1 || first > 20 {
+		t.Fatalf("FirstIndex after compaction = %d, want in (1, 20]", first)
+	}
+	sealedAfter, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(sealedAfter) >= len(sealedBefore) {
+		t.Fatalf("compaction removed no segment files (%d -> %d)", len(sealedBefore), len(sealedAfter))
+	}
+	// Replay-after-compaction: the surviving suffix is intact and dense.
+	got := collect(t, l, first)
+	for i := first; i <= 30; i++ {
+		want := fmt.Sprintf("rec-%03d", i-1)
+		if got[i] != want {
+			t.Fatalf("post-compaction index %d = %q, want %q", i, got[i], want)
+		}
+	}
+	// Asking for compacted history is an explicit error, not silence.
+	if err := l.Iterate(1, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("Iterate(1) = %v, want ErrCompacted", err)
+	}
+	// Compacting everything keeps the active segment.
+	if err := l.CompactBefore(l.NextIndex()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	// And survives a reopen.
+	l.Close()
+	l = mustOpen(t, dir, Options{SegmentBytes: 64, SyncEvery: 0})
+	defer l.Close()
+	if l.NextIndex() != 32 {
+		t.Fatalf("NextIndex after compacted reopen = %d, want 32", l.NextIndex())
+	}
+}
+
+func TestSyncAndClose(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SyncEvery: 0})
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close = %v, want nil", err)
+	}
+	if _, err := l.Append([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close = %v, want ErrClosed", err)
+	}
+	if err := l.Iterate(1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("iterate after close = %v, want ErrClosed", err)
+	}
+	if err := l.CompactBefore(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("compact after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestSyncEveryBatches(t *testing.T) {
+	// SyncEvery=3 must not error and must still land every record.
+	l := mustOpen(t, t.TempDir(), Options{SyncEvery: 3})
+	defer l.Close()
+	appendN(t, l, 7, "b")
+	if got := collect(t, l, 1); len(got) != 7 {
+		t.Fatalf("records = %d, want 7", len(got))
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{SyncEvery: -1}); err == nil {
+		t.Fatal("want error for negative SyncEvery")
+	}
+	if _, err := Open(t.TempDir(), Options{SegmentBytes: 4}); err == nil {
+		t.Fatal("want error for tiny SegmentBytes")
+	}
+	// A missing directory is created, nested levels and all.
+	l, err := Open(filepath.Join(t.TempDir(), "nested", "wal"), Options{})
+	if err != nil {
+		t.Fatalf("missing directory not created: %v", err)
+	}
+	l.Close()
+}
+
+func TestIterateFnErrorAborts(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{SyncEvery: 0})
+	defer l.Close()
+	appendN(t, l, 5, "r")
+	boom := fmt.Errorf("stop here")
+	seen := 0
+	err := l.Iterate(1, func(uint64, []byte) error {
+		seen++
+		if seen == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || seen != 2 {
+		t.Fatalf("err=%v seen=%d, want the fn error after 2 records", err, seen)
+	}
+}
+
+func TestBadSegmentNames(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-zzzz.seg"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open = %v, want ErrCorrupt for unparsable name", err)
+	}
+	dir2 := t.TempDir()
+	// Unrelated files are ignored.
+	os.WriteFile(filepath.Join(dir2, "notes.txt"), []byte("x"), 0o644)
+	l, err := Open(dir2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+// FuzzWALDecode feeds arbitrary bytes to the segment scanner via Open:
+// whatever the bytes, recovery must either succeed or fail cleanly —
+// never panic, never hang — and a successful open must iterate without
+// error (the surviving records were CRC-validated).
+func FuzzWALDecode(f *testing.F) {
+	clean, offsets := writeSegment(1, 3)
+	f.Add(clean)
+	f.Add(clean[:offsets[2]+frameSize+1]) // torn tail
+	f.Add(clean[:headerSize])             // header only
+	f.Add([]byte{})                       // empty file
+	f.Add([]byte("MWAL\x01garbage that is not a segment"))
+	flipped := bytes.Clone(clean)
+	flipped[offsets[1]+4] ^= 1
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1, true)), data, 0o644); err != nil {
+			t.Skip()
+		}
+		l, err := Open(dir, Options{SyncEvery: 0})
+		if err != nil {
+			return // clean rejection is a valid outcome
+		}
+		defer l.Close()
+		if err := l.Iterate(l.FirstIndex(), func(_ uint64, p []byte) error {
+			_ = p
+			return nil
+		}); err != nil {
+			t.Fatalf("Open succeeded but Iterate failed: %v", err)
+		}
+		if _, err := l.Append([]byte("post-recovery append")); err != nil {
+			t.Fatalf("Open succeeded but Append failed: %v", err)
+		}
+	})
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"NoSync", Options{SyncEvery: 0}},
+		{"SyncEvery16", Options{SyncEvery: 16}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			l, err := Open(b.TempDir(), bc.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

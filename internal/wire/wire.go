@@ -28,7 +28,10 @@ type MsgType uint8
 // (Fig. 2/3); ModelPull/ModelPush/GradPush serve the parameter-server
 // baselines; Labels exists for the label-sharing ablation; Ack and
 // ErrorMsg close control loops; Rejoin/RejoinAck re-attach a platform
-// that lost its connection mid-session (dropout recovery).
+// that lost its connection mid-session (dropout recovery); the
+// ReplBase/ReplMeta/ReplRecord/ReplAck quartet carries the
+// leader→follower replication stream (bootstrap snapshot, session
+// metadata, per-step WAL records, watermark acks).
 const (
 	MsgHello MsgType = iota + 1
 	MsgHelloAck
@@ -47,6 +50,10 @@ const (
 	MsgBye
 	MsgRejoin
 	MsgRejoinAck
+	MsgReplBase
+	MsgReplMeta
+	MsgReplRecord
+	MsgReplAck
 
 	msgTypeCount = iota + 1
 )
@@ -69,6 +76,10 @@ var msgTypeNames = map[MsgType]string{
 	MsgBye:             "bye",
 	MsgRejoin:          "rejoin",
 	MsgRejoinAck:       "rejoin-ack",
+	MsgReplBase:        "repl-base",
+	MsgReplMeta:        "repl-meta",
+	MsgReplRecord:      "repl-record",
+	MsgReplAck:         "repl-ack",
 }
 
 // String names the message type for diagnostics.
@@ -104,7 +115,11 @@ const (
 	// mid-training, after hours of work — so the version bump makes
 	// mixed deployments fail fast with ErrBadVersion at the first
 	// frame instead.
-	version uint8 = 3
+	// version 4: the ReplBase/ReplMeta/ReplRecord/ReplAck replication
+	// stream joined (leader → warm-follower state streaming). Same
+	// rationale as v3: a mixed leader/follower pair must fail at the
+	// first frame, not when a failover is already in progress.
+	version uint8 = 4
 
 	// headerSize: magic(2) + version(1) + type(1) + platform(4) +
 	// round(4) + payloadLen(4) + crc(4).
