@@ -11,8 +11,9 @@ BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm
 # Packages with concurrency worth racing: the pipelined scheduler, the
 # async transport wrappers, the simulated-WAN transport (including the
 # 100-platform scale-out soak), the parameter-server baseline, the
-# parallel tensor kernels and the replication tier's write-ahead log.
-RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/simnet/... ./internal/syncsgd/... ./internal/tensor/... ./internal/wal/...
+# parallel tensor kernels, the replication tier's write-ahead log and
+# the multi-tenant serving tier (scheduler + batchers + shared gate).
+RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/simnet/... ./internal/syncsgd/... ./internal/tensor/... ./internal/wal/... ./internal/serve/...
 
 # Minimum statement coverage the cover target enforces for the engine's
 # load-bearing packages. The scenario-matrix, simnet and WAL suites
@@ -22,8 +23,9 @@ COVER_MIN_core       = 82
 COVER_MIN_transport  = 87
 COVER_MIN_simnet     = 90
 COVER_MIN_wal        = 85
+COVER_MIN_serve      = 80
 
-.PHONY: test bench bench-save bench-smoke fuzz-smoke cover vuln race vet fmt-check ci
+.PHONY: test bench bench-save bench-smoke bench-compare bench-save-serve load-test fuzz-smoke cover vuln race vet fmt-check ci
 
 test:
 	$(GO) build ./...
@@ -58,17 +60,18 @@ fuzz-smoke:
 # a hard minimum-coverage gate on the packages the scenario matrix
 # protects (runs in CI's cover job).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/wire/ ./internal/transport/ ./internal/simnet/ ./internal/wal/ | tee cover-packages.txt
+	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/wire/ ./internal/transport/ ./internal/simnet/ ./internal/wal/ ./internal/serve/ | tee cover-packages.txt
 	@if grep -q '^FAIL' cover-packages.txt; then \
 		echo "cover: test failures (tee hides the pipeline status; see above)"; exit 1; \
 	fi
-	@$(GO) tool cover -func=cover.out | grep -E '^total|session.go|checkpoint.go|recovery.go|simnet.go|wal.go|replication.go' | tail -24
+	@$(GO) tool cover -func=cover.out | grep -E '^total|session.go|checkpoint.go|recovery.go|simnet.go|wal.go|replication.go|infer.go' | tail -24
 	@echo "full per-function report: $(GO) tool cover -func=cover.out"
 	@set -e; for spec in \
 		"medsplit/internal/core:$(COVER_MIN_core)" \
 		"medsplit/internal/transport:$(COVER_MIN_transport)" \
 		"medsplit/internal/simnet:$(COVER_MIN_simnet)" \
-		"medsplit/internal/wal:$(COVER_MIN_wal)"; do \
+		"medsplit/internal/wal:$(COVER_MIN_wal)" \
+		"medsplit/internal/serve:$(COVER_MIN_serve)"; do \
 		pkg=$${spec%%:*}; min=$${spec##*:}; \
 		pct=$$(awk -v pkg="$$pkg" '$$1 == "ok" && $$2 == pkg { for (i = 3; i <= NF; i++) if ($$i == "coverage:") { sub(/%$$/, "", $$(i+1)); print $$(i+1) } }' cover-packages.txt); \
 		if [ -z "$$pct" ]; then echo "cover gate: no coverage reported for $$pkg"; exit 1; fi; \
@@ -85,9 +88,10 @@ cover:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-# The CI gate, job for job: lint, build+test, race, bench smoke, fuzz
-# smoke. govulncheck is CI-only (network).
-ci: fmt-check test race bench-smoke fuzz-smoke
+# The CI gate, job for job: lint, build+test, race, bench smoke plus
+# the allocation-regression compare, fuzz smoke. govulncheck is CI-only
+# (network).
+ci: fmt-check test race bench-smoke bench-compare fuzz-smoke
 
 # Human-readable benchmark sweep of the tensor engine, codecs and
 # training path.
@@ -99,9 +103,35 @@ bench:
 # regenerable. -benchmem is load-bearing: it puts allocs/op on every
 # line, so the JSON trajectory tracks the wire path's allocation wins.
 bench-smoke:
-	$(GO) test -bench 'BenchmarkMatMul|BenchmarkSplitRound|BenchmarkCodec|BenchmarkSimnetRound' -benchmem -benchtime 1x -run NONE ./internal/tensor/ ./internal/compress/ . \
+	$(GO) test -bench 'BenchmarkMatMul|BenchmarkSplitRound|BenchmarkCodec|BenchmarkSimnetRound|BenchmarkServeInfer' -benchmem -benchtime 1x -run NONE ./internal/tensor/ ./internal/compress/ ./internal/serve/ . \
 		| $(GO) run ./cmd/benchjson > /dev/null
 	@echo bench-smoke ok
+
+# Allocation-regression gate: rerun the baseline benchmarks and compare
+# allocs/op against the committed BENCH_*.json via `benchjson -compare`.
+# ns/op is skipped — shared-runner clocks are too noisy to gate on; time
+# is gated when bench-save-* regenerates a baseline on pinned hardware.
+# GOMAXPROCS=1 matches the environment the committed baselines record,
+# and the multi-iteration benchtime amortizes one-time pool warm-up
+# allocations that would otherwise inflate allocs/op vs the baselines.
+bench-compare:
+	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound' -benchmem -benchtime 10x -run NONE \
+		./internal/tensor/ ./internal/nn/ . | $(GO) run ./cmd/benchjson -compare BENCH_tensor.json -skip-ns
+	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkCodec|BenchmarkSplitRound' -benchmem -benchtime 10x -run NONE \
+		./internal/compress/ . | $(GO) run ./cmd/benchjson -compare BENCH_wire.json -skip-ns
+	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkSimnetRound' -benchmem -benchtime 3x -run NONE . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_simnet.json -skip-ns
+	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkWALAppend|BenchmarkReplicatedRound' -benchmem -benchtime 3x -run NONE \
+		./internal/wal/ . | $(GO) run ./cmd/benchjson -compare BENCH_wal.json -skip-ns
+	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeInfer' -benchmem -benchtime 200x -run NONE \
+		./internal/serve/ | $(GO) run ./cmd/benchjson -compare BENCH_serve.json -skip-ns
+	@echo bench-compare ok
+
+# The multi-tenant serving load test at issue scale: 100 platforms x 4
+# tenants over the simulated geo-WAN, under the race detector, printing
+# p50/p99 latency and req/s.
+load-test:
+	$(GO) test -race -count=1 -v -run 'TestServeLoad100Platforms4Tenants' ./internal/serve/
 
 # Refresh the committed perf baselines. Compare the result against the
 # checked-in BENCH_*.json before committing (see README.md,
@@ -146,3 +176,15 @@ bench-save-wal:
 		-note 'failover correctness (bit-identical digests after a mid-round leader kill) is asserted by internal/core and internal/experiment tests, not benchmarked here' \
 		> BENCH_wal.json
 	@echo wrote BENCH_wal.json
+
+# Refresh the serving-tier baseline: one split-inference round trip
+# through the multi-tenant path (front forward, request codec, batcher,
+# gated back forward, response codec) at 1 and 4 tenants. GOMAXPROCS=1
+# keeps the numbers comparable with the other committed baselines.
+bench-save-serve:
+	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeInfer' -benchmem -benchtime 2000x -run NONE \
+		./internal/serve/ | $(GO) run ./cmd/benchjson \
+		-note 'per-request path: FlushEvery is floored to 1ns so every request flushes alone; batching gains are covered by the load tests, not this baseline' \
+		-note 'tenants=4 vs tenants=1 is the cost of multi-tenant routing + shared compute gate on one process' \
+		> BENCH_serve.json
+	@echo wrote BENCH_serve.json

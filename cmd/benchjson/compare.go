@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// compareOpts configures the regression gate.
+type compareOpts struct {
+	// threshold is the relative slowdown tolerated before a metric is a
+	// regression: 0.15 means new values up to 15% above the baseline
+	// pass.
+	threshold float64
+	// skipNS drops ns/op from the comparison. CI runners have noisy
+	// clocks, so the CI gate compares allocs/op only (deterministic for
+	// a given code path) and leaves wall-clock gating to bench-save runs
+	// on pinned hardware.
+	skipNS bool
+	// allocSlack is an absolute allocs/op grace on top of the relative
+	// threshold: tiny baselines (3 allocs/op) would otherwise flag a
+	// single extra allocation as a 33% regression.
+	allocSlack int64
+	// inflate multiplies every new-side value before comparing. CI runs
+	// a self-check with inflate=2 against the baseline itself to prove
+	// the gate actually fails on a 2× regression.
+	inflate float64
+}
+
+// regression is one metric that worsened past the gate.
+type regression struct {
+	name   string
+	metric string
+	oldVal float64
+	newVal float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (%+.1f%%)",
+		r.name, r.metric, r.oldVal, r.newVal, 100*(r.newVal/r.oldVal-1))
+}
+
+// readBenchFile decodes a committed BENCH_*.json document.
+func readBenchFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in file", path)
+	}
+	return &f, nil
+}
+
+// readNewResults loads the new side of a comparison: a BENCH_*.json
+// file when newPath is set, otherwise raw `go test -bench` output
+// parsed from r (so CI can pipe the bench run straight in).
+func readNewResults(newPath string, r io.Reader) (*File, error) {
+	if newPath != "" {
+		return readBenchFile(newPath)
+	}
+	f, err := parseBenchOutput(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found on stdin")
+	}
+	return f, nil
+}
+
+// compareFiles gates newF against oldF. The returned report lines cover
+// every benchmark present on both sides; regressions lists the metrics
+// that worsened past the gate. Benchmarks present on only one side are
+// reported but never fail the gate — baselines grow one PR at a time.
+func compareFiles(oldF, newF *File, o compareOpts, warn io.Writer) (report []string, regressions []regression, err error) {
+	if o.inflate == 0 {
+		o.inflate = 1
+	}
+	if oldF.GOMAXPROCS != newF.GOMAXPROCS && newF.GOMAXPROCS != 0 {
+		fmt.Fprintf(warn, "benchjson: warning: baseline gomaxprocs=%d but new run gomaxprocs=%d; ns/op is not comparable across parallelism (use -skip-ns)\n",
+			oldF.GOMAXPROCS, newF.GOMAXPROCS)
+	}
+	if oldF.GoVersion != newF.GoVersion && newF.GoVersion != "" {
+		fmt.Fprintf(warn, "benchjson: warning: baseline built with %s, new run with %s\n",
+			oldF.GoVersion, newF.GoVersion)
+	}
+
+	oldIdx := make(map[string]Result, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		oldIdx[b.Name] = b
+	}
+	matched := 0
+	for _, nb := range newF.Benchmarks {
+		ob, ok := oldIdx[nb.Name]
+		if !ok {
+			report = append(report, fmt.Sprintf("%s: new benchmark, no baseline", nb.Name))
+			continue
+		}
+		matched++
+		delete(oldIdx, nb.Name)
+
+		if !o.skipNS && ob.NsPerOp > 0 {
+			newNs := nb.NsPerOp * o.inflate
+			report = append(report, fmt.Sprintf("%s: ns/op %.6g -> %.6g (%+.1f%%)",
+				nb.Name, ob.NsPerOp, newNs, 100*(newNs/ob.NsPerOp-1)))
+			if newNs > ob.NsPerOp*(1+o.threshold) {
+				regressions = append(regressions, regression{nb.Name, "ns/op", ob.NsPerOp, newNs})
+			}
+		}
+		newAllocs := float64(nb.AllocsPerOp) * o.inflate
+		oldAllocs := float64(ob.AllocsPerOp)
+		if oldAllocs > 0 || newAllocs > 0 {
+			report = append(report, fmt.Sprintf("%s: allocs/op %g -> %g",
+				nb.Name, oldAllocs, newAllocs))
+			if newAllocs > oldAllocs*(1+o.threshold) && newAllocs-oldAllocs > float64(o.allocSlack) {
+				regressions = append(regressions, regression{nb.Name, "allocs/op", oldAllocs, newAllocs})
+			}
+		}
+	}
+	if matched == 0 {
+		return report, nil, fmt.Errorf("no benchmark names overlap between baseline and new run; check the bench pattern")
+	}
+	// Baseline entries the new run never produced: a renamed or deleted
+	// benchmark silently losing coverage is worth a loud line.
+	var missing []string
+	for name := range oldIdx {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		report = append(report, fmt.Sprintf("%s: in baseline but not in new run", name))
+	}
+	return report, regressions, nil
+}
+
+// runCompare is the -compare entry point. Exit status: 0 when every
+// matched metric is within threshold, 1 on regression or usage error.
+func runCompare(comparePath, newPath string, o compareOpts) int {
+	oldF, err := readBenchFile(comparePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	newF, err := readNewResults(newPath, os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	report, regs, err := compareFiles(oldF, newF, o, os.Stderr)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% vs %s:\n",
+			len(regs), 100*o.threshold, comparePath)
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "  "+r.String())
+		}
+		return 1
+	}
+	fmt.Printf("benchjson: %s: within %.0f%% of baseline\n", comparePath, 100*o.threshold)
+	return 0
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchFile(names []string, ns []float64, allocs []int64) *File {
+	f := &File{Schema: "medsplit-bench-v1", GoVersion: "go1.24.0", GOMAXPROCS: 1}
+	for i, n := range names {
+		f.Benchmarks = append(f.Benchmarks, Result{Name: n, Iterations: 1, NsPerOp: ns[i], AllocsPerOp: allocs[i]})
+	}
+	return f
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	old := benchFile([]string{"BenchmarkA", "BenchmarkB"}, []float64{1000, 2000}, []int64{10, 20})
+	cur := benchFile([]string{"BenchmarkA", "BenchmarkB"}, []float64{1100, 1900}, []int64{11, 20})
+	report, regs, err := compareFiles(old, cur, compareOpts{threshold: 0.15, allocSlack: 2}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions %v on a within-threshold run", regs)
+	}
+	if len(report) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	old := benchFile([]string{"BenchmarkA"}, []float64{1000}, []int64{10})
+	cur := benchFile([]string{"BenchmarkA"}, []float64{1200}, []int64{10})
+	_, regs, err := compareFiles(old, cur, compareOpts{threshold: 0.15, allocSlack: 2}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].metric != "ns/op" {
+		t.Fatalf("regs = %v, want one ns/op regression", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	old := benchFile([]string{"BenchmarkA"}, []float64{1000}, []int64{10})
+	cur := benchFile([]string{"BenchmarkA"}, []float64{1000}, []int64{15})
+	_, regs, err := compareFiles(old, cur, compareOpts{threshold: 0.15, allocSlack: 2}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].metric != "allocs/op" {
+		t.Fatalf("regs = %v, want one allocs/op regression", regs)
+	}
+}
+
+// The absolute slack mutes relative blowups on tiny baselines: 3 -> 4
+// allocs is +33% but only one allocation.
+func TestCompareAllocSlackAbsorbsTinyBaselines(t *testing.T) {
+	old := benchFile([]string{"BenchmarkA"}, []float64{1000}, []int64{3})
+	cur := benchFile([]string{"BenchmarkA"}, []float64{1000}, []int64{4})
+	_, regs, err := compareFiles(old, cur, compareOpts{threshold: 0.15, allocSlack: 2}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regs = %v, want slack to absorb +1 alloc", regs)
+	}
+}
+
+func TestCompareSkipNS(t *testing.T) {
+	old := benchFile([]string{"BenchmarkA"}, []float64{1000}, []int64{10})
+	cur := benchFile([]string{"BenchmarkA"}, []float64{5000}, []int64{10})
+	_, regs, err := compareFiles(old, cur, compareOpts{threshold: 0.15, skipNS: true, allocSlack: 2}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regs = %v, want -skip-ns to ignore the 5x slowdown", regs)
+	}
+}
+
+// The CI self-check: comparing a baseline against itself inflated 2x
+// must fail, proving the gate is live.
+func TestCompareSelfCheckInflateTrips(t *testing.T) {
+	old := benchFile([]string{"BenchmarkA", "BenchmarkB"}, []float64{1000, 2000}, []int64{10, 20})
+	_, regs, err := compareFiles(old, old, compareOpts{threshold: 0.15, allocSlack: 2, inflate: 2}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) < 2 {
+		t.Fatalf("regs = %v, want 2x inflation to trip every benchmark", regs)
+	}
+}
+
+func TestCompareNoOverlapErrors(t *testing.T) {
+	old := benchFile([]string{"BenchmarkA"}, []float64{1000}, []int64{10})
+	cur := benchFile([]string{"BenchmarkZ"}, []float64{1000}, []int64{10})
+	if _, _, err := compareFiles(old, cur, compareOpts{threshold: 0.15}, os.Stderr); err == nil {
+		t.Fatal("disjoint benchmark sets compared without error")
+	}
+}
+
+// Every committed baseline must load: the gate is only as good as its
+// inputs, and BENCH_tensor.json carries the legacy string-typed notes.
+func TestCommittedBaselinesLoad(t *testing.T) {
+	for _, name := range []string{"BENCH_tensor.json", "BENCH_wire.json", "BENCH_simnet.json", "BENCH_wal.json"} {
+		f, err := readBenchFile(filepath.Join("..", "..", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(f.Benchmarks) == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+	}
+}
+
+func TestNoteListDecodesStringAndArray(t *testing.T) {
+	var f File
+	if err := json.Unmarshal([]byte(`{"notes": "one"}`), &f); err != nil || len(f.Notes) != 1 {
+		t.Fatalf("string notes: %v %v", f.Notes, err)
+	}
+	if err := json.Unmarshal([]byte(`{"notes": ["a", "b"]}`), &f); err != nil || len(f.Notes) != 2 {
+		t.Fatalf("array notes: %v %v", f.Notes, err)
+	}
+}
+
+func TestReadNewResultsParsesBenchOutput(t *testing.T) {
+	in := strings.NewReader("goos: linux\nBenchmarkA-4   100   1234 ns/op   56 B/op   7 allocs/op\nPASS\n")
+	f, err := readNewResults("", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "BenchmarkA" || f.Benchmarks[0].AllocsPerOp != 7 {
+		t.Fatalf("parsed %+v", f.Benchmarks)
+	}
+}

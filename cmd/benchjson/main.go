@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -37,8 +38,27 @@ type File struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
-	Notes      []string `json:"notes,omitempty"`
+	Notes      noteList `json:"notes,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
+}
+
+// noteList encodes as a JSON array but decodes either an array or a
+// bare string: the oldest committed baseline (BENCH_tensor.json)
+// predates the repeatable -note flag and stores a single string.
+type noteList []string
+
+func (n *noteList) UnmarshalJSON(data []byte) error {
+	var one string
+	if err := json.Unmarshal(data, &one); err == nil {
+		*n = noteList{one}
+		return nil
+	}
+	var many []string
+	if err := json.Unmarshal(data, &many); err != nil {
+		return err
+	}
+	*n = noteList(many)
+	return nil
 }
 
 // notesFlag collects repeated -note flags.
@@ -54,26 +74,29 @@ func (n *notesFlag) Set(v string) error {
 func main() {
 	var notes notesFlag
 	flag.Var(&notes, "note", "free-form note recorded in the JSON header (repeatable); use it to pin the baseline a benchmark run is compared against")
+	comparePath := flag.String("compare", "", "committed BENCH_*.json baseline to gate against; with this flag benchjson compares instead of converting, exiting 1 on regression")
+	newPath := flag.String("new", "", "with -compare: read the new side from this BENCH_*.json file instead of parsing bench output on stdin")
+	threshold := flag.Float64("threshold", 0.15, "with -compare: relative worsening tolerated per metric before the gate fails")
+	skipNS := flag.Bool("skip-ns", false, "with -compare: ignore ns/op and gate on allocs/op only (use on CI runners with noisy clocks)")
+	allocSlack := flag.Int64("alloc-slack", 2, "with -compare: absolute allocs/op grace on top of -threshold")
+	inflate := flag.Float64("selfcheck-inflate", 1, "with -compare: multiply new-side values by this factor; CI uses 2 against the baseline itself to prove the gate trips")
 	flag.Parse()
-	out := File{
-		Schema:     "medsplit-bench-v1",
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Notes:      notes,
+
+	if *comparePath != "" {
+		os.Exit(runCompare(*comparePath, *newPath, compareOpts{
+			threshold:  *threshold,
+			skipNS:     *skipNS,
+			allocSlack: *allocSlack,
+			inflate:    *inflate,
+		}))
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			out.Benchmarks = append(out.Benchmarks, r)
-		}
-	}
-	if err := sc.Err(); err != nil {
+
+	out, err := parseBenchOutput(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	out.Notes = noteList(notes)
 	// Zero parsed results means the input was not `go test -bench`
 	// output at all (or the bench run itself failed): fail loudly so CI
 	// smoke jobs catch a broken pipeline instead of committing an empty
@@ -88,6 +111,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// parseBenchOutput scans `go test -bench` text into a File stamped with
+// this process's environment.
+func parseBenchOutput(r io.Reader) (*File, error) {
+	out := &File{
+		Schema:     "medsplit-bench-v1",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if res, ok := parseLine(sc.Text()); ok {
+			out.Benchmarks = append(out.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // stripCPUSuffix removes the trailing "-<N>" GOMAXPROCS marker from a

@@ -1,0 +1,126 @@
+// Command splitinfer is the client side of the serving tier: it runs a
+// tenant's front half locally, ships cut activations to a splitserver
+// running in -serve mode, and reports per-request latency percentiles.
+//
+// Client and server must agree on -arch, -classes, -width and the
+// tenant's seed — both sides derive the full model from the seed and
+// split it at the same cut, so the halves compose into exactly the
+// model a single process would run.
+//
+//	splitserver -serve -addr :7900 -tenants "alpha:1"
+//	splitinfer  -addr 127.0.0.1:7900 -tenant alpha -seed 1 -requests 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"medsplit/internal/experiment"
+	"medsplit/internal/models"
+	"medsplit/internal/rng"
+	"medsplit/internal/serve"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7900", "splitserver -serve address")
+		tenant   = flag.String("tenant", "", "tenant name to request (required)")
+		id       = flag.Uint("id", 1, "client id echoed in request frames")
+		arch     = flag.String("arch", "vgg-lite", "model: mlp, vgg-lite, resnet-lite")
+		classes  = flag.Int("classes", 10, "label count")
+		width    = flag.Int("width", 8, "model width")
+		seed     = flag.Uint64("seed", 1, "tenant model seed (must match the server's -tenants entry)")
+		gen      = flag.Uint("generation", 0, "pin requests to this checkpoint generation (0 = serve whatever is warm)")
+		requests = flag.Int("requests", 16, "number of inference requests to send")
+		rows     = flag.Int("rows", 1, "rows per request")
+		dataSeed = flag.Uint64("data-seed", 7, "seed for the synthetic request data")
+	)
+	flag.Parse()
+	if err := run(*addr, *tenant, uint32(*id), *arch, *classes, *width, *seed,
+		uint32(*gen), *requests, *rows, *dataSeed); err != nil {
+		fmt.Fprintln(os.Stderr, "splitinfer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, tenant string, id uint32, arch string, classes, width int, seed uint64,
+	gen uint32, requests, rows int, dataSeed uint64) error {
+	if tenant == "" {
+		return fmt.Errorf("-tenant is required")
+	}
+	if requests <= 0 || rows <= 0 {
+		return fmt.Errorf("-requests and -rows must be positive")
+	}
+	m, err := experiment.BuildModel(experiment.Config{
+		Arch: experiment.Arch(arch), Classes: classes, Width: width, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	front, _, err := models.Split(m.Net, m.DefaultCut)
+	if err != nil {
+		return err
+	}
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	client := serve.NewClient(conn, front, tenant, id)
+	defer client.Close()
+	if gen != 0 {
+		client.SetGeneration(gen)
+	}
+
+	shape := append([]int{rows}, m.InputShape...)
+	x := tensor.New(shape...)
+	r := rng.New(dataSeed)
+	data := x.Data()
+
+	latencies := make([]time.Duration, 0, requests)
+	var lastLogits *tensor.Tensor
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		for j := range data {
+			data[j] = r.NormFloat32()
+		}
+		t0 := time.Now()
+		y, ierr := client.Infer(x)
+		if ierr != nil {
+			return fmt.Errorf("request %d: %w", i+1, ierr)
+		}
+		latencies = append(latencies, time.Since(t0))
+		lastLogits = y
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p := func(q int) time.Duration { return latencies[(len(latencies)-1)*q/100] }
+	fmt.Printf("splitinfer: %s/%s: %d requests x %d rows: p50=%v p99=%v req/s=%.1f\n",
+		tenant, m.Name, requests, rows, p(50), p(99),
+		float64(requests)/elapsed.Seconds())
+	fmt.Printf("splitinfer: last logits argmax per row: %v\n", argmaxRows(lastLogits))
+	return nil
+}
+
+// argmaxRows reports the predicted class per row of a logits tensor —
+// a quick sanity signal that the halves composed into a real model.
+func argmaxRows(logits *tensor.Tensor) []int {
+	rows, cols := logits.Dim(0), logits.Dim(1)
+	data := logits.Data()
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		best := 0
+		for c := 1; c < cols; c++ {
+			if data[r*cols+c] > data[r*cols+best] {
+				best = c
+			}
+		}
+		out[r] = best
+	}
+	return out
+}

@@ -31,6 +31,14 @@
 // promotes into a serving leader at the exact step the leader
 // recorded last, and adopts the platforms as they redial — training
 // continues bit-identically to an undisturbed run.
+//
+// With -serve the same binary multiplexes split *inference* instead of
+// training: each tenant's back half is served behind a dynamic batcher
+// and a shared compute gate, and clients (cmd/splitinfer) run the front
+// half locally and ship cut activations:
+//
+//	splitserver -serve -addr :7900 -tenants "alpha:1,beta:2:ckpt/beta"
+//	splitinfer  -addr 127.0.0.1:7900 -tenant alpha -seed 1 -requests 100
 package main
 
 import (
@@ -80,8 +88,28 @@ func main() {
 		walSync    = flag.Int("wal-sync", 1, "fsync the WAL every N appends (0 = OS-buffered)")
 		replicate  = flag.String("replicate", "", "comma-separated standby addresses to stream replication to (requires -wal-dir)")
 		standby    = flag.Bool("standby", false, "run as a warm standby: apply a leader's replication stream, promote if it dies")
+
+		serveMode    = flag.Bool("serve", false, "run as a multi-tenant split-inference server instead of training (see -tenants)")
+		tenants      = flag.String("tenants", "", "with -serve: comma-separated name:seed[:checkpoint-dir] tenant specs")
+		batchMax     = flag.Int("batch-max", 8, "with -serve: flush a tenant's batch at this many accumulated rows")
+		flushEvery   = flag.Duration("flush-every", 2*time.Millisecond, "with -serve: flush a partial batch after this long")
+		computeSlots = flag.Int("compute-slots", 1, "with -serve: concurrent back-half forwards across all tenants")
+		maxSessions  = flag.Int("max-sessions", 0, "with -serve: admission cap on concurrent training sessions (0 = default)")
+		maxMemory    = flag.Int64("max-memory", 0, "with -serve: admission cap on estimated session bytes (0 = unlimited)")
 	)
 	flag.Parse()
+
+	if *serveMode {
+		if err := runServe(serveOpts{
+			addr: *addr, tenants: *tenants, arch: *arch, classes: *classes, width: *width,
+			batchMax: *batchMax, flushEvery: *flushEvery, computeSlots: *computeSlots,
+			maxSessions: *maxSessions, maxMemory: *maxMemory,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "splitserver:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := serverOpts{
 		addr: *addr, platforms: *platforms, rounds: *rounds, arch: *arch,

@@ -338,6 +338,20 @@ func restoreModelTensors(net *nn.Sequential, ts []*tensor.Tensor) (rest []*tenso
 	return ts[len(params)+len(state):], nil
 }
 
+// RestoreServerModel copies a server snapshot's model weights and
+// stateful buffers (BatchNorm statistics) into back, ignoring the
+// optimizer state that follows them in the tensor stream. It is the
+// serving-side restore: an inference tier wants the weights as of a
+// checkpoint generation, not the trainer's momentum, and the back
+// half it loads into has no optimizer attached.
+func RestoreServerModel(back *nn.Sequential, snap *Snapshot) error {
+	if snap.Role != RoleServer {
+		return fmt.Errorf("%w: restoring a %s snapshot into a serving model", ErrBadSnapshot, snap.Role)
+	}
+	_, err := restoreModelTensors(back, snap.Tensors)
+	return err
+}
+
 // appendOptimizer appends an optimizer's captured state: the scalar
 // count, its scalars, and its tensors.
 func appendOptimizer(scalars []uint64, tensors []*tensor.Tensor, opt nn.Optimizer, params []*nn.Param) ([]uint64, []*tensor.Tensor) {

@@ -85,6 +85,13 @@ type ServerConfig struct {
 	// LRSchedule, when set, adjusts the optimizer's learning rate at the
 	// start of every round (see nn.StepDecay, nn.CosineDecay).
 	LRSchedule nn.Schedule
+	// Compute, when set, gates every server-side compute step (back-half
+	// forward, backward, optimizer step, eval forward) through an
+	// external admission point. The multi-tenant session manager
+	// (internal/serve) uses it to share one process's compute budget
+	// fairly across many concurrent sessions; nil (the default) runs
+	// ungated. See ComputeGate.
+	Compute ComputeGate
 	// Codec compresses the four training-exchange payloads
 	// (activations, logits, loss gradients, cut gradients). Defaults to
 	// the exact wire.RawCodec; both ends must agree (validated at
@@ -633,17 +640,23 @@ func (s *Server) seqExchange(k, r int) error {
 				if s.cfg.LabelSharing {
 					pos = posLabels
 				} else {
+					release := s.acquireCompute()
 					z = s.cfg.Back.Forward(a, true)
+					release()
 					pos = posLogits
 				}
 			}
 		case posLabels:
 			labels, err = s.recvLabels(conn, r, k, a.Dim(0))
 			if err == nil {
+				// Forward, loss and backward run back to back with no
+				// wire I/O between them, so they share one gate slot.
+				release := s.acquireCompute()
 				z = s.cfg.Back.Forward(a, true)
 				var dz *tensor.Tensor
 				lossVal, dz = s.cfg.Loss.Loss(z, labels)
 				da = s.backwardStep(dz)
+				release()
 				pos = posCutGrad
 			}
 		case posLogits:
@@ -660,7 +673,9 @@ func (s *Server) seqExchange(k, r int) error {
 			var dz *tensor.Tensor
 			dz, err = s.recvLossGrad(conn, r, k, z)
 			if err == nil {
+				release := s.acquireCompute()
 				da = s.backwardStep(dz)
+				release()
 				pos = posCutGrad
 			}
 		case posCutGrad:
@@ -768,7 +783,9 @@ func (concatScheduler) trainRound(s *Server, r int) error {
 	fusedShape := append([]int{total}, acts[0].Shape()[1:]...)
 	s.fusedActs = tensor.EnsureShape(s.fusedActs, fusedShape...)
 	fused := tensor.ConcatDim0Into(s.fusedActs, acts...)
+	release := s.acquireCompute()
 	z := s.cfg.Back.Forward(fused, true)
+	release()
 
 	var dz *tensor.Tensor
 	var lossVals []float64
@@ -810,7 +827,9 @@ func (concatScheduler) trainRound(s *Server, r int) error {
 		dz = tensor.ConcatDim0Into(s.fusedGrad, grads...)
 	}
 
+	release = s.acquireCompute()
 	da := s.backwardStep(dz)
+	release()
 
 	das := tensor.SplitDim0(da, sizes)
 	for k, conn := range conns {
@@ -978,7 +997,9 @@ func (s *Server) evalPhase(conn transport.Conn, r int) error {
 			if derr != nil || len(ts) != 1 {
 				return fmt.Errorf("%w: bad eval activations", ErrProtocol)
 			}
+			release := s.acquireCompute()
 			z := s.cfg.Back.Forward(ts[0], false)
+			release()
 			if err := s.send(conn, &wire.Message{
 				Type:     wire.MsgEvalLogits,
 				Platform: uint32(s.evaluator),

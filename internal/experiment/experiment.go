@@ -383,6 +383,20 @@ type Result struct {
 	WeightDigest uint64
 	// ModelParams is the trainable scalar count, for context in reports.
 	ModelParams int
+	// InferP50 / InferP99 are client-observed per-request latency
+	// percentiles from the serving load harness (RunServeLoad): real
+	// wall-clock around each split-inference round trip, so they fold
+	// in batching delay and compute-gate queueing, not simulated WAN
+	// time (SimElapsed carries that). Zero outside serving runs.
+	InferP50, InferP99 time.Duration
+	// InferReqPerSec is the achieved request throughput of the load run.
+	InferReqPerSec float64
+	// InferRequests is the number of requests the load run completed.
+	InferRequests int
+	// InferBatches is how many back-half forwards served those
+	// requests; InferRequests/InferBatches is the achieved dynamic
+	// batching factor.
+	InferBatches int64
 }
 
 // simTime annotates curve points with cumulative simulated time when a

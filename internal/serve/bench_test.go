@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"medsplit/internal/models"
+	"medsplit/internal/rng"
+	"medsplit/internal/transport"
+)
+
+// BenchmarkServeInfer measures one split-inference round trip through
+// the serving tier over in-process pipes: front forward, request
+// encode, tenant routing, batcher flush, back forward under the
+// compute gate, response encode/decode. The tenants arms show what
+// multi-tenant routing and gate sharing cost over the single-tenant
+// path. FlushEvery is floored to a nanosecond so every sequential
+// request flushes immediately — this benchmarks the per-request path,
+// not batching (the load tests exercise fusion).
+func BenchmarkServeInfer(b *testing.B) {
+	for _, nt := range []int{1, 4} {
+		b.Run(fmt.Sprintf("tenants=%d", nt), func(b *testing.B) {
+			tenants := make([]TenantConfig, nt)
+			for i := range tenants {
+				tenants[i] = inferTenant(fmt.Sprintf("t%d", i), uint64(5+i), "")
+			}
+			m, err := NewManager(Config{Tenants: tenants, ComputeSlots: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			is, err := NewInferenceServer(m, InferConfig{BatchMax: 8, FlushEvery: time.Nanosecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients := make([]*Client, nt)
+			for i := range clients {
+				s, p := transport.Pipe()
+				go is.HandleConn(s)
+				mm := models.MLP(inferIn, []int{32}, inferClasses, rng.New(uint64(5+i)))
+				front, _, serr := models.Split(mm.Net, mm.DefaultCut)
+				if serr != nil {
+					b.Fatal(serr)
+				}
+				clients[i] = NewClient(p, front, fmt.Sprintf("t%d", i), uint32(i))
+			}
+			x := randInput(4, 1234)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := clients[i%nt].Infer(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for _, c := range clients {
+				c.Close()
+			}
+			is.Close()
+			m.Close()
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"medsplit/internal/core"
+	"medsplit/internal/nn"
+)
+
+// modelCache keeps one tenant's back half warm for inference, keyed by
+// checkpoint generation. A generation is a server snapshot's NextRound
+// (the numbered server-%06d.ckpt files core writes); generation 0 is
+// BuildBack's initial weights, before any checkpoint exists.
+//
+// The cache is pull-based: it touches disk only when a request asks
+// for a generation newer than what is loaded (ensure's wantGen), via
+// core.LoadLatestSnapshot + core.RestoreServerModel — a weights-only
+// restore, since serving has no optimizer. That makes the refresh
+// policy explicit in the protocol: a client that learns a new
+// checkpoint landed sends its generation, and that request is what
+// rolls the cache forward; clients that send 0 ride whatever is warm.
+//
+// ensure is called only from the tenant's single batcher goroutine, so
+// the returned model is never Forwarded concurrently; the mutex exists
+// for the stats readers.
+type modelCache struct {
+	mu    sync.Mutex
+	name  string
+	build func() (*nn.Sequential, error)
+	dir   string
+
+	back *nn.Sequential
+	gen  uint32
+
+	hits, misses int64
+}
+
+// ensure returns the freshest model available that satisfies wantGen
+// (0 = whatever is warm), loading from the checkpoint directory when
+// wantGen is ahead of the cache. It never fails on a generation
+// mismatch — it returns the generation actually loaded and the caller
+// compares; per-request rejection is the batcher's job, because one
+// batch can mix satisfied and mismatched requests.
+func (c *modelCache) ensure(wantGen uint32) (*nn.Sequential, uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.back != nil && wantGen <= c.gen {
+		c.hits++
+		return c.back, c.gen, nil
+	}
+	c.misses++
+	if c.back == nil {
+		if c.build == nil {
+			return nil, 0, fmt.Errorf("%w: tenant %q has no BuildBack for inference", ErrConfig, c.name)
+		}
+		b, err := c.build()
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: tenant %q: building back half: %w", c.name, err)
+		}
+		c.back = b
+		c.gen = 0
+	}
+	if c.dir != "" && wantGen > c.gen {
+		// Best effort: no snapshot yet just means the tenant is still at
+		// its current generation, which the caller surfaces as a
+		// per-request mismatch, not a serving failure.
+		snap, err := core.LoadLatestSnapshot(c.dir, core.RoleServer, 0)
+		if err == nil && uint32(snap.NextRound) > c.gen {
+			if rerr := core.RestoreServerModel(c.back, snap); rerr != nil {
+				return nil, 0, fmt.Errorf("serve: tenant %q: restoring generation %d: %w", c.name, snap.NextRound, rerr)
+			}
+			c.gen = uint32(snap.NextRound)
+		}
+	}
+	return c.back, c.gen, nil
+}
+
+// cacheStats reports hit/miss counters (a miss is any ensure that had
+// to build or check disk, whether or not a newer generation existed).
+func (c *modelCache) cacheStats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

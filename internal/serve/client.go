@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+
+	"medsplit/internal/nn"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// RemoteError is a rejection the serving tier shipped back as a text
+// payload (unknown tenant, generation mismatch, malformed request).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "serve: remote: " + e.Msg }
+
+// Client is one platform's handle on the inference tier: it runs the
+// front half of the tenant's model locally and ships cut-layer
+// activations, receiving logits back. One Client owns one connection
+// and keeps one request in flight (the platform-side shape of the
+// paper's protocol: the data holder computes its layers, then waits on
+// the aggregation point); batching across clients happens server-side.
+//
+// Not safe for concurrent use — a Client belongs to one goroutine,
+// exactly like a core.Platform.
+type Client struct {
+	conn   transport.Conn
+	front  *nn.Sequential
+	tenant string
+	id     uint32
+	gen    uint32
+	seq    uint32
+	dec    []*tensor.Tensor // response decode scratch
+}
+
+// NewClient builds a client for the named tenant over conn. front is
+// the tenant's model below the cut; nil means Infer's inputs are
+// already cut-layer activations (the caller ran the front elsewhere).
+// id tags requests for server-side diagnostics.
+func NewClient(conn transport.Conn, front *nn.Sequential, tenantName string, id uint32) *Client {
+	return &Client{conn: conn, front: front, tenant: tenantName, id: id}
+}
+
+// SetGeneration pins the checkpoint generation subsequent requests
+// must be served from (0 = whatever the server has warm). Sending a
+// newer generation is also what rolls the server's cache forward —
+// see modelCache.
+func (c *Client) SetGeneration(gen uint32) { c.gen = gen }
+
+// Infer runs one request: front half locally (when configured), one
+// round trip, logits back. The returned tensor is owned by the client
+// and valid until the next Infer call.
+func (c *Client) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	a := x
+	if c.front != nil {
+		a = c.front.Forward(x, false)
+	}
+	c.seq++
+	size := wire.TensorsPayloadSize(a.Shape()) + len(c.tenant) + 8
+	payload := wire.EncodeInferRequestInto(wire.Buffers.Get(size), c.tenant, c.gen, a)
+	if err := c.conn.Send(&wire.Message{
+		Type:     wire.MsgInferRequest,
+		Platform: c.id,
+		Round:    c.seq,
+		Payload:  payload,
+	}); err != nil {
+		return nil, fmt.Errorf("serve: client %d send: %w", c.id, err)
+	}
+	m, err := c.conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("serve: client %d recv: %w", c.id, err)
+	}
+	if m.Type != wire.MsgInferResponse {
+		return nil, fmt.Errorf("serve: client %d: unexpected %s", c.id, m.Type)
+	}
+	if m.Round != c.seq {
+		return nil, fmt.Errorf("serve: client %d: response for request %d, want %d", c.id, m.Round, c.seq)
+	}
+	if s, terr := wire.DecodeText(m.Payload); terr == nil {
+		wire.ReleasePayload(&wire.Buffers, m)
+		return nil, &RemoteError{Msg: s}
+	}
+	ts, derr := wire.DecodeTensorsInto(c.dec, m.Payload)
+	if derr != nil || len(ts) != 1 {
+		return nil, fmt.Errorf("serve: client %d: bad response payload: %v", c.id, derr)
+	}
+	c.dec = ts
+	wire.ReleasePayload(&wire.Buffers, m)
+	return ts[0], nil
+}
+
+// Close says goodbye and closes the connection.
+func (c *Client) Close() error {
+	_ = c.conn.Send(&wire.Message{Type: wire.MsgBye, Platform: c.id})
+	return c.conn.Close()
+}

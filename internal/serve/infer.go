@@ -1,0 +1,445 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// InferConfig configures the inference tier's batching.
+type InferConfig struct {
+	// BatchMax flushes a tenant's pending batch once its accumulated
+	// row count (samples, not requests) reaches this. Defaults to 8.
+	BatchMax int
+	// FlushEvery is the batching deadline: the clock starts when a
+	// request arrives at an empty batch, and whatever has accumulated
+	// when it fires is flushed. A request therefore waits at most
+	// FlushEvery before its compute starts, no matter how quiet the
+	// tenant is — the tail-latency bound that makes batching safe to
+	// leave on. Defaults to 2ms.
+	FlushEvery time.Duration
+	// QueueCap bounds a tenant's pending request queue; arrivals beyond
+	// it block the connection's reader (backpressure, not drops).
+	// Defaults to 256.
+	QueueCap int
+}
+
+func (c *InferConfig) withDefaults() InferConfig {
+	out := *c
+	if out.BatchMax <= 0 {
+		out.BatchMax = 8
+	}
+	if out.FlushEvery <= 0 {
+		out.FlushEvery = 2 * time.Millisecond
+	}
+	if out.QueueCap <= 0 {
+		out.QueueCap = 256
+	}
+	return out
+}
+
+// InferenceServer answers MsgInferRequest traffic for every tenant of
+// a Manager: platforms run the front half of their tenant's model
+// locally and ship cut-layer activations; the server batches them,
+// runs the back half under the shared compute gate, and returns
+// logits. One batcher goroutine per tenant owns that tenant's model,
+// decode slots and fused scratch, so tenants never contend on (or
+// leak into) each other's memory.
+type InferenceServer struct {
+	m       *Manager
+	cfg     InferConfig
+	serving map[string]*tenantServing // immutable after New
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	requests atomic.Int64 // requests admitted to a batcher
+	rejected atomic.Int64 // requests answered with an error payload
+	batches  atomic.Int64 // back-half forwards executed
+}
+
+// InferStats is a point-in-time view of the inference tier.
+type InferStats struct {
+	Requests int64 // requests admitted to batching
+	Rejected int64 // requests rejected (unknown tenant, generation mismatch, bad payload)
+	Batches  int64 // back-half forwards (Requests/Batches = achieved batching factor)
+}
+
+// NewInferenceServer builds the inference tier over m's tenants and
+// starts one batcher per tenant. Close releases them.
+func NewInferenceServer(m *Manager, cfg InferConfig) (*InferenceServer, error) {
+	is := &InferenceServer{
+		m:       m,
+		cfg:     cfg.withDefaults(),
+		serving: make(map[string]*tenantServing, len(m.tenants)),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrManagerClosed
+	}
+	tenants := make([]*tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		tenants = append(tenants, t)
+	}
+	m.mu.Unlock()
+	for _, t := range tenants {
+		ts := &tenantServing{
+			is:   is,
+			t:    t,
+			gate: m.sched.register("infer:" + t.cfg.Name),
+			jobs: make(chan *inferJob, is.cfg.QueueCap),
+		}
+		is.serving[t.cfg.Name] = ts
+		is.wg.Add(1)
+		go ts.run()
+	}
+	return is, nil
+}
+
+// Close stops every tenant batcher after draining its queue and
+// unregisters their compute gates. Connection readers (HandleConn)
+// are owned by their callers; requests arriving after Close are
+// answered with ErrManagerClosed.
+func (is *InferenceServer) Close() {
+	is.closeOnce.Do(func() {
+		for _, ts := range is.serving {
+			ts.closeMu.Lock()
+			ts.closed = true
+			ts.closeMu.Unlock()
+			close(ts.jobs)
+		}
+		is.wg.Wait()
+		for _, ts := range is.serving {
+			is.m.sched.unregister(ts.gate)
+		}
+	})
+}
+
+// Stats reports the tier's counters.
+func (is *InferenceServer) Stats() InferStats {
+	return InferStats{
+		Requests: is.requests.Load(),
+		Rejected: is.rejected.Load(),
+		Batches:  is.batches.Load(),
+	}
+}
+
+// lockedConn serializes writes to one connection: a connection may
+// carry requests for several tenants, whose batchers respond
+// concurrently.
+type lockedConn struct {
+	mu sync.Mutex
+	c  transport.Conn
+}
+
+func (lc *lockedConn) send(m *wire.Message) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.c.Send(m)
+}
+
+// inferJob is one decoded request waiting in a tenant's batch.
+type inferJob struct {
+	conn     *lockedConn
+	platform uint32
+	round    uint32 // client's request id, echoed on the response
+	gen      uint32 // requested checkpoint generation (0 = any)
+	acts     *tensor.Tensor
+	slot     []*tensor.Tensor // decode slot owning acts; recycled after the response
+}
+
+// HandleConn serves one client connection: it reads requests until the
+// peer says Bye or the connection drops, routing each to its tenant's
+// batcher. Responses are written by the batcher goroutines (through a
+// per-connection send lock), so a slow tenant never blocks another
+// tenant's requests arriving on the same connection. Returns nil on
+// clean shutdown (Bye or EOF).
+func (is *InferenceServer) HandleConn(conn transport.Conn) error {
+	lc := &lockedConn{c: conn}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("serve: infer recv: %w", err)
+		}
+		switch m.Type {
+		case wire.MsgBye:
+			return nil
+		case wire.MsgInferRequest:
+			is.handleRequest(lc, m)
+		default:
+			return fmt.Errorf("serve: unexpected %s on inference connection", m.Type)
+		}
+	}
+}
+
+// handleRequest decodes, routes and enqueues one request; every
+// failure mode answers the client instead of killing the connection.
+func (is *InferenceServer) handleRequest(lc *lockedConn, m *wire.Message) {
+	tenantName, gen, tpay, err := wire.DecodeInferRequest(m.Payload)
+	if err != nil {
+		is.respondError(lc, m.Platform, m.Round, err)
+		return
+	}
+	ts, ok := is.serving[tenantName]
+	if !ok {
+		is.respondError(lc, m.Platform, m.Round, fmt.Errorf("%w: %q", ErrUnknownTenant, tenantName))
+		return
+	}
+	slot := ts.getSlot()
+	dec, derr := wire.DecodeTensorsInto(slot, tpay)
+	if derr == nil && len(dec) != 1 {
+		derr = fmt.Errorf("serve: %d activation tensors in one request, want 1", len(dec))
+	}
+	if derr != nil {
+		ts.putSlot(slot)
+		is.respondError(lc, m.Platform, m.Round, derr)
+		return
+	}
+	// Decoded tensors never alias the payload, so the frame buffer goes
+	// back to the transport pool before the batch is even formed.
+	wire.ReleasePayload(&wire.Buffers, m)
+	j := &inferJob{conn: lc, platform: m.Platform, round: m.Round, gen: gen, acts: dec[0], slot: dec}
+	if err := ts.enqueue(j); err != nil {
+		ts.putSlot(j.slot)
+		is.respondError(lc, m.Platform, m.Round, err)
+		return
+	}
+	is.requests.Add(1)
+}
+
+// respondError answers a request with a text payload carrying the
+// rejection; the client surfaces it as a RemoteError.
+func (is *InferenceServer) respondError(lc *lockedConn, platform, round uint32, err error) {
+	is.rejected.Add(1)
+	_ = lc.send(&wire.Message{
+		Type:     wire.MsgInferResponse,
+		Platform: platform,
+		Round:    round,
+		Payload:  wire.EncodeText(err.Error()),
+	})
+}
+
+// tenantServing is one tenant's serving state, owned by its batcher
+// goroutine (the slot freelist is the only cross-goroutine structure,
+// fed by connection readers).
+type tenantServing struct {
+	is   *InferenceServer
+	t    *tenant
+	gate *computeGate
+	jobs chan *inferJob
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	slotMu sync.Mutex
+	slots  [][]*tensor.Tensor
+
+	// Batcher-local scratch, reused across flushes: the fused
+	// activation tensor and the slices flush partitions a batch into.
+	fused       *tensor.Tensor
+	jobScratch  []*inferJob
+	actScratch  []*tensor.Tensor
+	sizeScratch []int
+}
+
+// enqueue hands a decoded request to the batcher. The RLock spans the
+// channel send so Close (which takes the write lock before closing the
+// channel) cannot close a channel with a send in flight.
+func (ts *tenantServing) enqueue(j *inferJob) error {
+	ts.closeMu.RLock()
+	defer ts.closeMu.RUnlock()
+	if ts.closed {
+		return ErrManagerClosed
+	}
+	ts.jobs <- j
+	return nil
+}
+
+func (ts *tenantServing) getSlot() []*tensor.Tensor {
+	ts.slotMu.Lock()
+	defer ts.slotMu.Unlock()
+	if n := len(ts.slots); n > 0 {
+		s := ts.slots[n-1]
+		ts.slots = ts.slots[:n-1]
+		return s
+	}
+	return make([]*tensor.Tensor, 1)
+}
+
+func (ts *tenantServing) putSlot(s []*tensor.Tensor) {
+	ts.slotMu.Lock()
+	ts.slots = append(ts.slots, s)
+	ts.slotMu.Unlock()
+}
+
+// run is the tenant's batcher loop: accumulate rows until BatchMax or
+// the FlushEvery deadline, whichever comes first, then flush. The
+// deadline arms when a request arrives at an empty batch.
+func (ts *tenantServing) run() {
+	defer ts.is.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var pending []*inferJob
+	rows := 0
+	flush := func() {
+		if len(pending) > 0 {
+			ts.flush(pending)
+			for i := range pending {
+				pending[i] = nil
+			}
+			pending = pending[:0]
+			rows = 0
+		}
+	}
+	stopTimer := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	for {
+		var j *inferJob
+		var ok bool
+		if len(pending) == 0 {
+			j, ok = <-ts.jobs
+			if !ok {
+				return
+			}
+			timer.Reset(ts.is.cfg.FlushEvery)
+		} else {
+			select {
+			case j, ok = <-ts.jobs:
+				if !ok {
+					stopTimer()
+					flush()
+					return
+				}
+			case <-timer.C:
+				flush()
+				continue
+			}
+		}
+		pending = append(pending, j)
+		rows += j.acts.Dim(0)
+		if rows >= ts.is.cfg.BatchMax {
+			stopTimer()
+			flush()
+		}
+	}
+}
+
+// flush runs one batch: resolve the model generation, reject requests
+// the loaded generation cannot satisfy, fuse the rest along dim 0, run
+// the back half once under the compute gate, split the logits back out
+// and answer each request.
+func (ts *tenantServing) flush(jobs []*inferJob) {
+	var maxGen uint32
+	for _, j := range jobs {
+		if j.gen > maxGen {
+			maxGen = j.gen
+		}
+	}
+	model, gen, err := ts.t.cache.ensure(maxGen)
+	if err != nil {
+		for _, j := range jobs {
+			ts.reject(j, err)
+		}
+		return
+	}
+	live := ts.jobScratch[:0]
+	acc := ts.actScratch[:0]
+	sizes := ts.sizeScratch[:0]
+	var trailing []int
+	for _, j := range jobs {
+		if j.gen != 0 && j.gen != gen {
+			ts.reject(j, fmt.Errorf("%w: tenant %q serves generation %d, request wants %d",
+				ErrGenerationMismatch, ts.t.cfg.Name, gen, j.gen))
+			continue
+		}
+		shape := j.acts.Shape()
+		if trailing == nil {
+			trailing = shape[1:]
+		} else if !equalInts(shape[1:], trailing) {
+			ts.reject(j, fmt.Errorf("serve: activation shape %v does not match batch trailing dims %v", shape, trailing))
+			continue
+		}
+		live = append(live, j)
+		acc = append(acc, j.acts)
+		sizes = append(sizes, shape[0])
+	}
+	ts.jobScratch, ts.actScratch, ts.sizeScratch = live[:0], acc[:0], sizes[:0]
+	if len(live) == 0 {
+		return
+	}
+	var z *tensor.Tensor
+	release := ts.gate.Acquire()
+	if len(acc) == 1 {
+		z = model.Forward(acc[0], false)
+	} else {
+		total := 0
+		for _, n := range sizes {
+			total += n
+		}
+		fshape := append([]int{total}, trailing...)
+		ts.fused = tensor.EnsureShape(ts.fused, fshape...)
+		fused := tensor.ConcatDim0Into(ts.fused, acc...)
+		z = model.Forward(fused, false)
+	}
+	release()
+	ts.is.batches.Add(1)
+	zs := []*tensor.Tensor{z}
+	if len(acc) > 1 {
+		zs = tensor.SplitDim0(z, sizes)
+	}
+	for i, j := range live {
+		buf := ts.t.buffers.Get(wire.TensorsPayloadSize(zs[i].Shape()))
+		payload := wire.EncodeTensorsInto(buf, zs[i])
+		_ = j.conn.send(&wire.Message{
+			Type:     wire.MsgInferResponse,
+			Platform: j.platform,
+			Round:    j.round,
+			Payload:  payload,
+		})
+		ts.putSlot(j.slot)
+	}
+}
+
+// reject answers one batched request with an error payload and
+// recycles its decode slot.
+func (ts *tenantServing) reject(j *inferJob, err error) {
+	ts.is.rejected.Add(1)
+	_ = j.conn.send(&wire.Message{
+		Type:     wire.MsgInferResponse,
+		Platform: j.platform,
+		Round:    j.round,
+		Payload:  wire.EncodeText(err.Error()),
+	})
+	ts.putSlot(j.slot)
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -20,6 +20,7 @@ const (
 	payloadTensors byte = 1
 	payloadLabels  byte = 2
 	payloadText    byte = 3
+	payloadInfer   byte = 4
 )
 
 // tensorsHeaderSize is the tensor payload prefix: kind byte + uint16
@@ -152,6 +153,59 @@ func DecodeLabelsInto(dst []int, buf []byte) ([]int, error) {
 		dst[i] = int(int32(binary.LittleEndian.Uint32(buf[4*i:])))
 	}
 	return dst, nil
+}
+
+// MaxTenantNameLen bounds a tenant name on the wire (one length byte).
+const MaxTenantNameLen = 255
+
+// inferHeaderSize is the infer-request prefix before the tenant name:
+// kind byte + name length byte; a uint32 checkpoint generation follows
+// the name, then an embedded tensor payload.
+const inferHeaderSize = 2
+
+// EncodeInferRequestInto appends an inference-request payload to buf:
+// the target tenant, the checkpoint generation the client expects to be
+// served from (0 = whatever the server currently has loaded), and the
+// cut-layer activation tensors. It panics on an over-long tenant name —
+// serving configs are validated long before a request is built, so an
+// oversized name here is a programming error.
+func EncodeInferRequestInto(buf []byte, tenant string, gen uint32, ts ...*tensor.Tensor) []byte {
+	if len(tenant) == 0 || len(tenant) > MaxTenantNameLen {
+		panic(fmt.Sprintf("wire: tenant name %d bytes outside [1,%d]", len(tenant), MaxTenantNameLen))
+	}
+	buf = append(buf, payloadInfer, byte(len(tenant)))
+	buf = append(buf, tenant...)
+	buf = binary.LittleEndian.AppendUint32(buf, gen)
+	return EncodeTensorsInto(buf, ts...)
+}
+
+// EncodeInferRequest packs an inference request into a freshly
+// allocated payload.
+func EncodeInferRequest(tenant string, gen uint32, ts ...*tensor.Tensor) []byte {
+	size := inferHeaderSize + len(tenant) + 4 + tensorsHeaderSize
+	for _, t := range ts {
+		size += t.EncodedSize()
+	}
+	return EncodeInferRequestInto(make([]byte, 0, size), tenant, gen, ts...)
+}
+
+// DecodeInferRequest unpacks an inference-request header and returns
+// the embedded tensor payload unparsed, so the receiver can route on
+// the tenant before paying for the tensor decode (and decode into that
+// tenant's isolated scratch). The returned tenant string never aliases
+// buf; the tensor payload does.
+func DecodeInferRequest(buf []byte) (tenant string, gen uint32, tensors []byte, err error) {
+	if len(buf) < inferHeaderSize || buf[0] != payloadInfer {
+		return "", 0, nil, fmt.Errorf("%w: not an infer-request payload", ErrBadPayload)
+	}
+	nameLen := int(buf[1])
+	if nameLen == 0 || len(buf) < inferHeaderSize+nameLen+4 {
+		return "", 0, nil, fmt.Errorf("%w: infer request truncated at tenant name", ErrBadPayload)
+	}
+	tenant = string(buf[inferHeaderSize : inferHeaderSize+nameLen])
+	rest := buf[inferHeaderSize+nameLen:]
+	gen = binary.LittleEndian.Uint32(rest)
+	return tenant, gen, rest[4:], nil
 }
 
 // EncodeText packs a short string (error messages, hello metadata).

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"medsplit/internal/tensor"
+)
+
+func TestInferRequestRoundTrip(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	payload := EncodeInferRequest("clinic-7", 42, a)
+
+	tenant, gen, tpay, err := DecodeInferRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "clinic-7" || gen != 42 {
+		t.Fatalf("tenant %q gen %d, want clinic-7 42", tenant, gen)
+	}
+	ts, err := DecodeTensors(tpay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || !tensor.SameShape(ts[0], a) {
+		t.Fatalf("decoded %d tensors, first shape %v", len(ts), ts[0].Shape())
+	}
+	for i, v := range ts[0].Data() {
+		if v != a.Data()[i] {
+			t.Fatalf("element %d: %v != %v", i, v, a.Data()[i])
+		}
+	}
+}
+
+// The tenant string must not alias the payload buffer: the serving
+// tier recycles the frame buffer while the tenant name lives on in
+// routing state.
+func TestInferRequestTenantDoesNotAliasBuffer(t *testing.T) {
+	a := tensor.FromSlice([]float32{1}, 1, 1)
+	payload := EncodeInferRequest("alpha", 1, a)
+	tenant, _, _, err := DecodeInferRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		payload[i] = 0xFF
+	}
+	if tenant != "alpha" {
+		t.Fatalf("tenant %q corrupted by buffer reuse", tenant)
+	}
+}
+
+func TestInferRequestDecodeRejectsCorruption(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2}, 1, 2)
+	good := EncodeInferRequest("ab", 7, a)
+
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"wrong kind", append([]byte{payloadTensors}, good[1:]...)},
+		{"zero name length", []byte{payloadInfer, 0}},
+		{"truncated at name", good[:3]},
+		{"truncated at generation", good[:inferHeaderSize+2+2]},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := DecodeInferRequest(tc.buf); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%s: err = %v, want ErrBadPayload", tc.name, err)
+		}
+	}
+}
+
+func TestInferRequestEncodePanicsOnBadTenant(t *testing.T) {
+	a := tensor.FromSlice([]float32{1}, 1, 1)
+	for _, name := range []string{"", strings.Repeat("x", MaxTenantNameLen+1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("tenant %d bytes: no panic", len(name))
+				}
+			}()
+			EncodeInferRequest(name, 0, a)
+		}()
+	}
+	// The boundary length itself is legal.
+	payload := EncodeInferRequest(strings.Repeat("x", MaxTenantNameLen), 0, a)
+	tenant, _, _, err := DecodeInferRequest(payload)
+	if err != nil || len(tenant) != MaxTenantNameLen {
+		t.Fatalf("max-length tenant: %q, %v", tenant, err)
+	}
+}
+
+// The serving message types must be part of the framing vocabulary.
+func TestInferMessageTypesValid(t *testing.T) {
+	for _, mt := range []MsgType{MsgInferRequest, MsgInferResponse} {
+		if !mt.Valid() {
+			t.Fatalf("%d not a valid message type", mt)
+		}
+		if strings.Contains(mt.String(), "msgtype") {
+			t.Fatalf("%d has no name", mt)
+		}
+	}
+}

@@ -31,7 +31,9 @@ type MsgType uint8
 // that lost its connection mid-session (dropout recovery); the
 // ReplBase/ReplMeta/ReplRecord/ReplAck quartet carries the
 // leader→follower replication stream (bootstrap snapshot, session
-// metadata, per-step WAL records, watermark acks).
+// metadata, per-step WAL records, watermark acks); InferRequest/
+// InferResponse carry the multi-tenant serving path (platform-side
+// front-half activations in, server-side back-half logits out).
 const (
 	MsgHello MsgType = iota + 1
 	MsgHelloAck
@@ -54,6 +56,8 @@ const (
 	MsgReplMeta
 	MsgReplRecord
 	MsgReplAck
+	MsgInferRequest
+	MsgInferResponse
 
 	msgTypeCount = iota + 1
 )
@@ -80,6 +84,8 @@ var msgTypeNames = map[MsgType]string{
 	MsgReplMeta:        "repl-meta",
 	MsgReplRecord:      "repl-record",
 	MsgReplAck:         "repl-ack",
+	MsgInferRequest:    "infer-request",
+	MsgInferResponse:   "infer-response",
 }
 
 // String names the message type for diagnostics.
@@ -119,7 +125,12 @@ const (
 	// stream joined (leader → warm-follower state streaming). Same
 	// rationale as v3: a mixed leader/follower pair must fail at the
 	// first frame, not when a failover is already in progress.
-	version uint8 = 4
+	// version 5: the InferRequest/InferResponse serving pair joined
+	// (multi-tenant split inference, internal/serve). An old platform
+	// dialing a serving endpoint — or a new inference client dialing an
+	// old trainer — fails at the first frame instead of desynchronizing
+	// on an unknown type mid-stream.
+	version uint8 = 5
 
 	// headerSize: magic(2) + version(1) + type(1) + platform(4) +
 	// round(4) + payloadLen(4) + crc(4).
