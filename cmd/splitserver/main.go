@@ -96,6 +96,8 @@ func main() {
 		computeSlots = flag.Int("compute-slots", 1, "with -serve: concurrent back-half forwards across all tenants")
 		maxSessions  = flag.Int("max-sessions", 0, "with -serve: admission cap on concurrent training sessions (0 = default)")
 		maxMemory    = flag.Int64("max-memory", 0, "with -serve: admission cap on estimated session bytes (0 = unlimited)")
+		queueCap     = flag.Int("queue-cap", 0, "with -serve: per-tenant admission queue depth before shedding (0 = default)")
+		ioTimeout    = flag.Duration("io-timeout", 0, "with -serve: per-call read/write deadline on client connections (0 = none)")
 	)
 	flag.Parse()
 
@@ -104,6 +106,7 @@ func main() {
 			addr: *addr, tenants: *tenants, arch: *arch, classes: *classes, width: *width,
 			batchMax: *batchMax, flushEvery: *flushEvery, computeSlots: *computeSlots,
 			maxSessions: *maxSessions, maxMemory: *maxMemory,
+			queueCap: *queueCap, ioTimeout: *ioTimeout,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "splitserver:", err)
 			os.Exit(1)

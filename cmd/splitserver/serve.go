@@ -29,6 +29,8 @@ type serveOpts struct {
 	computeSlots int
 	maxSessions  int
 	maxMemory    int64
+	queueCap     int
+	ioTimeout    time.Duration
 }
 
 // parseTenants decodes the -tenants spec: comma-separated
@@ -103,12 +105,19 @@ func runServe(o serveOpts) error {
 	is, err := serve.NewInferenceServer(m, serve.InferConfig{
 		BatchMax:   o.batchMax,
 		FlushEvery: o.flushEvery,
+		QueueCap:   o.queueCap,
 	})
 	if err != nil {
 		return err
 	}
 
-	l, err := transport.Listen(o.addr)
+	// An -io-timeout bounds how long a dead or wedged client can hold
+	// this process's reader/writer; idle-but-healthy clients must send
+	// something (even a health probe) within the window.
+	l, err := transport.ListenOpts(o.addr, transport.TCPOptions{
+		ReadTimeout:  o.ioTimeout,
+		WriteTimeout: o.ioTimeout,
+	})
 	if err != nil {
 		return err
 	}
@@ -146,7 +155,7 @@ func runServe(o serveOpts) error {
 	wg.Wait()
 	is.Close()
 	st := is.Stats()
-	fmt.Printf("splitserver: served %d request(s) in %d batch(es), %d rejected\n",
-		st.Requests, st.Batches, st.Rejected)
+	fmt.Printf("splitserver: served %d request(s) in %d batch(es), %d rejected (%d shed, %d expired)\n",
+		st.Requests, st.Batches, st.Rejected, st.Shed, st.Expired)
 	return nil
 }

@@ -8,6 +8,16 @@ import (
 	"medsplit/internal/nn"
 )
 
+// breakerTripAfter is how many consecutive reload failures open the
+// breaker, and breakerProbeEvery is how many ensure calls an open
+// breaker skips before letting one probe retry the disk. Counts, not
+// timers: the batcher's call cadence is the only clock this needs, and
+// counts keep the breaker's behavior deterministic for tests.
+const (
+	breakerTripAfter  = 3
+	breakerProbeEvery = 32
+)
+
 // modelCache keeps one tenant's back half warm for inference, keyed by
 // checkpoint generation. A generation is a server snapshot's NextRound
 // (the numbered server-%06d.ckpt files core writes); generation 0 is
@@ -21,9 +31,22 @@ import (
 // checkpoint landed sends its generation, and that request is what
 // rolls the cache forward; clients that send 0 ride whatever is warm.
 //
+// Reloads are guarded by a circuit breaker: a corrupt or unreadable
+// generation must degrade the tenant to its warm model (pinned
+// requests get per-request generation-mismatch rejections), never fail
+// every request or hammer the disk on every batch. After
+// breakerTripAfter consecutive reload failures the breaker opens and
+// ensure serves the warm model without touching disk; every
+// breakerProbeEvery-th call lets one probe through, so a repaired
+// checkpoint directory heals the tenant without intervention. Reload
+// atomicity is what makes the degraded model trustworthy: the snapshot
+// is restored into a freshly built model and swapped in only on
+// success, so a restore that fails halfway can never leave the warm
+// model half-overwritten.
+//
 // ensure is called only from the tenant's single batcher goroutine, so
 // the returned model is never Forwarded concurrently; the mutex exists
-// for the stats readers.
+// for the stats and health readers.
 type modelCache struct {
 	mu    sync.Mutex
 	name  string
@@ -34,6 +57,9 @@ type modelCache struct {
 	gen  uint32
 
 	hits, misses int64
+
+	reloadFails int // consecutive reload failures (breaker input)
+	probeIn     int // ensure calls until the open breaker lets a probe through
 }
 
 // ensure returns the freshest model available that satisfies wantGen
@@ -41,7 +67,8 @@ type modelCache struct {
 // wantGen is ahead of the cache. It never fails on a generation
 // mismatch — it returns the generation actually loaded and the caller
 // compares; per-request rejection is the batcher's job, because one
-// batch can mix satisfied and mismatched requests.
+// batch can mix satisfied and mismatched requests. It fails only when
+// there is no model at all (BuildBack missing or erroring).
 func (c *modelCache) ensure(wantGen uint32) (*nn.Sequential, uint32, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -62,18 +89,54 @@ func (c *modelCache) ensure(wantGen uint32) (*nn.Sequential, uint32, error) {
 		c.gen = 0
 	}
 	if c.dir != "" && wantGen > c.gen {
-		// Best effort: no snapshot yet just means the tenant is still at
-		// its current generation, which the caller surfaces as a
-		// per-request mismatch, not a serving failure.
-		snap, err := core.LoadLatestSnapshot(c.dir, core.RoleServer, 0)
-		if err == nil && uint32(snap.NextRound) > c.gen {
-			if rerr := core.RestoreServerModel(c.back, snap); rerr != nil {
-				return nil, 0, fmt.Errorf("serve: tenant %q: restoring generation %d: %w", c.name, snap.NextRound, rerr)
-			}
-			c.gen = uint32(snap.NextRound)
-		}
+		c.reload(wantGen)
 	}
 	return c.back, c.gen, nil
+}
+
+// reload attempts to roll the cache forward from disk, honoring the
+// breaker. Failures never propagate — the tenant degrades to the warm
+// model and pinned requests are rejected per-request by the batcher.
+// Caller holds c.mu.
+func (c *modelCache) reload(wantGen uint32) {
+	if c.reloadFails >= breakerTripAfter {
+		if c.probeIn > 0 {
+			c.probeIn--
+			return // breaker open: serve warm, skip the disk
+		}
+		c.probeIn = breakerProbeEvery // this call is the probe
+	}
+	var fresh *nn.Sequential
+	snap, err := core.LoadLatestSnapshot(c.dir, core.RoleServer, 0)
+	if err == nil && uint32(snap.NextRound) <= c.gen {
+		// Healthy disk with nothing newer: the pin is simply ahead of
+		// training, which the caller surfaces as per-request
+		// mismatches. Not a reload failure.
+		c.reloadFails, c.probeIn = 0, 0
+		return
+	}
+	if err == nil {
+		if c.build == nil {
+			return // nothing to restore into atomically; keep the warm model
+		}
+		fresh, err = c.build()
+		if err == nil {
+			err = core.RestoreServerModel(fresh, snap)
+		}
+	}
+	if err != nil {
+		// Corrupt, missing or mismatched generation: count toward the
+		// breaker and keep serving the warm model untouched.
+		c.reloadFails++
+		if c.reloadFails == breakerTripAfter {
+			c.probeIn = breakerProbeEvery
+		}
+		return
+	}
+	c.back = fresh
+	c.gen = uint32(snap.NextRound)
+	c.reloadFails = 0
+	c.probeIn = 0
 }
 
 // cacheStats reports hit/miss counters (a miss is any ensure that had
@@ -82,4 +145,12 @@ func (c *modelCache) cacheStats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// state reports the served generation and whether the reload breaker
+// is open — the health probe's view of the cache.
+func (c *modelCache) state() (gen uint32, breakerOpen bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen, c.reloadFails >= breakerTripAfter
 }

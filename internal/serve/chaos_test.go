@@ -1,0 +1,165 @@
+// Chaos tests for the serving tier, in the external test package so
+// they can drive internal/experiment's harness (experiment imports
+// serve, so an internal test file could not import it back).
+package serve_test
+
+import (
+	"testing"
+	"time"
+
+	"medsplit/internal/experiment"
+	"medsplit/internal/simnet"
+	"medsplit/internal/transport/testutil"
+)
+
+// An empty fault script must be indistinguishable from the reference
+// run: everything succeeds, nothing retried, digests trivially match.
+func TestServeChaosFaultFree(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	res, err := experiment.RunServeChaos(experiment.ServeChaosConfig{
+		Load: experiment.ServeLoadConfig{
+			Tenants:             2,
+			Platforms:           4,
+			RequestsPerPlatform: 3,
+			Seed:                17,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != res.Requests || res.Failed != 0 || res.Mismatched != 0 {
+		t.Fatalf("fault-free chaos run: %+v", res)
+	}
+}
+
+// One of each serving-phase fault against a small matrix: every
+// request must still succeed (the retry/failover stack absorbs drops,
+// stalls and severs; a virtual delay spike needs no client action),
+// and every successful response must be bit-identical to the
+// fault-free run.
+func TestServeChaosAbsorbsEachFaultKind(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	timeout := 250 * time.Millisecond
+	res, err := experiment.RunServeChaos(experiment.ServeChaosConfig{
+		Load: experiment.ServeLoadConfig{
+			Tenants:             2,
+			Platforms:           4,
+			RequestsPerPlatform: 4,
+			Seed:                19,
+		},
+		Timeout:     timeout,
+		MaxAttempts: 4,
+		Faults: []simnet.Fault{
+			// Platform 0: its second request vanishes upstream.
+			{Platform: 0, Round: 2, Dir: simnet.DirUp, Kind: simnet.FaultDrop},
+			// Platform 1: a response comes back 300ms late in virtual time.
+			{Platform: 1, Round: 3, Dir: simnet.DirDown, Kind: simnet.FaultDelaySpike, Delay: 300 * time.Millisecond},
+			// Platform 2: the server stalls past the client timeout.
+			{Platform: 2, Round: 1, Dir: simnet.DirDown, Kind: simnet.FaultStall, Hold: timeout + timeout/2},
+			// Platform 3: the connection severs mid-stream.
+			{Platform: 3, Round: 2, Dir: simnet.DirUp, Kind: simnet.FaultSever},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != res.Requests {
+		t.Fatalf("%d/%d requests succeeded (%+v); the retry stack must absorb every scripted fault",
+			res.Succeeded, res.Requests, res)
+	}
+	if res.Mismatched != 0 {
+		t.Fatalf("%d responses diverged from the fault-free run", res.Mismatched)
+	}
+	if res.Retries == 0 {
+		t.Fatalf("stats %+v: drops, stalls and severs must have forced retries", res)
+	}
+	if res.Redials == 0 {
+		t.Fatalf("stats %+v: timeouts and severs must have forced redials", res)
+	}
+}
+
+// Hedging under a stall shorter than the timeout: the duplicate
+// attempt must fire and the request still succeed bit-identically.
+func TestServeChaosHedgesUnderStall(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	res, err := experiment.RunServeChaos(experiment.ServeChaosConfig{
+		Load: experiment.ServeLoadConfig{
+			Tenants:             1,
+			Platforms:           2,
+			RequestsPerPlatform: 3,
+			Seed:                23,
+		},
+		Timeout:     time.Second,
+		MaxAttempts: 3,
+		HedgeAfter:  20 * time.Millisecond,
+		Faults: []simnet.Fault{
+			// Stall well past the hedge delay but inside the timeout:
+			// the hedge fires, both answers eventually arrive, the
+			// first match wins, the straggler is discarded.
+			{Platform: 0, Round: 2, Dir: simnet.DirDown, Kind: simnet.FaultStall, Hold: 150 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded != res.Requests || res.Mismatched != 0 {
+		t.Fatalf("chaos run with hedging: %+v", res)
+	}
+	if res.Hedges == 0 {
+		t.Fatalf("stats %+v: the stalled response must have triggered a hedge", res)
+	}
+}
+
+// The acceptance matrix: 100 platforms × 4 tenants over the simulated
+// geo-WAN under a seeded mix of drops, delay spikes, stalls and
+// severs. Every admitted request completes correctly or fails fast
+// with a typed error, successful responses are bit-identical to the
+// fault-free run, and no goroutine leaks. Skipped under -short; the
+// nightly chaos soak runs it under -race.
+func TestServeChaos100Platforms4Tenants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100-platform chaos matrix skipped in -short mode")
+	}
+	testutil.VerifyNoLeaks(t)
+	// The client timeout is real time; under the race detector
+	// everything runs ~10x slower, so widen it to keep spurious
+	// timeouts from eating the retry budget.
+	timeout := 250 * time.Millisecond
+	hedgeAfter := 100 * time.Millisecond
+	if raceEnabled {
+		timeout = 1500 * time.Millisecond
+		hedgeAfter = 500 * time.Millisecond
+	}
+	requests := 3
+	res, err := experiment.RunServeChaos(experiment.ServeChaosConfig{
+		Load: experiment.ServeLoadConfig{
+			Tenants:             4,
+			Platforms:           100,
+			RequestsPerPlatform: requests,
+			RequestRows:         2,
+			BatchMax:            16,
+			FlushEvery:          2 * time.Millisecond,
+			ComputeSlots:        4,
+			SimJitter:           0.1,
+			Seed:                29,
+		},
+		Timeout:     timeout,
+		MaxAttempts: 4,
+		HedgeAfter:  hedgeAfter,
+		Faults:      experiment.ChaosFaultScript(100, requests, timeout, 29),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded+res.Failed != res.Requests || res.Mismatched != 0 {
+		t.Fatalf("chaos matrix: %+v", res)
+	}
+	// The fault script touches ~a third of the platforms; the retry
+	// stack should recover nearly everything.
+	if res.Succeeded < res.Requests*95/100 {
+		t.Fatalf("only %d/%d requests succeeded under chaos (%+v)", res.Succeeded, res.Requests, res)
+	}
+	t.Logf("chaos 100×4: %d/%d ok, failed=%d retries=%d hedges=%d redials=%d timeouts=%d shed=%d expired=%d simWAN=%v",
+		res.Succeeded, res.Requests, res.Failed, res.Retries, res.Hedges, res.Redials,
+		res.Timeouts, res.Server.Shed, res.Server.Expired, res.SimElapsed)
+}

@@ -1,26 +1,109 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"medsplit/internal/nn"
+	"medsplit/internal/rng"
 	"medsplit/internal/tensor"
 	"medsplit/internal/transport"
 	"medsplit/internal/wire"
 )
 
-// RemoteError is a rejection the serving tier shipped back as a text
-// payload (unknown tenant, generation mismatch, malformed request).
-type RemoteError struct{ Msg string }
+// RemoteError is a rejection the serving tier shipped back as a
+// structured error payload. Code decides whether a retry can help
+// (see wire.ErrCode.Retryable); RetryAfter is the server's hint for
+// how long the condition plausibly needs to clear.
+type RemoteError struct {
+	Code       wire.ErrCode
+	RetryAfter time.Duration
+	Msg        string
+}
 
-func (e *RemoteError) Error() string { return "serve: remote: " + e.Msg }
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("serve: remote: %s: %s", e.Code, e.Msg)
+}
+
+// Retryable reports whether retrying the same request can succeed.
+func (e *RemoteError) Retryable() bool { return e.Code.Retryable() }
+
+// ErrAttemptTimeout is the typed failure of one attempt that exceeded
+// RetryPolicy.Timeout without an answer. Callers see it (wrapped) only
+// after the retry budget is spent.
+var ErrAttemptTimeout = errors.New("serve: client attempt timed out")
+
+// RetryPolicy configures the client's overload and failure handling.
+// The zero value preserves the original contract exactly: one attempt,
+// no timeout, no hedging — and the zero-policy Infer path stays
+// allocation-identical to the pre-policy client, which is what the
+// serving benchmark gates.
+type RetryPolicy struct {
+	// Timeout bounds one attempt. It is also the deadline budget
+	// stamped onto the wire (wire.InferHeader.DeadlineMicros), so the
+	// server sheds the attempt rather than computing an answer the
+	// client has stopped waiting for. 0 = wait forever, send no budget.
+	Timeout time.Duration
+	// MaxAttempts is the total attempt budget per Infer call,
+	// including the first. 0 or 1 means single-shot. Only retryable
+	// failures consume extra attempts: timeouts, connection errors,
+	// and remote rejections whose code is retryable (overloaded,
+	// expired, draining).
+	MaxAttempts int
+	// Backoff is the base delay before the second attempt; it doubles
+	// each further retry and is jittered by a deterministic
+	// multiplier in [0.5, 1.5) drawn from Seed. A server retry-after
+	// hint raises (never lowers) the delay. Defaults to 1ms when
+	// retries are enabled.
+	Backoff time.Duration
+	// MaxBackoff caps the grown backoff. Defaults to 64×Backoff.
+	MaxBackoff time.Duration
+	// HedgeAfter, when positive, fires a duplicate attempt if the
+	// first has not answered after this delay, and takes whichever
+	// answer lands first. Once 32 attempt latencies have been
+	// observed, the effective delay adapts upward to the observed p99
+	// (HedgeAfter stays the floor), so hedges chase only genuine
+	// stragglers. 0 disables hedging.
+	HedgeAfter time.Duration
+	// Seed feeds the jitter generator (internal/rng SplitMix64), so a
+	// seeded client's retry schedule is exactly reproducible.
+	Seed uint64
+}
+
+func (p *RetryPolicy) active() bool {
+	return p.Timeout > 0 || p.MaxAttempts > 1 || p.HedgeAfter > 0
+}
+
+// ClientStats counts the client's resilience machinery at work.
+type ClientStats struct {
+	Attempts int64 // requests put on the wire (including hedges)
+	Retries  int64 // attempts beyond the first for a logical request
+	Hedges   int64 // duplicate attempts fired by the hedging delay
+	Redials  int64 // connections re-established after a failure
+	Remote   int64 // structured rejections received (any code)
+	Timeouts int64 // attempts that exceeded RetryPolicy.Timeout
+}
+
+// latencyWindow is how many recent attempt latencies feed the adaptive
+// hedge delay, and latencyMinSamples how many must exist before the
+// p99 estimate overrides HedgeAfter.
+const (
+	latencyWindow     = 128
+	latencyMinSamples = 32
+)
 
 // Client is one platform's handle on the inference tier: it runs the
 // front half of the tenant's model locally and ships cut-layer
 // activations, receiving logits back. One Client owns one connection
-// and keeps one request in flight (the platform-side shape of the
-// paper's protocol: the data holder computes its layers, then waits on
-// the aggregation point); batching across clients happens server-side.
+// and keeps one logical request in flight (the platform-side shape of
+// the paper's protocol: the data holder computes its layers, then
+// waits on the aggregation point); batching across clients happens
+// server-side. A RetryPolicy (SetPolicy) layers per-attempt timeouts,
+// jittered-backoff retries and hedged duplicates on top; SetRedial
+// supplies replacement connections — typically rotating through a
+// server address list — when the current one fails.
 //
 // Not safe for concurrent use — a Client belongs to one goroutine,
 // exactly like a core.Platform.
@@ -31,7 +114,27 @@ type Client struct {
 	id     uint32
 	gen    uint32
 	seq    uint32
+	reqID  uint64
 	dec    []*tensor.Tensor // response decode scratch
+
+	policy RetryPolicy
+	jitter *rng.RNG
+	redial func() (transport.Conn, error)
+	stats  ClientStats
+
+	// Receive pump, running only while the policy is active: it owns
+	// conn.Recv so an attempt can race responses against timers.
+	pump     chan recvResult
+	pumpDone chan struct{}
+
+	lat    []time.Duration // latency ring for the adaptive hedge delay
+	latPos int
+	hedge  time.Duration // cached effective hedge delay
+}
+
+type recvResult struct {
+	m   *wire.Message
+	err error
 }
 
 // NewClient builds a client for the named tenant over conn. front is
@@ -48,38 +151,109 @@ func NewClient(conn transport.Conn, front *nn.Sequential, tenantName string, id 
 // see modelCache.
 func (c *Client) SetGeneration(gen uint32) { c.gen = gen }
 
-// Infer runs one request: front half locally (when configured), one
-// round trip, logits back. The returned tensor is owned by the client
-// and valid until the next Infer call.
+// SetPolicy installs the retry policy. Call before the first Infer;
+// the policy is not safe to change with a request in flight.
+func (c *Client) SetPolicy(p RetryPolicy) {
+	if p.MaxAttempts > 1 || p.HedgeAfter > 0 {
+		if p.Backoff <= 0 {
+			p.Backoff = time.Millisecond
+		}
+		if p.MaxBackoff <= 0 {
+			p.MaxBackoff = 64 * p.Backoff
+		}
+	}
+	c.policy = p
+	c.jitter = rng.New(p.Seed)
+	c.hedge = p.HedgeAfter
+}
+
+// SetRedial supplies replacement connections after a connection
+// failure or attempt timeout. The closure owns failover placement —
+// rotating through an address list, re-resolving, whatever the
+// deployment wants; the client just calls it once per redial.
+func (c *Client) SetRedial(f func() (transport.Conn, error)) { c.redial = f }
+
+// Stats reports the client's resilience counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// Infer runs one logical request: front half locally (when
+// configured), then one round trip — or, under a RetryPolicy, up to
+// MaxAttempts of them with backoff, failover and hedging. The
+// returned tensor is owned by the client and valid until the next
+// Infer call.
 func (c *Client) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 	a := x
 	if c.front != nil {
 		a = c.front.Forward(x, false)
 	}
+	c.reqID++
+	if !c.policy.active() {
+		return c.inferOnce(a)
+	}
+	return c.inferManaged(a)
+}
+
+// inferOnce is the zero-policy fast path: synchronous send/recv, no
+// pump, no timers — allocation-identical to the original client.
+func (c *Client) inferOnce(a *tensor.Tensor) (*tensor.Tensor, error) {
 	c.seq++
-	size := wire.TensorsPayloadSize(a.Shape()) + len(c.tenant) + 8
-	payload := wire.EncodeInferRequestInto(wire.Buffers.Get(size), c.tenant, c.gen, a)
-	if err := c.conn.Send(&wire.Message{
-		Type:     wire.MsgInferRequest,
-		Platform: c.id,
-		Round:    c.seq,
-		Payload:  payload,
-	}); err != nil {
-		return nil, fmt.Errorf("serve: client %d send: %w", c.id, err)
+	c.stats.Attempts++
+	if err := c.send(a, c.seq, 0); err != nil {
+		return nil, err
 	}
 	m, err := c.conn.Recv()
 	if err != nil {
 		return nil, fmt.Errorf("serve: client %d recv: %w", c.id, err)
 	}
+	return c.decodeResponse(m, c.seq)
+}
+
+// send frames one attempt. budget is the deadline stamped on the
+// wire; 0 sends none.
+func (c *Client) send(a *tensor.Tensor, seq uint32, budget time.Duration) error {
+	h := wire.InferHeader{
+		Tenant:         c.tenant,
+		Generation:     c.gen,
+		RequestID:      uint64(c.id)<<32 | c.reqID,
+		DeadlineMicros: saturateMicros(budget),
+	}
+	size := wire.InferRequestPayloadSize(c.tenant, a.Shape())
+	payload := wire.EncodeInferRequestInto(wire.Buffers.Get(size), h, a)
+	if err := c.conn.Send(&wire.Message{
+		Type:     wire.MsgInferRequest,
+		Platform: c.id,
+		Round:    seq,
+		Payload:  payload,
+	}); err != nil {
+		return fmt.Errorf("serve: client %d send: %w", c.id, err)
+	}
+	return nil
+}
+
+func saturateMicros(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	us := d / time.Microsecond
+	if us > 0xFFFFFFFF {
+		return 0xFFFFFFFF
+	}
+	return uint32(us)
+}
+
+// decodeResponse validates one MsgInferResponse for attempt seq and
+// returns the logits or the typed remote rejection.
+func (c *Client) decodeResponse(m *wire.Message, seq uint32) (*tensor.Tensor, error) {
 	if m.Type != wire.MsgInferResponse {
 		return nil, fmt.Errorf("serve: client %d: unexpected %s", c.id, m.Type)
 	}
-	if m.Round != c.seq {
-		return nil, fmt.Errorf("serve: client %d: response for request %d, want %d", c.id, m.Round, c.seq)
+	if m.Round != seq {
+		return nil, fmt.Errorf("serve: client %d: response for request %d, want %d", c.id, m.Round, seq)
 	}
-	if s, terr := wire.DecodeText(m.Payload); terr == nil {
+	if code, retryAfter, msg, terr := wire.DecodeServeError(m.Payload); terr == nil {
 		wire.ReleasePayload(&wire.Buffers, m)
-		return nil, &RemoteError{Msg: s}
+		c.stats.Remote++
+		return nil, &RemoteError{Code: code, RetryAfter: retryAfter, Msg: msg}
 	}
 	ts, derr := wire.DecodeTensorsInto(c.dec, m.Payload)
 	if derr != nil || len(ts) != 1 {
@@ -90,8 +264,217 @@ func (c *Client) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return ts[0], nil
 }
 
-// Close says goodbye and closes the connection.
+// inferManaged drives the retry loop: each attempt runs under the
+// pump with its timeout and optional hedge, failures classify into
+// retryable and terminal, and retryable ones burn backoff and
+// (on connection damage) a redial before the next attempt.
+func (c *Client) inferManaged(a *tensor.Tensor) (*tensor.Tensor, error) {
+	attempts := c.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+			c.sleepBackoff(attempt, lastErr)
+		}
+		if c.conn == nil {
+			if err := c.redialConn(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		y, err := c.attempt(a)
+		if err == nil {
+			return y, nil
+		}
+		lastErr = err
+		var remote *RemoteError
+		if errors.As(err, &remote) && !remote.Retryable() {
+			return nil, err // misrouted or malformed: no retry can fix it
+		}
+	}
+	return nil, fmt.Errorf("serve: client %d: %d attempts exhausted: %w", c.id, attempts, lastErr)
+}
+
+// sleepBackoff waits the jittered exponential backoff before retry
+// number attempt (1-based), honoring any server retry-after hint.
+func (c *Client) sleepBackoff(attempt int, lastErr error) {
+	d := c.policy.Backoff << (attempt - 1)
+	if d > c.policy.MaxBackoff || d <= 0 {
+		d = c.policy.MaxBackoff
+	}
+	// Deterministic jitter in [0.5, 1.5): desynchronizes a fleet of
+	// shed clients without breaking seeded reproducibility.
+	d = time.Duration(float64(d) * (0.5 + c.jitter.Float64()))
+	var remote *RemoteError
+	if errors.As(lastErr, &remote) && remote.RetryAfter > d {
+		d = remote.RetryAfter
+	}
+	time.Sleep(d)
+}
+
+// attempt runs one (possibly hedged) attempt under the pump.
+func (c *Client) attempt(a *tensor.Tensor) (*tensor.Tensor, error) {
+	c.ensurePump()
+	start := time.Now()
+	c.seq++
+	seq1 := c.seq
+	seq2 := uint32(0) // hedge attempt seq, 0 while unfired
+	c.stats.Attempts++
+	if err := c.send(a, seq1, c.policy.Timeout); err != nil {
+		c.teardown()
+		return nil, err
+	}
+
+	var timeoutC, hedgeC <-chan time.Time
+	var timeout, hedgeTimer *time.Timer
+	if c.policy.Timeout > 0 {
+		timeout = time.NewTimer(c.policy.Timeout)
+		defer timeout.Stop()
+		timeoutC = timeout.C
+	}
+	if c.hedge > 0 {
+		hedgeTimer = time.NewTimer(c.hedge)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+	for {
+		select {
+		case r := <-c.pump:
+			if r.err != nil {
+				c.teardown()
+				return nil, fmt.Errorf("serve: client %d recv: %w", c.id, r.err)
+			}
+			if r.m.Type == wire.MsgInferResponse && r.m.Round != seq1 && r.m.Round != seq2 {
+				// A straggler from an abandoned or hedged-out attempt:
+				// drop it and keep waiting for ours.
+				wire.ReleasePayload(&wire.Buffers, r.m)
+				continue
+			}
+			match := seq1
+			if r.m.Round == seq2 {
+				match = seq2
+			}
+			y, err := c.decodeResponse(r.m, match)
+			if err == nil {
+				c.observeLatency(time.Since(start))
+			}
+			return y, err
+		case <-hedgeC:
+			hedgeC = nil
+			c.seq++
+			seq2 = c.seq
+			c.stats.Hedges++
+			c.stats.Attempts++
+			if err := c.send(a, seq2, c.policy.Timeout); err != nil {
+				// The hedge could not go out (connection damage); the
+				// primary attempt may still answer, so keep waiting.
+				seq2 = 0
+			}
+		case <-timeoutC:
+			c.stats.Timeouts++
+			if c.redial != nil {
+				// A fresh connection is available, so abandon this one
+				// rather than share it with a late response.
+				c.teardown()
+			}
+			return nil, fmt.Errorf("serve: client %d: request %d: %w", c.id, c.reqID, ErrAttemptTimeout)
+		}
+	}
+}
+
+// ensurePump starts the receive pump for the current connection if it
+// is not already running.
+func (c *Client) ensurePump() {
+	if c.pump != nil {
+		return
+	}
+	ch := make(chan recvResult, 4)
+	done := make(chan struct{})
+	conn := c.conn
+	go func() {
+		for {
+			m, err := conn.Recv()
+			select {
+			case ch <- recvResult{m, err}:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	c.pump, c.pumpDone = ch, done
+}
+
+// teardown abandons the current connection and its pump. The next
+// attempt redials (when a redial closure exists) or fails fast.
+func (c *Client) teardown() {
+	if c.pumpDone != nil {
+		close(c.pumpDone)
+		c.pump, c.pumpDone = nil, nil
+	}
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// redialConn replaces a torn-down connection via the redial closure.
+func (c *Client) redialConn() error {
+	if c.redial == nil {
+		return fmt.Errorf("serve: client %d: connection lost and no redial configured", c.id)
+	}
+	conn, err := c.redial()
+	if err != nil {
+		return fmt.Errorf("serve: client %d redial: %w", c.id, err)
+	}
+	c.conn = conn
+	c.stats.Redials++
+	return nil
+}
+
+// observeLatency feeds the adaptive hedge delay: once enough samples
+// exist, hedges fire at the observed p99 (never below HedgeAfter), so
+// duplicates chase genuine stragglers instead of the median.
+func (c *Client) observeLatency(d time.Duration) {
+	if c.policy.HedgeAfter <= 0 {
+		return
+	}
+	if len(c.lat) < latencyWindow {
+		c.lat = append(c.lat, d)
+	} else {
+		c.lat[c.latPos] = d
+		c.latPos = (c.latPos + 1) % latencyWindow
+	}
+	if len(c.lat) < latencyMinSamples {
+		return
+	}
+	sorted := append([]time.Duration(nil), c.lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	p99 := sorted[len(sorted)*99/100]
+	if p99 > c.policy.HedgeAfter {
+		c.hedge = p99
+	} else {
+		c.hedge = c.policy.HedgeAfter
+	}
+}
+
+// Close says goodbye and closes the connection, stopping the receive
+// pump if one is running.
 func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
 	_ = c.conn.Send(&wire.Message{Type: wire.MsgBye, Platform: c.id})
-	return c.conn.Close()
+	err := c.conn.Close()
+	if c.pumpDone != nil {
+		close(c.pumpDone)
+		c.pump, c.pumpDone = nil, nil
+	}
+	c.conn = nil
+	return err
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,8 +26,11 @@ type InferConfig struct {
 	// tenant is — the tail-latency bound that makes batching safe to
 	// leave on. Defaults to 2ms.
 	FlushEvery time.Duration
-	// QueueCap bounds a tenant's pending request queue; arrivals beyond
-	// it block the connection's reader (backpressure, not drops).
+	// QueueCap bounds a tenant's pending request queue. Arrivals beyond
+	// it are refused with ErrOverloaded (carrying a retry-after hint)
+	// instead of buffered or blocked on: deterministic load shedding,
+	// so one tenant's burst degrades into fast typed rejections rather
+	// than unbounded queueing or a stalled connection reader.
 	// Defaults to 256.
 	QueueCap int
 }
@@ -52,6 +56,25 @@ func (c *InferConfig) withDefaults() InferConfig {
 // logits. One batcher goroutine per tenant owns that tenant's model,
 // decode slots and fused scratch, so tenants never contend on (or
 // leak into) each other's memory.
+//
+// Overload and failure containment (the robustness contract):
+//
+//   - Admission is bounded per tenant (QueueCap) and sheds
+//     deterministically: a full queue answers CodeOverloaded with a
+//     retry-after hint, never blocks the connection reader.
+//   - Requests carry a deadline budget (wire.InferHeader). Work whose
+//     deadline has passed is shed before compute — at admission and
+//     again at flush — with CodeExpired, so an overloaded tenant
+//     spends its compute only on answers somebody is still waiting
+//     for. A request whose remaining budget cannot survive the full
+//     FlushEvery wait flushes the batch immediately instead.
+//   - Every tenant exposes a health state (serving / degraded /
+//     draining) through the MsgHealth probe; degraded means the
+//     checkpoint-reload breaker is open or the queue is more than
+//     half full.
+//   - All rejections are structured error payloads (code +
+//     retry-after + message), so clients retry exactly the conditions
+//     that can clear and fail fast on the ones that cannot.
 type InferenceServer struct {
 	m       *Manager
 	cfg     InferConfig
@@ -62,13 +85,17 @@ type InferenceServer struct {
 
 	requests atomic.Int64 // requests admitted to a batcher
 	rejected atomic.Int64 // requests answered with an error payload
+	shed     atomic.Int64 // of rejected: queue-full (CodeOverloaded)
+	expired  atomic.Int64 // of rejected: deadline passed (CodeExpired)
 	batches  atomic.Int64 // back-half forwards executed
 }
 
 // InferStats is a point-in-time view of the inference tier.
 type InferStats struct {
 	Requests int64 // requests admitted to batching
-	Rejected int64 // requests rejected (unknown tenant, generation mismatch, bad payload)
+	Rejected int64 // requests rejected (all causes)
+	Shed     int64 // of Rejected: refused at a full admission queue
+	Expired  int64 // of Rejected: deadline passed before compute
 	Batches  int64 // back-half forwards (Requests/Batches = achieved batching factor)
 }
 
@@ -107,7 +134,7 @@ func NewInferenceServer(m *Manager, cfg InferConfig) (*InferenceServer, error) {
 // Close stops every tenant batcher after draining its queue and
 // unregisters their compute gates. Connection readers (HandleConn)
 // are owned by their callers; requests arriving after Close are
-// answered with ErrManagerClosed.
+// answered with CodeDraining.
 func (is *InferenceServer) Close() {
 	is.closeOnce.Do(func() {
 		for _, ts := range is.serving {
@@ -128,8 +155,26 @@ func (is *InferenceServer) Stats() InferStats {
 	return InferStats{
 		Requests: is.requests.Load(),
 		Rejected: is.rejected.Load(),
+		Shed:     is.shed.Load(),
+		Expired:  is.expired.Load(),
 		Batches:  is.batches.Load(),
 	}
+}
+
+// Health snapshots every tenant's serving state, sorted by tenant
+// name so the probe payload is deterministic. This is what MsgHealth
+// answers with; it is also the local observability surface.
+func (is *InferenceServer) Health() []wire.TenantHealth {
+	names := make([]string, 0, len(is.serving))
+	for name := range is.serving {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]wire.TenantHealth, 0, len(names))
+	for _, name := range names {
+		out = append(out, is.serving[name].health())
+	}
+	return out
 }
 
 // lockedConn serializes writes to one connection: a connection may
@@ -150,15 +195,18 @@ func (lc *lockedConn) send(m *wire.Message) error {
 type inferJob struct {
 	conn     *lockedConn
 	platform uint32
-	round    uint32 // client's request id, echoed on the response
-	gen      uint32 // requested checkpoint generation (0 = any)
+	round    uint32    // client's attempt sequence, echoed on the response
+	reqID    uint64    // client's logical request id (diagnostics; hedged attempts share it)
+	gen      uint32    // requested checkpoint generation (0 = any)
+	deadline time.Time // zero = no deadline
 	acts     *tensor.Tensor
 	slot     []*tensor.Tensor // decode slot owning acts; recycled after the response
 }
 
 // HandleConn serves one client connection: it reads requests until the
 // peer says Bye or the connection drops, routing each to its tenant's
-// batcher. Responses are written by the batcher goroutines (through a
+// batcher; MsgHealth probes are answered inline with the tenant-state
+// snapshot. Responses are written by the batcher goroutines (through a
 // per-connection send lock), so a slow tenant never blocks another
 // tenant's requests arriving on the same connection. Returns nil on
 // clean shutdown (Bye or EOF).
@@ -177,6 +225,13 @@ func (is *InferenceServer) HandleConn(conn transport.Conn) error {
 			return nil
 		case wire.MsgInferRequest:
 			is.handleRequest(lc, m)
+		case wire.MsgHealth:
+			wire.ReleasePayload(&wire.Buffers, m)
+			_ = lc.send(&wire.Message{
+				Type:    wire.MsgHealth,
+				Round:   m.Round,
+				Payload: wire.EncodeHealth(is.Health()),
+			})
 		default:
 			return fmt.Errorf("serve: unexpected %s on inference connection", m.Type)
 		}
@@ -185,16 +240,22 @@ func (is *InferenceServer) HandleConn(conn transport.Conn) error {
 
 // handleRequest decodes, routes and enqueues one request; every
 // failure mode answers the client instead of killing the connection.
+// Already-expired and queue-overflow requests are shed here, before
+// any tensor decode or batching work is spent on them.
 func (is *InferenceServer) handleRequest(lc *lockedConn, m *wire.Message) {
-	tenantName, gen, tpay, err := wire.DecodeInferRequest(m.Payload)
+	h, tpay, err := wire.DecodeInferRequest(m.Payload)
 	if err != nil {
 		is.respondError(lc, m.Platform, m.Round, err)
 		return
 	}
-	ts, ok := is.serving[tenantName]
+	ts, ok := is.serving[h.Tenant]
 	if !ok {
-		is.respondError(lc, m.Platform, m.Round, fmt.Errorf("%w: %q", ErrUnknownTenant, tenantName))
+		is.respondError(lc, m.Platform, m.Round, fmt.Errorf("%w: %q", ErrUnknownTenant, h.Tenant))
 		return
+	}
+	var deadline time.Time
+	if h.DeadlineMicros > 0 {
+		deadline = time.Now().Add(time.Duration(h.DeadlineMicros) * time.Microsecond)
 	}
 	slot := ts.getSlot()
 	dec, derr := wire.DecodeTensorsInto(slot, tpay)
@@ -209,7 +270,11 @@ func (is *InferenceServer) handleRequest(lc *lockedConn, m *wire.Message) {
 	// Decoded tensors never alias the payload, so the frame buffer goes
 	// back to the transport pool before the batch is even formed.
 	wire.ReleasePayload(&wire.Buffers, m)
-	j := &inferJob{conn: lc, platform: m.Platform, round: m.Round, gen: gen, acts: dec[0], slot: dec}
+	j := &inferJob{
+		conn: lc, platform: m.Platform, round: m.Round,
+		reqID: h.RequestID, gen: h.Generation, deadline: deadline,
+		acts: dec[0], slot: dec,
+	}
 	if err := ts.enqueue(j); err != nil {
 		ts.putSlot(j.slot)
 		is.respondError(lc, m.Platform, m.Round, err)
@@ -218,15 +283,45 @@ func (is *InferenceServer) handleRequest(lc *lockedConn, m *wire.Message) {
 	is.requests.Add(1)
 }
 
-// respondError answers a request with a text payload carrying the
-// rejection; the client surfaces it as a RemoteError.
+// errCodeOf classifies a serving error for the wire: the code decides
+// client retry behavior (wire.ErrCode.Retryable), the retry-after hint
+// tells a shed client how long the condition plausibly needs to clear
+// (one flush interval — the soonest the queue can drain a batch).
+func (is *InferenceServer) errCodeOf(err error) (code wire.ErrCode, retryAfter time.Duration) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return wire.CodeOverloaded, is.cfg.FlushEvery
+	case errors.Is(err, ErrDeadlineExpired):
+		return wire.CodeExpired, 0
+	case errors.Is(err, ErrManagerClosed):
+		return wire.CodeDraining, 0
+	case errors.Is(err, ErrUnknownTenant):
+		return wire.CodeUnknownTenant, 0
+	case errors.Is(err, ErrGenerationMismatch):
+		return wire.CodeGenerationMismatch, 0
+	case errors.Is(err, wire.ErrBadPayload):
+		return wire.CodeBadRequest, 0
+	default:
+		return wire.CodeInternal, 0
+	}
+}
+
+// respondError answers a request with a structured error payload; the
+// client surfaces it as a RemoteError carrying the code.
 func (is *InferenceServer) respondError(lc *lockedConn, platform, round uint32, err error) {
+	code, retryAfter := is.errCodeOf(err)
 	is.rejected.Add(1)
+	switch code {
+	case wire.CodeOverloaded:
+		is.shed.Add(1)
+	case wire.CodeExpired:
+		is.expired.Add(1)
+	}
 	_ = lc.send(&wire.Message{
 		Type:     wire.MsgInferResponse,
 		Platform: platform,
 		Round:    round,
-		Payload:  wire.EncodeText(err.Error()),
+		Payload:  wire.EncodeServeError(code, retryAfter, err.Error()),
 	})
 }
 
@@ -253,17 +348,56 @@ type tenantServing struct {
 	sizeScratch []int
 }
 
-// enqueue hands a decoded request to the batcher. The RLock spans the
-// channel send so Close (which takes the write lock before closing the
-// channel) cannot close a channel with a send in flight.
+// enqueue hands a decoded request to the batcher, shedding instead of
+// blocking when the queue is full. The RLock spans the channel send so
+// Close (which takes the write lock before closing the channel) cannot
+// close a channel with a send in flight; the send itself is
+// non-blocking, so admission never stalls the connection reader.
+// Already-expired requests are shed here without queueing.
 func (ts *tenantServing) enqueue(j *inferJob) error {
+	if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+		return ErrDeadlineExpired
+	}
 	ts.closeMu.RLock()
 	defer ts.closeMu.RUnlock()
 	if ts.closed {
 		return ErrManagerClosed
 	}
-	ts.jobs <- j
-	return nil
+	select {
+	case ts.jobs <- j:
+		return nil
+	default:
+		return fmt.Errorf("%w: tenant %q queue at %d requests",
+			ErrOverloaded, ts.t.cfg.Name, ts.is.cfg.QueueCap)
+	}
+}
+
+// health derives the tenant's serving state: draining once Close has
+// run, degraded while the checkpoint-reload breaker is open or the
+// admission queue is more than half full (shedding is imminent), and
+// serving otherwise. Degraded carries a retry-after hint of one flush
+// interval — the cadence at which the queue drains.
+func (ts *tenantServing) health() wire.TenantHealth {
+	gen, breakerOpen := ts.t.cache.state()
+	depth := len(ts.jobs)
+	h := wire.TenantHealth{
+		Tenant:     ts.t.cfg.Name,
+		QueueDepth: uint32(depth),
+		Generation: gen,
+	}
+	ts.closeMu.RLock()
+	closed := ts.closed
+	ts.closeMu.RUnlock()
+	switch {
+	case closed:
+		h.State = wire.HealthDraining
+	case breakerOpen || 2*depth >= ts.is.cfg.QueueCap:
+		h.State = wire.HealthDegraded
+		h.RetryAfterMicros = uint32(ts.is.cfg.FlushEvery / time.Microsecond)
+	default:
+		h.State = wire.HealthServing
+	}
+	return h
 }
 
 func (ts *tenantServing) getSlot() []*tensor.Tensor {
@@ -285,7 +419,9 @@ func (ts *tenantServing) putSlot(s []*tensor.Tensor) {
 
 // run is the tenant's batcher loop: accumulate rows until BatchMax or
 // the FlushEvery deadline, whichever comes first, then flush. The
-// deadline arms when a request arrives at an empty batch.
+// deadline arms when a request arrives at an empty batch. A request
+// whose own deadline budget cannot survive a full FlushEvery wait
+// flushes immediately — batching must never be what expires a request.
 func (ts *tenantServing) run() {
 	defer ts.is.wg.Done()
 	timer := time.NewTimer(time.Hour)
@@ -336,32 +472,48 @@ func (ts *tenantServing) run() {
 		}
 		pending = append(pending, j)
 		rows += j.acts.Dim(0)
-		if rows >= ts.is.cfg.BatchMax {
+		urgent := !j.deadline.IsZero() && time.Until(j.deadline) <= ts.is.cfg.FlushEvery
+		if rows >= ts.is.cfg.BatchMax || urgent {
 			stopTimer()
 			flush()
 		}
 	}
 }
 
-// flush runs one batch: resolve the model generation, reject requests
-// the loaded generation cannot satisfy, fuse the rest along dim 0, run
-// the back half once under the compute gate, split the logits back out
-// and answer each request.
+// flush runs one batch: shed expired requests, resolve the model
+// generation, reject requests the loaded generation cannot satisfy,
+// fuse the rest along dim 0, run the back half once under the compute
+// gate, split the logits back out and answer each request. The
+// expiry check runs before cache.ensure so a queue full of dead work
+// never touches the model or the disk.
 func (ts *tenantServing) flush(jobs []*inferJob) {
+	now := time.Now()
+	live := ts.jobScratch[:0]
 	var maxGen uint32
 	for _, j := range jobs {
+		if !j.deadline.IsZero() && now.After(j.deadline) {
+			ts.reject(j, fmt.Errorf("%w: request %d waited past its budget",
+				ErrDeadlineExpired, j.reqID))
+			continue
+		}
 		if j.gen > maxGen {
 			maxGen = j.gen
 		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		ts.jobScratch = live[:0]
+		return
 	}
 	model, gen, err := ts.t.cache.ensure(maxGen)
 	if err != nil {
-		for _, j := range jobs {
+		for _, j := range live {
 			ts.reject(j, err)
 		}
+		ts.jobScratch = live[:0]
 		return
 	}
-	live := ts.jobScratch[:0]
+	jobs, live = live, live[:0]
 	acc := ts.actScratch[:0]
 	sizes := ts.sizeScratch[:0]
 	var trailing []int
@@ -419,15 +571,22 @@ func (ts *tenantServing) flush(jobs []*inferJob) {
 	}
 }
 
-// reject answers one batched request with an error payload and
-// recycles its decode slot.
+// reject answers one batched request with a structured error payload
+// and recycles its decode slot.
 func (ts *tenantServing) reject(j *inferJob, err error) {
+	code, retryAfter := ts.is.errCodeOf(err)
 	ts.is.rejected.Add(1)
+	switch code {
+	case wire.CodeOverloaded:
+		ts.is.shed.Add(1)
+	case wire.CodeExpired:
+		ts.is.expired.Add(1)
+	}
 	_ = j.conn.send(&wire.Message{
 		Type:     wire.MsgInferResponse,
 		Platform: j.platform,
 		Round:    j.round,
-		Payload:  wire.EncodeText(err.Error()),
+		Payload:  wire.EncodeServeError(code, retryAfter, err.Error()),
 	})
 	ts.putSlot(j.slot)
 }

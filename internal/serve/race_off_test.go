@@ -1,0 +1,5 @@
+//go:build !race
+
+package serve_test
+
+const raceEnabled = false

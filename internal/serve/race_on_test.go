@@ -1,0 +1,7 @@
+//go:build race
+
+package serve_test
+
+// raceEnabled lets timing-sensitive chaos tests widen real-time
+// budgets when the race detector (roughly a 10x slowdown) is on.
+const raceEnabled = true

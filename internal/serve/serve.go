@@ -36,8 +36,9 @@ import (
 )
 
 // Admission and serving errors. The inference path ships these to
-// clients as text payloads, so their messages are part of the
-// protocol surface.
+// clients as structured error payloads (wire.EncodeServeError), so
+// their classification — not just their text — is part of the protocol
+// surface: see errCodeOf for the error → wire.ErrCode mapping.
 var (
 	ErrUnknownTenant      = errors.New("serve: unknown tenant")
 	ErrSessionLimit       = errors.New("serve: session limit reached")
@@ -45,6 +46,16 @@ var (
 	ErrManagerClosed      = errors.New("serve: manager closed")
 	ErrGenerationMismatch = errors.New("serve: checkpoint generation mismatch")
 	ErrConfig             = errors.New("serve: invalid configuration")
+	// ErrOverloaded is deterministic load shedding: the tenant's
+	// bounded admission queue is full, so the request is refused at the
+	// door — with a retry-after hint — instead of buffered without
+	// bound. Retryable.
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrDeadlineExpired is shed-before-compute: the request's wire
+	// deadline passed while it waited, so the server drops it instead
+	// of computing logits nobody is waiting for. Retryable (the retry
+	// carries a fresh budget).
+	ErrDeadlineExpired = errors.New("serve: deadline expired before compute")
 )
 
 // TenantConfig describes one tenant: a cohort/model pair with its own

@@ -40,6 +40,12 @@
 // recovery classifies as recoverable. Redial builds the replacement
 // connection for the rejoin handshake; FailDials makes the link stay
 // down for a deterministic number of attempts first.
+//
+// The serving-phase kinds perturb without severing: FaultDrop loses one
+// message on a healthy link, FaultDelaySpike delivers one message late
+// in virtual time, and FaultStall freezes a direction for a stretch of
+// real time — the three shapes the inference tier's timeout, retry and
+// hedging machinery must absorb (see experiment.RunServeChaos).
 package simnet
 
 import (
@@ -92,6 +98,25 @@ const (
 	// arms on every link, so no platform can redial until the budget
 	// is spent (the window in which a follower promotes).
 	FaultKillServer
+	// FaultDrop loses the triggering message while the link stays
+	// healthy — the serving-phase failure where one request (or one
+	// response) vanishes and the client's per-attempt timeout is the
+	// only thing that notices. The Send reports success, like Swallow,
+	// but nothing severs and later traffic flows normally.
+	FaultDrop
+	// FaultDelaySpike delivers the triggering message Delay later in
+	// virtual time — a transient WAN latency spike. In-order delivery
+	// holds, so messages queued behind it on the same direction are
+	// pushed back too.
+	FaultDelaySpike
+	// FaultStall freezes the triggering direction for Hold of real
+	// time — a stalled server (GC pause, CPU starvation) rather than a
+	// slow link. The message and everything behind it stay queued and
+	// undeliverable until the hold expires, which is what drives a
+	// client's real-time timeout and hedging machinery in chaos runs;
+	// virtual time is untouched (a process freeze is not network
+	// time).
+	FaultStall
 )
 
 // String names the kind.
@@ -101,6 +126,12 @@ func (k FaultKind) String() string {
 		return "sever"
 	case FaultKillServer:
 		return "kill-server"
+	case FaultDrop:
+		return "drop"
+	case FaultDelaySpike:
+		return "delay-spike"
+	case FaultStall:
+		return "stall"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -119,12 +150,20 @@ type Fault struct {
 	// Dir, when nonzero, narrows the trigger to one direction.
 	Dir Dir
 	// Kind selects the blast radius: FaultSever (default) takes down
-	// this one link, FaultKillServer takes down every link.
+	// this one link, FaultKillServer takes down every link, and the
+	// serving-phase kinds (FaultDrop, FaultDelaySpike, FaultStall)
+	// perturb traffic without severing anything.
 	Kind FaultKind
 	// Swallow reports the triggering Send as successful while dropping
 	// the message — the failure mode where a payload dies buffered in a
-	// kernel socket after the sender moved on.
+	// kernel socket after the sender moved on. Only meaningful for the
+	// severing kinds; FaultDrop always reports success.
 	Swallow bool
+	// Delay is FaultDelaySpike's extra virtual delivery delay.
+	Delay time.Duration
+	// Hold is FaultStall's real-time freeze of the triggering
+	// direction.
+	Hold time.Duration
 	// FailDials makes the first FailDials Redial attempts after the
 	// drop fail, a deterministic stand-in for a link that stays down
 	// for a while before the platform can rejoin. With FaultKillServer
@@ -341,7 +380,9 @@ func (l *link) takeFault(m *wire.Message, dir Dir) *Fault {
 			continue
 		}
 		l.faults = append(l.faults[:i], l.faults[i+1:]...)
-		l.failDials = f.FailDials
+		if f.Kind == FaultSever || f.Kind == FaultKillServer {
+			l.failDials = f.FailDials
+		}
 		matched := f
 		return &matched
 	}
@@ -370,6 +411,7 @@ type segment struct {
 type queueState struct {
 	msgs         []timedMsg
 	senderClosed bool
+	stalled      bool          // FaultStall: nothing delivers until the hold expires
 	busyUntil    time.Duration // link serializer free at
 	lastDeliver  time.Duration // in-order delivery clamp
 	jitter       *rng.RNG
@@ -491,7 +533,10 @@ func (e *endpoint) Send(m *wire.Message) error {
 	s.link.mu.Lock()
 	f := s.link.takeFault(m, dir)
 	s.link.mu.Unlock()
-	if f != nil {
+	if f != nil && f.Kind == FaultDrop {
+		return nil // lost in flight; the link stays healthy
+	}
+	if f != nil && (f.Kind == FaultSever || f.Kind == FaultKillServer) {
 		s.broken = true
 		s.up.msgs = nil
 		s.down.msgs = nil
@@ -522,7 +567,24 @@ func (e *endpoint) Send(m *wire.Message) error {
 		}
 	}
 	at := s.transfer(q, e.node.clock(), m.WireSize())
+	if f != nil && f.Kind == FaultDelaySpike && f.Delay > 0 {
+		at += f.Delay
+		q.lastDeliver = at // in-order: the spike pushes later traffic back too
+	}
 	q.msgs = append(q.msgs, timedMsg{m: m, at: at})
+	if f != nil && f.Kind == FaultStall && f.Hold > 0 {
+		q.stalled = true
+		// The hold is real time (a frozen process, not a slow link), so
+		// it clears from a timer: take the segment lock before waking
+		// waiters, or a Recv that checked stalled just before the flag
+		// flipped would miss the wakeup and sleep forever.
+		time.AfterFunc(f.Hold, func() {
+			s.mu.Lock()
+			q.stalled = false
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+	}
 	s.cond.Broadcast()
 	return nil
 }
@@ -541,14 +603,17 @@ func (e *endpoint) Recv() (*wire.Message, error) {
 		if e.closed {
 			return nil, transport.ErrClosed
 		}
-		if len(q.msgs) > 0 {
+		if s.broken {
+			return nil, io.EOF
+		}
+		if len(q.msgs) > 0 && !q.stalled {
 			tm := q.msgs[0]
 			q.msgs = q.msgs[1:]
 			s.cond.Broadcast() // backpressure waiters
 			e.node.observe(tm.at)
 			return tm.m, nil
 		}
-		if s.broken || q.senderClosed {
+		if len(q.msgs) == 0 && q.senderClosed {
 			return nil, io.EOF
 		}
 		s.cond.Wait()

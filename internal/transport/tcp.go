@@ -5,16 +5,33 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"medsplit/internal/wire"
 )
+
+// TCPOptions tunes a TCP message connection. The zero value keeps the
+// historical behavior: no I/O deadlines, blocking reads and writes.
+type TCPOptions struct {
+	// ReadTimeout, when positive, arms a fresh read deadline before
+	// every Recv. A peer that goes silent (half-open connection,
+	// stalled middlebox) then surfaces a timeout error instead of
+	// blocking the reader forever. Leave zero on connections that are
+	// legitimately idle between requests.
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, arms a fresh write deadline before
+	// every Send, bounding how long a full kernel buffer (dead peer,
+	// zero-window stall) can wedge the sender.
+	WriteTimeout time.Duration
+}
 
 // tcpConn frames wire.Messages over a net.Conn. Sends are serialized
 // with a mutex and flushed per message (the split protocol is
 // request/response; batching frames would only add latency).
 type tcpConn struct {
-	nc net.Conn
-	br *bufio.Reader
+	nc   net.Conn
+	br   *bufio.Reader
+	opts TCPOptions
 
 	sendMu sync.Mutex
 	bw     *bufio.Writer
@@ -25,27 +42,46 @@ type tcpConn struct {
 
 var _ Conn = (*tcpConn)(nil)
 
-// NewTCPConn wraps an established net.Conn as a message connection.
+// NewTCPConn wraps an established net.Conn as a message connection
+// with no I/O deadlines.
 func NewTCPConn(nc net.Conn) Conn {
+	return NewTCPConnOpts(nc, TCPOptions{})
+}
+
+// NewTCPConnOpts wraps an established net.Conn as a message
+// connection, applying the given I/O deadline options per call.
+func NewTCPConnOpts(nc net.Conn, opts TCPOptions) Conn {
 	return &tcpConn{
-		nc: nc,
-		br: bufio.NewReaderSize(nc, 1<<16),
-		bw: bufio.NewWriterSize(nc, 1<<16),
+		nc:   nc,
+		br:   bufio.NewReaderSize(nc, 1<<16),
+		bw:   bufio.NewWriterSize(nc, 1<<16),
+		opts: opts,
 	}
 }
 
-// Dial connects to a TCP message endpoint.
+// Dial connects to a TCP message endpoint with no I/O deadlines.
 func Dial(addr string) (Conn, error) {
+	return DialOpts(addr, TCPOptions{})
+}
+
+// DialOpts connects to a TCP message endpoint with the given I/O
+// deadline options.
+func DialOpts(addr string, opts TCPOptions) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return NewTCPConn(nc), nil
+	return NewTCPConnOpts(nc, opts), nil
 }
 
 func (c *tcpConn) Send(m *wire.Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.opts.WriteTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout)); err != nil {
+			return fmt.Errorf("transport: arming write deadline: %w", err)
+		}
+	}
 	if _, err := m.Write(c.bw); err != nil {
 		return err
 	}
@@ -56,6 +92,11 @@ func (c *tcpConn) Send(m *wire.Message) error {
 }
 
 func (c *tcpConn) Recv() (*wire.Message, error) {
+	if c.opts.ReadTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout)); err != nil {
+			return nil, fmt.Errorf("transport: arming read deadline: %w", err)
+		}
+	}
 	// Payloads come from the shared buffer pool: the protocol loop that
 	// consumes the message releases them after decode (see the ownership
 	// rules on wire.BufferPool), so steady-state receiving allocates
@@ -71,7 +112,8 @@ func (c *tcpConn) Close() error {
 
 // tcpListener adapts net.Listener to the package's Listener interface.
 type tcpListener struct {
-	nl net.Listener
+	nl   net.Listener
+	opts TCPOptions
 }
 
 var _ Listener = (*tcpListener)(nil)
@@ -79,11 +121,17 @@ var _ Listener = (*tcpListener)(nil)
 // Listen opens a TCP message listener. Use addr "127.0.0.1:0" to let the
 // OS pick a free port (read it back with Addr).
 func Listen(addr string) (Listener, error) {
+	return ListenOpts(addr, TCPOptions{})
+}
+
+// ListenOpts opens a TCP message listener whose accepted connections
+// carry the given I/O deadline options.
+func ListenOpts(addr string, opts TCPOptions) (Listener, error) {
 	nl, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{nl: nl}, nil
+	return &tcpListener{nl: nl, opts: opts}, nil
 }
 
 func (l *tcpListener) Accept() (Conn, error) {
@@ -91,7 +139,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return NewTCPConn(nc), nil
+	return NewTCPConnOpts(nc, l.opts), nil
 }
 
 func (l *tcpListener) Close() error { return l.nl.Close() }

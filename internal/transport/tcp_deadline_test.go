@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"medsplit/internal/wire"
+)
+
+// tcpPairOpts dials a loopback pair where the accepted (server) side
+// carries the given I/O options.
+func tcpPairOpts(t *testing.T, opts TCPOptions) (client, server Conn) {
+	t.Helper()
+	l, err := ListenOpts("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, aerr := l.Accept()
+		if aerr != nil {
+			t.Errorf("accept: %v", aerr)
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	a, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := <-accepted
+	if !ok {
+		a.Close()
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// A read deadline must turn a silent peer into a timeout error instead
+// of blocking Recv forever.
+func TestTCPReadDeadlineFiresOnSilentPeer(t *testing.T) {
+	_, server := tcpPairOpts(t, TCPOptions{ReadTimeout: 30 * time.Millisecond})
+	start := time.Now()
+	_, err := server.Recv()
+	if err == nil {
+		t.Fatal("Recv on a silent peer returned without error")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("Recv error %v (%T) is not a net timeout", err, err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", waited)
+	}
+}
+
+// The deadline is per-call: traffic inside the window must flow
+// untouched, and each Recv re-arms the clock.
+func TestTCPReadDeadlineRearmsPerCall(t *testing.T) {
+	client, server := tcpPairOpts(t, TCPOptions{ReadTimeout: time.Second})
+	for round := uint32(1); round <= 3; round++ {
+		if err := client.Send(&wire.Message{Type: wire.MsgHello, Round: round}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if m.Round != round {
+			t.Fatalf("round %d: got %d", round, m.Round)
+		}
+	}
+}

@@ -4,20 +4,22 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"medsplit/internal/tensor"
 )
 
 func TestInferRequestRoundTrip(t *testing.T) {
 	a := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
-	payload := EncodeInferRequest("clinic-7", 42, a)
+	h := InferHeader{Tenant: "clinic-7", Generation: 42, RequestID: 1<<40 + 9, DeadlineMicros: 250_000}
+	payload := EncodeInferRequest(h, a)
 
-	tenant, gen, tpay, err := DecodeInferRequest(payload)
+	got, tpay, err := DecodeInferRequest(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tenant != "clinic-7" || gen != 42 {
-		t.Fatalf("tenant %q gen %d, want clinic-7 42", tenant, gen)
+	if got != h {
+		t.Fatalf("header %+v, want %+v", got, h)
 	}
 	ts, err := DecodeTensors(tpay)
 	if err != nil {
@@ -31,6 +33,9 @@ func TestInferRequestRoundTrip(t *testing.T) {
 			t.Fatalf("element %d: %v != %v", i, v, a.Data()[i])
 		}
 	}
+	if want := InferRequestPayloadSize(h.Tenant, a.Shape()); want != len(payload) {
+		t.Fatalf("InferRequestPayloadSize = %d, encoded %d bytes", want, len(payload))
+	}
 }
 
 // The tenant string must not alias the payload buffer: the serving
@@ -38,22 +43,22 @@ func TestInferRequestRoundTrip(t *testing.T) {
 // routing state.
 func TestInferRequestTenantDoesNotAliasBuffer(t *testing.T) {
 	a := tensor.FromSlice([]float32{1}, 1, 1)
-	payload := EncodeInferRequest("alpha", 1, a)
-	tenant, _, _, err := DecodeInferRequest(payload)
+	payload := EncodeInferRequest(InferHeader{Tenant: "alpha", Generation: 1}, a)
+	h, _, err := DecodeInferRequest(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range payload {
 		payload[i] = 0xFF
 	}
-	if tenant != "alpha" {
-		t.Fatalf("tenant %q corrupted by buffer reuse", tenant)
+	if h.Tenant != "alpha" {
+		t.Fatalf("tenant %q corrupted by buffer reuse", h.Tenant)
 	}
 }
 
 func TestInferRequestDecodeRejectsCorruption(t *testing.T) {
 	a := tensor.FromSlice([]float32{1, 2}, 1, 2)
-	good := EncodeInferRequest("ab", 7, a)
+	good := EncodeInferRequest(InferHeader{Tenant: "ab", Generation: 7}, a)
 
 	cases := []struct {
 		name string
@@ -64,9 +69,11 @@ func TestInferRequestDecodeRejectsCorruption(t *testing.T) {
 		{"zero name length", []byte{payloadInfer, 0}},
 		{"truncated at name", good[:3]},
 		{"truncated at generation", good[:inferHeaderSize+2+2]},
+		{"truncated at request id", good[:inferHeaderSize+2+6]},
+		{"truncated at deadline", good[:inferHeaderSize+2+13]},
 	}
 	for _, tc := range cases {
-		if _, _, _, err := DecodeInferRequest(tc.buf); !errors.Is(err, ErrBadPayload) {
+		if _, _, err := DecodeInferRequest(tc.buf); !errors.Is(err, ErrBadPayload) {
 			t.Errorf("%s: err = %v, want ErrBadPayload", tc.name, err)
 		}
 	}
@@ -81,25 +88,120 @@ func TestInferRequestEncodePanicsOnBadTenant(t *testing.T) {
 					t.Errorf("tenant %d bytes: no panic", len(name))
 				}
 			}()
-			EncodeInferRequest(name, 0, a)
+			EncodeInferRequest(InferHeader{Tenant: name}, a)
 		}()
 	}
 	// The boundary length itself is legal.
-	payload := EncodeInferRequest(strings.Repeat("x", MaxTenantNameLen), 0, a)
-	tenant, _, _, err := DecodeInferRequest(payload)
-	if err != nil || len(tenant) != MaxTenantNameLen {
-		t.Fatalf("max-length tenant: %q, %v", tenant, err)
+	payload := EncodeInferRequest(InferHeader{Tenant: strings.Repeat("x", MaxTenantNameLen)}, a)
+	h, _, err := DecodeInferRequest(payload)
+	if err != nil || len(h.Tenant) != MaxTenantNameLen {
+		t.Fatalf("max-length tenant: %q, %v", h.Tenant, err)
 	}
 }
 
 // The serving message types must be part of the framing vocabulary.
 func TestInferMessageTypesValid(t *testing.T) {
-	for _, mt := range []MsgType{MsgInferRequest, MsgInferResponse} {
+	for _, mt := range []MsgType{MsgInferRequest, MsgInferResponse, MsgHealth} {
 		if !mt.Valid() {
 			t.Fatalf("%d not a valid message type", mt)
 		}
 		if strings.Contains(mt.String(), "msgtype") {
 			t.Fatalf("%d has no name", mt)
+		}
+	}
+}
+
+func TestServeErrorRoundTrip(t *testing.T) {
+	payload := EncodeServeError(CodeOverloaded, 1500*time.Microsecond, "queue full")
+	code, retryAfter, msg, err := DecodeServeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != CodeOverloaded || retryAfter != 1500*time.Microsecond || msg != "queue full" {
+		t.Fatalf("decoded %v %v %q", code, retryAfter, msg)
+	}
+	// Empty message and no hint are legal.
+	code, retryAfter, msg, err = DecodeServeError(EncodeServeError(CodeDraining, 0, ""))
+	if err != nil || code != CodeDraining || retryAfter != 0 || msg != "" {
+		t.Fatalf("minimal error decoded %v %v %q %v", code, retryAfter, msg, err)
+	}
+}
+
+func TestServeErrorDecodeRejectsCorruption(t *testing.T) {
+	good := EncodeServeError(CodeExpired, time.Millisecond, "late")
+	for _, tc := range []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"wrong kind", append([]byte{payloadText}, good[1:]...)},
+		{"truncated header", good[:errHeaderSize-1]},
+	} {
+		if _, _, _, err := DecodeServeError(tc.buf); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%s: err = %v, want ErrBadPayload", tc.name, err)
+		}
+	}
+}
+
+// Retryability is part of the client contract: shed and draining
+// conditions clear, misrouted requests never will.
+func TestErrCodeRetryability(t *testing.T) {
+	for code, want := range map[ErrCode]bool{
+		CodeOverloaded:         true,
+		CodeExpired:            true,
+		CodeDraining:           true,
+		CodeUnknown:            false,
+		CodeUnknownTenant:      false,
+		CodeGenerationMismatch: false,
+		CodeBadRequest:         false,
+		CodeInternal:           false,
+	} {
+		if code.Retryable() != want {
+			t.Errorf("%v retryable = %v, want %v", code, code.Retryable(), want)
+		}
+	}
+}
+
+func TestHealthRoundTrip(t *testing.T) {
+	entries := []TenantHealth{
+		{Tenant: "alpha", State: HealthServing, QueueDepth: 0, Generation: 3},
+		{Tenant: "beta", State: HealthDegraded, QueueDepth: 17, Generation: 0, RetryAfterMicros: 2000},
+		{Tenant: "gamma", State: HealthDraining, QueueDepth: 1, Generation: 9},
+	}
+	got, err := DecodeHealth(EncodeHealth(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("%d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+	// Empty snapshot is legal (a server with no tenants is a config
+	// error elsewhere, but the codec must not care).
+	if es, err := DecodeHealth(EncodeHealth(nil)); err != nil || len(es) != 0 {
+		t.Fatalf("empty health: %v %v", es, err)
+	}
+}
+
+func TestHealthDecodeRejectsCorruption(t *testing.T) {
+	good := EncodeHealth([]TenantHealth{{Tenant: "alpha", State: HealthServing}})
+	for _, tc := range []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"wrong kind", append([]byte{payloadText}, good[1:]...)},
+		{"count beyond data", []byte{payloadHealth, 2, 1, 'a'}},
+		{"truncated entry", good[:len(good)-2]},
+		{"trailing bytes", append(append([]byte{}, good...), 0xAA)},
+		{"zero name length", []byte{payloadHealth, 1, 0}},
+	} {
+		if _, err := DecodeHealth(tc.buf); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%s: err = %v, want ErrBadPayload", tc.name, err)
 		}
 	}
 }

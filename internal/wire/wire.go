@@ -58,6 +58,7 @@ const (
 	MsgReplAck
 	MsgInferRequest
 	MsgInferResponse
+	MsgHealth
 
 	msgTypeCount = iota + 1
 )
@@ -86,6 +87,7 @@ var msgTypeNames = map[MsgType]string{
 	MsgReplAck:         "repl-ack",
 	MsgInferRequest:    "infer-request",
 	MsgInferResponse:   "infer-response",
+	MsgHealth:          "health",
 }
 
 // String names the message type for diagnostics.
@@ -130,7 +132,14 @@ const (
 	// dialing a serving endpoint — or a new inference client dialing an
 	// old trainer — fails at the first frame instead of desynchronizing
 	// on an unknown type mid-stream.
-	version uint8 = 5
+	// version 6: InferRequest carries a per-request id and a deadline
+	// budget (so the server can shed already-expired work instead of
+	// computing it), serving rejections became structured error payloads
+	// (code + retry-after hint), and the MsgHealth probe joined the
+	// vocabulary. The infer-request payload layout changed shape, so a
+	// v5 peer must fail at the first frame, not mis-decode a deadline as
+	// tensor bytes.
+	version uint8 = 6
 
 	// headerSize: magic(2) + version(1) + type(1) + platform(4) +
 	// round(4) + payloadLen(4) + crc(4).
