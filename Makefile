@@ -5,8 +5,10 @@
 GO ?= go
 
 # Benchmarks that feed the committed baselines (BENCH_tensor.json,
-# BENCH_wire.json).
-BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound|BenchmarkCodec
+# BENCH_wire.json). BenchmarkKernel* covers the microkernel layer
+# (internal/tensor/kernels), whose dispatch and generic arms both land
+# in the baseline with their GFLOPS/GB-per-s custom metrics.
+BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound|BenchmarkCodec|BenchmarkKernel
 
 # Packages with concurrency worth racing: the pipelined scheduler, the
 # async transport wrappers, the simulated-WAN transport (including the
@@ -25,7 +27,7 @@ COVER_MIN_simnet     = 90
 COVER_MIN_wal        = 85
 COVER_MIN_serve      = 80
 
-.PHONY: test bench bench-save bench-smoke bench-compare bench-save-serve load-test chaos-test fuzz-smoke cover vuln race vet fmt-check ci
+.PHONY: test bench bench-save bench-save-tensor bench-smoke bench-compare bench-save-serve load-test chaos-test fuzz-smoke cover vuln race vet fmt-check purego-test cross-arm64 ci
 
 test:
 	$(GO) build ./...
@@ -42,6 +44,23 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "files need gofmt:"; echo "$$out"; exit 1; \
 	fi
+
+# The pure-Go arm of the kernel dispatch: build everything and run the
+# numeric packages with the `purego` tag, which compiles out all
+# assembly. The differential tests then assert the generic reference
+# alone, proving the fallback is complete (mirrors CI's purego job).
+purego-test:
+	$(GO) build -tags purego ./...
+	$(GO) test -tags purego ./internal/tensor/... ./internal/compress/ ./internal/nn/
+
+# Cross-compile the full module for arm64 and vet the kernel layer,
+# which checks the NEON assembly against its Go declarations (asmdecl).
+# No arm64 hardware in CI, so execution coverage for that path comes
+# from the generic reference the differential tests pin down; this
+# target keeps the NEON leg building and ABI-correct.
+cross-arm64:
+	GOARCH=arm64 $(GO) build ./...
+	GOARCH=arm64 $(GO) vet ./internal/tensor/...
 
 # Short coverage-guided runs of the binary decoders that face untrusted
 # bytes: the tensor payload decoder (wire), the session snapshot decoder
@@ -88,10 +107,10 @@ cover:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-# The CI gate, job for job: lint, build+test, race, bench smoke plus
-# the allocation-regression compare, fuzz smoke. govulncheck is CI-only
-# (network).
-ci: fmt-check test race bench-smoke bench-compare fuzz-smoke
+# The CI gate, job for job: lint, build+test, race, the purego and
+# arm64 kernel-dispatch legs, bench smoke plus the allocation-regression
+# compare, fuzz smoke. govulncheck is CI-only (network).
+ci: fmt-check test race purego-test cross-arm64 bench-smoke bench-compare fuzz-smoke
 
 # Human-readable benchmark sweep of the tensor engine, codecs and
 # training path.
@@ -115,16 +134,17 @@ bench-smoke:
 # and the multi-iteration benchtime amortizes one-time pool warm-up
 # allocations that would otherwise inflate allocs/op vs the baselines.
 bench-compare:
-	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound' -benchmem -benchtime 10x -run NONE \
-		./internal/tensor/ ./internal/nn/ . | $(GO) run ./cmd/benchjson -compare BENCH_tensor.json -skip-ns
+	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm2Col$$|BenchmarkConvForward|BenchmarkSplitRound|BenchmarkKernel' -benchmem -benchtime 10x -run NONE \
+		./internal/tensor/ ./internal/tensor/kernels/ ./internal/nn/ . | $(GO) run ./cmd/benchjson -compare BENCH_tensor.json -skip-ns
 	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkCodec|BenchmarkSplitRound' -benchmem -benchtime 10x -run NONE \
 		./internal/compress/ . | $(GO) run ./cmd/benchjson -compare BENCH_wire.json -skip-ns
 	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkSimnetRound' -benchmem -benchtime 3x -run NONE . \
 		| $(GO) run ./cmd/benchjson -compare BENCH_simnet.json -skip-ns
 	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkWALAppend|BenchmarkReplicatedRound' -benchmem -benchtime 3x -run NONE \
 		./internal/wal/ . | $(GO) run ./cmd/benchjson -compare BENCH_wal.json -skip-ns
-	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeInfer' -benchmem -benchtime 200x -run NONE \
-		./internal/serve/ | $(GO) run ./cmd/benchjson -compare BENCH_serve.json -skip-ns
+	{ GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeInfer' -benchmem -benchtime 200x -run NONE ./internal/serve/; \
+	  GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeLoadPrecision' -benchmem -benchtime 1x -run NONE .; } \
+		| $(GO) run ./cmd/benchjson -compare BENCH_serve.json -skip-ns
 	@echo bench-compare ok
 
 # The multi-tenant serving load test at issue scale: 100 platforms x 4
@@ -141,13 +161,21 @@ load-test:
 chaos-test:
 	$(GO) test -race -count=1 -v -run 'TestServeChaos' ./internal/serve/
 
-# Refresh the committed perf baselines. Compare the result against the
-# checked-in BENCH_*.json before committing (see README.md,
-# "Performance methodology").
-bench-save:
+# Refresh the committed tensor/kernel perf baseline. Includes the
+# microkernel benchmarks (BenchmarkKernel*), whose dispatch and generic
+# sub-benchmarks carry GFLOPS / GB-per-s as custom metrics so the
+# committed file records the vectorization speedup on pinned hardware.
+# Compare the result against the checked-in BENCH_*.json before
+# committing (see README.md, "Performance methodology").
+bench-save-tensor:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run NONE \
-		./internal/tensor/ ./internal/nn/ . | $(GO) run ./cmd/benchjson > BENCH_tensor.json
+		./internal/tensor/ ./internal/tensor/kernels/ ./internal/nn/ . | $(GO) run ./cmd/benchjson \
+		-note 'pre-kernel-layer baseline (PR8): BenchmarkMatMul/blocked/256 7.295 GFLOPS; the kernel layer (PR9) dispatches to AVX2/NEON microkernels, bit-identical to the generic arm by the differential tests in internal/tensor/kernels' \
+		-note 'BenchmarkKernel* sub-benchmarks report GFLOPS (GOPS for int8) as a custom metric; the /generic arm is the forced-fallback reference on the same machine' \
+		> BENCH_tensor.json
 	@echo wrote BENCH_tensor.json
+
+bench-save: bench-save-tensor
 
 # Refresh the wire-path baseline: codec micro-benchmarks plus the
 # end-to-end split round, with allocs/op (the headline metric of the
@@ -187,13 +215,18 @@ bench-save-wal:
 
 # Refresh the serving-tier baseline: one split-inference round trip
 # through the multi-tenant path (front forward, request codec, batcher,
-# gated back forward, response codec) at 1 and 4 tenants. GOMAXPROCS=1
+# gated back forward, response codec) at 1 and 4 tenants, at each
+# inference precision, plus the 100-platform x 4-tenant load harness at
+# f32 and int8 (p50/p99/req-per-s as custom metrics). GOMAXPROCS=1
 # keeps the numbers comparable with the other committed baselines.
 bench-save-serve:
-	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeInfer' -benchmem -benchtime 2000x -run NONE \
-		./internal/serve/ | $(GO) run ./cmd/benchjson \
+	{ GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeInfer' -benchmem -benchtime 2000x -run NONE ./internal/serve/; \
+	  GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeLoadPrecision' -benchmem -benchtime 1x -run NONE .; } \
+		| $(GO) run ./cmd/benchjson \
 		-note 'per-request path: FlushEvery is floored to 1ns so every request flushes alone; batching gains are covered by the load tests, not this baseline' \
 		-note 'tenants=4 vs tenants=1 is the cost of multi-tenant routing + shared compute gate on one process' \
 		-note 'frame v6 request header (request id + deadline, 16 bytes) accounts for the bytes/op growth over the v5 baseline; allocs/op stays at 14 on the no-policy hot path' \
+		-note 'ServeInferPrecision arms compare TenantConfig.InferPrecision views on one tenant: f32 is the bit-identical default; f16 packs Dense weights to half storage (f32 accumulate); int8 quantizes weights per-tensor symmetric (scale=max|W|/127, i32 accumulate) with dynamic per-batch activation ranges — logit bounds asserted by serve/precision_test.go (5e-2 abs)' \
+		-note 'ServeLoadPrecision is the 100-platform x 4-tenant load harness (experiment.RunServeLoad over simnet SyntheticClinics, 2 req/platform) at f32 vs int8; p50-ms/p99-ms/req-per-s are client-observed — at this MLP size the serving path is WAN- and batching-bound, so int8 buys memory footprint, not latency' \
 		> BENCH_serve.json
 	@echo wrote BENCH_serve.json

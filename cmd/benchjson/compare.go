@@ -5,8 +5,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"sort"
 )
+
+// metricKeys returns the sorted union of the metric names on both sides
+// of a comparison.
+func metricKeys(a, b map[string]float64) []string {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if _, dup := a[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // compareOpts configures the regression gate.
 type compareOpts struct {
@@ -25,8 +45,16 @@ type compareOpts struct {
 	allocSlack int64
 	// inflate multiplies every new-side value before comparing. CI runs
 	// a self-check with inflate=2 against the baseline itself to prove
-	// the gate actually fails on a 2× regression.
+	// the gate actually fails on a 2× regression. Gated custom metrics
+	// are higher-is-better, so inflate divides them instead — the same
+	// self-check run proves that gate direction too.
 	inflate float64
+	// gateMetrics names custom metrics (GFLOPS, Gops, …) to gate as
+	// higher-is-better: the new value failing below baseline/(1+threshold)
+	// is a regression. Unnamed custom metrics are always reported but
+	// never gate — wall-clock-derived throughput is as noisy as ns/op,
+	// so opting metrics in is a per-invocation decision like -skip-ns.
+	gateMetrics []string
 }
 
 // regression is one metric that worsened past the gate.
@@ -121,6 +149,29 @@ func compareFiles(oldF, newF *File, o compareOpts, warn io.Writer) (report []str
 				nb.Name, oldAllocs, newAllocs))
 			if newAllocs > oldAllocs*(1+o.threshold) && newAllocs-oldAllocs > float64(o.allocSlack) {
 				regressions = append(regressions, regression{nb.Name, "allocs/op", oldAllocs, newAllocs})
+			}
+		}
+		// Custom metrics (b.ReportMetric units: GFLOPS, wire-bytes, …)
+		// are always surfaced; those named in gateMetrics additionally
+		// gate as higher-is-better.
+		for _, k := range metricKeys(ob.Metrics, nb.Metrics) {
+			ov, inOld := ob.Metrics[k]
+			nv, inNew := nb.Metrics[k]
+			switch {
+			case !inOld:
+				report = append(report, fmt.Sprintf("%s: %s %.6g (no baseline)", nb.Name, k, nv))
+			case !inNew:
+				report = append(report, fmt.Sprintf("%s: %s %.6g in baseline but not in new run", nb.Name, k, ov))
+			default:
+				gated := slices.Contains(o.gateMetrics, k)
+				if gated {
+					nv /= o.inflate
+				}
+				report = append(report, fmt.Sprintf("%s: %s %.6g -> %.6g (%+.1f%%)",
+					nb.Name, k, ov, nv, 100*(nv/ov-1)))
+				if gated && nv < ov/(1+o.threshold) {
+					regressions = append(regressions, regression{nb.Name, k, ov, nv})
+				}
 			}
 		}
 	}

@@ -136,3 +136,75 @@ func TestReadNewResultsParsesBenchOutput(t *testing.T) {
 		t.Fatalf("parsed %+v", f.Benchmarks)
 	}
 }
+
+// withMetric attaches a custom metric value to the named benchmark.
+func withMetric(f *File, name, key string, v float64) *File {
+	for i := range f.Benchmarks {
+		if f.Benchmarks[i].Name == name {
+			if f.Benchmarks[i].Metrics == nil {
+				f.Benchmarks[i].Metrics = map[string]float64{}
+			}
+			f.Benchmarks[i].Metrics[key] = v
+		}
+	}
+	return f
+}
+
+// Custom metrics always show up in the report, gated or not.
+func TestCompareSurfacesCustomMetrics(t *testing.T) {
+	old := withMetric(benchFile([]string{"BenchmarkGemm"}, []float64{1000}, []int64{0}), "BenchmarkGemm", "GFLOPS", 7.3)
+	cur := withMetric(benchFile([]string{"BenchmarkGemm"}, []float64{900}, []int64{0}), "BenchmarkGemm", "GFLOPS", 24.3)
+	report, regs, err := compareFiles(old, cur, compareOpts{threshold: 0.15}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("ungated metric regressed: %v", regs)
+	}
+	found := false
+	for _, line := range report {
+		if strings.Contains(line, "GFLOPS") && strings.Contains(line, "7.3") && strings.Contains(line, "24.3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("GFLOPS delta not surfaced in report:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+// A gated metric fails the gate when it drops past the threshold
+// (higher is better), and passes when it improves.
+func TestCompareGatedMetricFlagsDrop(t *testing.T) {
+	old := withMetric(benchFile([]string{"BenchmarkGemm"}, []float64{1000}, []int64{0}), "BenchmarkGemm", "GFLOPS", 24.0)
+	drop := withMetric(benchFile([]string{"BenchmarkGemm"}, []float64{1000}, []int64{0}), "BenchmarkGemm", "GFLOPS", 12.0)
+	_, regs, err := compareFiles(old, drop, compareOpts{threshold: 0.15, gateMetrics: []string{"GFLOPS"}}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].metric != "GFLOPS" {
+		t.Fatalf("regs = %v, want one GFLOPS regression", regs)
+	}
+
+	up := withMetric(benchFile([]string{"BenchmarkGemm"}, []float64{1000}, []int64{0}), "BenchmarkGemm", "GFLOPS", 30.0)
+	_, regs, err = compareFiles(old, up, compareOpts{threshold: 0.15, gateMetrics: []string{"GFLOPS"}}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+// The selfcheck inflate factor must trip a gated higher-is-better
+// metric too (it divides instead of multiplies).
+func TestCompareGatedMetricSelfCheckTrips(t *testing.T) {
+	old := withMetric(benchFile([]string{"BenchmarkGemm"}, []float64{1000}, []int64{0}), "BenchmarkGemm", "GFLOPS", 24.0)
+	same := withMetric(benchFile([]string{"BenchmarkGemm"}, []float64{1000}, []int64{0}), "BenchmarkGemm", "GFLOPS", 24.0)
+	_, regs, err := compareFiles(old, same, compareOpts{threshold: 0.15, inflate: 2, skipNS: true, gateMetrics: []string{"GFLOPS"}}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("selfcheck inflate did not trip the metric gate: %v", regs)
+	}
+}

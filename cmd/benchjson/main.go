@@ -80,14 +80,17 @@ func main() {
 	skipNS := flag.Bool("skip-ns", false, "with -compare: ignore ns/op and gate on allocs/op only (use on CI runners with noisy clocks)")
 	allocSlack := flag.Int64("alloc-slack", 2, "with -compare: absolute allocs/op grace on top of -threshold")
 	inflate := flag.Float64("selfcheck-inflate", 1, "with -compare: multiply new-side values by this factor; CI uses 2 against the baseline itself to prove the gate trips")
+	var gateMetrics notesFlag
+	flag.Var(&gateMetrics, "metric", "with -compare: gate the named custom metric as higher-is-better (repeatable; e.g. -metric GFLOPS); unnamed metrics are reported but never gate")
 	flag.Parse()
 
 	if *comparePath != "" {
 		os.Exit(runCompare(*comparePath, *newPath, compareOpts{
-			threshold:  *threshold,
-			skipNS:     *skipNS,
-			allocSlack: *allocSlack,
-			inflate:    *inflate,
+			threshold:   *threshold,
+			skipNS:      *skipNS,
+			allocSlack:  *allocSlack,
+			inflate:     *inflate,
+			gateMetrics: gateMetrics,
 		}))
 	}
 

@@ -39,6 +39,10 @@
 //
 //	splitserver -serve -addr :7900 -tenants "alpha:1,beta:2:ckpt/beta"
 //	splitinfer  -addr 127.0.0.1:7900 -tenant alpha -seed 1 -requests 100
+//
+// A tenant spec's optional fourth field picks the inference precision
+// ("alpha:1::int8" serves tenant alpha through the int8 quantized
+// path; f32 is the default and bit-identical to prior releases).
 package main
 
 import (
@@ -90,7 +94,7 @@ func main() {
 		standby    = flag.Bool("standby", false, "run as a warm standby: apply a leader's replication stream, promote if it dies")
 
 		serveMode    = flag.Bool("serve", false, "run as a multi-tenant split-inference server instead of training (see -tenants)")
-		tenants      = flag.String("tenants", "", "with -serve: comma-separated name:seed[:checkpoint-dir] tenant specs")
+		tenants      = flag.String("tenants", "", "with -serve: comma-separated name:seed[:checkpoint-dir[:precision]] tenant specs (precision: f32, f16 or int8)")
 		batchMax     = flag.Int("batch-max", 8, "with -serve: flush a tenant's batch at this many accumulated rows")
 		flushEvery   = flag.Duration("flush-every", 2*time.Millisecond, "with -serve: flush a partial batch after this long")
 		computeSlots = flag.Int("compute-slots", 1, "with -serve: concurrent back-half forwards across all tenants")

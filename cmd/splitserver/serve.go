@@ -34,7 +34,10 @@ type serveOpts struct {
 }
 
 // parseTenants decodes the -tenants spec: comma-separated
-// "name:seed[:checkpoint-dir]" entries. Every tenant shares the
+// "name:seed[:checkpoint-dir[:precision]]" entries, where precision is
+// f32 (default), f16 or int8 and selects the numeric format the
+// tenant's inference traffic is served at (see
+// serve.TenantConfig.InferPrecision). Every tenant shares the
 // process-wide -arch/-classes/-width; the seed determines its initial
 // weights and the optional directory is scanned for newer checkpoint
 // generations on demand.
@@ -44,17 +47,20 @@ func parseTenants(spec string, o serveOpts) ([]serve.TenantConfig, error) {
 	}
 	var out []serve.TenantConfig
 	for _, entry := range strings.Split(spec, ",") {
-		parts := strings.SplitN(strings.TrimSpace(entry), ":", 3)
+		parts := strings.SplitN(strings.TrimSpace(entry), ":", 4)
 		if len(parts) < 2 || parts[0] == "" {
-			return nil, fmt.Errorf("tenant entry %q: want name:seed[:checkpoint-dir]", entry)
+			return nil, fmt.Errorf("tenant entry %q: want name:seed[:checkpoint-dir[:precision]]", entry)
 		}
 		seed, err := strconv.ParseUint(parts[1], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("tenant entry %q: bad seed: %w", entry, err)
 		}
-		dir := ""
-		if len(parts) == 3 {
+		dir, precision := "", ""
+		if len(parts) >= 3 {
 			dir = parts[2]
+		}
+		if len(parts) == 4 {
+			precision = parts[3]
 		}
 		name := parts[0]
 		out = append(out, serve.TenantConfig{
@@ -67,7 +73,8 @@ func parseTenants(spec string, o serveOpts) ([]serve.TenantConfig, error) {
 				_, back, err := models.Split(m.Net, m.DefaultCut)
 				return back, err
 			},
-			CheckpointDir: dir,
+			CheckpointDir:  dir,
+			InferPrecision: precision,
 		})
 	}
 	return out, nil

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"medsplit/internal/tensor"
+	"medsplit/internal/tensor/kernels"
 	"medsplit/internal/wire"
 )
 
@@ -393,62 +394,8 @@ func checkHeader(buf []byte, kind byte, name string) (rest []byte, n int, err er
 	return buf[headerSize:], int(binary.LittleEndian.Uint16(buf[1:])), nil
 }
 
-// f32ToF16 converts to IEEE-754 binary16 with round-to-nearest-even.
-func f32ToF16(f float32) uint16 {
-	b := math.Float32bits(f)
-	sign := uint16(b>>16) & 0x8000
-	exp := int32(b>>23&0xff) - 127 + 15
-	mant := b & 0x7fffff
-	switch {
-	case exp >= 0x1f: // overflow or inf/nan
-		if b&0x7fffffff > 0x7f800000 { // NaN
-			return sign | 0x7e00
-		}
-		return sign | 0x7c00 // ±inf
-	case exp <= 0: // subnormal or underflow to zero
-		if exp < -10 {
-			return sign
-		}
-		mant |= 0x800000
-		shift := uint32(14 - exp)
-		half := uint32(1) << (shift - 1)
-		return sign | uint16((mant+half)>>shift)
-	default:
-		// Round mantissa to 10 bits (nearest, ties away — close enough
-		// to nearest-even for training noise).
-		rounded := mant + 0x1000
-		if rounded&0x800000 != 0 { // mantissa overflow bumps exponent
-			rounded = 0
-			exp++
-			if exp >= 0x1f {
-				return sign | 0x7c00
-			}
-		}
-		return sign | uint16(exp)<<10 | uint16(rounded>>13)
-	}
-}
+// f32ToF16 and f16ToF32 are the kernel layer's scalar converters
+// (IEEE round-to-nearest-even, matching the hardware F16C path).
+func f32ToF16(f float32) uint16 { return kernels.F32ToF16Scalar(f) }
 
-// f16ToF32 converts from IEEE-754 binary16.
-func f16ToF32(h uint16) float32 {
-	sign := uint32(h&0x8000) << 16
-	exp := uint32(h >> 10 & 0x1f)
-	mant := uint32(h & 0x3ff)
-	switch exp {
-	case 0:
-		if mant == 0 {
-			return math.Float32frombits(sign)
-		}
-		// Subnormal: normalize.
-		e := uint32(127 - 15 + 1)
-		for mant&0x400 == 0 {
-			mant <<= 1
-			e--
-		}
-		mant &= 0x3ff
-		return math.Float32frombits(sign | e<<23 | mant<<13)
-	case 0x1f:
-		return math.Float32frombits(sign | 0x7f800000 | mant<<13)
-	default:
-		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
-	}
-}
+func f16ToF32(h uint16) float32 { return kernels.F16ToF32Scalar(h) }

@@ -1,19 +1,29 @@
 package compress
 
 import (
-	"encoding/binary"
 	"runtime"
 	"slices"
 	"sync"
+
+	"medsplit/internal/tensor/kernels"
 )
 
 // This file holds the codec number-crunching kernels: chunked parallel
 // f32<->f16 conversion, the fused min/max + quantize pass behind the
 // int8 codec, and the O(n) magnitude selection behind top-k. The
-// per-element math is identical to the scalar loops the codecs shipped
-// with — parallelism only changes which goroutine handles which chunk —
-// so the differential tests hold the fanned-out kernels to the serial
-// ones bit for bit (raw/f16/int8) or up to tie order (top-k).
+// per-element conversions route through the shared vectorized kernel
+// layer (internal/tensor/kernels) — parallelism only changes which
+// goroutine handles which chunk, and the kernel layer holds its vector
+// and scalar variants bit-identical — so the differential tests hold
+// the fanned-out kernels to the serial ones bit for bit (raw/f16/int8)
+// or up to tie order (top-k).
+//
+// Note on f16 rounding: conversion follows the kernel layer's contract
+// — IEEE round-to-nearest-even, matching hardware F16C/NEON converters
+// — where the original scalar codec rounded ties away from zero. The
+// codecs' accuracy contract (~2⁻¹¹ relative error) is unchanged; only
+// exact-tie mantissas land one ULP differently than pre-kernel-layer
+// payloads did.
 
 // parallelThreshold is the element count below which the conversion
 // kernels stay single-threaded: goroutine fan-out costs more than the
@@ -82,9 +92,7 @@ func putF16(dst []byte, src []float32) {
 }
 
 func putF16Range(dst []byte, src []float32, i0, i1 int) {
-	for i := i0; i < i1; i++ {
-		binary.LittleEndian.PutUint16(dst[2*i:], f32ToF16(src[i]))
-	}
+	kernels.F32ToF16Bytes(dst[2*i0:2*i1], src[i0:i1])
 }
 
 // getF16 converts binary16 bytes back to float32 (len(src) must be
@@ -100,9 +108,7 @@ func getF16(dst []float32, src []byte) {
 }
 
 func getF16Range(dst []float32, src []byte, i0, i1 int) {
-	for i := i0; i < i1; i++ {
-		dst[i] = f16ToF32(binary.LittleEndian.Uint16(src[2*i:]))
-	}
+	kernels.F16BytesToF32(dst[i0:i1], src[2*i0:2*i1])
 }
 
 // rangeOf returns the minimum and maximum of d in one fused pass,
@@ -182,15 +188,7 @@ func quantize8(dst []byte, src []float32, lo float32, scale float32) {
 }
 
 func quantize8Range(dst []byte, src []float32, lo, scale float32, i0, i1 int) {
-	for i := i0; i < i1; i++ {
-		q := (src[i] - lo) * scale
-		if q < 0 {
-			q = 0
-		} else if q > 255 {
-			q = 255
-		}
-		dst[i] = byte(q + 0.5)
-	}
+	kernels.Quantize8(dst[i0:i1], src[i0:i1], lo, scale)
 }
 
 // dequantize8 writes lo + src[i]*step into dst.
@@ -205,9 +203,7 @@ func dequantize8(dst []float32, src []byte, lo, step float32) {
 }
 
 func dequantize8Range(dst []float32, src []byte, lo, step float32, i0, i1 int) {
-	for i := i0; i < i1; i++ {
-		dst[i] = lo + float32(src[i])*step
-	}
+	kernels.Dequantize8(dst[i0:i1], src[i0:i1], lo, step)
 }
 
 // topkScratch recycles the index scratch topKIndices partitions, so the

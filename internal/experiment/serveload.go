@@ -46,6 +46,10 @@ type ServeLoadConfig struct {
 	Seed uint64
 	// SimJitter adds seeded per-message jitter to the simulated WAN.
 	SimJitter float64
+	// InferPrecision is applied to every tenant's serving view
+	// (serve.TenantConfig.InferPrecision): "" or "f32" serves the
+	// bit-identical default, "f16"/"int8" the reduced-precision paths.
+	InferPrecision string
 }
 
 func (c ServeLoadConfig) withDefaults() ServeLoadConfig {
@@ -131,6 +135,7 @@ func RunServeLoad(cfg ServeLoadConfig) (*Result, error) {
 				_, back, err := models.Split(m.Net, m.DefaultCut)
 				return back, err
 			},
+			InferPrecision: cfg.InferPrecision,
 		}
 	}
 	mgr, err := serve.NewManager(serve.Config{Tenants: tenants, ComputeSlots: cfg.ComputeSlots})

@@ -23,6 +23,11 @@ type Dense struct {
 	x  *tensor.Tensor // cached input for Backward
 	y  *tensor.Tensor // forward output scratch
 	dx *tensor.Tensor // backward input-gradient scratch
+
+	// wf16 is a half-precision pack of W used by eval-mode Forward when
+	// set (see EnableF16). It is a snapshot: training steps do not
+	// refresh it, so it belongs only on frozen inference instances.
+	wf16 *tensor.F16Matrix
 }
 
 var _ Layer = (*Dense)(nil)
@@ -48,6 +53,17 @@ func (d *Dense) In() int { return d.w.W.Dim(0) }
 // Out returns the output width.
 func (d *Dense) Out() int { return d.w.W.Dim(1) }
 
+// EnableF16 snapshots W into half-precision storage and switches
+// eval-mode Forward onto the f16-weight GEMM: half the weight-memory
+// traffic, f32 accumulation, output within one f16 rounding of the
+// f32 path per weight read. Training forwards keep using the full f32
+// weights and do NOT refresh the snapshot — call EnableF16 only on
+// frozen inference instances (the serving tier re-packs after every
+// checkpoint reload).
+func (d *Dense) EnableF16() {
+	d.wf16 = tensor.PackF16(d.w.W)
+}
+
 // Forward computes x·W + b.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 {
@@ -57,7 +73,11 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.x = x
 	}
 	d.y = tensor.EnsureShape(d.y, x.Dim(0), d.w.W.Dim(1))
-	tensor.MatMulInto(d.y, x, d.w.W)
+	if !train && d.wf16 != nil {
+		tensor.MatMulF16Into(d.y, x, d.wf16)
+	} else {
+		tensor.MatMulInto(d.y, x, d.w.W)
+	}
 	d.y.AddRowVector(d.b.W)
 	return d.y
 }

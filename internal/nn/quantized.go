@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"medsplit/internal/tensor"
+	"medsplit/internal/tensor/kernels"
+)
+
+// This file holds the reduced-precision inference wrappers: the f16
+// weight walker and the int8 quantized-inference model. Both are
+// eval-only transforms of a trained network — training always runs in
+// f32.
+
+// EnableF16Weights walks a layer tree and switches every Dense layer's
+// eval path onto half-precision weight storage (see Dense.EnableF16).
+// It returns the number of layers converted. The tree must be frozen:
+// the f16 packs are snapshots that training steps do not refresh.
+func EnableF16Weights(l Layer) int {
+	switch v := l.(type) {
+	case *Sequential:
+		n := 0
+		for _, child := range v.layers {
+			n += EnableF16Weights(child)
+		}
+		return n
+	case *Residual:
+		n := EnableF16Weights(v.body)
+		if v.skip != nil {
+			n += EnableF16Weights(v.skip)
+		}
+		return n
+	case *Dense:
+		v.EnableF16()
+		return 1
+	default:
+		return 0
+	}
+}
+
+// QuantizedInference is an eval-only int8 view of a trained Sequential:
+// every top-level Dense layer (including those inside nested
+// Sequentials) is replaced by a quantized twin that stores its weights
+// as symmetric per-tensor int8, quantizes activations dynamically with
+// a per-tensor affine scale+zero-point, accumulates the matmul in
+// int32, and dequantizes back to f32 at the layer boundary. All other
+// layers (activations, conv, pooling, residual blocks) run in f32
+// unchanged, so the wrapper composes with any architecture — only the
+// Dense GEMMs, which dominate the serving back-half, change precision.
+//
+// Accuracy contract: weights round to 1 of 127 levels of their max
+// magnitude (≲0.4% per-weight relative error), activations to 1 of 255
+// levels of their observed batch range. The int32 accumulation is
+// exact, so the per-output error is a weighted sum of those rounding
+// errors — logits track the f32 model to ~1e-2 absolute for unit-scale
+// inputs, which leaves argmax decisions intact except on near-ties.
+// Callers that need bit-identical logits must stay on f32.
+type QuantizedInference struct {
+	name   string
+	layers []Layer
+}
+
+var _ Layer = (*QuantizedInference)(nil)
+
+// NewQuantizedInference builds the int8 view of s. The source model is
+// not modified and must stay frozen while the view is in use: weights
+// are snapshotted at construction, and non-Dense layers are shared with
+// the source (their eval forwards are stateless).
+func NewQuantizedInference(s *Sequential) *QuantizedInference {
+	out := make([]Layer, len(s.layers))
+	for i, l := range s.layers {
+		switch v := l.(type) {
+		case *Dense:
+			out[i] = newQDense(v)
+		case *Sequential:
+			out[i] = NewQuantizedInference(v)
+		default:
+			out[i] = l
+		}
+	}
+	return &QuantizedInference{name: s.name + ".int8", layers: out}
+}
+
+// Name identifies the quantized view in diagnostics.
+func (q *QuantizedInference) Name() string { return q.name }
+
+// Forward runs eval-mode inference. train must be false: the quantized
+// view has no gradients to cache.
+func (q *QuantizedInference) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		panic(fmt.Sprintf("nn: %s: train-mode Forward on a quantized inference model", q.name))
+	}
+	for _, l := range q.layers {
+		x = l.Forward(x, false)
+	}
+	return x
+}
+
+// Backward panics: quantized views are inference-only.
+func (q *QuantizedInference) Backward(*tensor.Tensor) *tensor.Tensor {
+	panic(fmt.Sprintf("nn: %s: Backward on a quantized inference model", q.name))
+}
+
+// Params returns nil: the quantized weights are not trainable.
+func (q *QuantizedInference) Params() []*Param { return nil }
+
+// qDense is the int8 twin of a Dense layer.
+//
+// Weights are quantized symmetrically per tensor: sw = max|W|/127,
+// qw = round(W/sw) ∈ [-127, 127], stored transposed as [out][in] rows
+// so each output's dot product streams one contiguous row. Activations
+// quantize per forward call with an affine map qx = round(x/sx) + zpx
+// clamped to [-128, 127], so x ≈ sx·(qx − zpx). Then
+//
+//	y[j] = Σᵢ x[i]·W[i][j] + b[j]
+//	     ≈ sx·sw·(Σᵢ qx[i]·qw[j][i] − zpx·Σᵢ qw[j][i]) + b[j]
+//
+// with the Σ qx·qw term accumulated exactly in int32 by kernels.DotI8
+// and the per-row weight sums (wsum) precomputed at construction.
+type qDense struct {
+	name    string
+	in, out int
+	qw      []int8  // [out][in] transposed quantized weights
+	wsum    []int32 // per-output-row Σ qw
+	sw      float32
+	bias    []float32
+
+	y  *tensor.Tensor // forward output scratch
+	qx []int8         // activation quantization scratch
+}
+
+func newQDense(d *Dense) *qDense {
+	in, out := d.In(), d.Out()
+	wd := d.w.W.Data()
+	q := &qDense{
+		name: d.name + ".int8",
+		in:   in, out: out,
+		qw:   make([]int8, in*out),
+		wsum: make([]int32, out),
+		bias: d.b.W.Data(),
+	}
+	var maxAbs float32
+	for _, v := range wd {
+		if a := float32(math.Abs(float64(v))); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		q.sw = 1 // all-zero weights quantize to all-zero at any scale
+	} else {
+		q.sw = maxAbs / 127
+	}
+	for i := 0; i < in; i++ {
+		for j := 0; j < out; j++ {
+			v := int32(math.RoundToEven(float64(wd[i*out+j] / q.sw)))
+			if v > 127 {
+				v = 127
+			} else if v < -127 {
+				v = -127
+			}
+			q.qw[j*in+i] = int8(v)
+			q.wsum[j] += v
+		}
+	}
+	return q
+}
+
+func (q *qDense) Name() string { return q.name }
+
+func (q *qDense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		panic(fmt.Sprintf("nn: %s: train-mode Forward on a quantized layer", q.name))
+	}
+	if x.Rank() != 2 || x.Dim(1) != q.in {
+		panic(fmt.Sprintf("nn: %s: quantized input shape %v, want [batch, %d]", q.name, x.Shape(), q.in))
+	}
+	batch := x.Dim(0)
+	xd := x.Data()
+
+	// Dynamic per-tensor affine quantization of the activations.
+	sx, zpx := quantRange(xd)
+	if cap(q.qx) < len(xd) {
+		q.qx = make([]int8, len(xd))
+	}
+	qx := q.qx[:len(xd)]
+	inv := 1 / sx
+	for i, v := range xd {
+		t := int32(math.RoundToEven(float64(v*inv))) + zpx
+		if t > 127 {
+			t = 127
+		} else if t < -128 {
+			t = -128
+		}
+		qx[i] = int8(t)
+	}
+
+	q.y = tensor.EnsureShape(q.y, batch, q.out)
+	yd := q.y.Data()
+	scale := sx * q.sw
+	for r := 0; r < batch; r++ {
+		row := qx[r*q.in : (r+1)*q.in]
+		for j := 0; j < q.out; j++ {
+			dot := kernels.DotI8(row, q.qw[j*q.in:(j+1)*q.in])
+			// int64: dot and zpx·wsum each fit int32, their difference
+			// may not.
+			acc := int64(dot) - int64(zpx)*int64(q.wsum[j])
+			yd[r*q.out+j] = scale*float32(acc) + q.bias[j]
+		}
+	}
+	return q.y
+}
+
+func (q *qDense) Backward(*tensor.Tensor) *tensor.Tensor {
+	panic(fmt.Sprintf("nn: %s: Backward on a quantized layer", q.name))
+}
+
+func (q *qDense) Params() []*Param { return nil }
+
+// quantRange picks the affine quantization parameters for d: scale sx
+// and zero-point zpx such that qx = round(x/sx) + zpx covers d's
+// min..max within [-128, 127] and x ≈ sx·(qx − zpx). Degenerate ranges
+// (constant input) collapse to a symmetric exact representation.
+func quantRange(d []float32) (sx float32, zpx int32) {
+	if len(d) == 0 {
+		return 1, 0
+	}
+	lo, hi := d[0], d[0]
+	for _, v := range d[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		if lo == 0 {
+			return 1, 0
+		}
+		// Constant input: map it exactly onto ±127.
+		return float32(math.Abs(float64(lo))) / 127, 0
+	}
+	// The range must bracket zero so that zero activations (padding,
+	// ReLU floors) stay exactly representable.
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	sx = (hi - lo) / 255
+	// Place the zero-point so lo maps to -128: zpx = -128 - round(lo/sx).
+	zpx = -128 - int32(math.RoundToEven(float64(lo/sx)))
+	if zpx > 127 {
+		zpx = 127
+	} else if zpx < -128 {
+		zpx = -128
+	}
+	return sx, zpx
+}

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"medsplit/internal/rng"
+	"medsplit/internal/tensor"
+)
+
+func randQInput(r *rng.RNG, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	d := t.Data()
+	for i := range d {
+		d[i] = float32(r.Float64()*2 - 1)
+	}
+	return t
+}
+
+func buildMLP(r *rng.RNG) *Sequential {
+	return NewSequential("mlp",
+		NewDense("fc1", 32, 64, r),
+		NewTanh("t1"),
+		NewDense("fc2", 64, 48, r),
+		NewReLU("r1"),
+		NewDense("head", 48, 10, r),
+	)
+}
+
+// TestEnableF16WeightsWalker pins the walker's coverage: Dense layers
+// at top level, inside nested Sequentials, and inside Residual bodies
+// and skips all get packed.
+func TestEnableF16WeightsWalker(t *testing.T) {
+	r := rng.New(40)
+	net := NewSequential("outer",
+		NewDense("d1", 8, 8, r),
+		NewSequential("inner", NewDense("d2", 8, 8, r), NewReLU("r")),
+		NewResidual("res",
+			NewSequential("body", NewDense("d3", 8, 8, r)),
+			NewDense("d4", 8, 8, r)),
+	)
+	if got := EnableF16Weights(net); got != 4 {
+		t.Fatalf("EnableF16Weights = %d, want 4", got)
+	}
+}
+
+// TestDenseF16ForwardAccuracy holds the f16 eval path to the f32 path
+// within half-precision rounding of the weights: each output element
+// reads k weights, each off by at most 2^-11 relative, so the logit
+// error is bounded by the activation l1 norm times that.
+func TestDenseF16ForwardAccuracy(t *testing.T) {
+	r := rng.New(41)
+	net := buildMLP(r)
+	x := randQInput(r, 5, 32)
+	want := append([]float32(nil), net.Forward(x, false).Data()...)
+
+	n := EnableF16Weights(net)
+	if n != 3 {
+		t.Fatalf("EnableF16Weights = %d, want 3", n)
+	}
+	got := net.Forward(x, false).Data()
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 2e-2*math.Max(1, math.Abs(float64(want[i]))) {
+			t.Fatalf("logit %d: f16 %v vs f32 %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDenseF16TrainForwardUnaffected pins that train-mode forwards keep
+// using the f32 weights bit-for-bit after EnableF16.
+func TestDenseF16TrainForwardUnaffected(t *testing.T) {
+	r := rng.New(42)
+	d := NewDense("fc", 16, 8, r)
+	x := randQInput(r, 3, 16)
+	want := append([]float32(nil), d.Forward(x, true).Data()...)
+	d.EnableF16()
+	got := d.Forward(x, true).Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("train forward changed after EnableF16 at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuantizedInferenceAccuracy holds the int8 model's logits to the
+// f32 model within the documented tolerance on unit-scale inputs, and
+// checks argmax agreement across a batch (the decision the serving
+// tier actually returns).
+func TestQuantizedInferenceAccuracy(t *testing.T) {
+	r := rng.New(43)
+	net := buildMLP(r)
+	x := randQInput(r, 16, 32)
+	want := net.Forward(x, false)
+
+	q := NewQuantizedInference(net)
+	got := q.Forward(x, false)
+	if !tensor.SameShape(got, want) {
+		t.Fatalf("shape %v, want %v", got.Shape(), want.Shape())
+	}
+	wd, gd := want.Data(), got.Data()
+	var worst float64
+	for i := range wd {
+		if d := math.Abs(float64(gd[i] - wd[i])); d > worst {
+			worst = d
+		}
+	}
+	// Documented contract: ~1e-2 absolute on unit-scale inputs. Allow
+	// 5e-2 headroom for unlucky rounding alignment across three layers.
+	if worst > 5e-2 {
+		t.Fatalf("worst logit error %v exceeds tolerance", worst)
+	}
+
+	rows, cols := want.Dim(0), want.Dim(1)
+	agree := 0
+	for i := 0; i < rows; i++ {
+		if argmaxRow(wd[i*cols:(i+1)*cols]) == argmaxRow(gd[i*cols:(i+1)*cols]) {
+			agree++
+		}
+	}
+	if agree < rows-1 { // near-ties may legitimately flip one row
+		t.Fatalf("argmax agreement %d/%d", agree, rows)
+	}
+}
+
+func argmaxRow(d []float32) int {
+	best, bi := d[0], 0
+	for i, v := range d[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// TestQuantizedInferenceRejectsTraining pins the inference-only
+// contract.
+func TestQuantizedInferenceRejectsTraining(t *testing.T) {
+	r := rng.New(44)
+	q := NewQuantizedInference(buildMLP(r))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("train-mode Forward did not panic")
+		}
+	}()
+	q.Forward(randQInput(r, 2, 32), true)
+}
+
+// TestQuantizedInferenceDegenerateInputs exercises the quantRange
+// corner cases: all-zero input, constant input, and one-sided ranges.
+func TestQuantizedInferenceDegenerateInputs(t *testing.T) {
+	r := rng.New(45)
+	d := NewDense("fc", 8, 4, r)
+	net := NewSequential("one", d)
+	q := NewQuantizedInference(net)
+
+	cases := map[string]float32{"zero": 0, "constant": 2.5, "negative": -1.25}
+	for name, fill := range cases {
+		x := tensor.Full(fill, 3, 8)
+		want := net.Forward(x, false)
+		got := q.Forward(x, false)
+		wd, gd := want.Data(), got.Data()
+		for i := range wd {
+			if math.Abs(float64(gd[i]-wd[i])) > 1e-1*math.Max(1, math.Abs(float64(wd[i]))) {
+				t.Fatalf("%s input logit %d: int8 %v vs f32 %v", name, i, gd[i], wd[i])
+			}
+		}
+	}
+}

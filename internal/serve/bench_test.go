@@ -18,6 +18,51 @@ import (
 // path. FlushEvery is floored to a nanosecond so every sequential
 // request flushes immediately — this benchmarks the per-request path,
 // not batching (the load tests exercise fusion).
+// BenchmarkServeInferPrecision runs the same single-tenant round trip
+// with the tenant's serving view at each inference precision: f32 (the
+// bit-identical default), f16 (half-storage weights, f32 accumulate)
+// and int8 (symmetric per-tensor weight quantization with dynamic
+// activation ranges, i32 accumulate). The spread is the end-to-end
+// serving cost of each representation on one process; logit-accuracy
+// bounds for the reduced-precision paths are asserted by
+// precision_test.go, not here.
+func BenchmarkServeInferPrecision(b *testing.B) {
+	for _, prec := range []string{"f32", "f16", "int8"} {
+		b.Run(prec, func(b *testing.B) {
+			tc := inferTenant("t0", 5, "")
+			tc.InferPrecision = prec
+			m, err := NewManager(Config{Tenants: []TenantConfig{tc}, ComputeSlots: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			is, err := NewInferenceServer(m, InferConfig{BatchMax: 8, FlushEvery: time.Nanosecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, p := transport.Pipe()
+			go is.HandleConn(s)
+			mm := models.MLP(inferIn, []int{32}, inferClasses, rng.New(5))
+			front, _, serr := models.Split(mm.Net, mm.DefaultCut)
+			if serr != nil {
+				b.Fatal(serr)
+			}
+			client := NewClient(p, front, "t0", 0)
+			x := randInput(4, 1234)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Infer(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			client.Close()
+			is.Close()
+			m.Close()
+		})
+	}
+}
+
 func BenchmarkServeInfer(b *testing.B) {
 	for _, nt := range []int{1, 4} {
 		b.Run(fmt.Sprintf("tenants=%d", nt), func(b *testing.B) {

@@ -47,14 +47,23 @@ const (
 // ensure is called only from the tenant's single batcher goroutine, so
 // the returned model is never Forwarded concurrently; the mutex exists
 // for the stats and health readers.
+//
+// precision selects the serving view of the back half (see
+// TenantConfig.InferPrecision): every successful build or reload
+// re-derives the view from the fresh f32 weights, so a checkpoint roll
+// re-packs f16 weights and re-quantizes int8 weights atomically with
+// the swap. The default ("" or "f32") serves the back half directly
+// and is bit-identical to pre-precision-knob behavior.
 type modelCache struct {
-	mu    sync.Mutex
-	name  string
-	build func() (*nn.Sequential, error)
-	dir   string
+	mu        sync.Mutex
+	name      string
+	build     func() (*nn.Sequential, error)
+	dir       string
+	precision string
 
-	back *nn.Sequential
-	gen  uint32
+	back  *nn.Sequential
+	infer nn.Layer // serving view of back under precision
+	gen   uint32
 
 	hits, misses int64
 
@@ -69,12 +78,12 @@ type modelCache struct {
 // compares; per-request rejection is the batcher's job, because one
 // batch can mix satisfied and mismatched requests. It fails only when
 // there is no model at all (BuildBack missing or erroring).
-func (c *modelCache) ensure(wantGen uint32) (*nn.Sequential, uint32, error) {
+func (c *modelCache) ensure(wantGen uint32) (nn.Layer, uint32, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.back != nil && wantGen <= c.gen {
 		c.hits++
-		return c.back, c.gen, nil
+		return c.infer, c.gen, nil
 	}
 	c.misses++
 	if c.back == nil {
@@ -86,12 +95,29 @@ func (c *modelCache) ensure(wantGen uint32) (*nn.Sequential, uint32, error) {
 			return nil, 0, fmt.Errorf("serve: tenant %q: building back half: %w", c.name, err)
 		}
 		c.back = b
+		c.infer = servingView(b, c.precision)
 		c.gen = 0
 	}
 	if c.dir != "" && wantGen > c.gen {
 		c.reload(wantGen)
 	}
-	return c.back, c.gen, nil
+	return c.infer, c.gen, nil
+}
+
+// servingView derives the inference view of a freshly built or reloaded
+// back half under the tenant's precision setting. The back half itself
+// stays in f32 — reduced-precision views are snapshots layered on top,
+// rebuilt on every swap.
+func servingView(back *nn.Sequential, precision string) nn.Layer {
+	switch precision {
+	case "f16":
+		nn.EnableF16Weights(back)
+		return back
+	case "int8":
+		return nn.NewQuantizedInference(back)
+	default: // "" or "f32"
+		return back
+	}
 }
 
 // reload attempts to roll the cache forward from disk, honoring the
@@ -134,6 +160,7 @@ func (c *modelCache) reload(wantGen uint32) {
 		return
 	}
 	c.back = fresh
+	c.infer = servingView(fresh, c.precision)
 	c.gen = uint32(snap.NextRound)
 	c.reloadFails = 0
 	c.probeIn = 0

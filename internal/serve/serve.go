@@ -80,6 +80,16 @@ type TenantConfig struct {
 	// MaxSessions caps this tenant's concurrent training sessions.
 	// 0 means only the Manager-wide cap applies.
 	MaxSessions int
+	// InferPrecision selects the numeric format the tenant's inference
+	// traffic is served at: "" or "f32" (default) serves the f32 back
+	// half bit-identically to prior releases; "f16" stores Dense
+	// weights in half precision with f32 accumulation (~2⁻¹¹ relative
+	// weight rounding); "int8" runs Dense layers through symmetric
+	// int8 weights and dynamically quantized activations with int32
+	// accumulation (logits track f32 to ~1e-2 absolute on unit-scale
+	// activations — see nn.QuantizedInference). Reduced precision
+	// applies only to inference; training sessions always run f32.
+	InferPrecision string
 }
 
 // Config configures a Manager.
@@ -117,6 +127,11 @@ func (c *Config) validate() error {
 		seen[t.Name] = true
 		if t.MaxSessions < 0 {
 			return fmt.Errorf("%w: tenant %q max sessions %d", ErrConfig, t.Name, t.MaxSessions)
+		}
+		switch t.InferPrecision {
+		case "", "f32", "f16", "int8":
+		default:
+			return fmt.Errorf("%w: tenant %q infer precision %q (want f32, f16 or int8)", ErrConfig, t.Name, t.InferPrecision)
 		}
 	}
 	if c.MaxSessions < 0 {
@@ -182,7 +197,7 @@ func NewManager(cfg Config) (*Manager, error) {
 			pool:    &tensor.Pool{},
 			buffers: &wire.BufferPool{},
 		}
-		t.cache = &modelCache{name: tc.Name, build: tc.BuildBack, dir: tc.CheckpointDir}
+		t.cache = &modelCache{name: tc.Name, build: tc.BuildBack, dir: tc.CheckpointDir, precision: tc.InferPrecision}
 		m.tenants[tc.Name] = t
 	}
 	return m, nil

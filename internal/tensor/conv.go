@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"medsplit/internal/tensor/kernels"
+)
 
 // ConvOutSize returns the spatial output size of a convolution or pooling
 // window: floor((in + 2*pad - kernel)/stride) + 1. It panics if the
@@ -377,12 +381,33 @@ func ConvGemmInto(dst, cols, w, bias *Tensor) *Tensor {
 		bd = bias.data
 	}
 	cd, wd, od := cols.data, w.data, dst.data
-	// Fan out over (sample, output-row) strips as in im2col. Each strip
-	// reads its cols rows once and streams the kernel matrix per pixel
-	// with a 4-wide output-channel register tile, so each loaded column
-	// value feeds four dot products. (A 2-pixel × 4-channel tile was
-	// measured slower here: its fourteen live values spill registers.)
 	work := n * oh * ow * outC * k
+	// With vector kernels active and enough output channels to fill
+	// vector lanes, run the GEMM through the kernel layer: wᵀ is
+	// materialized once (O(outC·k)) so the panel kernel can vectorize
+	// across output channels, each strip's [ow, outC] product lands in
+	// small pooled scratch, and the bias+NCHW repack becomes a cheap
+	// tail pass. Per-element accumulation order over k is unchanged, so
+	// the result stays bit-identical to the scalar fused kernel.
+	if kernels.Active() && outC >= 8 {
+		wt := Default.GetBuf(k * outC)
+		transposeRange(wt, wd, outC, k, 0, k)
+		if serialRows(n*oh, work) {
+			convGemmVecRange(od, cd, wt, bd, outC, k, oh, ow, 0, n*oh)
+		} else {
+			parallelRows(n*oh, work, func(u0, u1 int) {
+				convGemmVecRange(od, cd, wt, bd, outC, k, oh, ow, u0, u1)
+			})
+		}
+		Default.PutBuf(wt)
+		return dst
+	}
+	// Scalar path: fan out over (sample, output-row) strips as in
+	// im2col. Each strip reads its cols rows once and streams the kernel
+	// matrix per pixel with a 4-wide output-channel register tile, so
+	// each loaded column value feeds four dot products. (A 2-pixel ×
+	// 4-channel tile was measured slower here: its fourteen live values
+	// spill registers.)
 	if serialRows(n*oh, work) {
 		convGemmRange(od, cd, wd, bd, outC, k, oh, ow, 0, n*oh)
 		return dst
@@ -391,6 +416,36 @@ func ConvGemmInto(dst, cols, w, bias *Tensor) *Tensor {
 		convGemmRange(od, cd, wd, bd, outC, k, oh, ow, u0, u1)
 	})
 	return dst
+}
+
+// convGemmVecRange computes output strips [u0,u1) through the vector
+// kernel layer: per strip, a [ow, outC] GEMM into pooled scratch
+// (contraction blocked on gemmKC panels, one sequential chain per
+// element), then bias and the rows→NCHW repack. wt is wᵀ, [k, outC].
+func convGemmVecRange(od, cd, wt, bd []float32, outC, k, oh, ow, u0, u1 int) {
+	plane := oh * ow
+	tmp := Default.GetBuf(ow * outC)
+	for u := u0; u < u1; u++ {
+		in, oy := u/oh, u%oh
+		for p0 := 0; p0 < k; p0 += gemmKC {
+			kb := min(gemmKC, k-p0)
+			kernels.GemmPanelK(tmp, cd, wt[p0*outC:], 0, ow, kb, outC, k, u*ow*k+p0, p0 > 0)
+		}
+		outBase := in*outC*plane + oy*ow
+		for ox := 0; ox < ow; ox++ {
+			row := tmp[ox*outC : ox*outC+outC]
+			if bd != nil {
+				for oc, v := range row {
+					od[outBase+oc*plane+ox] = v + bd[oc]
+				}
+			} else {
+				for oc, v := range row {
+					od[outBase+oc*plane+ox] = v
+				}
+			}
+		}
+	}
+	Default.PutBuf(tmp)
 }
 
 // convGemmRange computes output strips [u0,u1) of the fused

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"medsplit/internal/rng"
+	"medsplit/internal/tensor/kernels"
 )
 
 // convGeometries hits stride > 1, pad > 0, non-square images, prime
@@ -99,6 +100,35 @@ func TestConvGemmIntoMatchesUnfusedPipeline(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestConvGemmIntoDispatchBitIdentical pins the kernel-layer conv path
+// to the scalar fused kernel bit-for-bit: per output element both run
+// one sequential accumulation chain over k, so switching dispatch may
+// not change a single bit.
+func TestConvGemmIntoDispatchBitIdentical(t *testing.T) {
+	r := rng.New(26)
+	for _, g := range convGeometries {
+		for _, outC := range []int{8, 9, 16} {
+			oh := ConvOutSize(g.h, g.kh, g.stride, g.pad)
+			ow := ConvOutSize(g.w, g.kw, g.stride, g.pad)
+			x := randTensor(r, g.n, g.c, g.h, g.w)
+			w := randTensor(r, outC, g.c*g.kh*g.kw)
+			bias := randTensor(r, outC)
+			cols := Im2Col(x, g.kh, g.kw, g.stride, g.pad)
+
+			got := ConvGemmInto(Full(999, g.n, outC, oh, ow), cols, w, bias)
+			kernels.ForceGeneric(true)
+			want := ConvGemmInto(Full(-999, g.n, outC, oh, ow), cols, w, bias)
+			kernels.ForceGeneric(false)
+			for i := range want.data {
+				if got.data[i] != want.data[i] {
+					t.Fatalf("geometry %+v outC=%d elem %d: active %v scalar %v",
+						g, outC, i, got.data[i], want.data[i])
+				}
+			}
+		}
+	}
 }
 
 // TestConvGemmIntoNilBias pins the bias-less path.

@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"medsplit/internal/tensor/kernels"
+)
 
 // This file is the production GEMM engine: cache-blocked, register-tiled
 // kernels behind MatMul, MatMulTA and MatMulTB, plus the Into/Acc
@@ -27,8 +31,9 @@ import "fmt"
 
 // gemmKC is the contraction-dimension panel size. 128 float32 rows of a
 // [kc, n] b panel occupy 128·n·4 bytes — L2-resident for every n this
-// codebase produces (n ≤ 4096).
-const gemmKC = 128
+// codebase produces (n ≤ 4096). It mirrors kernels.KC so the packing
+// scratch sized here matches the panels the kernel layer blocks on.
+const gemmKC = kernels.KC
 
 // MatMul returns the matrix product a·b for a of shape [m,k] and b of
 // shape [k,n] using the blocked engine.
@@ -102,20 +107,22 @@ func checkGemmDst(op string, dst *Tensor, m, n int) {
 	}
 }
 
-// gemmNN is the blocked kernel for out = a·b (no transposes). For row
-// counts that amortize it, b is transposed once into pooled scratch so
-// the register-tiled dot kernel (gemmTBPanel) does the O(m·k·n) work
-// with both operands k-contiguous; the transpose costs one O(k·n) pass.
-// Small row counts fall back to the panel kernel, which needs no
-// scratch.
+// gemmNN is the blocked kernel for out = a·b (no transposes). With
+// vector kernels active the panel kernel runs directly over b — its
+// assembly vectorizes across b's columns, so the operand is already in
+// the layout it wants and the transpose pass disappears. On the scalar
+// fallback, row counts that amortize it transpose b once into pooled
+// scratch so the register-tiled dot kernel (gemmTBPanel) does the
+// O(m·k·n) work with both operands k-contiguous; small row counts use
+// the panel kernel, which needs no scratch.
 func gemmNN(out, a, b *Tensor) {
 	m, k, n := a.shape[0], a.shape[1], b.shape[1]
-	if m < 8 {
+	if kernels.Active() || m < 8 {
 		if serialRows(m, m*k*n) {
-			gemmPanelNN(out.data, a.data, b.data, 0, m, k, n, 0, false)
+			kernels.GemmPanel(out.data, a.data, b.data, 0, m, k, n, 0, false)
 		} else {
 			parallelRows(m, m*k*n, func(r0, r1 int) {
-				gemmPanelNN(out.data, a.data, b.data, r0, r1, k, n, 0, false)
+				kernels.GemmPanel(out.data, a.data, b.data, r0, r1, k, n, 0, false)
 			})
 		}
 		return
@@ -145,100 +152,6 @@ func transposeRange(btd, bd []float32, k, n, c0, c1 int) {
 		row := btd[c*k : c*k+k]
 		for p := range row {
 			row[p] = bd[p*n+c]
-		}
-	}
-}
-
-// gemmPanelNN computes out rows [r0,r1) of an a·b product where the a
-// rows live at arows[(i-rowOff)*k:] — rowOff lets the TA path reuse this
-// kernel over packed panels. When acc is set the product accumulates
-// into out instead of overwriting it.
-//
-// The reslicing dance before each inner loop pins every operand to a
-// provably equal length so the compiler's prove pass eliminates all
-// bounds checks from the hot loop — without it the four-row tile pays
-// four checks per iteration and runs slower than the naive kernel.
-func gemmPanelNN(out, arows, b []float32, r0, r1, k, n, rowOff int, acc bool) {
-	for p0 := 0; p0 < k; p0 += gemmKC {
-		p1 := min(p0+gemmKC, k)
-		first := p0 == 0 && !acc
-		i := r0
-		for ; i+4 <= r1; i += 4 {
-			base := (i - rowOff) * k
-			a0 := arows[base+p0 : base+p1]
-			a1 := arows[base+k+p0 : base+k+p1]
-			a2 := arows[base+2*k+p0 : base+2*k+p1]
-			a3 := arows[base+3*k+p0 : base+3*k+p1]
-			a1 = a1[:len(a0)]
-			a2 = a2[:len(a0)]
-			a3 = a3[:len(a0)]
-			o0 := out[(i+0)*n : (i+0)*n+n]
-			o1 := out[(i+1)*n : (i+1)*n+n]
-			o2 := out[(i+2)*n : (i+2)*n+n]
-			o3 := out[(i+3)*n : (i+3)*n+n]
-			if first {
-				zeroFloats(o0)
-				zeroFloats(o1)
-				zeroFloats(o2)
-				zeroFloats(o3)
-			}
-			// The contraction is unrolled two deep: each output element
-			// is loaded and stored once per two k steps, and the two
-			// products are added left-to-right so the per-element
-			// accumulation order still matches the naive kernel exactly.
-			pi := 0
-			for ; pi+2 <= len(a0); pi += 2 {
-				av00, av01 := a0[pi], a0[pi+1]
-				av10, av11 := a1[pi], a1[pi+1]
-				av20, av21 := a2[pi], a2[pi+1]
-				av30, av31 := a3[pi], a3[pi+1]
-				brow0 := b[(p0+pi)*n : (p0+pi)*n+n]
-				brow1 := b[(p0+pi+1)*n : (p0+pi+1)*n+n]
-				brow1 = brow1[:len(brow0)]
-				u0 := o0[:len(brow0)]
-				u1 := o1[:len(brow0)]
-				u2 := o2[:len(brow0)]
-				u3 := o3[:len(brow0)]
-				for j, bv0 := range brow0 {
-					bv1 := brow1[j]
-					u0[j] = (u0[j] + av00*bv0) + av01*bv1
-					u1[j] = (u1[j] + av10*bv0) + av11*bv1
-					u2[j] = (u2[j] + av20*bv0) + av21*bv1
-					u3[j] = (u3[j] + av30*bv0) + av31*bv1
-				}
-			}
-			for ; pi < len(a0); pi++ {
-				av0, av1, av2, av3 := a0[pi], a1[pi], a2[pi], a3[pi]
-				brow := b[(p0+pi)*n : (p0+pi)*n+n]
-				u0 := o0[:len(brow)]
-				u1 := o1[:len(brow)]
-				u2 := o2[:len(brow)]
-				u3 := o3[:len(brow)]
-				for j, bv := range brow {
-					u0[j] += av0 * bv
-					u1[j] += av1 * bv
-					u2[j] += av2 * bv
-					u3[j] += av3 * bv
-				}
-			}
-		}
-		for ; i < r1; i++ {
-			base := (i - rowOff) * k
-			arow := arows[base+p0 : base+p1]
-			orow := out[i*n : i*n+n]
-			if first {
-				zeroFloats(orow)
-			}
-			for pi, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b[(p0+pi)*n : (p0+pi)*n+n]
-				urow := orow[:len(brow)]
-				for j, bv := range brow {
-					urow[j] += av * bv
-				}
-			}
 		}
 	}
 }
@@ -277,18 +190,46 @@ func gemmTARange(od, ad, bd []float32, m, k, n, r0, r1 int, acc bool) {
 		// One packed panel is a [rows, kb] a-block starting at
 		// contraction offset p0: run the row kernel with b shifted to
 		// the same offset, accumulating for every panel after the
-		// first.
-		gemmPanelNN(od, pk, bd[p0*n:], r0, r1, kb, n, r0, acc || p0 > 0)
+		// first. The panel is already kc-sized, so the single-panel
+		// kernel entry applies directly (lda=kb, row i at (i-r0)·kb).
+		kernels.GemmPanelK(od, pk, bd[p0*n:], r0, r1, kb, n, kb, -r0*kb, acc || p0 > 0)
 	}
 	Default.PutBuf(pk)
 }
 
-// gemmTB computes out = a·bᵀ (a is [m,k], b is [n,k]) with a 4×4
-// register tile: sixteen scalar accumulators per tile give every loaded
-// a and b value four uses and the CPU sixteen independent dependency
-// chains. Both operands are k-contiguous, so no packing is needed.
+// gemmTB computes out = a·bᵀ (a is [m,k], b is [n,k]). With vector
+// kernels active, bᵀ is materialized once into pooled scratch — an
+// O(k·n) pass — so the O(m·k·n) work runs through the vectorized panel
+// kernel; each output element still accumulates sequentially over p,
+// so the result stays bit-identical to the dot-product reference. The
+// scalar fallback keeps the 4×4 register-tiled dot kernel: sixteen
+// scalar accumulators per tile give every loaded a and b value four
+// uses, and both operands are k-contiguous without packing.
 func gemmTB(out, a, b *Tensor) {
 	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	if kernels.Active() && m >= 2 {
+		// b is [n,k]; the panel kernel wants [k,n]. transposeRange
+		// reads column c of a [k,n] matrix into row c of the scratch —
+		// exactly bᵀᵀ — so with roles swapped (treating b as the [n,k]
+		// source) it writes bt[p*n+c] = b[c*k+p].
+		btd, bd := Default.GetBuf(n*k), b.data
+		if serialRows(k, 2*n*k) {
+			transposeRange(btd, bd, n, k, 0, k)
+		} else {
+			parallelRows(k, 2*n*k, func(c0, c1 int) {
+				transposeRange(btd, bd, n, k, c0, c1)
+			})
+		}
+		if serialRows(m, m*k*n) {
+			kernels.GemmPanel(out.data, a.data, btd, 0, m, k, n, 0, false)
+		} else {
+			parallelRows(m, m*k*n, func(r0, r1 int) {
+				kernels.GemmPanel(out.data, a.data, btd, r0, r1, k, n, 0, false)
+			})
+		}
+		Default.PutBuf(btd)
+		return
+	}
 	if serialRows(m, m*k*n) {
 		gemmTBPanel(out.data, a.data, b.data, 0, m, k, n)
 		return

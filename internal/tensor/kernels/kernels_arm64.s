@@ -1,0 +1,182 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// NEON microkernels. The bit-identity rule is the mirror image of the
+// amd64 one (see the package doc): gc fuses a*b+c into FMADD on arm64,
+// so these kernels accumulate with VFMLA — one fused rounding per step,
+// exactly like the compiled scalar reference. The GEMM kernels
+// vectorize across output columns only, keeping every output element's
+// accumulation over k a single sequential chain in panel order.
+
+// func gemmPanel4(o0, o1, o2, o3, a0, a1, a2, a3, b *float32, kb, n, nv int)
+//
+// For r in 0..3 and j in [0, nv): o_r[j] += Σ_{p<kb} a_r[p]·b[p·n+j].
+// nv is a positive multiple of 4; kb ≥ 1. Four-column strips: per p
+// step one b row segment is loaded once and feeds all four rows'
+// replicated multiply-accumulates.
+TEXT ·gemmPanel4(SB), NOSPLIT, $0-96
+	MOVD b+64(FP), R8
+	MOVD n+80(FP), R9
+	LSL  $2, R9              // b row stride in bytes
+	MOVD nv+88(FP), R11      // columns remaining
+	MOVD $0, R10             // current column offset in bytes
+
+gp4_jloop:
+	MOVD o0+0(FP), R14
+	ADD  R10, R14
+	VLD1 (R14), [V0.S4]
+	MOVD o1+8(FP), R14
+	ADD  R10, R14
+	VLD1 (R14), [V1.S4]
+	MOVD o2+16(FP), R14
+	ADD  R10, R14
+	VLD1 (R14), [V2.S4]
+	MOVD o3+24(FP), R14
+	ADD  R10, R14
+	VLD1 (R14), [V3.S4]
+	MOVD a0+32(FP), R4
+	MOVD a1+40(FP), R5
+	MOVD a2+48(FP), R6
+	MOVD a3+56(FP), R7
+	ADD  R8, R10, R12        // &b[j]
+	MOVD kb+72(FP), R13
+
+gp4_ploop:
+	VLD1  (R12), [V4.S4]     // b[p*n+j : +4]
+	VLD1R (R4), [V5.S4]
+	VFMLA V4.S4, V5.S4, V0.S4
+	VLD1R (R5), [V5.S4]
+	VFMLA V4.S4, V5.S4, V1.S4
+	VLD1R (R6), [V5.S4]
+	VFMLA V4.S4, V5.S4, V2.S4
+	VLD1R (R7), [V5.S4]
+	VFMLA V4.S4, V5.S4, V3.S4
+	ADD   $4, R4
+	ADD   $4, R5
+	ADD   $4, R6
+	ADD   $4, R7
+	ADD   R9, R12
+	SUB   $1, R13
+	CBNZ  R13, gp4_ploop
+
+	MOVD o0+0(FP), R14
+	ADD  R10, R14
+	VST1 [V0.S4], (R14)
+	MOVD o1+8(FP), R14
+	ADD  R10, R14
+	VST1 [V1.S4], (R14)
+	MOVD o2+16(FP), R14
+	ADD  R10, R14
+	VST1 [V2.S4], (R14)
+	MOVD o3+24(FP), R14
+	ADD  R10, R14
+	VST1 [V3.S4], (R14)
+	ADD  $16, R10
+	SUB  $4, R11
+	CBNZ R11, gp4_jloop
+
+	RET
+
+// func gemmPanel1(o, a, b *float32, kb, n, nv int)
+//
+// Single-row variant of gemmPanel4 for the <4 remainder rows.
+TEXT ·gemmPanel1(SB), NOSPLIT, $0-48
+	MOVD b+16(FP), R8
+	MOVD n+32(FP), R9
+	LSL  $2, R9
+	MOVD nv+40(FP), R11
+	MOVD $0, R10
+
+gp1_jloop:
+	MOVD o+0(FP), R14
+	ADD  R10, R14
+	VLD1 (R14), [V0.S4]
+	MOVD a+8(FP), R4
+	ADD  R8, R10, R12
+	MOVD kb+24(FP), R13
+
+gp1_ploop:
+	VLD1  (R12), [V4.S4]
+	VLD1R (R4), [V5.S4]
+	VFMLA V4.S4, V5.S4, V0.S4
+	ADD   $4, R4
+	ADD   R9, R12
+	SUB   $1, R13
+	CBNZ  R13, gp1_ploop
+
+	MOVD o+0(FP), R14
+	ADD  R10, R14
+	VST1 [V0.S4], (R14)
+	ADD  $16, R10
+	SUB  $4, R11
+	CBNZ R11, gp1_jloop
+
+	RET
+
+// func dotVec(a, b *float32, nv int) float32
+//
+// nv is a positive multiple of 16. Reassociation is allowed by Dot's
+// contract: the sum is split across four vector accumulators, merged by
+// multiplying with a ones vector (exact), then reduced lane by lane.
+TEXT ·dotVec(SB), NOSPLIT, $0-28
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	MOVD nv+16(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+
+dot_loop:
+	VLD1.P 64(R0), [V4.S4, V5.S4, V6.S4, V7.S4]
+	VLD1.P 64(R1), [V8.S4, V9.S4, V10.S4, V11.S4]
+	VFMLA  V4.S4, V8.S4, V0.S4
+	VFMLA  V5.S4, V9.S4, V1.S4
+	VFMLA  V6.S4, V10.S4, V2.S4
+	VFMLA  V7.S4, V11.S4, V3.S4
+	SUB    $16, R2
+	CBNZ   R2, dot_loop
+
+	// Merge the four accumulators: acc0 += acc_r * 1.0 is exact.
+	FMOVS $1.0, F12
+	VDUP  V12.S[0], V13.S4
+	VFMLA V1.S4, V13.S4, V0.S4
+	VFMLA V2.S4, V13.S4, V0.S4
+	VFMLA V3.S4, V13.S4, V0.S4
+
+	// Lane reduce.
+	VMOV  V0.S[0], R4
+	FMOVS R4, F0
+	VMOV  V0.S[1], R4
+	FMOVS R4, F1
+	FADDS F1, F0, F0
+	VMOV  V0.S[2], R4
+	FMOVS R4, F1
+	FADDS F1, F0, F0
+	VMOV  V0.S[3], R4
+	FMOVS R4, F1
+	FADDS F1, F0, F0
+	FMOVS F0, ret+24(FP)
+	RET
+
+// func axpyVec(alpha float32, x, y *float32, nv int)
+//
+// y[i] += alpha·x[i] for i < nv; nv is a positive multiple of 4.
+// VFMLA matches the FMADD gc emits for the scalar loop on arm64.
+TEXT ·axpyVec(SB), NOSPLIT, $0-32
+	MOVWU alpha+0(FP), R3
+	VDUP  R3, V8.S4
+	MOVD  x+8(FP), R0
+	MOVD  y+16(FP), R1
+	MOVD  nv+24(FP), R2
+
+axpy_loop:
+	VLD1.P 16(R0), [V0.S4]
+	VLD1   (R1), [V1.S4]
+	VFMLA  V0.S4, V8.S4, V1.S4
+	VST1.P [V1.S4], 16(R1)
+	SUB    $4, R2
+	CBNZ   R2, axpy_loop
+
+	RET

@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"medsplit/internal/tensor/kernels"
 )
 
 // Add returns a + b elementwise as a new tensor.
@@ -76,12 +78,11 @@ func Scaled(t *Tensor, s float32) *Tensor {
 }
 
 // AxpyInPlace sets t = t + alpha*x elementwise — the fused update used by
-// SGD-style optimizers.
+// SGD-style optimizers. It dispatches to the vector kernel layer, which
+// is bit-identical to the scalar loop per element.
 func (t *Tensor) AxpyInPlace(alpha float32, x *Tensor) {
 	mustSameShape("AxpyInPlace", t, x)
-	for i := range t.data {
-		t.data[i] += alpha * x.data[i]
-	}
+	kernels.Axpy(alpha, x.data, t.data)
 }
 
 // AddRowVector adds vector v (length = t.Dim(1)) to every row of the

@@ -3,6 +3,7 @@ package tensor
 import (
 	"math/bits"
 	"sync"
+	"unsafe"
 )
 
 // Pool recycles tensor backing storage through power-of-two size classes,
@@ -45,6 +46,43 @@ func sizeClass(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
+// Alignment guarantee: GetDirty and GetBuf hand out storage whose base
+// address is 32-byte aligned, so the AVX2/NEON kernels' vector loads
+// never straddle a cache line at the buffer start. The guarantee costs
+// nothing structurally — allocation classes are already powers of two,
+// and the Go allocator places power-of-two objects of ≥ alignFloats
+// elements (32 bytes) on size-class boundaries, which are 32-byte
+// aligned — so enforcing it is a floor on the smallest class plus a
+// defensive check when pulling from the pool. Alignment is a
+// performance property, not a correctness one: the kernels use
+// unaligned loads throughout.
+const (
+	alignBytes  = 32
+	alignFloats = alignBytes / 4
+	// minClass is sizeClass(alignFloats): no pooled allocation is
+	// smaller than one vector register.
+	minClass = 3
+)
+
+// aligned32 reports whether s's backing array starts on a 32-byte
+// boundary.
+func aligned32(s []float32) bool {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(s)))&(alignBytes-1) == 0
+}
+
+// alignedMake allocates a [n]float32 slice with the given power-of-two
+// capacity and a 32-byte-aligned base. The first attempt succeeds on
+// the gc allocator (see the alignment note above); the retry is a
+// defensive fallback that accepts an unaligned buffer rather than loop
+// forever on a hypothetical allocator without that property.
+func alignedMake(n, capacity int) []float32 {
+	s := make([]float32, n, capacity)
+	if aligned32(s) {
+		return s
+	}
+	return make([]float32, n, capacity)
+}
+
 // Get returns a zero-filled tensor of the given shape, reusing pooled
 // storage when available.
 func (p *Pool) Get(shape ...int) *Tensor {
@@ -56,7 +94,7 @@ func (p *Pool) Get(shape ...int) *Tensor {
 // GetDirty returns a tensor of the given shape whose contents are
 // undefined. Use it for outputs that every kernel invocation fully
 // overwrites (MatMulInto, Im2ColInto); anything accumulated into must go
-// through Get instead.
+// through Get instead. The backing storage is 32-byte aligned.
 func (p *Pool) GetDirty(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
@@ -65,35 +103,37 @@ func (p *Pool) GetDirty(shape ...int) *Tensor {
 		}
 		n *= d
 	}
-	cls := sizeClass(n)
-	if b, ok := p.classes[cls].Get().(*[]float32); ok && cap(*b) >= n {
-		buf := *b
-		*b = nil
-		p.boxes.Put(b)
-		return &Tensor{shape: append([]int(nil), shape...), data: buf[:n]}
-	}
-	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n, 1<<cls)}
+	return &Tensor{shape: append([]int(nil), shape...), data: p.getData(n)}
 }
 
-// GetBuf returns a raw scratch buffer of exactly n float32s with
-// undefined contents, skipping the Tensor wrapper (and its two header
-// allocations) for kernels that only ever touch the flat storage. Pair
-// every GetBuf with a PutBuf.
-func (p *Pool) GetBuf(n int) []float32 {
-	cls := sizeClass(n)
-	if b, ok := p.classes[cls].Get().(*[]float32); ok && cap(*b) >= n {
+// getData is the shared storage path behind GetDirty and GetBuf:
+// pooled when an aligned buffer of the class is available, freshly
+// allocated otherwise.
+func (p *Pool) getData(n int) []float32 {
+	cls := max(sizeClass(n), minClass)
+	if b, ok := p.classes[cls].Get().(*[]float32); ok && cap(*b) >= n && aligned32(*b) {
 		buf := *b
 		*b = nil
 		p.boxes.Put(b)
 		return buf[:n]
 	}
-	return make([]float32, n, 1<<cls)
+	return alignedMake(n, 1<<cls)
+}
+
+// GetBuf returns a raw scratch buffer of exactly n float32s with
+// undefined contents, skipping the Tensor wrapper (and its two header
+// allocations) for kernels that only ever touch the flat storage. The
+// backing storage is 32-byte aligned. Pair every GetBuf with a PutBuf.
+func (p *Pool) GetBuf(n int) []float32 {
+	return p.getData(n)
 }
 
 // PutBuf returns a GetBuf buffer to the pool. The buffer must not be
 // used afterwards.
 func (p *Pool) PutBuf(buf []float32) {
-	if cap(buf) == 0 || cap(buf)&(cap(buf)-1) != 0 {
+	// Sub-vector capacities are never handed out again (getData floors
+	// at minClass), so don't retain them.
+	if cap(buf) < alignFloats || cap(buf)&(cap(buf)-1) != 0 {
 		return
 	}
 	b, _ := p.boxes.Get().(*[]float32)
@@ -112,9 +152,10 @@ func (p *Pool) Put(t *Tensor) {
 		return
 	}
 	buf := t.data[:cap(t.data)]
-	// Only pool power-of-two capacities: anything else (FromSlice-wrapped
-	// storage) would silently shrink its class on the next Get.
-	if cap(buf)&(cap(buf)-1) != 0 {
+	// Only pool power-of-two capacities of at least one vector register:
+	// anything else (FromSlice-wrapped storage) would silently shrink its
+	// class on the next Get, and sub-vector buffers are never reissued.
+	if cap(buf) < alignFloats || cap(buf)&(cap(buf)-1) != 0 {
 		return
 	}
 	b, _ := p.boxes.Get().(*[]float32)

@@ -1,0 +1,38 @@
+package medsplit
+
+import (
+	"testing"
+
+	"medsplit/internal/experiment"
+)
+
+// BenchmarkServeLoadPrecision runs the full multi-tenant serving load
+// harness — 100 platforms × 4 tenants over the simulated geo-WAN, the
+// same matrix as TestServeLoad100Platforms4Tenants — once per inference
+// precision, so the committed BENCH_serve.json records the int8-vs-f32
+// comparison at scale, not just the per-request micro path. Client-
+// observed p50/p99 latency and throughput land as custom metrics.
+// Responses are shape-checked by the harness; logit accuracy bounds for
+// int8 are asserted by internal/serve/precision_test.go.
+func BenchmarkServeLoadPrecision(b *testing.B) {
+	for _, prec := range []string{"f32", "int8"} {
+		b.Run(prec, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunServeLoad(experiment.ServeLoadConfig{
+					Tenants:             4,
+					Platforms:           100,
+					RequestsPerPlatform: 2,
+					InferPrecision:      prec,
+					Seed:                42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.InferP50.Microseconds())/1e3, "p50-ms")
+				b.ReportMetric(float64(res.InferP99.Microseconds())/1e3, "p99-ms")
+				b.ReportMetric(res.InferReqPerSec, "req-per-s")
+			}
+		})
+	}
+}
