@@ -12,10 +12,13 @@ BENCH_PATTERN ?= BenchmarkMatMul|BenchmarkMatMulTA|BenchmarkMatMulTB|BenchmarkIm
 
 # Packages with concurrency worth racing: the pipelined scheduler, the
 # async transport wrappers, the simulated-WAN transport (including the
-# 100-platform scale-out soak), the parameter-server baseline, the
-# parallel tensor kernels, the replication tier's write-ahead log and
-# the multi-tenant serving tier (scheduler + batchers + shared gate).
-RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/simnet/... ./internal/syncsgd/... ./internal/tensor/... ./internal/wal/... ./internal/serve/...
+# 100-platform scale-out soak), the parameter-server baselines (sync
+# SGD and FedAvg), the parallel tensor kernels, the replication tier's
+# write-ahead log, the multi-tenant serving tier (scheduler + batchers
+# + shared gate) and the experiment runners that drive real
+# goroutine-per-party sessions (including the relaxed-consistency
+# differential suite).
+RACE_PKGS = ./internal/core/... ./internal/transport/... ./internal/simnet/... ./internal/syncsgd/... ./internal/fedavg/... ./internal/tensor/... ./internal/wal/... ./internal/serve/... ./internal/experiment/...
 
 # Minimum statement coverage the cover target enforces for the engine's
 # load-bearing packages. The scenario-matrix, simnet and WAL suites
@@ -26,8 +29,9 @@ COVER_MIN_transport  = 87
 COVER_MIN_simnet     = 90
 COVER_MIN_wal        = 85
 COVER_MIN_serve      = 80
+COVER_MIN_fedavg     = 82
 
-.PHONY: test bench bench-save bench-save-tensor bench-smoke bench-compare bench-save-serve load-test chaos-test fuzz-smoke cover vuln race vet fmt-check purego-test cross-arm64 ci
+.PHONY: test bench bench-save bench-save-tensor bench-smoke bench-compare bench-save-serve bench-save-consistency load-test chaos-test fuzz-smoke cover vuln race vet fmt-check purego-test cross-arm64 ci
 
 test:
 	$(GO) build ./...
@@ -79,7 +83,7 @@ fuzz-smoke:
 # a hard minimum-coverage gate on the packages the scenario matrix
 # protects (runs in CI's cover job).
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/wire/ ./internal/transport/ ./internal/simnet/ ./internal/wal/ ./internal/serve/ | tee cover-packages.txt
+	$(GO) test -coverprofile=cover.out ./internal/core/ ./internal/wire/ ./internal/transport/ ./internal/simnet/ ./internal/wal/ ./internal/serve/ ./internal/fedavg/ | tee cover-packages.txt
 	@if grep -q '^FAIL' cover-packages.txt; then \
 		echo "cover: test failures (tee hides the pipeline status; see above)"; exit 1; \
 	fi
@@ -90,7 +94,8 @@ cover:
 		"medsplit/internal/transport:$(COVER_MIN_transport)" \
 		"medsplit/internal/simnet:$(COVER_MIN_simnet)" \
 		"medsplit/internal/wal:$(COVER_MIN_wal)" \
-		"medsplit/internal/serve:$(COVER_MIN_serve)"; do \
+		"medsplit/internal/serve:$(COVER_MIN_serve)" \
+		"medsplit/internal/fedavg:$(COVER_MIN_fedavg)"; do \
 		pkg=$${spec%%:*}; min=$${spec##*:}; \
 		pct=$$(awk -v pkg="$$pkg" '$$1 == "ok" && $$2 == pkg { for (i = 3; i <= NF; i++) if ($$i == "coverage:") { sub(/%$$/, "", $$(i+1)); print $$(i+1) } }' cover-packages.txt); \
 		if [ -z "$$pct" ]; then echo "cover gate: no coverage reported for $$pkg"; exit 1; fi; \
@@ -122,7 +127,7 @@ bench:
 # regenerable. -benchmem is load-bearing: it puts allocs/op on every
 # line, so the JSON trajectory tracks the wire path's allocation wins.
 bench-smoke:
-	$(GO) test -bench 'BenchmarkMatMul|BenchmarkSplitRound|BenchmarkCodec|BenchmarkSimnetRound|BenchmarkServeInfer' -benchmem -benchtime 1x -run NONE ./internal/tensor/ ./internal/compress/ ./internal/serve/ . \
+	$(GO) test -bench 'BenchmarkMatMul|BenchmarkSplitRound|BenchmarkCodec|BenchmarkSimnetRound|BenchmarkServeInfer|BenchmarkConsistencyModes' -benchmem -benchtime 1x -run NONE ./internal/tensor/ ./internal/compress/ ./internal/serve/ . \
 		| $(GO) run ./cmd/benchjson > /dev/null
 	@echo bench-smoke ok
 
@@ -145,6 +150,8 @@ bench-compare:
 	{ GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeInfer' -benchmem -benchtime 200x -run NONE ./internal/serve/; \
 	  GOMAXPROCS=1 $(GO) test -bench 'BenchmarkServeLoadPrecision' -benchmem -benchtime 1x -run NONE .; } \
 		| $(GO) run ./cmd/benchjson -compare BENCH_serve.json -skip-ns
+	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkConsistencyModes' -benchmem -benchtime 2x -run NONE . \
+		| $(GO) run ./cmd/benchjson -compare BENCH_consistency.json -skip-ns
 	@echo bench-compare ok
 
 # The multi-tenant serving load test at issue scale: 100 platforms x 4
@@ -212,6 +219,19 @@ bench-save-wal:
 		-note 'failover correctness (bit-identical digests after a mid-round leader kill) is asserted by internal/core and internal/experiment tests, not benchmarked here' \
 		> BENCH_wal.json
 	@echo wrote BENCH_wal.json
+
+# Refresh the consistency-spectrum baseline: one straggler-loaded
+# session per round mode over the simulated WAN. allocs/op is the gated
+# number; sim-ms/round and accuracy record the frontier shape on pinned
+# hardware (the full sweep is experiment.RunConsistencyFrontier, run
+# nightly via FRONTIER_SOAK=1).
+bench-save-consistency:
+	GOMAXPROCS=1 $(GO) test -bench 'BenchmarkConsistencyModes' -benchmem -benchtime 2x -run NONE . \
+		| $(GO) run ./cmd/benchjson \
+		-note '25 synthetic clinics (seed 23), 10% compute stragglers at 8x the 5ms base, 2ms server compute; sim-ms/round is virtual wall-clock per round' \
+		-note 'pipelined arm reports the analytic estimate (its async stamps make measured elapsed noisy); all other arms are measured and deterministic' \
+		> BENCH_consistency.json
+	@echo wrote BENCH_consistency.json
 
 # Refresh the serving-tier baseline: one split-inference round trip
 # through the multi-tenant path (front forward, request codec, batcher,

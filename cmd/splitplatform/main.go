@@ -9,6 +9,12 @@
 // every process independently computes the same shards. Exactly one
 // platform should pass -evaluator when -evalevery is non-zero.
 //
+// The server's round mode (-concat, -pipeline, -stale, -splitfed on
+// splitserver) needs no matching flag here: the platform always walks
+// its session in order and blocks on the server's replies, so the
+// server's processing order alone decides the consistency model. The
+// handshake ack tells the platform which mode it landed in.
+//
 // Long runs survive interruptions: -checkpoint-dir/-checkpoint-every
 // write session snapshots at round boundaries (plus a last-boundary
 // snapshot if the session dies mid-round), SIGINT/SIGTERM triggers a

@@ -12,6 +12,15 @@
 //	splitplatform -addr 127.0.0.1:7700 -id 0 -platforms 2 -rounds 40 -evaluator
 //	splitplatform -addr 127.0.0.1:7700 -id 1 -platforms 2 -rounds 40
 //
+// Scheduling sits on a consistency spectrum (README "Consistency
+// spectrum"). The default sequential mode, -concat and -pipeline N all
+// train bit-identically to sequential; -stale K relaxes that to
+// bounded staleness (each exchange may miss at most K rounds of the
+// other platforms' updates; K=0 keeps the sequential schedule), and
+// -splitfed runs platforms local-parallel between -l1sync averaging
+// boundaries. The relaxed modes need no platform-side flags: the
+// server's processing order alone decides the consistency model.
+//
 // Long runs survive interruptions: -checkpoint-dir/-checkpoint-every
 // write session snapshots at round boundaries, SIGINT/SIGTERM triggers
 // a final checkpoint and a clean exit, and -resume continues from a
@@ -78,6 +87,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "shared model seed")
 		concat     = flag.Bool("concat", false, "concatenated round mode instead of sequential")
 		pipeline   = flag.Int("pipeline", 0, "pipelined round mode with the given in-flight depth (0 = off)")
+		stale      = flag.Int("stale", -1, "bounded-staleness round mode with cap K (-1 = off; 0 = sequential schedule)")
+		splitfed   = flag.Bool("splitfed", false, "splitfed local-parallel round mode (requires -l1sync >= 1)")
 		l1sync     = flag.Int("l1sync", 0, "average platform L1 weights every N rounds (0 = off)")
 		evalEvery  = flag.Int("evalevery", 10, "evaluation phase every N rounds (0 = off)")
 		codec      = flag.String("codec", "raw", "activation codec: raw, f16, int8, topk-<frac>")
@@ -121,7 +132,8 @@ func main() {
 	opts := serverOpts{
 		addr: *addr, platforms: *platforms, rounds: *rounds, arch: *arch,
 		classes: *classes, width: *width, lr: float32(*lr), seed: *seed,
-		concat: *concat, pipeline: *pipeline, l1sync: *l1sync, evalEvery: *evalEvery,
+		concat: *concat, pipeline: *pipeline, stale: *stale, splitfed: *splitfed,
+		l1sync: *l1sync, evalEvery: *evalEvery,
 		codec: *codec, loadPath: *loadPath, savePath: *savePath,
 		ckptDir: *ckptDir, ckptEvery: *ckptEvery, resumeDir: *resumeDir,
 		rejoinWindow: *rejoinWin, rejoinWait: *rejoinWait,
@@ -152,6 +164,8 @@ type serverOpts struct {
 	seed               uint64
 	concat             bool
 	pipeline           int
+	stale              int
+	splitfed           bool
 	l1sync, evalEvery  int
 	codec              string
 	loadPath, savePath string
@@ -207,14 +221,32 @@ func run(o serverOpts) error {
 		fmt.Printf("splitserver: resuming at round %d from %s\n", startRound, o.resumeDir)
 	}
 	mode := core.RoundModeSequential
+	picked := 0
 	if o.concat {
 		mode = core.RoundModeConcat
+		picked++
 	}
 	if o.pipeline > 0 {
-		if o.concat {
-			return fmt.Errorf("-concat and -pipeline are mutually exclusive")
-		}
 		mode = core.RoundModePipelined
+		picked++
+	}
+	if o.stale >= 0 {
+		mode = core.RoundModeBoundedStaleness
+		picked++
+	}
+	if o.splitfed {
+		if o.l1sync < 1 {
+			return fmt.Errorf("-splitfed requires -l1sync >= 1 (the averaging period is the staleness cap)")
+		}
+		mode = core.RoundModeSplitFed
+		picked++
+	}
+	if picked > 1 {
+		return fmt.Errorf("-concat, -pipeline, -stale and -splitfed are mutually exclusive")
+	}
+	staleness := 0
+	if o.stale > 0 {
+		staleness = o.stale
 	}
 	scfg := core.ServerConfig{
 		Back:            back,
@@ -224,6 +256,7 @@ func run(o serverOpts) error {
 		StartRound:      startRound,
 		Mode:            mode,
 		PipelineDepth:   o.pipeline,
+		Staleness:       staleness,
 		ClipGrads:       5,
 		L1SyncEvery:     o.l1sync,
 		EvalEvery:       o.evalEvery,

@@ -45,10 +45,23 @@ type RoundMode int
 // with a ShadowFront additionally overlap their local L1 backward with
 // the next batch's forward (one-step-stale L1 weights, same final
 // accuracy — see README "Scheduling modes").
+// BoundedStaleness and SplitFed relax that bit-identical contract in
+// exchange for wall-clock (see README "Consistency spectrum").
+// BoundedStaleness applies each platform's updates as they arrive, but
+// caps how far any platform may run ahead of the slowest one at
+// ServerConfig.Staleness rounds; a cap of 0 degenerates to — and is
+// scheduled by — the sequential scheduler, so it is bit-identical to
+// RoundModeSequential by construction. SplitFed removes the cap
+// entirely within an averaging period: platforms train local-parallel
+// against per-arrival server updates and their L1 halves are averaged
+// every L1SyncEvery rounds through the session state machine's sync
+// phase (which reuses internal/fedavg's aggregation math).
 const (
 	RoundModeSequential RoundMode = iota + 1
 	RoundModeConcat
 	RoundModePipelined
+	RoundModeBoundedStaleness
+	RoundModeSplitFed
 )
 
 // String names the mode.
@@ -60,6 +73,10 @@ func (m RoundMode) String() string {
 		return "concat"
 	case RoundModePipelined:
 		return "pipelined"
+	case RoundModeBoundedStaleness:
+		return "bounded-staleness"
+	case RoundModeSplitFed:
+		return "splitfed"
 	default:
 		return fmt.Sprintf("roundmode(%d)", int(m))
 	}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"medsplit/internal/dataset"
+	"medsplit/internal/nn"
+	"medsplit/internal/rng"
+	"medsplit/internal/transport/testutil"
+)
+
+// relaxedRun executes one full split session on a fixed-seed
+// 3-platform MLP workload under the given scheduling mode and returns
+// the final parameters (per-platform fronts, then the server back).
+// All randomness is pinned, so two runs with the same arguments must be
+// bit-identical — the property the differential tests below lean on.
+func relaxedRun(t *testing.T, mode RoundMode, staleness, l1sync, rounds int) ([][]*nn.Param, []*PlatformStats) {
+	t.Helper()
+	testutil.VerifyNoLeaks(t)
+	const K = 3
+	train, _ := testData(t, 4, 240, 60, 93)
+	flat := flatten(train)
+	in := flat.X.Dim(1)
+
+	fronts, back := buildFronts(t, 313, K, in, 4)
+	shards := dataset.ShardIID(flat.Len(), K, rng.New(94))
+	srv := defaultServer(t, back, K, rounds, func(c *ServerConfig) {
+		c.Mode = mode
+		c.Staleness = staleness
+		c.L1SyncEvery = l1sync
+	})
+	platforms := make([]*Platform, K)
+	for k := 0; k < K; k++ {
+		platforms[k] = defaultPlatform(t, k, fronts[k], flat.Subset(shards[k]), rounds, func(c *PlatformConfig) {
+			c.L1SyncEvery = l1sync
+		})
+	}
+	stats, err := RunLocal(srv, platforms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([][]*nn.Param, 0, K+1)
+	for k := 0; k < K; k++ {
+		params = append(params, fronts[k].Params())
+	}
+	params = append(params, back.Params())
+	return params, stats
+}
+
+// The acceptance bar for the bounded-staleness mode: at K=0 it is
+// scheduled by the very same sequential scheduler, so the whole model —
+// every platform front and the server back — must match sequential
+// training down to the float bit pattern.
+func TestBoundedStalenessK0BitIdenticalToSequential(t *testing.T) {
+	const rounds = 12
+	seq, _ := relaxedRun(t, RoundModeSequential, 0, 0, rounds)
+	bs, _ := relaxedRun(t, RoundModeBoundedStaleness, 0, 0, rounds)
+	assertParamsBitIdentical(t, "bounded-staleness K=0 vs sequential", seq, bs)
+}
+
+// K=0 with periodic L1 sync still routes through the sequential
+// scheduler; the sync boundary must not disturb the equivalence.
+func TestBoundedStalenessK0WithSyncBitIdentical(t *testing.T) {
+	const rounds = 8
+	seq, _ := relaxedRun(t, RoundModeSequential, 0, 2, rounds)
+	bs, _ := relaxedRun(t, RoundModeBoundedStaleness, 0, 2, rounds)
+	assertParamsBitIdentical(t, "bounded-staleness K=0 + L1 sync vs sequential", seq, bs)
+}
+
+// paramsDiffer reports whether any scalar differs between the two
+// parameter sets.
+func paramsDiffer(a, b [][]*nn.Param) bool {
+	for s := range a {
+		for i := range a[s] {
+			x, y := a[s][i].W.Data(), b[s][i].W.Data()
+			for j := range x {
+				if math.Float32bits(x[j]) != math.Float32bits(y[j]) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// K >= 1 runs staggered half-exchange windows, so the optimizer step
+// order genuinely changes: the trajectory must diverge from sequential
+// (the mode is not a no-op) yet reproduce itself bit for bit under the
+// same seeds, and still make training progress.
+func TestBoundedStalenessDeterministicAndDiverges(t *testing.T) {
+	const rounds = 12
+	a, astats := relaxedRun(t, RoundModeBoundedStaleness, 2, 0, rounds)
+	b, _ := relaxedRun(t, RoundModeBoundedStaleness, 2, 0, rounds)
+	assertParamsBitIdentical(t, "bounded-staleness K=2 repeat", a, b)
+
+	seq, _ := relaxedRun(t, RoundModeSequential, 0, 0, rounds)
+	if !paramsDiffer(seq, a) {
+		t.Fatal("bounded-staleness K=2 matched sequential bit for bit; the relaxed schedule is not engaging")
+	}
+	for k, st := range astats {
+		if len(st.Rounds) != rounds {
+			t.Fatalf("platform %d recorded %d rounds, want %d", k, len(st.Rounds), rounds)
+		}
+	}
+	if astats[0].FinalLoss() >= astats[0].Rounds[0].Loss {
+		t.Fatalf("bounded-staleness loss did not decrease: %v -> %v",
+			astats[0].Rounds[0].Loss, astats[0].FinalLoss())
+	}
+}
+
+// SplitFed local-parallel training: windows span whole averaging
+// periods, every platform's L1 half is averaged at each sync boundary,
+// and the run is deterministic. After the final sync round the fronts
+// must be bit-identical across platforms — the averaging leaves every
+// platform with the same L1 weights.
+func TestSplitFedDeterministicAndAveragesFronts(t *testing.T) {
+	const rounds, sync = 12, 3 // rounds%sync == 0: the last round is a sync boundary
+	a, astats := relaxedRun(t, RoundModeSplitFed, 0, sync, rounds)
+	b, _ := relaxedRun(t, RoundModeSplitFed, 0, sync, rounds)
+	assertParamsBitIdentical(t, "splitfed repeat", a, b)
+
+	fronts := a[:len(a)-1]
+	for k := 1; k < len(fronts); k++ {
+		for i := range fronts[0] {
+			x, y := fronts[0][i].W.Data(), fronts[k][i].W.Data()
+			for j := range x {
+				if math.Float32bits(x[j]) != math.Float32bits(y[j]) {
+					t.Fatalf("platform %d front param %d differs from platform 0 after final sync", k, i)
+				}
+			}
+		}
+	}
+	if astats[0].FinalLoss() >= astats[0].Rounds[0].Loss {
+		t.Fatalf("splitfed loss did not decrease: %v -> %v",
+			astats[0].Rounds[0].Loss, astats[0].FinalLoss())
+	}
+}
+
+// Relaxed-mode configuration gates: the windowed scheduler runs
+// exchanges ahead of the session loop's round counter, so features that
+// assume synchronized round boundaries are rejected up front.
+func TestRelaxedModeConfigValidation(t *testing.T) {
+	train, _ := testData(t, 2, 32, 8, 95)
+	flat := flatten(train)
+	_, back := buildFronts(t, 317, 1, flat.X.Dim(1), 2)
+	base := func() ServerConfig {
+		return ServerConfig{Back: back, Opt: &nn.SGD{LR: 0.05}, Platforms: 1, Rounds: 4}
+	}
+
+	cfg := base()
+	cfg.Staleness = -1
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("negative staleness accepted")
+	}
+	cfg = base()
+	cfg.Staleness = 2 // without BoundedStaleness mode
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("staleness outside bounded-staleness mode accepted")
+	}
+	cfg = base()
+	cfg.Mode = RoundModeSplitFed
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("splitfed without L1SyncEvery accepted")
+	}
+	cfg = base()
+	cfg.Mode = RoundModeBoundedStaleness
+	cfg.Staleness = 1
+	cfg.CheckpointDir = t.TempDir()
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("relaxed mode with checkpoints accepted")
+	}
+	cfg = base()
+	cfg.Mode = RoundModeBoundedStaleness
+	cfg.Recovery = &RecoveryConfig{}
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("relaxed mode with dropout recovery accepted")
+	}
+	cfg = base()
+	cfg.Mode = RoundModeSplitFed
+	cfg.L1SyncEvery = 2
+	cfg.Replication = &ReplicationConfig{}
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("relaxed mode with replication accepted")
+	}
+	cfg = base()
+	cfg.Mode = RoundModeBoundedStaleness
+	cfg.LRSchedule = nn.StepDecay(0.05, 0.5, 1)
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("relaxed mode with LR schedule accepted")
+	}
+
+	cfg = base()
+	cfg.Mode = RoundModeBoundedStaleness
+	cfg.Staleness = 4
+	if _, err := NewServer(cfg); err != nil {
+		t.Fatalf("valid bounded-staleness config rejected: %v", err)
+	}
+	cfg = base()
+	cfg.Mode = RoundModeSplitFed
+	cfg.L1SyncEvery = 2
+	if _, err := NewServer(cfg); err != nil {
+		t.Fatalf("valid splitfed config rejected: %v", err)
+	}
+}

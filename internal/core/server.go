@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"medsplit/internal/fedavg"
 	"medsplit/internal/nn"
 	"medsplit/internal/tensor"
 	"medsplit/internal/transport"
@@ -28,8 +29,15 @@ type ServerConfig struct {
 	// checkpoint's NextRound when resuming (see RestoreSnapshot). All
 	// parties must agree; the handshake validates it.
 	StartRound int
-	// Mode selects Sequential (default), Concat or Pipelined scheduling.
+	// Mode selects Sequential (default), Concat, Pipelined,
+	// BoundedStaleness or SplitFed scheduling.
 	Mode RoundMode
+	// Staleness is the bounded-staleness cap K: a platform's exchange
+	// may train against server state missing at most K rounds of the
+	// other platforms' updates. 0 (the default) is scheduled by the
+	// sequential scheduler and therefore bit-identical to
+	// RoundModeSequential. Only valid with RoundModeBoundedStaleness.
+	Staleness int
 	// PipelineDepth bounds how many rounds of platform messages the
 	// pipelined mode's per-connection readers may buffer ahead of the
 	// compute loop (and is advertised to platforms at the handshake so
@@ -125,9 +133,45 @@ func (cfg *ServerConfig) validate() error {
 		cfg.Mode = RoundModeSequential
 	}
 	switch cfg.Mode {
-	case RoundModeSequential, RoundModeConcat, RoundModePipelined:
+	case RoundModeSequential, RoundModeConcat, RoundModePipelined,
+		RoundModeBoundedStaleness, RoundModeSplitFed:
 	default:
 		return fmt.Errorf("%w: round mode %v", ErrConfig, cfg.Mode)
+	}
+	if cfg.Staleness < 0 {
+		return fmt.Errorf("%w: staleness cap %d", ErrConfig, cfg.Staleness)
+	}
+	if cfg.Staleness > 0 && cfg.Mode != RoundModeBoundedStaleness {
+		return fmt.Errorf("%w: staleness cap %d requires RoundModeBoundedStaleness", ErrConfig, cfg.Staleness)
+	}
+	if relaxedMode(cfg.Mode) {
+		// The relaxed schedulers run platform exchanges ahead of the
+		// session loop's round counter, so every per-round side effect
+		// that assumes a fully synchronized boundary is rejected rather
+		// than silently wrong: checkpoints would snapshot mid-window
+		// state, recovery/replication reconcile per-round positions, and
+		// a schedule would apply round r's learning rate to later rounds.
+		if cfg.CheckpointDir != "" {
+			return fmt.Errorf("%w: checkpoints require a synchronized round mode, got %v", ErrConfig, cfg.Mode)
+		}
+		if cfg.Recovery != nil {
+			return fmt.Errorf("%w: dropout recovery requires RoundModeSequential, got %v", ErrConfig, cfg.Mode)
+		}
+		if cfg.Back != nil && !nn.ReplaySafe(cfg.Back) {
+			// The staggered scheduler rebuilds the back half's backward
+			// cache by replaying its forward pass; stateful or stochastic
+			// layers would advance twice per exchange.
+			return fmt.Errorf("%w: %v requires a replay-safe back half (no stateful or stochastic layers)", ErrConfig, cfg.Mode)
+		}
+		if cfg.Replication != nil {
+			return fmt.Errorf("%w: replication requires a synchronized round mode, got %v", ErrConfig, cfg.Mode)
+		}
+		if cfg.LRSchedule != nil {
+			return fmt.Errorf("%w: LR schedules require a synchronized round mode, got %v", ErrConfig, cfg.Mode)
+		}
+	}
+	if cfg.Mode == RoundModeSplitFed && cfg.L1SyncEvery <= 0 {
+		return fmt.Errorf("%w: RoundModeSplitFed requires L1SyncEvery >= 1 (the averaging period)", ErrConfig)
 	}
 	if cfg.PipelineDepth < 0 {
 		return fmt.Errorf("%w: pipeline depth %d", ErrConfig, cfg.PipelineDepth)
@@ -251,9 +295,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		gradDec:   make([][]*tensor.Tensor, cfg.Platforms),
 		labelsDec: make([][]int, cfg.Platforms),
 	}
-	if cfg.Mode == RoundModeConcat {
+	switch {
+	case cfg.Mode == RoundModeConcat:
 		s.sched = concatScheduler{}
-	} else {
+	case cfg.Mode == RoundModeBoundedStaleness && cfg.Staleness > 0:
+		s.sched = &windowScheduler{window: cfg.Staleness + 1}
+	case cfg.Mode == RoundModeSplitFed:
+		s.sched = &windowScheduler{} // unbounded within an averaging period
+	default:
+		// Sequential, pipelined, and bounded-staleness at K=0: the
+		// K=0 bit-identity guarantee holds by construction because it
+		// runs the very same scheduler as RoundModeSequential.
 		s.sched = sequentialScheduler{}
 	}
 	if cfg.Replication != nil {
@@ -538,6 +590,11 @@ func (s *Server) handshake() error {
 			// overlap their local L1 backward with the next forward.
 			ack = fmt.Sprintf("%s;depth=%d", ack, s.cfg.PipelineDepth)
 		}
+		if s.cfg.Mode == RoundModeBoundedStaleness {
+			// Informational: platforms run the plain session walk in
+			// every relaxed mode; the cap only changes server scheduling.
+			ack = fmt.Sprintf("%s;k=%d", ack, s.cfg.Staleness)
+		}
 		return s.send(conn, &wire.Message{
 			Type:     wire.MsgHelloAck,
 			Platform: uint32(k),
@@ -696,6 +753,69 @@ func (s *Server) seqExchange(k, r int) error {
 		}
 	}
 	return nil
+}
+
+// exchangeFront runs the first half of platform k's round-r exchange:
+// receive the cut activations, forward them through the back half and
+// ship the logits. It returns the logits so exchangeBack can validate
+// the loss gradient against them, or nil when the exchange completed
+// entirely (label-sharing mode has no logits leg: the server owns the
+// loss, so the whole exchange runs front to back with no mid-exchange
+// round trip to overlap).
+//
+// The relaxed schedulers call the two halves with other platforms'
+// halves in between, which moves each platform's logits → loss-grad
+// turnaround off the server's serial path. The shared back model holds
+// only one backward cache, so exchangeBack replays the forward to
+// rebuild it — NewServer rejects relaxed configs whose back half is
+// not nn.ReplaySafe.
+func (s *Server) exchangeFront(k, r int) (*tensor.Tensor, error) {
+	ps := s.reg.state(k)
+	a, err := s.recvActs(ps.conn, r, k)
+	if err != nil {
+		return nil, err
+	}
+	s.lastBatch[k] = a.Dim(0)
+	if s.cfg.LabelSharing {
+		labels, err := s.recvLabels(ps.conn, r, k, a.Dim(0))
+		if err != nil {
+			return nil, err
+		}
+		release := s.acquireCompute()
+		z := s.cfg.Back.Forward(a, true)
+		lossVal, dz := s.cfg.Loss.Loss(z, labels)
+		da := s.backwardStep(dz)
+		release()
+		return nil, s.sendCutGrad(ps, k, r, da, lossVal)
+	}
+	release := s.acquireCompute()
+	z := s.cfg.Back.Forward(a, true)
+	release()
+	return z, s.send(ps.conn, &wire.Message{
+		Type:     wire.MsgLogits,
+		Platform: uint32(k),
+		Round:    uint32(r),
+		Payload:  s.encLogits.encode(s.cfg.Codec, z),
+	}, k, r)
+}
+
+// exchangeBack finishes a split exchange opened by exchangeFront:
+// receive the loss gradient, replay the forward to rebuild the back
+// half's backward cache (other platforms' forwards overwrote it since
+// the front half ran), then backward, step, and ship the cut gradient.
+// The replay reuses platform k's decoded activations, which stay valid
+// until its next exchangeFront.
+func (s *Server) exchangeBack(k, r int, z *tensor.Tensor) error {
+	ps := s.reg.state(k)
+	dz, err := s.recvLossGrad(ps.conn, r, k, z)
+	if err != nil {
+		return err
+	}
+	release := s.acquireCompute()
+	s.cfg.Back.Forward(s.actsDec[k][0], true)
+	da := s.backwardStep(dz)
+	release()
+	return s.sendCutGrad(ps, k, r, da, 0)
 }
 
 // backwardStep runs the server backward pass and optimizer step for
@@ -941,23 +1061,16 @@ func (s *Server) l1Sync(r int) error {
 	if len(lists) == 0 {
 		return fmt.Errorf("%w: L1 sync with no active platforms", ErrProtocol)
 	}
-	// Weighted average into fresh tensors.
+	// Weighted average into fresh tensors. The arithmetic is the
+	// parameter-averaging kernel shared with the FedAvg baseline, so
+	// SplitFed's periodic averaging and standalone FedAvg agree bit for
+	// bit on how platform weights combine.
 	avg := make([]*tensor.Tensor, len(lists[0]))
-	var totalW float64
-	for _, w := range weights {
-		totalW += w
-	}
-	if totalW == 0 {
-		return fmt.Errorf("%w: L1 sync before any training batch", ErrProtocol)
-	}
 	for i := range avg {
 		avg[i] = tensor.New(lists[0][i].Shape()...)
-		for k, ts := range lists {
-			if !tensor.SameShape(ts[i], avg[i]) {
-				return fmt.Errorf("%w: L1 tensor %d shape %v, want %v", ErrProtocol, i, ts[i].Shape(), avg[i].Shape())
-			}
-			avg[i].AxpyInPlace(float32(weights[k]/totalW), ts[i])
-		}
+	}
+	if err := fedavg.AverageInto(avg, lists, weights); err != nil {
+		return fmt.Errorf("%w: L1 sync: %v", ErrProtocol, err)
 	}
 	payload := wire.EncodeTensors(avg...)
 	return s.reg.eachActive(func(k int, ps *platformState) error {

@@ -98,6 +98,25 @@ type Config struct {
 	// the budget run synchronously with identical results. 0 = no cap.
 	// Requires Pipelined. See core.ServerConfig.IOGoroutineBudget.
 	PipelineIOBudget int
+	// BoundedStaleness uses the server's bounded-staleness round mode:
+	// per-platform updates apply as each platform's exchange arrives, in
+	// platform-major windows of Staleness+1 rounds. Mutually exclusive
+	// with ConcatRounds, Pipelined and SplitFed; incompatible with
+	// checkpoints, resume, dropout recovery and replication (the relaxed
+	// scheduler runs ahead of synchronized round boundaries). Split
+	// scheme only.
+	BoundedStaleness bool
+	// Staleness is the bounded-staleness cap K: a platform may run at
+	// most K rounds ahead of the slowest platform's last applied
+	// update. K=0 is provably bit-identical to sequential scheduling.
+	// Requires BoundedStaleness.
+	Staleness int
+	// SplitFed runs the SplitFed-style local-parallel mode: platforms
+	// train front halves through whole averaging periods back to back,
+	// and every L1SyncEvery rounds the server averages the fronts
+	// (fedavg's aggregation rule) before anyone continues. Requires
+	// L1SyncEvery >= 1; same exclusions as BoundedStaleness.
+	SplitFed bool
 	// Codec names the activation-path compression codec ("raw", "f16",
 	// "int8", "topk-<frac>"; default "raw"). Split scheme only.
 	Codec string
@@ -134,6 +153,18 @@ type Config struct {
 	// to simulated transfers (see simnet.Options.Jitter). Requires
 	// SimWAN.
 	SimJitter float64
+	// SimComputeServer charges the simulated server this much back-half
+	// compute (forward+backward+step) per received activations message,
+	// and folds the same duration into the analytic round-time
+	// estimators. Requires Topology.
+	SimComputeServer time.Duration
+	// SimCompute is the per-platform front-half compute profile: entry
+	// k is charged to platform k's virtual clock each time it ships a
+	// loss gradient (see simnet.Compute). Heterogeneous entries model
+	// compute stragglers. Length must equal Platforms; the analytic
+	// estimators use the mean (which preserves the sequential sum
+	// exactly). Requires Topology.
+	SimCompute []time.Duration
 	// SimFaults scripts deterministic link failures into the simulated
 	// WAN (drop platform k at round r, partitions, swallowed payloads).
 	// Requires SimWAN; without SimRejoin a triggered fault is fatal to
@@ -223,8 +254,34 @@ func (c Config) withDefaults() Config {
 // rules live here; the Run* entry points call it right after
 // withDefaults.
 func (c Config) validate() error {
-	if c.ConcatRounds && c.Pipelined {
-		return fmt.Errorf("experiment: ConcatRounds and Pipelined are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{c.ConcatRounds, c.Pipelined, c.BoundedStaleness, c.SplitFed} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("experiment: ConcatRounds, Pipelined, BoundedStaleness and SplitFed are mutually exclusive")
+	}
+	if c.Staleness != 0 && !c.BoundedStaleness {
+		return fmt.Errorf("experiment: Staleness %d without BoundedStaleness", c.Staleness)
+	}
+	if c.Staleness < 0 {
+		return fmt.Errorf("experiment: negative Staleness %d", c.Staleness)
+	}
+	if c.SplitFed && c.L1SyncEvery < 1 {
+		return fmt.Errorf("experiment: SplitFed requires L1SyncEvery >= 1")
+	}
+	if c.BoundedStaleness || c.SplitFed {
+		if c.CheckpointDir != "" || c.ResumeFrom != "" {
+			return fmt.Errorf("experiment: relaxed round modes do not support checkpoints or resume")
+		}
+		if c.SimRejoin != "" {
+			return fmt.Errorf("experiment: relaxed round modes do not support dropout recovery")
+		}
+		if c.Replicas > 0 {
+			return fmt.Errorf("experiment: relaxed round modes do not support replication")
+		}
 	}
 	if c.PipelineDepth > 0 && !c.Pipelined {
 		return fmt.Errorf("experiment: PipelineDepth %d without Pipelined", c.PipelineDepth)
@@ -256,6 +313,25 @@ func (c Config) validate() error {
 		}
 	} else if c.SimJitter != 0 || len(c.SimFaults) > 0 || c.SimRejoin != "" {
 		return fmt.Errorf("experiment: SimJitter/SimFaults/SimRejoin require SimWAN")
+	}
+	if c.SimComputeServer < 0 {
+		return fmt.Errorf("experiment: negative SimComputeServer %v", c.SimComputeServer)
+	}
+	if c.SimComputeServer > 0 && c.Topology == nil {
+		return fmt.Errorf("experiment: SimComputeServer without a Topology")
+	}
+	if len(c.SimCompute) > 0 {
+		if c.Topology == nil {
+			return fmt.Errorf("experiment: SimCompute without a Topology")
+		}
+		if len(c.SimCompute) != c.Platforms {
+			return fmt.Errorf("experiment: %d SimCompute entries for %d platforms", len(c.SimCompute), c.Platforms)
+		}
+		for k, d := range c.SimCompute {
+			if d < 0 {
+				return fmt.Errorf("experiment: negative SimCompute %v for platform %d", d, k)
+			}
+		}
 	}
 	switch c.SimRejoin {
 	case "", "wait", "proceed":
@@ -373,7 +449,10 @@ type Result struct {
 	RoundTime time.Duration
 	// SimElapsed is the virtual wall-clock the simulated WAN measured
 	// for the whole run (zero unless SimWAN) — the executable
-	// counterpart of RoundTime's closed-form estimate.
+	// counterpart of RoundTime's closed-form estimate. It covers the
+	// network schedule plus, when SimComputeServer/SimCompute are set,
+	// the per-exchange compute charges, so a compute straggler slows
+	// the measured session exactly like a slow link does.
 	SimElapsed time.Duration
 	// WeightDigest is a 64-bit FNV-1a digest over every final model
 	// parameter's raw float bits (platform fronts in id order, then the
@@ -410,6 +489,22 @@ func (c Config) simTime(up, down []int64) (time.Duration, error) {
 		return 0, fmt.Errorf("experiment: %d regions for %d platforms", len(c.Regions), c.Platforms)
 	}
 	return c.Topology.RoundTime(c.Regions, up, down, 0)
+}
+
+// platformComputeMean is the analytic estimators' scalar stand-in for
+// the per-platform compute profile. The sequential estimator sums
+// PlatformCompute once per platform, so the mean reproduces the
+// heterogeneous sum exactly; the pipelined schedule walk treats it as
+// an approximation.
+func (c Config) platformComputeMean() time.Duration {
+	if len(c.SimCompute) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range c.SimCompute {
+		total += d
+	}
+	return total / time.Duration(len(c.SimCompute))
 }
 
 // newLoss returns the task loss; one place to change if the paper's

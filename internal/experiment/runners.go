@@ -128,6 +128,12 @@ func RunSplit(cfg Config) (*Result, error) {
 	if cfg.Pipelined {
 		mode = core.RoundModePipelined
 	}
+	if cfg.BoundedStaleness {
+		mode = core.RoundModeBoundedStaleness
+	}
+	if cfg.SplitFed {
+		mode = core.RoundModeSplitFed
+	}
 	// Shadow fronts let platforms overlap their L1 backward with the
 	// next batch's forward at depth >= 2. Each shadow comes from a full
 	// BuildModel whose back half is discarded — wasteful in principle,
@@ -188,6 +194,10 @@ func RunSplit(cfg Config) (*Result, error) {
 			Seed:   cfg.Seed + 0x51A47,
 			Jitter: cfg.SimJitter,
 			Faults: faults,
+			Compute: simnet.Compute{
+				Server:   cfg.SimComputeServer,
+				Platform: cfg.SimCompute,
+			},
 		})
 		if werr != nil {
 			return nil, werr
@@ -204,6 +214,7 @@ func RunSplit(cfg Config) (*Result, error) {
 		Rounds:            cfg.Rounds,
 		StartRound:        startRound,
 		Mode:              mode,
+		Staleness:         cfg.Staleness,
 		PipelineDepth:     cfg.PipelineDepth,
 		IOGoroutineBudget: cfg.PipelineIOBudget,
 		ClipGrads:         5,
@@ -393,13 +404,21 @@ func RunSplit(cfg Config) (*Result, error) {
 		// overlaps around one fused step — so it keeps the
 		// slowest-platform model, like the sync-SGD baseline.
 		// Meters only saw the rounds this process executed, which on a
-		// resumed run is fewer than cfg.Rounds.
+		// resumed run is fewer than cfg.Rounds. The shape carries the
+		// configured compute model, so the analytic estimate and the
+		// measured SimElapsed account for the same work; the relaxed
+		// modes (bounded staleness, splitfed) overlap exchanges the
+		// strict sum serializes, so for them the sequential estimate is
+		// an upper bound and SimElapsed is the number to trust.
 		executed := cfg.Rounds - startRound
+		shape := splitShape(meters, executed)
+		shape.ServerCompute = cfg.SimComputeServer
+		shape.PlatformCompute = cfg.platformComputeMean()
 		var rt time.Duration
 		var err error
 		switch {
 		case cfg.Pipelined:
-			rt, err = cfg.Topology.PipelinedSplitRoundTime(cfg.Regions, splitShape(meters, executed), cfg.PipelineDepth)
+			rt, err = cfg.Topology.PipelinedSplitRoundTime(cfg.Regions, shape, cfg.PipelineDepth)
 		case cfg.ConcatRounds:
 			up := make([]int64, cfg.Platforms)
 			down := make([]int64, cfg.Platforms)
@@ -409,7 +428,7 @@ func RunSplit(cfg Config) (*Result, error) {
 			}
 			rt, err = cfg.simTime(up, down)
 		default:
-			rt, err = cfg.Topology.SequentialSplitRoundTime(cfg.Regions, splitShape(meters, executed))
+			rt, err = cfg.Topology.SequentialSplitRoundTime(cfg.Regions, shape)
 		}
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"medsplit/internal/geonet"
 	"medsplit/internal/simnet"
@@ -45,11 +46,13 @@ func matrixTopology() (*geonet.Topology, []geonet.Region) {
 }
 
 // TestScenarioMatrix is the end-to-end scenario sweep the simulated
-// WAN exists for: {sequential, concat, pipelined} × {raw, f16, int8,
-// top-k} × {no fault, mid-round dropout + rejoin}, each simnet run
-// compared against its pipe-transport reference by weight digest —
-// bit-identical training, regardless of link parameters, codec
-// quantization or a recovered dropout. The dropout arms run under the
+// WAN exists for: {sequential, concat, pipelined, bounded-staleness,
+// splitfed} × {raw, f16, int8, top-k} × {no fault, mid-round dropout +
+// rejoin}, each simnet run compared against its pipe-transport
+// reference by weight digest — bit-identical training, regardless of
+// link parameters, codec quantization or a recovered dropout. The
+// relaxed modes hold the same cross-transport bar because their wave
+// order is fixed, not arrival-driven. The dropout arms run under the
 // sequential scheduler (the recovery machinery's constraint) with the
 // WaitForRejoin policy, whose contract *is* bit-identity with the
 // undisturbed run.
@@ -65,6 +68,8 @@ func TestScenarioMatrix(t *testing.T) {
 		{"sequential", func(c *Config) {}, true},
 		{"concat", func(c *Config) { c.ConcatRounds = true }, false},
 		{"pipelined", func(c *Config) { c.Pipelined = true; c.PipelineDepth = 2 }, false},
+		{"stale-2", func(c *Config) { c.BoundedStaleness = true; c.Staleness = 2 }, false},
+		{"splitfed", func(c *Config) { c.SplitFed = true; c.L1SyncEvery = 2 }, false},
 	}
 	codecs := []string{"raw", "f16", "int8", "topk-0.5"}
 	faults := []struct {
@@ -180,6 +185,35 @@ func TestSimWANConfigValidation(t *testing.T) {
 		{"unknown rejoin policy", func(c *Config) { c.SimRejoin = "retry" }},
 		{"rejoin with concat", func(c *Config) { c.SimRejoin = "wait"; c.ConcatRounds = true }},
 		{"rejoin with pipelined", func(c *Config) { c.SimRejoin = "wait"; c.Pipelined = true }},
+		{"rejoin with bounded staleness", func(c *Config) {
+			c.SimRejoin = "wait"
+			c.BoundedStaleness = true
+			c.Staleness = 1
+		}},
+		{"staleness cap without the mode", func(c *Config) { c.Staleness = 2 }},
+		{"negative staleness cap", func(c *Config) { c.BoundedStaleness = true; c.Staleness = -1 }},
+		{"splitfed without averaging period", func(c *Config) { c.SplitFed = true }},
+		{"two relaxed modes at once", func(c *Config) {
+			c.BoundedStaleness = true
+			c.SplitFed = true
+			c.L1SyncEvery = 2
+		}},
+		{"splitfed with replicas", func(c *Config) {
+			c.SplitFed = true
+			c.L1SyncEvery = 2
+			c.Replicas = 1
+		}},
+		{"compute profile without topology", func(c *Config) {
+			c.SimWAN = false
+			c.Topology = nil
+			c.Regions = nil
+			c.SimCompute = []time.Duration{time.Millisecond, time.Millisecond, time.Millisecond}
+		}},
+		{"compute profile wrong length", func(c *Config) { c.SimCompute = []time.Duration{time.Millisecond} }},
+		{"negative platform compute", func(c *Config) {
+			c.SimCompute = []time.Duration{time.Millisecond, -time.Millisecond, time.Millisecond}
+		}},
+		{"negative server compute", func(c *Config) { c.SimComputeServer = -time.Millisecond }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,55 @@
+package fedavg
+
+import (
+	"fmt"
+
+	"medsplit/internal/tensor"
+)
+
+// AverageInto overwrites dst with the weighted average of the source
+// tensor lists: dst[i] = Σ_k (weights[k]/Σweights) · srcs[k][i]. This is
+// FedAvg's aggregation rule factored out as a kernel so other
+// aggregation sites — the split engine's L1 weight sync, SplitFed's
+// periodic averaging — apply the exact same arithmetic (same operation
+// order, same float32 rounding) as the FedAvg baseline.
+//
+// Every source list must have one tensor per dst entry with a matching
+// shape; weights must be non-negative with a positive sum.
+func AverageInto(dst []*tensor.Tensor, srcs [][]*tensor.Tensor, weights []float64) error {
+	if len(srcs) == 0 || len(weights) != len(srcs) {
+		return fmt.Errorf("fedavg: AverageInto %d sources, %d weights", len(srcs), len(weights))
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("fedavg: negative aggregation weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return fmt.Errorf("fedavg: aggregation weights sum to zero")
+	}
+	for s, src := range srcs {
+		if len(src) != len(dst) {
+			return fmt.Errorf("fedavg: source %d has %d tensors, want %d", s, len(src), len(dst))
+		}
+	}
+	for i, d := range dst {
+		acc := d.Data()
+		for j := range acc {
+			acc[j] = 0
+		}
+		for s, src := range srcs {
+			if !tensor.SameShape(d, src[i]) {
+				return fmt.Errorf("fedavg: tensor %d shape mismatch at source %d: %v, want %v",
+					i, s, src[i].Shape(), d.Shape())
+			}
+			scale := float32(weights[s] / total)
+			sd := src[i].Data()
+			for j := range acc {
+				acc[j] += scale * sd[j]
+			}
+		}
+	}
+	return nil
+}

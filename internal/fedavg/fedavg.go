@@ -93,11 +93,25 @@ func (s *Server) Serve(conns []transport.Conn) (*ServerStats, error) {
 	stats := &ServerStats{}
 	params := s.cfg.Model.Params()
 	state := nn.CollectState(s.cfg.Model)
+	paramW := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		paramW[i] = p.W
+	}
 	staging := make([][]*tensor.Tensor, len(conns))
 	stagingState := make([][]*tensor.Tensor, len(conns))
+	stateViews := make([][]*tensor.Tensor, len(conns))
 	weights := make([]float64, len(conns))
+	var bcast payloadSizer
+	var prevBcast []byte
 	for r := 0; r < s.cfg.Rounds; r++ {
-		payload := nn.EncodeModel(params, state)
+		// Round r-1's broadcast buffer is free again: every client has
+		// decoded it (their round-r-1 pushes arrived before this point),
+		// and decoded tensors never alias the payload. Recycling it here
+		// — instead of at the receivers, which must never release a
+		// shared broadcast payload — keeps the round loop allocation-free.
+		wire.Buffers.Put(prevBcast)
+		payload := bcast.encodeModel(params, state)
+		prevBcast = payload
 		for k, conn := range conns {
 			if err := conn.Send(&wire.Message{
 				Type:     wire.MsgModelPush,
@@ -113,33 +127,23 @@ func (s *Server) Serve(conns []transport.Conn) (*ServerStats, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fedavg: model from client %d: %w", k, err)
 			}
-			ts, st, n, err := decodeModelStateSize(m.Payload, params, state)
+			ts, st, n, err := decodeModelStateSizeInto(staging[k], stagingState[k], m.Payload, params, state)
 			if err != nil {
 				return nil, fmt.Errorf("fedavg: client %d: %w", k, err)
 			}
+			wire.ReleasePayload(&wire.Buffers, m)
 			staging[k] = ts
 			stagingState[k] = st
+			// The staging list carries the shard-size scalar in its last
+			// slot; the averaging below sees only the state tensors.
+			stateViews[k] = st[:len(state)]
 			weights[k] = float64(n)
 		}
-		var total float64
-		for _, w := range weights {
-			total += w
-		}
-		for i, p := range params {
-			dst := p.W.Data()
-			for j := range dst {
-				dst[j] = 0
-			}
-			for k := range staging {
-				scale := float32(weights[k] / total)
-				src := staging[k][i].Data()
-				for j := range dst {
-					dst[j] += scale * src[j]
-				}
-			}
+		if err := AverageInto(paramW, staging, weights); err != nil {
+			return nil, fmt.Errorf("fedavg: aggregating weights: %w", err)
 		}
 		if len(state) > 0 {
-			if err := nn.AverageStateInto(state, stagingState, weights); err != nil {
+			if err := nn.AverageStateInto(state, stateViews, weights); err != nil {
 				return nil, fmt.Errorf("fedavg: aggregating state: %w", err)
 			}
 		}
@@ -200,8 +204,12 @@ func (s *Server) handshake(conns []transport.Conn) error {
 		if err != nil {
 			return fmt.Errorf("fedavg: hello meta from client %d: %w", k, err)
 		}
-		if meta != want {
-			return fmt.Errorf("%w: client %d config %q, server %q", ErrConfig, k, meta, want)
+		base, err := wire.CutFrameField(meta)
+		if err != nil {
+			return fmt.Errorf("fedavg: client %d: %w", k, err)
+		}
+		if base != want {
+			return fmt.Errorf("%w: client %d config %q, server %q", ErrConfig, k, base, want)
 		}
 		if err := conn.Send(&wire.Message{Type: wire.MsgHelloAck, Platform: uint32(k)}); err != nil {
 			return fmt.Errorf("fedavg: acking client %d: %w", k, err)
@@ -287,7 +295,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 
 // Run executes the client protocol over conn.
 func (c *Client) Run(conn transport.Conn) (*ClientStats, error) {
-	meta := fmt.Sprintf("v=1;algo=fedavg;rounds=%d;eval=%d", c.cfg.Rounds, c.cfg.EvalEvery)
+	meta := fmt.Sprintf("v=1;algo=fedavg;rounds=%d;eval=%d%s", c.cfg.Rounds, c.cfg.EvalEvery, wire.FrameField())
 	if err := conn.Send(&wire.Message{
 		Type:     wire.MsgHello,
 		Platform: uint32(c.cfg.ID),
@@ -301,12 +309,20 @@ func (c *Client) Run(conn transport.Conn) (*ClientStats, error) {
 	stats := &ClientStats{}
 	params := c.cfg.Model.Params()
 	state := nn.CollectState(c.cfg.Model)
+	var scratch []*tensor.Tensor
+	scalar := tensor.New()
+	var push payloadSizer
 	for r := 0; r < c.cfg.Rounds; r++ {
 		m, err := recvExpect(conn, wire.MsgModelPush, r)
 		if err != nil {
 			return nil, fmt.Errorf("fedavg: client %d round %d: %w", c.cfg.ID, r, err)
 		}
-		if err := nn.DecodeModelInto(params, state, m.Payload); err != nil {
+		// The broadcast payload is shared across clients over in-process
+		// pipes, so it is decoded (through reusable scratch) but never
+		// released — only the server, which knows when every client has
+		// moved on, may recycle it.
+		scratch, err = nn.DecodeModelScratch(scratch, params, state, m.Payload)
+		if err != nil {
 			return nil, fmt.Errorf("fedavg: client %d installing model: %w", c.cfg.ID, err)
 		}
 		var lossSum float64
@@ -321,7 +337,8 @@ func (c *Client) Run(conn transport.Conn) (*ClientStats, error) {
 		}
 		stats.Rounds = append(stats.Rounds, RoundStat{Round: r, Loss: lossSum / float64(c.cfg.LocalSteps)})
 
-		payload := encodeModelStateSize(params, state, c.cfg.Shard.Len())
+		scalar.Set(float32(c.cfg.Shard.Len()))
+		payload := push.encodeModelPlus(params, state, scalar)
 		if err := conn.Send(&wire.Message{
 			Type:     wire.MsgModelPush,
 			Platform: uint32(c.cfg.ID),
@@ -347,51 +364,94 @@ func (c *Client) evalRound(r int) bool {
 	return (r+1)%c.cfg.EvalEvery == 0 || r == c.cfg.Rounds-1
 }
 
+// payloadSizer remembers the largest payload a call site has produced
+// so the next round's pooled buffer is already big enough and the
+// appends never reallocate (same idiom as the core engine's wire path).
+type payloadSizer struct{ max int }
+
+// encodeModel packs the model (weights + state) into a pooled buffer.
+func (ps *payloadSizer) encodeModel(params []*nn.Param, state []*tensor.Tensor) []byte {
+	buf := nn.EncodeModelInto(wire.Buffers.Get(ps.max), params, state)
+	if len(buf) > ps.max {
+		ps.max = len(buf)
+	}
+	return buf
+}
+
+// encodeModelPlus packs the model followed by one trailer tensor (the
+// shard-size scalar) into a pooled buffer.
+func (ps *payloadSizer) encodeModelPlus(params []*nn.Param, state []*tensor.Tensor, trailer *tensor.Tensor) []byte {
+	buf := nn.EncodeModelInto(wire.Buffers.Get(ps.max), params, state)
+	buf = trailer.AppendTo(buf)
+	if len(buf) > ps.max {
+		ps.max = len(buf)
+	}
+	return buf
+}
+
 // encodeModelStateSize appends normalization state and the shard size
 // (as a scalar tensor) to the model payload for weighted aggregation.
 func encodeModelStateSize(params []*nn.Param, state []*tensor.Tensor, shardLen int) []byte {
-	buf := nn.EncodeModel(params, state)
 	scalar := tensor.New()
 	scalar.Set(float32(shardLen))
+	buf := nn.EncodeModelInto(nil, params, state)
 	return scalar.AppendTo(buf)
 }
 
 // decodeModelStateSize splits a client payload into per-param weight
 // tensors, normalization state and the shard size.
 func decodeModelStateSize(buf []byte, params []*nn.Param, stateShape []*tensor.Tensor) ([]*tensor.Tensor, []*tensor.Tensor, int, error) {
-	out := make([]*tensor.Tensor, len(params))
+	ts, st, n, err := decodeModelStateSizeInto(nil, nil, buf, params, stateShape)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return ts, st[:len(stateShape)], n, nil
+}
+
+// decodeModelStateSizeInto is decodeModelStateSize reusing the caller's
+// staging tensors (grown on first use), so the server's steady-state
+// receive path decodes without allocating. Decoded tensors never alias
+// buf; the caller may release the payload immediately after.
+func decodeModelStateSizeInto(ts, st []*tensor.Tensor, buf []byte, params []*nn.Param, stateShape []*tensor.Tensor) ([]*tensor.Tensor, []*tensor.Tensor, int, error) {
+	if len(ts) != len(params) {
+		ts = make([]*tensor.Tensor, len(params))
+	}
+	if len(st) != len(stateShape)+1 {
+		// One extra staging slot holds the shard-size scalar trailer.
+		st = make([]*tensor.Tensor, len(stateShape)+1)
+	}
 	for i, p := range params {
-		t, rest, err := tensor.Decode(buf)
+		t, rest, err := tensor.DecodeInto(ts[i], buf)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("%w: weight %d: %v", ErrProtocol, i, err)
+			return ts, st, 0, fmt.Errorf("%w: weight %d: %v", ErrProtocol, i, err)
 		}
+		ts[i] = t
 		if !tensor.SameShape(t, p.W) {
-			return nil, nil, 0, fmt.Errorf("%w: weight %d shape %v, want %v", ErrProtocol, i, t.Shape(), p.W.Shape())
+			return ts, st, 0, fmt.Errorf("%w: weight %d shape %v, want %v", ErrProtocol, i, t.Shape(), p.W.Shape())
 		}
-		out[i] = t
 		buf = rest
 	}
-	state := make([]*tensor.Tensor, len(stateShape))
 	for i, want := range stateShape {
-		t, rest, err := tensor.Decode(buf)
+		t, rest, err := tensor.DecodeInto(st[i], buf)
 		if err != nil {
-			return nil, nil, 0, fmt.Errorf("%w: state %d: %v", ErrProtocol, i, err)
+			return ts, st, 0, fmt.Errorf("%w: state %d: %v", ErrProtocol, i, err)
 		}
+		st[i] = t
 		if !tensor.SameShape(t, want) {
-			return nil, nil, 0, fmt.Errorf("%w: state %d shape %v, want %v", ErrProtocol, i, t.Shape(), want.Shape())
+			return ts, st, 0, fmt.Errorf("%w: state %d shape %v, want %v", ErrProtocol, i, t.Shape(), want.Shape())
 		}
-		state[i] = t
 		buf = rest
 	}
-	scalar, rest, err := tensor.Decode(buf)
+	scalar, rest, err := tensor.DecodeInto(st[len(stateShape)], buf)
 	if err != nil || scalar.Size() != 1 || len(rest) != 0 {
-		return nil, nil, 0, fmt.Errorf("%w: bad shard-size trailer", ErrProtocol)
+		return ts, st, 0, fmt.Errorf("%w: bad shard-size trailer", ErrProtocol)
 	}
+	st[len(stateShape)] = scalar
 	n := int(scalar.At())
 	if n <= 0 {
-		return nil, nil, 0, fmt.Errorf("%w: shard size %d", ErrProtocol, n)
+		return ts, st, 0, fmt.Errorf("%w: shard size %d", ErrProtocol, n)
 	}
-	return out, state, n, nil
+	return ts, st, n, nil
 }
 
 func trainingBytes(m *transport.Meter) int64 {

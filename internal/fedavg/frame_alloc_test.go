@@ -1,0 +1,167 @@
+package fedavg
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"medsplit/internal/nn"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// helloServer starts a one-client server and returns its error channel
+// plus the client end of the pipe.
+func helloServer(t *testing.T, in int) (transport.Conn, chan error) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Model: buildModel(61, in, 2), Clients: 1, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sConn, cConn := transport.Pipe()
+	t.Cleanup(func() { cConn.Close() })
+	errCh := make(chan error, 1)
+	go func() {
+		_, serr := srv.Serve([]transport.Conn{sConn})
+		errCh <- serr
+		sConn.Close()
+	}()
+	return cConn, errCh
+}
+
+// Regression test for frame-version negotiation: a client built before
+// the versioned hello (no ";frame=" field) must be rejected fail-fast
+// with a typed *wire.FrameSkewError, not mis-reported as a config
+// mismatch or left to desynchronize mid-training.
+func TestFedAvgRejectsUnversionedHello(t *testing.T) {
+	train, _ := flatData(t, 2, 16, 8, 60)
+	cConn, errCh := helloServer(t, train.X.Dim(1))
+	legacy := "v=1;algo=fedavg;rounds=1;eval=0" // what a pre-negotiation build sends
+	if err := cConn.Send(&wire.Message{Type: wire.MsgHello, Payload: wire.EncodeText(legacy)}); err != nil {
+		t.Fatal(err)
+	}
+	err := <-errCh
+	var skew *wire.FrameSkewError
+	if !errors.As(err, &skew) {
+		t.Fatalf("err = %v, want *wire.FrameSkewError", err)
+	}
+	if skew.Got >= 0 || skew.Want != wire.FrameVersion {
+		t.Fatalf("skew = got %d want %d; expected undeclared (got < 0) against %d", skew.Got, skew.Want, wire.FrameVersion)
+	}
+	if !errors.Is(err, wire.ErrBadVersion) {
+		t.Fatalf("err = %v, want errors.Is(..., wire.ErrBadVersion)", err)
+	}
+}
+
+// A peer declaring a different frame version is rejected with the
+// declared version in the error.
+func TestFedAvgRejectsFrameSkew(t *testing.T) {
+	train, _ := flatData(t, 2, 16, 8, 60)
+	cConn, errCh := helloServer(t, train.X.Dim(1))
+	stale := fmt.Sprintf("v=1;algo=fedavg;rounds=1;eval=0;frame=%d", wire.FrameVersion-1)
+	if err := cConn.Send(&wire.Message{Type: wire.MsgHello, Payload: wire.EncodeText(stale)}); err != nil {
+		t.Fatal(err)
+	}
+	err := <-errCh
+	var skew *wire.FrameSkewError
+	if !errors.As(err, &skew) {
+		t.Fatalf("err = %v, want *wire.FrameSkewError", err)
+	}
+	if skew.Got != wire.FrameVersion-1 || skew.Want != wire.FrameVersion {
+		t.Fatalf("skew = got %d want %d", skew.Got, skew.Want)
+	}
+}
+
+func TestAverageInto(t *testing.T) {
+	mk := func(vals ...float32) []*tensor.Tensor {
+		ts := make([]*tensor.Tensor, len(vals))
+		for i, v := range vals {
+			ts[i] = tensor.New(2)
+			ts[i].Data()[0] = v
+			ts[i].Data()[1] = 2 * v
+		}
+		return ts
+	}
+	dst := mk(0, 0)
+	srcs := [][]*tensor.Tensor{mk(1, 10), mk(3, 30)}
+	if err := AverageInto(dst, srcs, []float64{3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// (3·1 + 1·3)/4 = 1.5 and (3·10 + 1·30)/4 = 15.
+	if got := dst[0].Data()[0]; got != 1.5 {
+		t.Fatalf("dst[0] = %v, want 1.5", got)
+	}
+	if got := dst[1].Data()[1]; got != 30 {
+		t.Fatalf("dst[1][1] = %v, want 30", got)
+	}
+
+	if err := AverageInto(dst, srcs, []float64{1}); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+	if err := AverageInto(dst, srcs, []float64{-1, 2}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := AverageInto(dst, srcs, []float64{0, 0}); err == nil {
+		t.Fatal("zero total weight accepted")
+	}
+	if err := AverageInto(dst, [][]*tensor.Tensor{mk(1)}, []float64{1}); err == nil {
+		t.Fatal("source length mismatch accepted")
+	}
+	short := mk(1, 2)
+	short[1] = tensor.New(3)
+	if err := AverageInto(dst, [][]*tensor.Tensor{short}, []float64{1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// The steady-state round path — pooled model encode, staged decode,
+// payload release — must not allocate once buffers and staging are
+// warm. This is the parity assertion for the rewiring of fedavg onto
+// wire.BufferPool: regressions that reintroduce per-round allocations
+// fail here rather than only showing up in benchmark numbers.
+func TestFedAvgSteadyStateExchangeAllocFree(t *testing.T) {
+	model := buildModel(31, 24, 2)
+	params := model.Params()
+	state := nn.CollectState(model)
+	scalar := tensor.New()
+	scalar.Set(16)
+	var push payloadSizer
+	var ts, st []*tensor.Tensor
+	cycle := func() {
+		payload := push.encodeModelPlus(params, state, scalar)
+		var err error
+		ts, st, _, err = decodeModelStateSizeInto(ts, st, payload, params, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire.Buffers.Put(payload)
+	}
+	cycle() // warm the pool and the staging tensors
+	if n := testing.AllocsPerRun(50, cycle); n != 0 {
+		t.Fatalf("steady-state exchange allocates %v objects per round, want 0", n)
+	}
+}
+
+// BenchmarkFedAvgModelExchange measures one client push worth of
+// encode+decode through the pooled wire path. Allocs/op is the headline
+// number: steady state must report 0.
+func BenchmarkFedAvgModelExchange(b *testing.B) {
+	model := buildModel(31, 3072, 10)
+	params := model.Params()
+	state := nn.CollectState(model)
+	scalar := tensor.New()
+	scalar.Set(64)
+	var push payloadSizer
+	var ts, st []*tensor.Tensor
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		payload := push.encodeModelPlus(params, state, scalar)
+		var err error
+		ts, st, _, err = decodeModelStateSizeInto(ts, st, payload, params, state)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire.Buffers.Put(payload)
+	}
+}

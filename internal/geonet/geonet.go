@@ -11,6 +11,7 @@ package geonet
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"medsplit/internal/rng"
@@ -237,6 +238,39 @@ func SyntheticClinics(n int, seed uint64) (*Topology, []Region) {
 		regions[i] = reg
 	}
 	return topo, regions
+}
+
+// SyntheticClinicCompute deterministically generates an n-clinic
+// per-platform compute profile to pair with SyntheticClinics: most
+// sites compute near the base duration, a tail of under-provisioned
+// clinics runs slower, and stragglerFrac of the fleet (rounded up, at
+// least one when the fraction is positive) is a genuine straggler at
+// 8× base — slow *compute*, the failure mode slow links cannot model.
+// The draw is seeded, so equal (n, seed, base, stragglerFrac) give
+// bit-identical profiles.
+func SyntheticClinicCompute(n int, seed uint64, base time.Duration, stragglerFrac float64) []time.Duration {
+	if n <= 0 {
+		panic(fmt.Sprintf("geonet: %d clinics", n))
+	}
+	if base < 0 {
+		panic(fmt.Sprintf("geonet: negative base compute %v", base))
+	}
+	if stragglerFrac < 0 || stragglerFrac > 1 {
+		panic(fmt.Sprintf("geonet: straggler fraction %v outside [0,1]", stragglerFrac))
+	}
+	r := rng.New(seed ^ 0xC0DE517E)
+	out := make([]time.Duration, n)
+	for i := range out {
+		// Healthy spread: 0.75×–1.5× base (modern vs aging hardware).
+		out[i] = time.Duration(float64(base) * (0.75 + 0.75*r.Float64()))
+	}
+	stragglers := int(math.Ceil(stragglerFrac * float64(n)))
+	for s := 0; s < stragglers; s++ {
+		// A seeded pick with replacement keeps the draw order (and thus
+		// the profile) stable as stragglerFrac grows.
+		out[r.Intn(n)] = 8 * base
+	}
+	return out
 }
 
 // Clock accumulates simulated time. It is not safe for concurrent use;

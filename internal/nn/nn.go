@@ -211,6 +211,37 @@ func CollectState(l Layer) []*tensor.Tensor {
 	}
 }
 
+// ReplaySafe reports whether a layer tree's training forward pass can
+// be re-run on the same input with bit-identical output and no side
+// effects. Stateful layers fail (BatchNorm's running statistics would
+// advance twice) and so do stochastic ones (a Dropout replay consumes
+// fresh randomness and draws a different mask). Schedulers that
+// rebuild a layer tree's backward cache by replaying the forward — the
+// relaxed-consistency server does this to interleave platform
+// exchanges — must refuse trees where this returns false.
+func ReplaySafe(l Layer) bool {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, child := range v.layers {
+			if !ReplaySafe(child) {
+				return false
+			}
+		}
+		return true
+	case *Residual:
+		if !ReplaySafe(v.body) {
+			return false
+		}
+		return v.skip == nil || ReplaySafe(v.skip)
+	case *Dropout:
+		return false
+	case Stateful:
+		return false
+	default:
+		return true
+	}
+}
+
 // EncodeState serializes stateful tensors for transmission alongside
 // weights.
 func EncodeState(state []*tensor.Tensor) []byte {
@@ -289,21 +320,64 @@ func EncodeModel(params []*Param, state []*tensor.Tensor) []byte {
 	return buf
 }
 
+// EncodeModelInto is EncodeModel appending into a caller-owned buffer
+// (typically drawn from a wire.BufferPool), so steady-state broadcast
+// loops encode without allocating.
+func EncodeModelInto(buf []byte, params []*Param, state []*tensor.Tensor) []byte {
+	for _, p := range params {
+		buf = p.W.AppendTo(buf)
+	}
+	for _, t := range state {
+		buf = t.AppendTo(buf)
+	}
+	return buf
+}
+
 // DecodeModelInto decodes a buffer produced by EncodeModel into the
 // given weights and state tensors.
 func DecodeModelInto(params []*Param, state []*tensor.Tensor, buf []byte) error {
-	for _, p := range params {
-		t, rest, err := tensor.Decode(buf)
+	_, err := DecodeModelScratch(nil, params, state, buf)
+	return err
+}
+
+// DecodeModelScratch is DecodeModelInto through caller-owned scratch
+// tensors: each wire tensor decodes into the corresponding scratch
+// entry (allocated on first use, reused afterwards) before its shape is
+// validated and its data copied into the model, so steady-state rounds
+// of a parameter-exchange loop decode without allocating. It returns
+// the (possibly grown) scratch slice; pass nil on the first call.
+func DecodeModelScratch(scratch []*tensor.Tensor, params []*Param, state []*tensor.Tensor, buf []byte) ([]*tensor.Tensor, error) {
+	if need := len(params) + len(state); len(scratch) != need {
+		scratch = make([]*tensor.Tensor, need)
+	}
+	for i, p := range params {
+		t, rest, err := tensor.DecodeInto(scratch[i], buf)
 		if err != nil {
-			return fmt.Errorf("nn: decoding %q: %w", p.Name, err)
+			return scratch, fmt.Errorf("nn: decoding %q: %w", p.Name, err)
 		}
+		scratch[i] = t
 		if !tensor.SameShape(p.W, t) {
-			return fmt.Errorf("nn: decoded shape %v for %q, want %v", t.Shape(), p.Name, p.W.Shape())
+			return scratch, fmt.Errorf("nn: decoded shape %v for %q, want %v", t.Shape(), p.Name, p.W.Shape())
 		}
 		p.W.CopyFrom(t)
 		buf = rest
 	}
-	return DecodeStateInto(state, buf)
+	for i, dst := range state {
+		t, rest, err := tensor.DecodeInto(scratch[len(params)+i], buf)
+		if err != nil {
+			return scratch, fmt.Errorf("nn: decoding state %d: %w", i, err)
+		}
+		scratch[len(params)+i] = t
+		if !tensor.SameShape(dst, t) {
+			return scratch, fmt.Errorf("nn: state %d shape %v, want %v", i, t.Shape(), dst.Shape())
+		}
+		dst.CopyFrom(t)
+		buf = rest
+	}
+	if len(buf) != 0 {
+		return scratch, fmt.Errorf("nn: %d trailing bytes after decoding model", len(buf))
+	}
+	return scratch, nil
 }
 
 // Sequential chains layers front to back.

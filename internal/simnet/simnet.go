@@ -13,10 +13,20 @@
 // link to finish serializing earlier messages (per-direction busy
 // schedule), crosses the link in serialization + latency + jitter, and
 // stamps the receiver's clock forward to its delivery time on Recv.
-// Local compute is instantaneous in virtual time, so Network.Elapsed
+// Local compute is instantaneous by default, so Network.Elapsed then
 // measures the pure network schedule of the protocol — the quantity the
 // geonet estimators approximate analytically, now produced by running
-// the real engine.
+// the real engine. Options.Compute switches on a per-party compute-time
+// model: the server's clock is charged Compute.Server when it receives
+// a platform's cut activations (the back half's forward+backward+step),
+// and a platform's clock is charged its Compute.Platform entry when it
+// ships a loss gradient (the front half's loss-gradient work between
+// receiving logits and replying) — the same two charge points
+// geonet.SplitRoundShape's ServerCompute and PlatformCompute model, so
+// measured and analytic round times stay comparable. Heterogeneous
+// platforms (stragglers with slow GPUs, not just slow links) are one
+// slice entry away, and the charges live on the virtual clocks, so
+// Elapsed folds compute and communication into a single wall-clock.
 //
 // Determinism: a link's per-direction message sequence is fixed by the
 // protocol, and its jitter stream is seeded from Options.Seed, so every
@@ -171,6 +181,36 @@ type Fault struct {
 	FailDials int
 }
 
+// Compute models local compute time on the virtual clocks. The zero
+// value keeps the legacy behavior: compute is instantaneous and Elapsed
+// is the pure network schedule.
+//
+// Charges mirror the analytic estimators' placement
+// (geonet.SplitRoundShape): Server is applied when the server endpoint
+// receives a wire.MsgActivations — the back half's forward + backward +
+// step for that platform's minibatch — and Platform[id] is applied when
+// platform id hands a wire.MsgLossGrad to Send, i.e. between receiving
+// logits and shipping the loss gradient. Eval and L1-sync traffic use
+// other message types and is never charged, matching the estimators'
+// exclusion of that traffic.
+type Compute struct {
+	// Server is the back-half compute charged per received activations
+	// message.
+	Server time.Duration
+	// Platform is the per-platform front-half loss-gradient compute,
+	// indexed by the id passed to AddLink. Platforms beyond the slice
+	// (or a nil slice) compute instantaneously.
+	Platform []time.Duration
+}
+
+// platform returns platform id's compute charge.
+func (c Compute) platform(id int) time.Duration {
+	if id < 0 || id >= len(c.Platform) {
+		return 0
+	}
+	return c.Platform[id]
+}
+
 // Options configures a Network.
 type Options struct {
 	// Seed derives every link's jitter stream; equal seeds give
@@ -188,6 +228,9 @@ type Options struct {
 	QueueCap int
 	// Faults is the fault script (see Fault).
 	Faults []Fault
+	// Compute charges local compute time onto the virtual clocks (see
+	// Compute). Zero value: compute is instantaneous.
+	Compute Compute
 }
 
 // Network is a simulated WAN: one server-side clock plus one link (and
@@ -207,6 +250,14 @@ type Network struct {
 func New(opts Options) *Network {
 	if opts.Jitter < 0 || opts.Jitter >= 1 {
 		panic(fmt.Sprintf("simnet: jitter %v outside [0,1)", opts.Jitter))
+	}
+	if opts.Compute.Server < 0 {
+		panic(fmt.Sprintf("simnet: negative server compute %v", opts.Compute.Server))
+	}
+	for id, d := range opts.Compute.Platform {
+		if d < 0 {
+			panic(fmt.Sprintf("simnet: negative compute %v for platform %d", d, id))
+		}
 	}
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = 64
@@ -236,6 +287,18 @@ func (nd *node) observe(t time.Duration) {
 	if t > nd.now {
 		nd.now = t
 	}
+	nd.mu.Unlock()
+}
+
+// advance charges local compute: unlike observe it always moves the
+// clock, because compute time is spent regardless of what was already
+// observed.
+func (nd *node) advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	nd.mu.Lock()
+	nd.now += d
 	nd.mu.Unlock()
 }
 
@@ -566,6 +629,12 @@ func (e *endpoint) Send(m *wire.Message) error {
 			return io.ErrClosedPipe
 		}
 	}
+	// Front-half compute: the loss gradient departs only after the
+	// platform finished computing it (geonet's PlatformCompute charge
+	// point, between receiving logits and shipping the loss gradient).
+	if !e.isServer && m.Type == wire.MsgLossGrad {
+		e.node.advance(s.link.net.opts.Compute.platform(s.link.platform))
+	}
 	at := s.transfer(q, e.node.clock(), m.WireSize())
 	if f != nil && f.Kind == FaultDelaySpike && f.Delay > 0 {
 		at += f.Delay
@@ -611,6 +680,13 @@ func (e *endpoint) Recv() (*wire.Message, error) {
 			q.msgs = q.msgs[1:]
 			s.cond.Broadcast() // backpressure waiters
 			e.node.observe(tm.at)
+			// Back-half compute: the server spends its per-minibatch
+			// forward+backward+step before it can do anything else with
+			// this platform's activations (geonet's ServerCompute charge
+			// point).
+			if e.isServer && tm.m.Type == wire.MsgActivations {
+				e.node.advance(s.link.net.opts.Compute.Server)
+			}
 			return tm.m, nil
 		}
 		if len(q.msgs) == 0 && q.senderClosed {

@@ -1,0 +1,96 @@
+package syncsgd
+
+import (
+	"errors"
+	"testing"
+
+	"medsplit/internal/nn"
+	"medsplit/internal/tensor"
+	"medsplit/internal/transport"
+	"medsplit/internal/wire"
+)
+
+// Regression test for frame-version negotiation: a worker built before
+// the versioned hello (no ";frame=" field) is rejected fail-fast with a
+// typed *wire.FrameSkewError instead of a misleading config mismatch.
+func TestSyncSGDRejectsUnversionedHello(t *testing.T) {
+	train, _ := flatData(t, 2, 16, 8, 60)
+	srv, err := NewServer(ServerConfig{
+		Model: buildModel(63, train.X.Dim(1), 2), Opt: &nn.SGD{}, Workers: 1, Rounds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sConn, cConn := transport.Pipe()
+	defer cConn.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, serr := srv.Serve([]transport.Conn{sConn})
+		errCh <- serr
+		sConn.Close()
+	}()
+	legacy := "v=1;algo=syncsgd;rounds=1;eval=0" // pre-negotiation hello
+	if err := cConn.Send(&wire.Message{Type: wire.MsgHello, Payload: wire.EncodeText(legacy)}); err != nil {
+		t.Fatal(err)
+	}
+	serr := <-errCh
+	var skew *wire.FrameSkewError
+	if !errors.As(serr, &skew) {
+		t.Fatalf("err = %v, want *wire.FrameSkewError", serr)
+	}
+	if skew.Got >= 0 || skew.Want != wire.FrameVersion {
+		t.Fatalf("skew = got %d want %d", skew.Got, skew.Want)
+	}
+	if !errors.Is(serr, wire.ErrBadVersion) {
+		t.Fatalf("err = %v, want errors.Is(..., wire.ErrBadVersion)", serr)
+	}
+}
+
+// The steady-state gradient exchange — pooled encode, staged decode,
+// payload release — must not allocate once warm (the BufferPool parity
+// assertion for this package).
+func TestSyncSGDSteadyStateExchangeAllocFree(t *testing.T) {
+	model := buildModel(33, 24, 2)
+	params := model.Params()
+	state := nn.CollectState(model)
+	scalar := tensor.New()
+	scalar.Set(8)
+	var push payloadSizer
+	var gs, st []*tensor.Tensor
+	cycle := func() {
+		payload := push.encodeGrads(params, scalar, state)
+		var err error
+		gs, _, st, err = decodeGradsBatchStateInto(gs, st, payload, params, state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire.Buffers.Put(payload)
+	}
+	cycle() // warm the pool and staging
+	if n := testing.AllocsPerRun(50, cycle); n != 0 {
+		t.Fatalf("steady-state exchange allocates %v objects per round, want 0", n)
+	}
+}
+
+// BenchmarkSyncSGDGradExchange measures one worker push worth of
+// encode+decode through the pooled wire path; allocs/op must be 0 in
+// steady state.
+func BenchmarkSyncSGDGradExchange(b *testing.B) {
+	model := buildModel(33, 3072, 10)
+	params := model.Params()
+	state := nn.CollectState(model)
+	scalar := tensor.New()
+	scalar.Set(64)
+	var push payloadSizer
+	var gs, st []*tensor.Tensor
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		payload := push.encodeGrads(params, scalar, state)
+		var err error
+		gs, _, st, err = decodeGradsBatchStateInto(gs, st, payload, params, state)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire.Buffers.Put(payload)
+	}
+}

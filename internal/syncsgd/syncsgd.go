@@ -106,11 +106,25 @@ func (s *Server) Serve(conns []transport.Conn) (*ServerStats, error) {
 	stats := &ServerStats{}
 	params := s.cfg.Model.Params()
 	state := nn.CollectState(s.cfg.Model)
-	workerStates := make([][]*tensor.Tensor, len(conns))
+	stagingGrads := make([][]*tensor.Tensor, len(conns))
+	stagingState := make([][]*tensor.Tensor, len(conns))
+	stateViews := make([][]*tensor.Tensor, len(conns))
 	stateWeights := make([]float64, len(conns))
+	sums := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		sums[i] = tensor.New(p.G.Shape()...)
+	}
+	var bcast payloadSizer
+	var prevBcast []byte
 	for r := 0; r < s.cfg.Rounds; r++ {
-		// Broadcast current weights along with normalization state.
-		payload := nn.EncodeModel(params, state)
+		// Broadcast current weights along with normalization state. The
+		// previous round's broadcast buffer is free again by now — every
+		// worker decoded it before pushing its round-r-1 gradient — so
+		// the server (never the receivers of a shared payload) recycles
+		// it, keeping the round loop allocation-free.
+		wire.Buffers.Put(prevBcast)
+		payload := bcast.encodeModel(params, state)
+		prevBcast = payload
 		for k, conn := range conns {
 			if err := conn.Send(&wire.Message{
 				Type:     wire.MsgModelPush,
@@ -124,24 +138,29 @@ func (s *Server) Serve(conns []transport.Conn) (*ServerStats, error) {
 		// Collect gradients; accumulate the batch-size-weighted sum.
 		nn.ZeroGrads(params)
 		var totalBatch float64
-		sums := make([]*tensor.Tensor, len(params))
-		for i, p := range params {
-			sums[i] = tensor.New(p.G.Shape()...)
+		for _, t := range sums {
+			d := t.Data()
+			for j := range d {
+				d[j] = 0
+			}
 		}
 		for k, conn := range conns {
 			m, err := recvExpect(conn, wire.MsgGradPush, r)
 			if err != nil {
 				return nil, fmt.Errorf("syncsgd: gradients from worker %d: %w", k, err)
 			}
-			grads, batch, wstate, err := decodeGradsBatchState(m.Payload, params, state)
+			grads, batch, wstate, err := decodeGradsBatchStateInto(stagingGrads[k], stagingState[k], m.Payload, params, state)
 			if err != nil {
 				return nil, fmt.Errorf("syncsgd: worker %d: %w", k, err)
 			}
+			wire.ReleasePayload(&wire.Buffers, m)
+			stagingGrads[k] = grads
+			stagingState[k] = wstate
+			stateViews[k] = wstate[:len(state)]
 			for i := range sums {
 				sums[i].AxpyInPlace(float32(batch), grads[i])
 			}
 			totalBatch += float64(batch)
-			workerStates[k] = wstate
 			stateWeights[k] = float64(batch)
 		}
 		if totalBatch == 0 {
@@ -159,7 +178,7 @@ func (s *Server) Serve(conns []transport.Conn) (*ServerStats, error) {
 		// the batch-weighted average of the workers' statistics so the
 		// global model evaluates correctly.
 		if len(state) > 0 {
-			if err := nn.AverageStateInto(state, workerStates, stateWeights); err != nil {
+			if err := nn.AverageStateInto(state, stateViews, stateWeights); err != nil {
 				return nil, fmt.Errorf("syncsgd: aggregating state: %w", err)
 			}
 		}
@@ -226,8 +245,12 @@ func (s *Server) handshake(conns []transport.Conn) error {
 		if err != nil {
 			return fmt.Errorf("syncsgd: hello meta from worker %d: %w", k, err)
 		}
-		if meta != want {
-			return fmt.Errorf("%w: worker %d config %q, server %q", ErrConfig, k, meta, want)
+		base, err := wire.CutFrameField(meta)
+		if err != nil {
+			return fmt.Errorf("syncsgd: worker %d: %w", k, err)
+		}
+		if base != want {
+			return fmt.Errorf("%w: worker %d config %q, server %q", ErrConfig, k, base, want)
 		}
 		if err := conn.Send(&wire.Message{Type: wire.MsgHelloAck, Platform: uint32(k)}); err != nil {
 			return fmt.Errorf("syncsgd: acking worker %d: %w", k, err)
@@ -311,7 +334,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 
 // Run executes the worker protocol over conn and returns measurements.
 func (w *Worker) Run(conn transport.Conn) (*WorkerStats, error) {
-	meta := fmt.Sprintf("v=1;algo=syncsgd;rounds=%d;eval=%d", w.cfg.Rounds, w.cfg.EvalEvery)
+	meta := fmt.Sprintf("v=1;algo=syncsgd;rounds=%d;eval=%d%s", w.cfg.Rounds, w.cfg.EvalEvery, wire.FrameField())
 	if err := conn.Send(&wire.Message{
 		Type:     wire.MsgHello,
 		Platform: uint32(w.cfg.ID),
@@ -325,12 +348,18 @@ func (w *Worker) Run(conn transport.Conn) (*WorkerStats, error) {
 	stats := &WorkerStats{}
 	params := w.cfg.Model.Params()
 	state := nn.CollectState(w.cfg.Model)
+	var scratch []*tensor.Tensor
+	scalar := tensor.New()
+	var push payloadSizer
 	for r := 0; r < w.cfg.Rounds; r++ {
 		m, err := recvExpect(conn, wire.MsgModelPush, r)
 		if err != nil {
 			return nil, fmt.Errorf("syncsgd: worker %d round %d: %w", w.cfg.ID, r, err)
 		}
-		if err := nn.DecodeModelInto(params, state, m.Payload); err != nil {
+		// Broadcast payloads are shared across workers over in-process
+		// pipes: decode through reusable scratch, never release.
+		scratch, err = nn.DecodeModelScratch(scratch, params, state, m.Payload)
+		if err != nil {
 			return nil, fmt.Errorf("syncsgd: worker %d installing model: %w", w.cfg.ID, err)
 		}
 		x, labels := w.cfg.Shard.Batch(w.sampler.Next())
@@ -340,7 +369,8 @@ func (w *Worker) Run(conn transport.Conn) (*WorkerStats, error) {
 		w.cfg.Model.Backward(g)
 		stats.Rounds = append(stats.Rounds, RoundStat{Round: r, Loss: loss, Batch: len(labels)})
 
-		payload := encodeGradsBatchState(params, len(labels), state)
+		scalar.Set(float32(len(labels)))
+		payload := push.encodeGrads(params, scalar, state)
 		if err := conn.Send(&wire.Message{
 			Type:     wire.MsgGradPush,
 			Platform: uint32(w.cfg.ID),
@@ -366,61 +396,107 @@ func (w *Worker) evalRound(r int) bool {
 	return (r+1)%w.cfg.EvalEvery == 0 || r == w.cfg.Rounds-1
 }
 
+// payloadSizer remembers the largest payload a call site has produced
+// so the next round's pooled buffer is already big enough and the
+// appends never reallocate (same idiom as the core engine's wire path).
+type payloadSizer struct{ max int }
+
+// encodeModel packs the model (weights + state) into a pooled buffer.
+func (ps *payloadSizer) encodeModel(params []*nn.Param, state []*tensor.Tensor) []byte {
+	buf := nn.EncodeModelInto(wire.Buffers.Get(ps.max), params, state)
+	if len(buf) > ps.max {
+		ps.max = len(buf)
+	}
+	return buf
+}
+
+// encodeGrads packs gradients, the batch-size scalar and normalization
+// state into a pooled buffer — the worker's push payload.
+func (ps *payloadSizer) encodeGrads(params []*nn.Param, scalar *tensor.Tensor, state []*tensor.Tensor) []byte {
+	buf := wire.Buffers.Get(ps.max)
+	for _, p := range params {
+		buf = p.G.AppendTo(buf)
+	}
+	buf = scalar.AppendTo(buf)
+	for _, t := range state {
+		buf = t.AppendTo(buf)
+	}
+	if len(buf) > ps.max {
+		ps.max = len(buf)
+	}
+	return buf
+}
+
 // encodeGradsBatchState appends the minibatch size (as a scalar
 // tensor) and the worker's normalization state to the gradient payload,
 // so the server can weight the gradient average and aggregate the
 // statistics.
 func encodeGradsBatchState(params []*nn.Param, batch int, state []*tensor.Tensor) []byte {
-	buf := nn.EncodeGrads(params)
 	scalar := tensor.New()
 	scalar.Set(float32(batch))
-	buf = scalar.AppendTo(buf)
-	for _, t := range state {
-		buf = t.AppendTo(buf)
-	}
-	return buf
+	var ps payloadSizer
+	return ps.encodeGrads(params, scalar, state)
 }
 
 // decodeGradsBatchState splits a gradient payload back into per-param
 // tensors, the batch size, and the worker's normalization state.
 func decodeGradsBatchState(buf []byte, params []*nn.Param, stateShape []*tensor.Tensor) ([]*tensor.Tensor, int, []*tensor.Tensor, error) {
-	out := make([]*tensor.Tensor, len(params))
+	gs, batch, st, err := decodeGradsBatchStateInto(nil, nil, buf, params, stateShape)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return gs, batch, st[:len(stateShape)], nil
+}
+
+// decodeGradsBatchStateInto is decodeGradsBatchState reusing the
+// caller's staging tensors (grown on first use), so the server's
+// steady-state receive path decodes without allocating. The returned
+// state slice carries the batch-size scalar in its last slot; decoded
+// tensors never alias buf, so the caller may release the payload
+// immediately after.
+func decodeGradsBatchStateInto(gs, st []*tensor.Tensor, buf []byte, params []*nn.Param, stateShape []*tensor.Tensor) ([]*tensor.Tensor, int, []*tensor.Tensor, error) {
+	if len(gs) != len(params) {
+		gs = make([]*tensor.Tensor, len(params))
+	}
+	if len(st) != len(stateShape)+1 {
+		st = make([]*tensor.Tensor, len(stateShape)+1)
+	}
 	for i, p := range params {
-		t, rest, err := tensor.Decode(buf)
+		t, rest, err := tensor.DecodeInto(gs[i], buf)
 		if err != nil {
-			return nil, 0, nil, fmt.Errorf("%w: gradient %d: %v", ErrProtocol, i, err)
+			return gs, 0, st, fmt.Errorf("%w: gradient %d: %v", ErrProtocol, i, err)
 		}
+		gs[i] = t
 		if !tensor.SameShape(t, p.G) {
-			return nil, 0, nil, fmt.Errorf("%w: gradient %d shape %v, want %v", ErrProtocol, i, t.Shape(), p.G.Shape())
+			return gs, 0, st, fmt.Errorf("%w: gradient %d shape %v, want %v", ErrProtocol, i, t.Shape(), p.G.Shape())
 		}
-		out[i] = t
 		buf = rest
 	}
-	scalar, rest, err := tensor.Decode(buf)
+	scalar, rest, err := tensor.DecodeInto(st[len(stateShape)], buf)
 	if err != nil || scalar.Size() != 1 {
-		return nil, 0, nil, fmt.Errorf("%w: bad batch-size trailer", ErrProtocol)
+		return gs, 0, st, fmt.Errorf("%w: bad batch-size trailer", ErrProtocol)
 	}
+	st[len(stateShape)] = scalar
 	batch := int(scalar.At())
 	if batch <= 0 {
-		return nil, 0, nil, fmt.Errorf("%w: batch size %d", ErrProtocol, batch)
+		return gs, 0, st, fmt.Errorf("%w: batch size %d", ErrProtocol, batch)
 	}
 	buf = rest
-	state := make([]*tensor.Tensor, len(stateShape))
 	for i, want := range stateShape {
-		t, r2, err := tensor.Decode(buf)
+		t, r2, err := tensor.DecodeInto(st[i], buf)
 		if err != nil {
-			return nil, 0, nil, fmt.Errorf("%w: state %d: %v", ErrProtocol, i, err)
+			return gs, 0, st, fmt.Errorf("%w: state %d: %v", ErrProtocol, i, err)
 		}
+		st[i] = t
 		if !tensor.SameShape(t, want) {
-			return nil, 0, nil, fmt.Errorf("%w: state %d shape %v, want %v", ErrProtocol, i, t.Shape(), want.Shape())
+			return gs, 0, st, fmt.Errorf("%w: state %d shape %v, want %v", ErrProtocol, i, t.Shape(), want.Shape())
 		}
-		state[i] = t
 		buf = r2
 	}
 	if len(buf) != 0 {
-		return nil, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrProtocol, len(buf))
+		return gs, 0, st, fmt.Errorf("%w: %d trailing bytes", ErrProtocol, len(buf))
 	}
-	return out, batch, state, nil
+	return gs, batch, st, nil
 }
 
 // trainingBytes counts parameter-exchange traffic in both directions.

@@ -211,7 +211,7 @@ func TestServerRejectsBadHello(t *testing.T) {
 		errCh <- serr
 		sConn.Close()
 	}()
-	if err := cConn.Send(&wire.Message{Type: wire.MsgHello, Payload: wire.EncodeText("v=1;algo=fedavg;rounds=1;eval=0")}); err != nil {
+	if err := cConn.Send(&wire.Message{Type: wire.MsgHello, Payload: wire.EncodeText("v=1;algo=fedavg;rounds=1;eval=0" + wire.FrameField())}); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-errCh; !errors.Is(err, ErrConfig) {

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"strconv"
+	"strings"
 )
 
 // MsgType enumerates protocol messages. The zero value is invalid so an
@@ -141,6 +143,13 @@ const (
 	// tensor bytes.
 	version uint8 = 6
 
+	// FrameVersion is the exported frame version, for protocols that
+	// negotiate it explicitly in their application-level handshakes
+	// (fedavg/syncsgd embed it in their hello strings and fail fast
+	// with a FrameSkewError on mismatch). It always equals the framing
+	// layer's own version byte.
+	FrameVersion = int(version)
+
 	// headerSize: magic(2) + version(1) + type(1) + platform(4) +
 	// round(4) + payloadLen(4) + crc(4).
 	headerSize = 20
@@ -159,6 +168,53 @@ var (
 	ErrTooLarge   = errors.New("wire: payload exceeds limit")
 	ErrChecksum   = errors.New("wire: payload checksum mismatch")
 )
+
+// FrameSkewError reports a frame-version mismatch detected by an
+// application-level handshake (as opposed to ErrBadVersion, which the
+// framing layer raises on a raw frame byte). Got < 0 means the peer
+// declared no version at all — a pre-negotiation build. It unwraps to
+// ErrBadVersion so errors.Is sees one version-skew family.
+type FrameSkewError struct {
+	Got, Want int
+}
+
+// Error renders the mismatch.
+func (e *FrameSkewError) Error() string {
+	if e.Got < 0 {
+		return fmt.Sprintf("wire: peer declared no frame version (predates negotiation), want %d", e.Want)
+	}
+	return fmt.Sprintf("wire: peer frame version %d, want %d", e.Got, e.Want)
+}
+
+// Unwrap folds the typed error into the ErrBadVersion family.
+func (e *FrameSkewError) Unwrap() error { return ErrBadVersion }
+
+// FrameField renders the ";frame=N" hello-string suffix through which
+// application-level handshakes declare the wire frame version they were
+// built against. Append it last: CutFrameField splits on the first
+// occurrence and treats everything after it as the version number.
+func FrameField() string { return fmt.Sprintf(";frame=%d", FrameVersion) }
+
+// CutFrameField splits a hello meta string into its base configuration
+// and the declared frame version, validating the version against this
+// build's FrameVersion. A missing or malformed field is reported as a
+// *FrameSkewError with Got < 0 — the peer predates negotiation — so
+// protocols that adopt FrameField fail fast against unversioned peers
+// instead of mis-reporting the skew as a configuration mismatch.
+func CutFrameField(meta string) (string, error) {
+	base, val, ok := strings.Cut(meta, ";frame=")
+	if !ok {
+		return meta, &FrameSkewError{Got: -1, Want: FrameVersion}
+	}
+	got, err := strconv.Atoi(val)
+	if err != nil || got < 0 {
+		return base, &FrameSkewError{Got: -1, Want: FrameVersion}
+	}
+	if got != FrameVersion {
+		return base, &FrameSkewError{Got: got, Want: FrameVersion}
+	}
+	return base, nil
+}
 
 // WireSize returns the exact number of bytes m occupies on the wire.
 func (m *Message) WireSize() int { return headerSize + len(m.Payload) }
